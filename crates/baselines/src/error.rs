@@ -1,0 +1,105 @@
+//! Error types for the `baselines` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, BaselineError>;
+
+/// Errors reported when configuring or training a baseline model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BaselineError {
+    /// A configuration parameter was invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// Features, labels, or weights disagreed on the number of samples, or
+    /// the training set was empty.
+    DataMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            BaselineError::DataMismatch { reason } => write!(f, "data mismatch: {reason}"),
+        }
+    }
+}
+
+impl StdError for BaselineError {}
+
+/// Validates the shared feature/label/weight invariants.
+pub(crate) fn validate_inputs(
+    x: &linalg::Matrix,
+    y: &[usize],
+    weights: Option<&[f64]>,
+) -> Result<()> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(BaselineError::DataMismatch {
+            reason: "training data is empty".into(),
+        });
+    }
+    if x.rows() != y.len() {
+        return Err(BaselineError::DataMismatch {
+            reason: format!("{} feature rows but {} labels", x.rows(), y.len()),
+        });
+    }
+    if let Some(w) = weights {
+        if w.len() != y.len() {
+            return Err(BaselineError::DataMismatch {
+                reason: format!("{} labels but {} weights", y.len(), w.len()),
+            });
+        }
+        if w.iter().any(|&wi| wi < 0.0) || w.iter().sum::<f64>() <= 0.0 {
+            return Err(BaselineError::DataMismatch {
+                reason: "sample weights must be non-negative with positive sum".into(),
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Matrix;
+
+    #[test]
+    fn display_contains_reason() {
+        let e = BaselineError::InvalidConfig { reason: "zero trees".into() };
+        assert!(e.to_string().contains("zero trees"));
+    }
+
+    #[test]
+    fn validate_catches_empty() {
+        let x = Matrix::zeros(0, 2);
+        assert!(validate_inputs(&x, &[], None).is_err());
+    }
+
+    #[test]
+    fn validate_catches_length_mismatch() {
+        let x = Matrix::zeros(3, 2);
+        assert!(validate_inputs(&x, &[0, 1], None).is_err());
+        assert!(validate_inputs(&x, &[0, 1, 0], Some(&[1.0, 1.0])).is_err());
+    }
+
+    #[test]
+    fn validate_accepts_good_input() {
+        let x = Matrix::zeros(3, 2);
+        assert!(validate_inputs(&x, &[0, 1, 0], Some(&[1.0, 1.0, 2.0])).is_ok());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BaselineError>();
+    }
+}

@@ -1,0 +1,251 @@
+//! Random Forest: bagged CART trees with per-node feature subsampling.
+//!
+//! Matches the paper's baseline setup: bootstrap resampling enabled,
+//! 10 estimators. Prediction averages leaf class distributions (soft
+//! voting), which is also what scikit-learn's `RandomForestClassifier`
+//! does.
+
+use crate::error::{validate_inputs, BaselineError, Result};
+use crate::tree::{DecisionTree, DecisionTreeConfig, FeatureSubset};
+use boosthd::{argmax, Classifier};
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for [`RandomForest`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomForestConfig {
+    /// Number of trees (paper: 10).
+    pub n_trees: usize,
+    /// Whether each tree trains on a bootstrap resample (paper: enabled).
+    pub bootstrap: bool,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Features considered per split (default `√F`).
+    pub feature_subset: FeatureSubset,
+    /// Seed controlling bootstraps and feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for RandomForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 10,
+            bootstrap: true,
+            max_depth: 12,
+            feature_subset: FeatureSubset::Sqrt,
+            seed: 0xF0_5E57,
+        }
+    }
+}
+
+/// A trained random forest.
+///
+/// See the [crate docs](crate) for a runnable example.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Fits `n_trees` bagged trees.
+    ///
+    /// # Errors
+    ///
+    /// * [`BaselineError::InvalidConfig`] if `n_trees` is zero;
+    /// * [`BaselineError::DataMismatch`] for empty/inconsistent inputs.
+    pub fn fit(config: &RandomForestConfig, x: &Matrix, y: &[usize]) -> Result<Self> {
+        validate_inputs(x, y, None)?;
+        if config.n_trees == 0 {
+            return Err(BaselineError::InvalidConfig {
+                reason: "a forest needs at least one tree".into(),
+            });
+        }
+        let num_classes = y.iter().copied().max().expect("non-empty") + 1;
+        let n = y.len();
+        let mut rng = Rng64::seed_from(config.seed);
+        let mut trees = Vec::with_capacity(config.n_trees);
+        for t in 0..config.n_trees {
+            let tree_config = DecisionTreeConfig {
+                max_depth: config.max_depth,
+                min_samples_split: 2,
+                feature_subset: config.feature_subset,
+                seed: rng.fork(t as u64).next_seed(),
+            };
+            let tree = if config.bootstrap {
+                let picks: Vec<usize> = (0..n).map(|_| rng.below(n)).collect();
+                let xb = x.select_rows(&picks);
+                let yb: Vec<usize> = picks.iter().map(|&i| y[i]).collect();
+                // Bootstrap can drop a class entirely; fall back to the full
+                // set in that degenerate case so every tree knows all labels.
+                let classes_seen = {
+                    let mut seen = vec![false; num_classes];
+                    for &yi in &yb {
+                        seen[yi] = true;
+                    }
+                    seen.iter().all(|&s| s)
+                };
+                if classes_seen {
+                    DecisionTree::fit(&tree_config, &xb, &yb)?
+                } else {
+                    DecisionTree::fit(&tree_config, x, y)?
+                }
+            } else {
+                DecisionTree::fit(&tree_config, x, y)?
+            };
+            trees.push(tree);
+        }
+        Ok(Self { trees, num_classes })
+    }
+
+    /// Number of trees in the forest.
+    pub fn n_trees(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Borrow the underlying trees (for inspection / ablation).
+    pub fn trees(&self) -> &[DecisionTree] {
+        &self.trees
+    }
+}
+
+impl Classifier for RandomForest {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let mut acc = vec![0.0f32; self.num_classes];
+        for tree in &self.trees {
+            let dist = tree.predict_dist(x);
+            for (a, &d) in acc.iter_mut().zip(dist.iter()) {
+                *a += d;
+            }
+        }
+        let n = self.trees.len() as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        acc
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.scores(x))
+    }
+}
+
+/// Tiny extension so forks can mint fresh seeds without exposing RNG state.
+trait NextSeed {
+    fn next_seed(&mut self) -> u64;
+}
+
+impl NextSeed for Rng64 {
+    fn next_seed(&mut self) -> u64 {
+        use rand::RngCore as _;
+        self.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n: usize, seed: u64, noise: f32) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { 0.0 } else { 2.0 };
+            rows.push(vec![c + noise * rng.normal(), c + noise * rng.normal()]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn learns_blobs() {
+        let (x, y) = blobs(200, 1, 0.4);
+        let rf = RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap();
+        let acc = rf
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc > 0.95);
+        assert_eq!(rf.n_trees(), 10);
+    }
+
+    #[test]
+    fn generalizes() {
+        let (xtr, ytr) = blobs(300, 2, 0.5);
+        let (xte, yte) = blobs(100, 77, 0.5);
+        let rf = RandomForest::fit(&RandomForestConfig::default(), &xtr, &ytr).unwrap();
+        let acc = rf
+            .predict_batch(&xte)
+            .iter()
+            .zip(&yte)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / yte.len() as f64;
+        assert!(acc > 0.9, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn scores_are_probability_like() {
+        let (x, y) = blobs(100, 3, 0.4);
+        let rf = RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap();
+        let s = rf.scores(x.row(0));
+        assert_eq!(s.len(), 2);
+        let total: f32 = s.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4);
+        assert!(s.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn forest_beats_or_matches_single_bagged_tree_out_of_sample() {
+        let (xtr, ytr) = blobs(300, 4, 0.9);
+        let (xte, yte) = blobs(150, 99, 0.9);
+        let rf_config = RandomForestConfig { n_trees: 15, max_depth: 6, ..Default::default() };
+        let rf = RandomForest::fit(&rf_config, &xtr, &ytr).unwrap();
+        let one_config = RandomForestConfig { n_trees: 1, max_depth: 6, ..Default::default() };
+        let one = RandomForest::fit(&one_config, &xtr, &ytr).unwrap();
+        let acc = |m: &RandomForest| {
+            m.predict_batch(&xte)
+                .iter()
+                .zip(&yte)
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / yte.len() as f64
+        };
+        assert!(acc(&rf) + 0.03 >= acc(&one), "{} vs {}", acc(&rf), acc(&one));
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let (x, y) = blobs(20, 5, 0.3);
+        let config = RandomForestConfig { n_trees: 0, ..Default::default() };
+        assert!(matches!(
+            RandomForest::fit(&config, &x, &y),
+            Err(BaselineError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = blobs(60, 6, 0.4);
+        let a = RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap();
+        let b = RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap();
+        assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn no_bootstrap_mode_works() {
+        let (x, y) = blobs(80, 7, 0.4);
+        let config = RandomForestConfig { bootstrap: false, ..Default::default() };
+        let rf = RandomForest::fit(&config, &x, &y).unwrap();
+        assert_eq!(rf.n_trees(), 10);
+    }
+}

@@ -1,0 +1,465 @@
+//! Weighted CART decision trees (Gini impurity).
+//!
+//! The shared tree learner under [`crate::RandomForest`] and
+//! [`crate::AdaBoost`]: exact greedy splits on sorted feature values,
+//! weighted Gini impurity, optional per-node feature subsampling (the
+//! Random Forest `√F` trick), and sample weights (the AdaBoost hook).
+//! Leaves store weighted class distributions so ensembles can average
+//! probabilities rather than votes.
+
+use crate::error::{validate_inputs, Result};
+use boosthd::{argmax, Classifier};
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Which features are considered at each split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FeatureSubset {
+    /// Consider every feature (plain CART).
+    #[default]
+    All,
+    /// Consider `⌈√F⌉` randomly chosen features per node (Random Forest).
+    Sqrt,
+    /// Consider exactly this many randomly chosen features per node.
+    Count(usize),
+}
+
+impl FeatureSubset {
+    fn resolve(self, num_features: usize) -> usize {
+        match self {
+            FeatureSubset::All => num_features,
+            FeatureSubset::Sqrt => (num_features as f64).sqrt().ceil() as usize,
+            FeatureSubset::Count(c) => c.clamp(1, num_features),
+        }
+        .max(1)
+    }
+}
+
+/// Configuration for [`DecisionTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (a depth-0 tree is a single leaf).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Features considered per split.
+    pub feature_subset: FeatureSubset,
+    /// Seed for feature subsampling (unused with [`FeatureSubset::All`]).
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 10,
+            min_samples_split: 2,
+            feature_subset: FeatureSubset::All,
+            seed: 0x7EE5,
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Node {
+    Leaf {
+        /// Normalized weighted class distribution at this leaf.
+        dist: Vec<f32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
+}
+
+/// A trained CART classification tree.
+///
+/// # Example
+///
+/// ```
+/// use baselines::{DecisionTree, DecisionTreeConfig};
+/// use boosthd::Classifier;
+/// use linalg::Matrix;
+///
+/// let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]])?;
+/// let y = vec![0, 0, 1, 1];
+/// let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y)?;
+/// assert_eq!(tree.predict(&[0.5]), 0);
+/// assert_eq!(tree.predict(&[2.5]), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+    num_features: usize,
+}
+
+impl DecisionTree {
+    /// Fits a tree with uniform sample weights.
+    ///
+    /// # Errors
+    ///
+    /// See [`DecisionTree::fit_weighted`].
+    pub fn fit(config: &DecisionTreeConfig, x: &Matrix, y: &[usize]) -> Result<Self> {
+        Self::fit_weighted(config, x, y, None)
+    }
+
+    /// Fits a tree with optional per-sample weights (the boosting hook).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::BaselineError::DataMismatch`] for empty or inconsistent
+    /// inputs.
+    pub fn fit_weighted(
+        config: &DecisionTreeConfig,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+    ) -> Result<Self> {
+        validate_inputs(x, y, weights)?;
+        let num_classes = y.iter().copied().max().expect("non-empty") + 1;
+        let w: Vec<f64> = match weights {
+            Some(w) => w.to_vec(),
+            None => vec![1.0; y.len()],
+        };
+        let mut builder = Builder {
+            x,
+            y,
+            w: &w,
+            num_classes,
+            config: *config,
+            rng: Rng64::seed_from(config.seed),
+            nodes: Vec::new(),
+        };
+        let all: Vec<usize> = (0..y.len()).collect();
+        builder.build(&all, 0);
+        Ok(Self {
+            nodes: builder.nodes,
+            num_classes,
+            num_features: x.cols(),
+        })
+    }
+
+    /// Number of nodes in the tree (leaves + splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left as usize).max(depth_of(nodes, *right as usize))
+                }
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            depth_of(&self.nodes, 0)
+        }
+    }
+
+    /// The weighted class distribution at the leaf `x` falls into.
+    pub fn predict_dist(&self, x: &[f32]) -> &[f32] {
+        let mut i = 0usize;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { dist } => return dist,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if x[*feature] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        self.predict_dist(x).to_vec()
+    }
+
+    fn predict(&self, x: &[f32]) -> usize {
+        argmax(self.predict_dist(x))
+    }
+}
+
+struct Builder<'a> {
+    x: &'a Matrix,
+    y: &'a [usize],
+    w: &'a [f64],
+    num_classes: usize,
+    config: DecisionTreeConfig,
+    rng: Rng64,
+    nodes: Vec<Node>,
+}
+
+impl Builder<'_> {
+    /// Builds the subtree over `indices`, returning its node id.
+    fn build(&mut self, indices: &[usize], depth: usize) -> u32 {
+        let counts = self.class_weights(indices);
+        let total: f64 = counts.iter().sum();
+        let node_gini = gini(&counts, total);
+
+        let mut best: Option<(usize, f32, f64)> = None; // (feature, threshold, impurity decrease)
+        if depth < self.config.max_depth
+            && indices.len() >= self.config.min_samples_split
+            && node_gini > 0.0
+        {
+            best = self.best_split(indices, &counts, total, node_gini);
+        }
+
+        match best {
+            None => {
+                let dist: Vec<f32> = counts.iter().map(|&c| (c / total) as f32).collect();
+                self.nodes.push(Node::Leaf { dist });
+                (self.nodes.len() - 1) as u32
+            }
+            Some((feature, threshold, _gain)) => {
+                let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = indices
+                    .iter()
+                    .partition(|&&i| self.x.at(i, feature) <= threshold);
+                // Reserve the split slot before recursing so children land
+                // after their parent.
+                self.nodes.push(Node::Leaf { dist: Vec::new() });
+                let me = (self.nodes.len() - 1) as u32;
+                let left = self.build(&left_idx, depth + 1);
+                let right = self.build(&right_idx, depth + 1);
+                self.nodes[me as usize] = Node::Split { feature, threshold, left, right };
+                me
+            }
+        }
+    }
+
+    fn class_weights(&self, indices: &[usize]) -> Vec<f64> {
+        let mut counts = vec![0.0f64; self.num_classes];
+        for &i in indices {
+            counts[self.y[i]] += self.w[i];
+        }
+        counts
+    }
+
+    fn candidate_features(&mut self) -> Vec<usize> {
+        let f = self.x.cols();
+        let want = self.config.feature_subset.resolve(f);
+        if want >= f {
+            (0..f).collect()
+        } else {
+            self.rng.sample_without_replacement(f, want)
+        }
+    }
+
+    fn best_split(
+        &mut self,
+        indices: &[usize],
+        counts: &[f64],
+        total: f64,
+        node_gini: f64,
+    ) -> Option<(usize, f32, f64)> {
+        let mut best: Option<(usize, f32, f64)> = None;
+        for feature in self.candidate_features() {
+            let mut vals: Vec<(f32, usize)> =
+                indices.iter().map(|&i| (self.x.at(i, feature), i)).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
+
+            let mut left_counts = vec![0.0f64; self.num_classes];
+            let mut left_total = 0.0f64;
+            for k in 0..vals.len().saturating_sub(1) {
+                let (v, i) = vals[k];
+                left_counts[self.y[i]] += self.w[i];
+                left_total += self.w[i];
+                let next_v = vals[k + 1].0;
+                if next_v <= v {
+                    continue; // no valid threshold between equal values
+                }
+                let right_total = total - left_total;
+                if left_total <= 0.0 || right_total <= 0.0 {
+                    continue;
+                }
+                let right_counts: Vec<f64> = counts
+                    .iter()
+                    .zip(left_counts.iter())
+                    .map(|(c, l)| c - l)
+                    .collect();
+                let weighted_child_gini = (left_total / total) * gini(&left_counts, left_total)
+                    + (right_total / total) * gini(&right_counts, right_total);
+                let decrease = node_gini - weighted_child_gini;
+                if decrease > 1e-12 && best.map_or(true, |(_, _, b)| decrease > b) {
+                    best = Some((feature, 0.5 * (v + next_v), decrease));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Weighted Gini impurity `1 − Σ p_c²`.
+fn gini(counts: &[f64], total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        // XOR with slightly unbalanced quadrant counts: perfectly balanced
+        // XOR has *zero* first-split gain (greedy CART provably stalls on
+        // it), so real test suites break the symmetry.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(a, b, count) in &[
+            (0.0f32, 0.0f32, 14usize),
+            (0.0, 1.0, 10),
+            (1.0, 0.0, 12),
+            (1.0, 1.0, 13),
+        ] {
+            for _ in 0..count {
+                rows.push(vec![a, b]);
+                labels.push(((a as usize) ^ (b as usize)) as usize);
+            }
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn splits_one_dimensional_threshold() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![0, 0, 1, 1];
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        assert_eq!(tree.predict(&[-1.0]), 0);
+        assert_eq!(tree.predict(&[5.0]), 1);
+        assert_eq!(tree.depth(), 1);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let (x, y) = xor_data();
+        let config = DecisionTreeConfig { max_depth: 2, ..Default::default() };
+        let tree = DecisionTree::fit(&config, &x, &y).unwrap();
+        let acc = tree
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count();
+        assert_eq!(acc, y.len(), "depth-2 tree should solve XOR exactly");
+    }
+
+    #[test]
+    fn stump_cannot_learn_xor() {
+        let (x, y) = xor_data();
+        let config = DecisionTreeConfig { max_depth: 1, ..Default::default() };
+        let tree = DecisionTree::fit(&config, &x, &y).unwrap();
+        let acc = tree
+            .predict_batch(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64;
+        assert!(acc < 0.8, "a stump must fail on XOR, got {acc}");
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]).unwrap();
+        let y = vec![1, 1, 1];
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert_eq!(tree.predict(&[2.0]), 1);
+    }
+
+    #[test]
+    fn max_depth_zero_gives_majority_leaf() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let y = vec![0, 1, 1];
+        let config = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let tree = DecisionTree::fit(&config, &x, &y).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[0.0]), 1, "majority class wins at depth 0");
+    }
+
+    #[test]
+    fn sample_weights_steer_the_split() {
+        // Same data, but weighting flips which class dominates a leaf.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2]]).unwrap();
+        let y = vec![0, 1, 1];
+        let config = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let heavy0 = DecisionTree::fit_weighted(&config, &x, &y, Some(&[10.0, 1.0, 1.0])).unwrap();
+        assert_eq!(heavy0.predict(&[0.0]), 0);
+    }
+
+    #[test]
+    fn dist_sums_to_one() {
+        let (x, y) = xor_data();
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        let dist = tree.predict_dist(&[0.0, 0.0]);
+        let total: f32 = dist.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn feature_subset_resolves() {
+        assert_eq!(FeatureSubset::All.resolve(9), 9);
+        assert_eq!(FeatureSubset::Sqrt.resolve(9), 3);
+        assert_eq!(FeatureSubset::Count(4).resolve(9), 4);
+        assert_eq!(FeatureSubset::Count(100).resolve(9), 9);
+        assert_eq!(FeatureSubset::Count(0).resolve(9), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = xor_data();
+        let config = DecisionTreeConfig {
+            feature_subset: FeatureSubset::Count(1),
+            seed: 11,
+            ..Default::default()
+        };
+        let a = DecisionTree::fit(&config, &x, &y).unwrap();
+        let b = DecisionTree::fit(&config, &x, &y).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let x = Matrix::zeros(0, 2);
+        assert!(DecisionTree::fit(&DecisionTreeConfig::default(), &x, &[]).is_err());
+    }
+
+    #[test]
+    fn constant_features_give_single_leaf() {
+        let x = Matrix::filled(6, 3, 1.0);
+        let y = vec![0, 1, 0, 1, 0, 1];
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        assert_eq!(tree.node_count(), 1, "no valid threshold exists");
+    }
+
+    #[test]
+    fn gini_pure_is_zero() {
+        assert_eq!(gini(&[5.0, 0.0], 5.0), 0.0);
+        assert!((gini(&[1.0, 1.0], 2.0) - 0.5).abs() < 1e-12);
+    }
+}

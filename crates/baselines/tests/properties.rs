@@ -1,0 +1,114 @@
+//! Property-based tests for the classical baselines.
+
+use baselines::{
+    AdaBoost, AdaBoostConfig, DecisionTree, DecisionTreeConfig, GradientBoostedTrees,
+    GradientBoostingConfig, LinearSvm, LinearSvmConfig, RandomForest, RandomForestConfig,
+};
+use boosthd::Classifier;
+use linalg::{Matrix, Rng64};
+use proptest::prelude::*;
+
+fn blob_data(seed: u64, n: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    let mut rng = Rng64::seed_from(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        rows.push(vec![
+            class as f32 * 2.0 + 0.4 * rng.normal(),
+            class as f32 * -1.5 + 0.4 * rng.normal(),
+        ]);
+        labels.push(class);
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn tree_predictions_in_range(seed in any::<u64>(), classes in 2usize..5) {
+        let (x, y) = blob_data(seed, 50, classes);
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        for p in tree.predict_batch(&x) {
+            prop_assert!(p < classes);
+        }
+    }
+
+    #[test]
+    fn tree_leaf_distributions_are_probabilities(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 40, 3);
+        let tree = DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap();
+        for r in 0..x.rows() {
+            let dist = tree.predict_dist(x.row(r));
+            let total: f32 = dist.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(dist.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn tree_respects_depth_limit(seed in any::<u64>(), max_depth in 0usize..6) {
+        let (x, y) = blob_data(seed, 60, 3);
+        let config = DecisionTreeConfig { max_depth, ..Default::default() };
+        let tree = DecisionTree::fit(&config, &x, &y).unwrap();
+        prop_assert!(tree.depth() <= max_depth);
+    }
+
+    #[test]
+    fn forest_scores_average_to_probability(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 40, 2);
+        let rf = RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap();
+        let s = rf.scores(x.row(0));
+        let total: f32 = s.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adaboost_alphas_nonnegative(seed in any::<u64>(), classes in 2usize..4) {
+        let (x, y) = blob_data(seed, 45, classes);
+        let model = AdaBoost::fit(&AdaBoostConfig::default(), &x, &y).unwrap();
+        prop_assert!(model.alphas().iter().all(|a| a.is_finite() && *a >= 0.0));
+    }
+
+    #[test]
+    fn gbt_scores_finite(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 45, 3);
+        let model = GradientBoostedTrees::fit(&GradientBoostingConfig::default(), &x, &y).unwrap();
+        for r in 0..x.rows() {
+            prop_assert!(model.scores(x.row(r)).iter().all(|s| s.is_finite()));
+        }
+    }
+
+    #[test]
+    fn svm_is_deterministic(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 40, 2);
+        let a = LinearSvm::fit(&LinearSvmConfig::default(), &x, &y).unwrap();
+        let b = LinearSvm::fit(&LinearSvmConfig::default(), &x, &y).unwrap();
+        prop_assert_eq!(a.weights(), b.weights());
+    }
+
+    #[test]
+    fn all_tree_models_fit_training_blobs(seed in any::<u64>()) {
+        // Well-separated blobs must be essentially memorized by every tree
+        // family (sanity floor, not a benchmark).
+        let (x, y) = blob_data(seed, 60, 3);
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(DecisionTree::fit(&DecisionTreeConfig::default(), &x, &y).unwrap()),
+            Box::new(RandomForest::fit(&RandomForestConfig::default(), &x, &y).unwrap()),
+            Box::new(
+                GradientBoostedTrees::fit(&GradientBoostingConfig::default(), &x, &y).unwrap(),
+            ),
+        ];
+        for model in models {
+            let acc = model
+                .predict_batch(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| p == t)
+                .count() as f64
+                / y.len() as f64;
+            prop_assert!(acc > 0.9, "training accuracy {acc}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks for the HDC substrate: encoding throughput
+//! and hypervector primitives (supporting Table II's latency analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hdc::encoder::{Encode, SinusoidEncoder};
+use hdc::ops;
+use linalg::{Matrix, Rng64};
+
+fn bench_encode_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_row");
+    let features = 32;
+    for dim in [1000usize, 4000, 10_000] {
+        let mut rng = Rng64::seed_from(1);
+        let enc = SinusoidEncoder::new(dim, features, &mut rng);
+        let x: Vec<f32> = (0..features).map(|_| rng.normal()).collect();
+        group.throughput(Throughput::Elements(dim as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| std::hint::black_box(enc.encode_row(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_encode_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode_batch_256x32");
+    group.sample_size(20);
+    for dim in [1000usize, 4000] {
+        let mut rng = Rng64::seed_from(2);
+        let enc = SinusoidEncoder::new(dim, 32, &mut rng);
+        let x = Matrix::random_normal(256, 32, &mut rng);
+        group.throughput(Throughput::Elements((256 * dim) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| std::hint::black_box(enc.encode_batch(&x)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(3);
+    let a: Vec<f32> = (0..4096).map(|_| rng.normal()).collect();
+    let b: Vec<f32> = (0..4096).map(|_| rng.normal()).collect();
+    c.bench_function("cosine_similarity_4096", |bch| {
+        bch.iter(|| std::hint::black_box(ops::cosine_similarity(&a, &b)))
+    });
+    c.bench_function("bind_4096", |bch| {
+        bch.iter(|| std::hint::black_box(ops::bind(&a, &b)))
+    });
+    let mut acc = vec![0.0f32; 4096];
+    c.bench_function("bundle_into_4096", |bch| {
+        bch.iter(|| {
+            ops::bundle_into(&mut acc, &b, 0.5);
+            std::hint::black_box(acc[0]);
+        })
+    });
+}
+
+criterion_group!(benches, bench_encode_row, bench_encode_batch, bench_ops);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks over the model zoo: training and per-query
+//! inference on a compact WESAD-like workload (supporting Tables I/II).
+
+use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::{Matrix, Rng64};
+use reliability::flip_bits;
+use wearables::profiles::{self, DatasetProfile};
+
+fn workload() -> (Matrix, Vec<usize>, Matrix) {
+    let profile = DatasetProfile {
+        subjects: 5,
+        windows_per_state: 8,
+        window_samples: 240,
+        ..profiles::wesad_like()
+    };
+    let data = wearables::generate(&profile, 7).expect("generation");
+    let x = data.features().clone();
+    let y = data.labels().to_vec();
+    let queries = x.select_rows(&(0..32).collect::<Vec<_>>());
+    (x, y, queries)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let (x, y, _) = workload();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function("onlinehd_d1000", |b| {
+        let config = OnlineHdConfig { dim: 1000, epochs: 10, ..Default::default() };
+        b.iter(|| std::hint::black_box(OnlineHd::fit(&config, &x, &y).expect("fit")));
+    });
+    group.bench_function("boosthd_d1000_nl10", |b| {
+        let config = BoostHdConfig {
+            dim_total: 1000,
+            n_learners: 10,
+            epochs: 10,
+            ..Default::default()
+        };
+        b.iter(|| std::hint::black_box(BoostHd::fit(&config, &x, &y).expect("fit")));
+    });
+    group.finish();
+}
+
+fn bench_infer(c: &mut Criterion) {
+    let (x, y, queries) = workload();
+    let online = OnlineHd::fit(
+        &OnlineHdConfig { dim: 4000, epochs: 10, ..Default::default() },
+        &x,
+        &y,
+    )
+    .expect("fit");
+    let boost = BoostHd::fit(
+        &BoostHdConfig { dim_total: 4000, n_learners: 10, epochs: 10, ..Default::default() },
+        &x,
+        &y,
+    )
+    .expect("fit");
+    let mut group = c.benchmark_group("infer_32_queries_d4000");
+    group.bench_function("onlinehd", |b| {
+        b.iter(|| std::hint::black_box(online.predict_batch(&queries)));
+    });
+    group.bench_function("boosthd_serial", |b| {
+        b.iter(|| std::hint::black_box(boost.predict_batch(&queries)));
+    });
+    group.bench_function("boosthd_parallel", |b| {
+        b.iter(|| std::hint::black_box(boost.predict_batch_parallel(&queries, 2)));
+    });
+    group.finish();
+}
+
+fn bench_bitflip(c: &mut Criterion) {
+    let (x, y, _) = workload();
+    let model = OnlineHd::fit(
+        &OnlineHdConfig { dim: 4000, epochs: 5, ..Default::default() },
+        &x,
+        &y,
+    )
+    .expect("fit");
+    c.bench_function("bitflip_injection_pb1e-5", |b| {
+        let mut rng = Rng64::seed_from(5);
+        b.iter(|| {
+            let mut m = model.clone();
+            std::hint::black_box(flip_bits(&mut m, 1e-5, &mut rng));
+        })
+    });
+}
+
+criterion_group!(benches, bench_train, bench_infer, bench_bitflip);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablations of the BoostHD design choices DESIGN.md §7 calls out:
+//!
+//! 1. **Voting** — soft (Algorithm 1's score-vector aggregation) vs hard
+//!    SAMME votes;
+//! 2. **Partitioning** — disjoint `D/n` slices (the paper's move) vs
+//!    independent full-`D` learners (the "simplistic parallel ensemble" it
+//!    argues against, at `n×` the compute);
+//! 3. **Weak learner** — OnlineHD iterative refinement vs plain centroid
+//!    bundling (`epochs = 0`);
+//! 4. **Sample mode** — weighted bootstrap resampling vs update
+//!    re-weighting.
+//!
+//! Usage: `ablation [--runs N] [--quick]` (default 5 runs).
+
+use boosthd::boost::{EnsembleMode, SampleMode};
+use boosthd::{BoostHd, BoostHdConfig, Classifier, Voting};
+use boosthd_bench::{parse_common_args, prepare_split, quick_profile};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::repeat_runs;
+use eval_harness::table::Table;
+use eval_harness::timing::Timed;
+use wearables::profiles;
+
+fn main() {
+    let (runs, quick) = parse_common_args(5);
+    let variants: Vec<(&str, BoostHdConfig)> = vec![
+        ("default (soft, partition, refine, resample)", BoostHdConfig::default()),
+        ("voting: hard", BoostHdConfig { voting: Voting::Hard, ..Default::default() }),
+        (
+            "partition: independent full-D",
+            BoostHdConfig { mode: EnsembleMode::FullDimension, ..Default::default() },
+        ),
+        (
+            "weak learner: centroid (no refinement)",
+            BoostHdConfig { epochs: 0, ..Default::default() },
+        ),
+        (
+            "sample mode: reweight",
+            BoostHdConfig { sample_mode: SampleMode::Reweight, ..Default::default() },
+        ),
+        (
+            "boosting off (uniform weights)",
+            BoostHdConfig { boost_shrinkage: 0.0, ..Default::default() },
+        ),
+    ];
+
+    let mut table = Table::new(
+        format!("BoostHD design ablations — accuracy (%) over {runs} runs (train time, s)"),
+        "Variant",
+        vec!["wesad-like".into(), "stress-predict-like".into()],
+    );
+
+    for (name, base) in &variants {
+        eprintln!("[ablation] {name} ...");
+        let mut cells = Vec::new();
+        for profile in [profiles::wesad_like(), profiles::stress_predict_like()] {
+            let profile = if quick { quick_profile(profile) } else { profile };
+            let mut train_secs = 0.0;
+            let stats = repeat_runs(runs, 42, |_, seed| {
+                let (train, test) = prepare_split(&profile, seed);
+                let config = BoostHdConfig { seed, ..*base };
+                let fitted = Timed::run(|| {
+                    BoostHd::fit(&config, train.features(), train.labels()).expect("fit")
+                });
+                train_secs += fitted.seconds;
+                accuracy(&fitted.value.predict_batch(test.features()), test.labels()) * 100.0
+            });
+            cells.push(format!("{} ({:.2}s)", stats.format(2), train_secs / runs as f64));
+        }
+        table.push_row(*name, cells);
+    }
+
+    println!("{}", table.render());
+}

@@ -1,0 +1,80 @@
+//! Calibration probe: per-profile, per-model accuracy and train time.
+//!
+//! Not a paper artifact — this binary exists to verify that the synthetic
+//! dataset profiles land each model in the accuracy band Table I reports,
+//! and to budget the wall-clock of the real table binaries. Flags:
+//! `--quick` (smaller cohorts), `--runs N`, `--skip-dnn` (the slow model),
+//! `--hd-variants` (extra BoostHD voting/sampling configurations).
+
+use boosthd::boost::SampleMode;
+use boosthd::{BoostHd, BoostHdConfig, Classifier, Voting};
+use boosthd_bench::{
+    parse_common_args, prepare_split, quick_profile, train_model, ModelKind, DEFAULT_DIM_TOTAL,
+};
+use eval_harness::metrics::accuracy;
+use eval_harness::timing::Timed;
+use wearables::profiles;
+
+fn main() {
+    let (runs, quick) = parse_common_args(1);
+    let args: Vec<String> = std::env::args().collect();
+    let skip_dnn = args.iter().any(|a| a == "--skip-dnn");
+    let hd_variants = args.iter().any(|a| a == "--hd-variants");
+
+    for profile in profiles::paper_profiles() {
+        let profile = if quick { quick_profile(profile) } else { profile };
+        println!("== {} ==", profile.name);
+        for run in 0..runs as u64 {
+            let prep = Timed::run(|| prepare_split(&profile, 42 + run));
+            let (train, test) = prep.value;
+            println!(
+                "  run {run}: train={} test={} features={} (gen {:.2}s)",
+                train.len(),
+                test.len(),
+                train.num_features(),
+                prep.seconds
+            );
+            for kind in ModelKind::TABLE_ORDER {
+                if skip_dnn && kind == ModelKind::Dnn {
+                    continue;
+                }
+                let trained = Timed::run(|| {
+                    train_model(kind, train.features(), train.labels(), 1000 + run)
+                });
+                let preds = Timed::run(|| trained.value.predict_batch(test.features()));
+                let acc = accuracy(&preds.value, test.labels());
+                println!(
+                    "    {:<15} acc={:6.2}%  train={:7.2}s  infer={:8.2} x1e-5 s/query",
+                    kind.name(),
+                    acc * 100.0,
+                    trained.seconds,
+                    preds.seconds / test.len() as f64 * 1e5,
+                );
+            }
+            if hd_variants {
+                let variants: Vec<(&str, BoostHdConfig)> = vec![
+                    ("BoostHD-nl5", BoostHdConfig { n_learners: 5, ..Default::default() }),
+                    ("BoostHD-nl20", BoostHdConfig { n_learners: 20, ..Default::default() }),
+                    ("BoostHD-e40", BoostHdConfig { epochs: 40, ..Default::default() }),
+                    ("BoostHD-lr06", BoostHdConfig { lr: 0.06, ..Default::default() }),
+                    ("BoostHD-hard", BoostHdConfig { voting: Voting::Hard, ..Default::default() }),
+                    (
+                        "BoostHD-resamp",
+                        BoostHdConfig { sample_mode: SampleMode::Resample, ..Default::default() },
+                    ),
+                ];
+                for (tag, base) in variants {
+                    let config = BoostHdConfig {
+                        dim_total: DEFAULT_DIM_TOTAL,
+                        seed: 1000 + run,
+                        ..base
+                    };
+                    let model =
+                        BoostHd::fit(&config, train.features(), train.labels()).unwrap();
+                    let acc = accuracy(&model.predict_batch(test.features()), test.labels());
+                    println!("    {:<15} acc={:6.2}%", tag, acc * 100.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Regenerates **Figure 2**: the three terms of the Marchenko–Pastur
+//! spectral-variance decomposition as functions of the aspect ratio `q`.
+//!
+//! The paper's printed Equations 4–6 are not internally consistent (see
+//! `hdc::theory` module docs); we plot the well-defined moment
+//! decomposition `σ²_λ = T1 + T2 + T3` with `T1 = E[λ²]`, `T2 = −2µE[λ]`,
+//! `T3 = µ²`. The claimed *behaviour* — each term converging to a constant
+//! with vanishing fluctuation as the ratio leaves the critical region — is
+//! exactly what the sweep shows, alongside the reconstructed `σ²_λ`.
+
+use eval_harness::table::Series;
+use hdc::theory::MarchenkoPastur;
+
+fn main() {
+    // q from 0.01 (D ≫ Nc, the high-dimensional HDC regime) up to 1.
+    let qs: Vec<f64> = (1..=100).map(|i| i as f64 * 0.01).collect();
+    let mut t1 = Series::new("T1=E[l^2]");
+    let mut t2 = Series::new("T2=-2mu*E[l]");
+    let mut t3 = Series::new("T3=mu^2");
+    let mut var = Series::new("var(exact)");
+    for &q in &qs {
+        let mp = MarchenkoPastur::new(1.0, q);
+        let terms = mp.variance_terms();
+        t1.push(q, terms.t1);
+        t2.push(q, terms.t2);
+        t3.push(q, terms.t3);
+        var.push(q, mp.variance());
+    }
+    println!(
+        "{}",
+        Series::render_aligned(
+            "Figure 2 — Marchenko–Pastur variance terms vs aspect ratio q",
+            "q",
+            &[t1, t2, t3, var]
+        )
+    );
+    println!(
+        "Limits as q -> 0 (D -> inf): T1 -> {:.4}, T2 -> {:.4}, T3 -> {:.4}; sigma^2_l -> 0",
+        MarchenkoPastur::new(1.0, 1e-4).variance_terms().t1,
+        MarchenkoPastur::new(1.0, 1e-4).variance_terms().t2,
+        MarchenkoPastur::new(1.0, 1e-4).variance_terms().t3,
+    );
+}

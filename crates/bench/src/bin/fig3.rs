@@ -1,0 +1,94 @@
+//! Regenerates **Figure 3**: accuracy heatmaps over the number of weak
+//! learners `N_L` and dimensionality.
+//!
+//! * Panel (a): every learner owns a *full* `D`-dimensional space of its
+//!   own (total compute `N_L × D`) — accuracy rises and saturates with
+//!   both axes.
+//! * Panel (b): one `D_total` budget is *divided* among the learners
+//!   (`D_wl = D_total / N_L`) — the paper's partitioned regime. The
+//!   bottom-right corner (`N_L = 100`, `D_total = 1K`, i.e. `D_wl = 10`)
+//!   collapses: weak learners fall below the minimum dimensionality and
+//!   the ensemble destabilizes, which is the paper's "unstable" region.
+//!
+//! The paper sweeps `N_L` 1…100 step 1; we use a geometric subset of the
+//! grid to keep the run in CPU-minutes (`--quick` shrinks further).
+//!
+//! Usage: `fig3 [--runs N] [--quick]`.
+
+use boosthd::boost::EnsembleMode;
+use boosthd::{BoostHd, BoostHdConfig, Classifier};
+use boosthd_bench::{parse_common_args, prepare_split};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::repeat_runs;
+use eval_harness::table::Heatmap;
+use wearables::profiles;
+
+fn main() {
+    let (runs, quick) = parse_common_args(2);
+    // A reduced WESAD-like cohort keeps each of the ~50 grid cells cheap.
+    let mut profile = profiles::wesad_like();
+    profile.subjects = 8;
+    profile.windows_per_state = 15;
+    if quick {
+        profile.windows_per_state = 8;
+    }
+
+    let nls: Vec<usize> = if quick { vec![1, 10, 100] } else { vec![1, 2, 5, 10, 20, 50, 100] };
+    let dims: Vec<usize> = if quick { vec![1000, 10_000] } else { vec![1000, 2000, 5000, 10_000] };
+
+    let mut panel_a = Heatmap::new(
+        "Figure 3(a) — accuracy (%), full dimension D per learner",
+        "NL",
+        "D",
+        nls.iter().map(|&n| n as f64).collect(),
+        dims.iter().map(|&d| d as f64).collect(),
+    );
+    let mut panel_b = Heatmap::new(
+        "Figure 3(b) — accuracy (%), D_total divided among learners",
+        "NL",
+        "D_total",
+        nls.iter().map(|&n| n as f64).collect(),
+        dims.iter().map(|&d| d as f64).collect(),
+    );
+
+    for (yi, &dim) in dims.iter().enumerate() {
+        for (xi, &nl) in nls.iter().enumerate() {
+            for (panel, mode) in [
+                (&mut panel_a, EnsembleMode::FullDimension),
+                (&mut panel_b, EnsembleMode::Partitioned),
+            ] {
+                let stats = repeat_runs(runs, 42, |_, seed| {
+                    let (train, test) = prepare_split(&profile, seed);
+                    let config = BoostHdConfig {
+                        dim_total: dim,
+                        n_learners: nl,
+                        epochs: 10,
+                        mode,
+                        seed,
+                        ..BoostHdConfig::default()
+                    };
+                    match BoostHd::fit(&config, train.features(), train.labels()) {
+                        Ok(model) => {
+                            accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0
+                        }
+                        // n_learners > dim (deep in the unstable region):
+                        // report chance level.
+                        Err(_) => 100.0 / 3.0,
+                    }
+                });
+                panel.set(yi, xi, stats.mean());
+            }
+            eprintln!("[fig3] D={dim} NL={nl} done");
+        }
+    }
+
+    println!("{}", panel_a.render());
+    println!("{}", panel_b.render());
+    println!(
+        "Shape check: panel (b) bottom-left vs bottom-right (D_total=1K): NL={} -> {:.1}%, NL={} -> {:.1}%  (collapse expected at D_wl = D_total/NL ~ 10)",
+        nls[0],
+        panel_b.values[0][0],
+        nls[nls.len() - 1],
+        panel_b.values[0][nls.len() - 1],
+    );
+}

@@ -1,0 +1,104 @@
+//! Regenerates **Figure 7**: macro accuracy under training-set class
+//! imbalance (the overfitting experiment, paper Equation 8).
+//!
+//! All samples of the target class are kept; every other class is reduced
+//! by the ratio `r` (so `r = 0.8` keeps 20%). Macro accuracy on the
+//! untouched test split is reported, averaged over target-class choices.
+//! Paper reference: OnlineHD's macro accuracy declines visibly as `r`
+//! grows while BoostHD stays flat; panel (a) uses `D_total = 1000`,
+//! panel (b) `D_total = 4000`.
+//!
+//! Usage: `fig7 [--runs N] [--quick]` (default 5 runs per point).
+
+use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_N_LEARNERS};
+use eval_harness::metrics::macro_accuracy;
+use eval_harness::table::Series;
+use linalg::Rng64;
+use reliability::imbalance::{imbalanced_indices, ImbalanceSpec};
+use wearables::profiles;
+
+fn main() {
+    let (runs, quick) = parse_common_args(5);
+    let mut profile = profiles::wesad_like();
+    if quick {
+        profile = boosthd_bench::quick_profile(profile);
+    }
+    let rs: Vec<f64> = if quick {
+        vec![0.0, 0.4, 0.8]
+    } else {
+        vec![0.0, 0.2, 0.4, 0.6, 0.8]
+    };
+
+    for (panel, dim_total) in [('a', 1000usize), ('b', 4000)] {
+        let mut online_series = Series::new("OnlineHD");
+        let mut boost_series = Series::new("BoostHD");
+        for &r in &rs {
+            let stats_pair: Vec<(f64, f64)> = (0..runs)
+                .map(|run| {
+                    let seed = 42 + run as u64;
+                    let (train, test) = prepare_split(&profile, seed);
+                    // Average over the choice of protected target class.
+                    let mut accs = (0.0, 0.0);
+                    let k = train.num_classes();
+                    for target in 0..k {
+                        let mut rng = Rng64::seed_from(seed ^ (target as u64) << 8);
+                        let keep = imbalanced_indices(
+                            train.labels(),
+                            ImbalanceSpec::from_reduction(target, r),
+                            &mut rng,
+                        );
+                        let sub = train.select(&keep);
+                        let online = OnlineHd::fit(
+                            &OnlineHdConfig { dim: dim_total, seed, ..Default::default() },
+                            sub.features(),
+                            sub.labels(),
+                        )
+                        .expect("onlinehd fit");
+                        let boost = BoostHd::fit(
+                            &BoostHdConfig {
+                                dim_total,
+                                n_learners: DEFAULT_N_LEARNERS,
+                                seed,
+                                ..Default::default()
+                            },
+                            sub.features(),
+                            sub.labels(),
+                        )
+                        .expect("boosthd fit");
+                        accs.0 += macro_accuracy(
+                            &online.predict_batch(test.features()),
+                            test.labels(),
+                            k,
+                        ) * 100.0;
+                        accs.1 += macro_accuracy(
+                            &boost.predict_batch(test.features()),
+                            test.labels(),
+                            k,
+                        ) * 100.0;
+                    }
+                    (accs.0 / k as f64, accs.1 / k as f64)
+                })
+                .collect();
+            let online_mean =
+                stats_pair.iter().map(|p| p.0).sum::<f64>() / stats_pair.len() as f64;
+            let boost_mean =
+                stats_pair.iter().map(|p| p.1).sum::<f64>() / stats_pair.len() as f64;
+            online_series.push(r, online_mean);
+            boost_series.push(r, boost_mean);
+            eprintln!(
+                "[fig7{panel}] r={r:.1}: OnlineHD {online_mean:.2} | BoostHD {boost_mean:.2}"
+            );
+        }
+        println!(
+            "{}",
+            Series::render_aligned(
+                &format!(
+                    "Figure 7({panel}) — macro accuracy (%) vs imbalance r (D_total = {dim_total})"
+                ),
+                "r",
+                &[online_series, boost_series]
+            )
+        );
+    }
+}

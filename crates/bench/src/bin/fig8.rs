@@ -1,0 +1,115 @@
+//! Regenerates **Figure 8**: accuracy under hardware bit-flip noise at
+//! per-bit probability `p_b`, for BoostHD / OnlineHD / DNN.
+//!
+//! Each trial clones the trained model, flips each parameter bit with
+//! probability `p_b` (IEEE-754 words), and measures test accuracy. The
+//! paper sweeps two ranges — around `10⁻⁶` (panel a) and `10⁻⁵`
+//! (panel b) — with 100 trials per point and reports the Median Absolute
+//! Deviation as the robustness statistic: MAD(BoostHD) ≪ MAD(OnlineHD) <
+//! MAD(DNN).
+//!
+//! Usage: `fig8 [--runs N] [--quick]` (`--runs` = trials per point;
+//! default 30, paper 100).
+
+use baselines::{Mlp, MlpConfig};
+use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::RunStats;
+use eval_harness::table::Series;
+use linalg::Rng64;
+use reliability::{flip_bits, Perturbable};
+use wearables::profiles;
+
+fn sweep<M: Classifier + Perturbable + Clone>(
+    name: &str,
+    model: &M,
+    test_x: &linalg::Matrix,
+    test_y: &[usize],
+    pbs: &[f64],
+    trials: usize,
+) -> (Series, Vec<RunStats>) {
+    let mut series = Series::new(name);
+    let mut all_stats = Vec::new();
+    for (i, &pb) in pbs.iter().enumerate() {
+        let runs: Vec<f64> = (0..trials)
+            .map(|t| {
+                let mut corrupted = model.clone();
+                let mut rng = Rng64::seed_from(0xF11A ^ ((i as u64) << 16) ^ t as u64);
+                flip_bits(&mut corrupted, pb, &mut rng);
+                accuracy(&corrupted.predict_batch(test_x), test_y) * 100.0
+            })
+            .collect();
+        let stats = RunStats::from_runs(runs);
+        series.push(pb, stats.mean());
+        all_stats.push(stats);
+    }
+    (series, all_stats)
+}
+
+fn main() {
+    let (trials, quick) = parse_common_args(30);
+    let mut profile = profiles::wesad_like();
+    profile.subjects = 10;
+    profile.windows_per_state = if quick { 8 } else { 20 };
+    let (train, test) = prepare_split(&profile, 42);
+    // Cap the query count so the DNN sweep stays in CPU-seconds.
+    let n_test = test.len().min(240);
+    let idx: Vec<usize> = (0..n_test).collect();
+    let test = test.select(&idx);
+
+    eprintln!("[fig8] training the three models ...");
+    let online = OnlineHd::fit(
+        &OnlineHdConfig { dim: DEFAULT_DIM_TOTAL, ..Default::default() },
+        train.features(),
+        train.labels(),
+    )
+    .expect("onlinehd fit");
+    let boost = BoostHd::fit(
+        &BoostHdConfig {
+            dim_total: DEFAULT_DIM_TOTAL,
+            n_learners: DEFAULT_N_LEARNERS,
+            ..Default::default()
+        },
+        train.features(),
+        train.labels(),
+    )
+    .expect("boosthd fit");
+    let dnn = Mlp::fit(
+        &MlpConfig { epochs: if quick { 3 } else { 6 }, ..MlpConfig::default() },
+        train.features(),
+        train.labels(),
+    )
+    .expect("mlp fit");
+
+    for (panel, scale) in [('a', 1e-6f64), ('b', 1e-5)] {
+        let steps: Vec<f64> = if quick { vec![0.0, 5.0, 15.0] } else { vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0] };
+        let pbs: Vec<f64> = steps.iter().map(|k| k * scale).collect();
+        eprintln!("[fig8] panel ({panel}) p_b in {:?} ...", pbs);
+        let (s_boost, st_boost) = sweep("BoostHD", &boost, test.features(), test.labels(), &pbs, trials);
+        let (s_online, st_online) =
+            sweep("OnlineHD", &online, test.features(), test.labels(), &pbs, trials);
+        let (s_dnn, st_dnn) = sweep("DNN", &dnn, test.features(), test.labels(), &pbs, trials);
+        println!(
+            "{}",
+            Series::render_aligned(
+                &format!("Figure 8({panel}) — accuracy (%) vs p_b (x{scale:.0e})"),
+                "p_b",
+                &[s_boost, s_online, s_dnn]
+            )
+        );
+        // MAD across the sweep (pooling per-point runs as the paper does
+        // across its p_b axis).
+        let pooled = |stats: &[RunStats]| {
+            let all: Vec<f64> = stats.iter().flat_map(|s| s.runs.iter().copied()).collect();
+            linalg::stats::median_abs_deviation(&all) / 100.0
+        };
+        println!(
+            "MAD({panel}): BoostHD {:.4}, OnlineHD {:.4}, DNN {:.4}",
+            pooled(&st_boost),
+            pooled(&st_online),
+            pooled(&st_dnn)
+        );
+        println!();
+    }
+}

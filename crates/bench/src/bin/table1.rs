@@ -1,0 +1,47 @@
+//! Regenerates **Table I**: accuracy (%) of the seven models on the three
+//! dataset profiles, `mean ± σ` over repeated subject-wise splits.
+//!
+//! Paper reference values (Table I): BoostHD tops all three datasets
+//! (98.37 ± 0.32 on WESAD, 61.52 on Nurse, 68.10 on Stress-Predict), with
+//! OnlineHD trailing by ~2 points on WESAD.
+//!
+//! Usage: `table1 [--runs N] [--quick]` (default 5 runs; the paper uses 10).
+
+use boosthd::Classifier;
+use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, ModelKind};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::repeat_runs;
+use eval_harness::table::Table;
+use wearables::profiles;
+
+fn main() {
+    let (runs, quick) = parse_common_args(5);
+    let columns: Vec<String> = ModelKind::TABLE_ORDER
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    let mut table = Table::new(
+        format!("Table I — Accuracy (%) over {runs} subject-wise runs"),
+        "Dataset",
+        columns,
+    );
+
+    for profile in profiles::paper_profiles() {
+        let profile = if quick { quick_profile(profile) } else { profile };
+        eprintln!("[table1] {} ...", profile.name);
+        let mut cells = Vec::new();
+        for kind in ModelKind::TABLE_ORDER {
+            let stats = repeat_runs(runs, 42, |_, seed| {
+                let (train, test) = prepare_split(&profile, seed);
+                let model = train_model(kind, train.features(), train.labels(), seed);
+                accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0
+            });
+            eprintln!("[table1]   {:<9} {}", kind.name(), stats.format(2));
+            cells.push(stats.format(2));
+        }
+        table.push_row(profile.name.clone(), cells);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

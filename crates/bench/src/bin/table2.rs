@@ -1,0 +1,70 @@
+//! Regenerates **Table II**: per-query inference time (`10⁻⁵` seconds) of
+//! the seven models on the three dataset profiles.
+//!
+//! Paper reference values (Table II): the HDC models are an order of
+//! magnitude faster than the DNN and the Python-stack baselines, and
+//! BoostHD's parallel inference overtakes OnlineHD on the wide-input
+//! Nurse/Stress-Predict datasets.
+//!
+//! Expected deviation (see EXPERIMENTS.md): our from-scratch Rust trees and
+//! SVM have no interpreter overhead, so they undercut HDC here; the
+//! HDC-vs-DNN ratio is the portable part of the paper's claim.
+//!
+//! Usage: `table2 [--quick]`.
+
+use boosthd::parallel::default_threads;
+use boosthd::Classifier;
+use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, AnyModel, ModelKind};
+use eval_harness::table::Table;
+use eval_harness::timing::{time_per_query_secs, to_tenth_millis};
+use wearables::profiles;
+
+fn main() {
+    let (_runs, quick) = parse_common_args(1);
+    let threads = default_threads();
+    let mut columns: Vec<String> = ModelKind::TABLE_ORDER
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
+    columns.push(format!("BoostHD-par{threads}"));
+    let mut table = Table::new(
+        "Table II — Inference time (1e-5 s per query)",
+        "Dataset",
+        columns,
+    );
+
+    for profile in profiles::paper_profiles() {
+        let profile = if quick { quick_profile(profile) } else { profile };
+        eprintln!("[table2] {} ...", profile.name);
+        let (train, test) = prepare_split(&profile, 42);
+        let queries = test.len();
+        let mut cells = Vec::new();
+        let mut boosthd_model: Option<AnyModel> = None;
+        for kind in ModelKind::TABLE_ORDER {
+            let model = train_model(kind, train.features(), train.labels(), 42);
+            let secs = time_per_query_secs(queries, 3, || {
+                std::hint::black_box(model.predict_batch(test.features()));
+            });
+            cells.push(format!("{:.2}", to_tenth_millis(secs)));
+            eprintln!("[table2]   {:<9} {:.2}", kind.name(), to_tenth_millis(secs));
+            if kind == ModelKind::BoostHd {
+                boosthd_model = Some(model);
+            }
+        }
+        // BoostHD with query-parallel inference (the paper's optimized path).
+        let parallel_cell = match boosthd_model {
+            Some(AnyModel::BoostHd(model)) => {
+                let secs = time_per_query_secs(queries, 3, || {
+                    std::hint::black_box(model.predict_batch_parallel(test.features(), threads));
+                });
+                format!("{:.2}", to_tenth_millis(secs))
+            }
+            _ => "-".to_string(),
+        };
+        cells.push(parallel_cell);
+        table.push_row(profile.name.clone(), cells);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,69 @@
+//! Regenerates **Table III**: person-specific accuracy (%) on the
+//! WESAD-like profile for the six demographic subject groups.
+//!
+//! Protocol (paper Section IV-E): subjects are stratified by hand
+//! preference, gender, age, and height; each model trains on all subjects
+//! *outside* a group and is tested on the group's members. Paper reference:
+//! BoostHD has the best average (96.19%) and wins all but two columns.
+//!
+//! Usage: `table3 [--runs N] [--quick]` (default 3 runs per cell).
+
+use boosthd::Classifier;
+use boosthd_bench::{parse_common_args, train_model, ModelKind};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::repeat_runs;
+use eval_harness::table::Table;
+use linalg::stats;
+use wearables::dataset::normalize_pair;
+use wearables::{profiles, SubjectGroup};
+
+fn main() {
+    let (runs, quick) = parse_common_args(3);
+    let mut profile = profiles::wesad_like();
+    if quick {
+        profile = boosthd_bench::quick_profile(profile);
+        // Larger cohort so every demographic group has members even in
+        // quick mode.
+        profile.subjects = 12;
+    }
+
+    let groups = SubjectGroup::table3_groups();
+    let mut columns: Vec<String> = groups.iter().map(|g| g.name()).collect();
+    columns.push("AVERAGE".into());
+    let mut table = Table::new(
+        format!("Table III — Person-specific accuracy (%) over {runs} runs"),
+        "Model",
+        columns,
+    );
+
+    for kind in ModelKind::TABLE_ORDER {
+        eprintln!("[table3] {} ...", kind.name());
+        let mut cells = Vec::new();
+        let mut group_means = Vec::new();
+        for group in groups {
+            let stats = repeat_runs(runs, 42, |_, seed| {
+                let data = wearables::generate(&profile, seed).expect("generation");
+                let (train, test) = match data.split_by_group(group) {
+                    Ok(split) => split,
+                    Err(_) => return f64::NAN, // group empty for this cohort draw
+                };
+                let (train, test) = normalize_pair(&train, &test).expect("normalize");
+                let model = train_model(kind, train.features(), train.labels(), seed);
+                accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0
+            });
+            let valid: Vec<f64> = stats.runs.iter().copied().filter(|v| v.is_finite()).collect();
+            if valid.is_empty() {
+                cells.push("-".into());
+            } else {
+                let mean = stats::mean(&valid);
+                group_means.push(mean);
+                cells.push(format!("{mean:.2}"));
+            }
+        }
+        cells.push(format!("{:.2}", stats::mean(&group_means)));
+        table.push_row(kind.name(), cells);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", table.to_csv());
+}

@@ -1,0 +1,101 @@
+//! The [`Classifier`] trait shared by every model in the reproduction.
+
+use linalg::Matrix;
+
+/// Index of the largest value in `xs`; 0 for an empty slice. Ties resolve to
+/// the earliest index, matching `argmax` conventions in the reference
+/// implementations.
+pub fn argmax(xs: &[f32]) -> usize {
+    let mut best = 0;
+    let mut best_val = f32::NEG_INFINITY;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > best_val {
+            best_val = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// A trained multi-class classifier.
+///
+/// Every model in the evaluation — the HDC family here and the classical
+/// baselines in the `baselines` crate — implements this trait, so the
+/// benchmark harness can sweep models uniformly.
+///
+/// The trait is object-safe; heterogeneous model zoos are stored as
+/// `Vec<Box<dyn Classifier>>` in the table benchmarks.
+pub trait Classifier {
+    /// Number of classes the model was trained on.
+    fn num_classes(&self) -> usize;
+
+    /// Per-class decision scores for one feature vector (higher is more
+    /// confident). The scale is model-specific; only the argmax and relative
+    /// ordering are meaningful across models.
+    fn scores(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Predicted class for one feature vector.
+    fn predict(&self, x: &[f32]) -> usize {
+        argmax(&self.scores(x))
+    }
+
+    /// Predicted classes for every row of `x`.
+    ///
+    /// The default loops over [`Classifier::predict`]; models with a faster
+    /// batched path (HDC's fused encode GEMM) override it.
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant {
+        k: usize,
+        winner: usize,
+    }
+
+    impl Classifier for Constant {
+        fn num_classes(&self) -> usize {
+            self.k
+        }
+        fn scores(&self, _x: &[f32]) -> Vec<f32> {
+            (0..self.k)
+                .map(|i| if i == self.winner { 1.0 } else { 0.0 })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn argmax_basics() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), 1);
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[2.0, 2.0]), 0, "ties resolve to earliest");
+        assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[test]
+    fn default_predict_uses_scores() {
+        let c = Constant { k: 4, winner: 2 };
+        assert_eq!(c.predict(&[0.0]), 2);
+    }
+
+    #[test]
+    fn default_predict_batch_loops() {
+        let c = Constant { k: 3, winner: 1 };
+        let x = Matrix::zeros(5, 2);
+        assert_eq!(c.predict_batch(&x), vec![1; 5]);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(Constant { k: 2, winner: 0 }),
+            Box::new(Constant { k: 2, winner: 1 }),
+        ];
+        assert_eq!(models[0].predict(&[1.0]), 0);
+        assert_eq!(models[1].predict(&[1.0]), 1);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error types for the `boosthd` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, BoostHdError>;
+
+/// Errors reported when configuring, training, or querying the classifiers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoostHdError {
+    /// A configuration parameter was invalid (zero dimensions, zero
+    /// learners, non-positive learning rate, ...).
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// Features/labels/weights disagreed on the number of samples, or the
+    /// training set was empty.
+    DataMismatch {
+        /// Human-readable description of the mismatch.
+        reason: String,
+    },
+    /// An error bubbled up from the HDC substrate.
+    Hdc(hdc::HdcError),
+}
+
+impl fmt::Display for BoostHdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoostHdError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            BoostHdError::DataMismatch { reason } => write!(f, "data mismatch: {reason}"),
+            BoostHdError::Hdc(e) => write!(f, "hdc substrate error: {e}"),
+        }
+    }
+}
+
+impl StdError for BoostHdError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            BoostHdError::Hdc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hdc::HdcError> for BoostHdError {
+    fn from(e: hdc::HdcError) -> Self {
+        BoostHdError::Hdc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_reason() {
+        let e = BoostHdError::InvalidConfig { reason: "zero learners".into() };
+        assert!(e.to_string().contains("zero learners"));
+    }
+
+    #[test]
+    fn hdc_error_converts_and_sources() {
+        use std::error::Error as _;
+        let inner = hdc::HdcError::InvalidConfig { reason: "x".into() };
+        let e = BoostHdError::from(inner);
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoostHdError>();
+    }
+}

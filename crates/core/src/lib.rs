@@ -1,0 +1,65 @@
+//! BoostHD — boosting in hyperdimensional computing (the paper's primary
+//! contribution), together with the HDC classifiers it builds on.
+//!
+//! The crate provides three classifiers over the [`hdc`] substrate:
+//!
+//! * [`CentroidHd`] — the classic single-pass HDC learner: bundle every
+//!   encoded training sample into its class hypervector;
+//! * [`OnlineHd`] — the OnlineHD classifier (Hernández-Cano et al., DATE'21)
+//!   the paper uses as its strong/weak learner: an initial bundling pass
+//!   followed by similarity-weighted iterative refinement;
+//! * [`BoostHd`] — the paper's contribution: the `D`-dimensional hyperspace
+//!   is partitioned into `n` disjoint sub-spaces of `D/n` dimensions, each
+//!   owned by a weak OnlineHD learner, and the learners are trained
+//!   sequentially under AdaBoost/SAMME sample re-weighting. Inference is a
+//!   learner-weighted vote and parallelizes across queries.
+//!
+//! All models implement the [`Classifier`] trait (shared with the
+//! `baselines` crate) and [`reliability::Perturbable`] for bit-flip fault
+//! injection.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use boosthd::{BoostHd, BoostHdConfig, Classifier};
+//! use linalg::{Matrix, Rng64};
+//!
+//! // Toy two-class problem: points around (0,0) vs points around (3,3).
+//! let mut rng = Rng64::seed_from(5);
+//! let mut rows = Vec::new();
+//! let mut labels = Vec::new();
+//! for i in 0..120 {
+//!     let class = i % 2;
+//!     let center = if class == 0 { 0.0 } else { 3.0 };
+//!     rows.push(vec![center + 0.3 * rng.normal(), center + 0.3 * rng.normal()]);
+//!     labels.push(class);
+//! }
+//! let x = Matrix::from_rows(&rows)?;
+//!
+//! let config = BoostHdConfig { dim_total: 512, n_learners: 8, ..BoostHdConfig::default() };
+//! let model = BoostHd::fit(&config, &x, &labels)?;
+//! let acc = model
+//!     .predict_batch(&x)
+//!     .iter()
+//!     .zip(&labels)
+//!     .filter(|(p, y)| p == y)
+//!     .count() as f64 / labels.len() as f64;
+//! assert!(acc > 0.95);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod boost;
+pub mod centroid;
+pub mod classifier;
+pub mod error;
+pub mod online;
+pub mod parallel;
+pub mod persist;
+
+pub use boost::{BoostHd, BoostHdConfig, Voting};
+pub use centroid::{CentroidHd, CentroidHdConfig};
+pub use classifier::{argmax, Classifier};
+pub use error::{BoostHdError, Result};
+pub use online::{OnlineHd, OnlineHdConfig};

@@ -1,0 +1,89 @@
+//! Scoped-thread helpers for parallel ensemble inference.
+//!
+//! The paper notes that while BoostHD *training* is inherently sequential
+//! (each weak learner corrects its predecessors), *inference* parallelizes —
+//! both across queries and across weak learners. This module provides the
+//! small deterministic fork/join primitive the classifiers use, built on
+//! `crossbeam`'s scoped threads so no `'static` bounds leak into model code.
+
+/// Applies `f` to every index in `0..count`, splitting the range into
+/// `threads` contiguous chunks executed on scoped threads. Results are
+/// returned in index order.
+///
+/// With `threads <= 1` (or a trivial range) the work runs inline, so callers
+/// can use one code path for both serial and parallel execution.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_indices<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = threads.min(count);
+    let chunk = count.div_ceil(workers);
+    let mut results: Vec<Vec<T>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let start = w * chunk;
+            let end = ((w + 1) * chunk).min(count);
+            let f = &f;
+            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<T>>()));
+        }
+        for h in handles {
+            results.push(h.join().expect("parallel worker panicked"));
+        }
+    })
+    .expect("crossbeam scope failed");
+    results.into_iter().flatten().collect()
+}
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 8 (the experiment binaries never benefit beyond
+/// that at our batch sizes).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map_indices(100, 4, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let serial = parallel_map_indices(37, 1, |i| i as f32 * 0.5);
+        let parallel = parallel_map_indices(37, 5, |i| i as f32 * 0.5);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_range() {
+        let out: Vec<usize> = parallel_map_indices(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = parallel_map_indices(3, 16, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

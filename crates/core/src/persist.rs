@@ -1,0 +1,640 @@
+//! Compact binary persistence for trained models.
+//!
+//! Wearable deployments flash a trained model onto the device; this module
+//! provides the byte format. The dependency policy for this reproduction
+//! admits `serde` but no serializer crate, so the codec is hand-rolled:
+//! little-endian, length-prefixed, with a magic header and version byte so
+//! stale blobs fail loudly instead of mis-deserializing.
+//!
+//! ```text
+//! blob     := magic:u32 version:u8 kind:u8 payload
+//! matrix   := rows:u64 cols:u64 f32[rows·cols]
+//! vec<f32> := len:u64 f32[len]
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use boosthd::{OnlineHd, OnlineHdConfig, Classifier};
+//! use linalg::{Matrix, Rng64};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = Rng64::seed_from(1);
+//! let x = Matrix::random_normal(40, 3, &mut rng);
+//! let y: Vec<usize> = (0..40).map(|i| i % 2).collect();
+//! let config = OnlineHdConfig { dim: 64, epochs: 2, ..Default::default() };
+//! let model = OnlineHd::fit(&config, &x, &y)?;
+//!
+//! let bytes = model.to_bytes();
+//! let restored = OnlineHd::from_bytes(&bytes)?;
+//! assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::boost::{BoostHd, BoostHdConfig, EnsembleMode, SampleMode, Voting};
+use crate::classifier::Classifier;
+use crate::error::{BoostHdError, Result};
+use crate::online::{OnlineHd, OnlineHdConfig};
+use hdc::encoder::SinusoidEncoder;
+use linalg::Matrix;
+
+/// `"BHD1"` little-endian.
+const MAGIC: u32 = 0x3144_4842;
+/// Bump on any incompatible layout change.
+const VERSION: u8 = 1;
+const KIND_ONLINE: u8 = 1;
+const KIND_BOOST: u8 = 2;
+
+fn persist_err(reason: impl Into<String>) -> BoostHdError {
+    BoostHdError::DataMismatch { reason: reason.into() }
+}
+
+/// Little-endian byte sink.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finishes, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32_slice(&mut self, v: &[f32]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_f32(x);
+        }
+    }
+
+    /// Appends a shape-prefixed matrix.
+    pub fn put_matrix(&mut self, m: &Matrix) {
+        self.put_u64(m.rows() as u64);
+        self.put_u64(m.cols() as u64);
+        for &x in m.as_slice() {
+            self.put_f32(x);
+        }
+    }
+}
+
+/// Little-endian byte source with bounds checking.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.data.len())
+            .ok_or_else(|| persist_err("truncated model blob"))?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a `u64` that must fit a `usize`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or overflow.
+    pub fn get_len(&mut self) -> Result<usize> {
+        usize::try_from(self.get_u64()?).map_err(|_| persist_err("length overflows usize"))
+    }
+
+    /// Reads a little-endian `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_f32(&mut self) -> Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Reads a little-endian `f64`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a length-prefixed `f32` vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_f32_vec(&mut self) -> Result<Vec<f32>> {
+        let len = self.get_len()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a shape-prefixed matrix.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or inconsistent shape.
+    pub fn get_matrix(&mut self) -> Result<Matrix> {
+        let rows = self.get_len()?;
+        let cols = self.get_len()?;
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| persist_err("matrix shape overflows"))?;
+        let mut data = Vec::with_capacity(n.min(1 << 24));
+        for _ in 0..n {
+            data.push(self.get_f32()?);
+        }
+        Matrix::from_vec(rows, cols, data).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.data.len()
+    }
+}
+
+fn put_header(w: &mut Writer, kind: u8) {
+    w.put_u32(MAGIC);
+    w.put_u8(VERSION);
+    w.put_u8(kind);
+}
+
+fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<()> {
+    if r.get_u32()? != MAGIC {
+        return Err(persist_err("not a BoostHD model blob (bad magic)"));
+    }
+    let version = r.get_u8()?;
+    if version != VERSION {
+        return Err(persist_err(format!(
+            "unsupported model blob version {version} (expected {VERSION})"
+        )));
+    }
+    let got = r.get_u8()?;
+    if got != kind {
+        return Err(persist_err(format!(
+            "blob holds model kind {got}, expected {kind}"
+        )));
+    }
+    Ok(())
+}
+
+fn put_encoder(w: &mut Writer, enc: &SinusoidEncoder) {
+    w.put_matrix(enc.projection());
+    w.put_f32_slice(enc.bias());
+}
+
+fn get_encoder(r: &mut Reader<'_>) -> Result<SinusoidEncoder> {
+    let projection = r.get_matrix()?;
+    let bias = r.get_f32_vec()?;
+    SinusoidEncoder::from_parts(projection, bias).map_err(BoostHdError::from)
+}
+
+impl OnlineHd {
+    /// Serializes the trained model to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_ONLINE);
+        let c = self.config();
+        w.put_u64(c.dim as u64);
+        w.put_f32(c.lr);
+        w.put_u64(c.epochs as u64);
+        w.put_u8(c.bootstrap as u8);
+        w.put_u64(c.seed);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_matrix(self.class_hypervectors());
+        w.into_bytes()
+    }
+
+    /// Deserializes a model written by [`OnlineHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, KIND_ONLINE)?;
+        let config = OnlineHdConfig {
+            dim: r.get_len()?,
+            lr: r.get_f32()?,
+            epochs: r.get_len()?,
+            bootstrap: r.get_u8()? != 0,
+            seed: r.get_u64()?,
+        };
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r)?;
+        let class_hvs = r.get_matrix()?;
+        if class_hvs.rows() != num_classes || class_hvs.cols() != config.dim {
+            return Err(persist_err("class hypervector shape disagrees with header"));
+        }
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Ok(Self::from_parts(encoder, class_hvs, num_classes, config))
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads a model written by [`OnlineHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`OnlineHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+fn voting_tag(v: Voting) -> u8 {
+    match v {
+        Voting::Soft => 0,
+        Voting::Hard => 1,
+    }
+}
+
+fn voting_from(tag: u8) -> Result<Voting> {
+    match tag {
+        0 => Ok(Voting::Soft),
+        1 => Ok(Voting::Hard),
+        other => Err(persist_err(format!("unknown voting tag {other}"))),
+    }
+}
+
+fn mode_tag(m: EnsembleMode) -> u8 {
+    match m {
+        EnsembleMode::Partitioned => 0,
+        EnsembleMode::FullDimension => 1,
+    }
+}
+
+fn mode_from(tag: u8) -> Result<EnsembleMode> {
+    match tag {
+        0 => Ok(EnsembleMode::Partitioned),
+        1 => Ok(EnsembleMode::FullDimension),
+        other => Err(persist_err(format!("unknown ensemble mode tag {other}"))),
+    }
+}
+
+fn sample_tag(s: SampleMode) -> u8 {
+    match s {
+        SampleMode::Resample => 0,
+        SampleMode::Reweight => 1,
+    }
+}
+
+fn sample_from(tag: u8) -> Result<SampleMode> {
+    match tag {
+        0 => Ok(SampleMode::Resample),
+        1 => Ok(SampleMode::Reweight),
+        other => Err(persist_err(format!("unknown sample mode tag {other}"))),
+    }
+}
+
+impl BoostHd {
+    /// Serializes the trained ensemble to the compact binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_BOOST);
+        let c = self.config();
+        w.put_u64(c.dim_total as u64);
+        w.put_u64(c.n_learners as u64);
+        w.put_f32(c.lr);
+        w.put_u64(c.epochs as u64);
+        w.put_u8(c.bootstrap as u8);
+        w.put_u8(voting_tag(c.voting));
+        w.put_u8(mode_tag(c.mode));
+        w.put_u8(sample_tag(c.sample_mode));
+        w.put_f64(c.boost_shrinkage);
+        w.put_f64(c.weight_clamp);
+        w.put_u8(c.class_balanced_init as u8);
+        w.put_u64(c.seed);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_u64(self.training_errors().len() as u64);
+        for &e in self.training_errors() {
+            w.put_f64(e);
+        }
+        w.put_u64(self.num_learners() as u64);
+        for i in 0..self.num_learners() {
+            let (alpha, start, end, own_encoder) = self.learner_parts(i);
+            w.put_f32(alpha);
+            w.put_u64(start as u64);
+            w.put_u64(end as u64);
+            w.put_matrix(self.learner_class_hypervectors(i));
+            match own_encoder {
+                None => w.put_u8(0),
+                Some(enc) => {
+                    w.put_u8(1);
+                    put_encoder(&mut w, enc);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes an ensemble written by [`BoostHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, KIND_BOOST)?;
+        let config = BoostHdConfig {
+            dim_total: r.get_len()?,
+            n_learners: r.get_len()?,
+            lr: r.get_f32()?,
+            epochs: r.get_len()?,
+            bootstrap: r.get_u8()? != 0,
+            voting: voting_from(r.get_u8()?)?,
+            mode: mode_from(r.get_u8()?)?,
+            sample_mode: sample_from(r.get_u8()?)?,
+            boost_shrinkage: r.get_f64()?,
+            weight_clamp: r.get_f64()?,
+            class_balanced_init: r.get_u8()? != 0,
+            seed: r.get_u64()?,
+        };
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r)?;
+        let n_errors = r.get_len()?;
+        let mut train_errors = Vec::with_capacity(n_errors.min(1 << 16));
+        for _ in 0..n_errors {
+            train_errors.push(r.get_f64()?);
+        }
+        let n_learners = r.get_len()?;
+        if n_learners != config.n_learners {
+            return Err(persist_err("learner count disagrees with config"));
+        }
+        let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
+        for _ in 0..n_learners {
+            let alpha = r.get_f32()?;
+            let start = r.get_len()?;
+            let end = r.get_len()?;
+            let class_hvs = r.get_matrix()?;
+            if class_hvs.rows() != num_classes {
+                return Err(persist_err("learner class count disagrees with header"));
+            }
+            let own_encoder = match r.get_u8()? {
+                0 => None,
+                1 => Some(get_encoder(&mut r)?),
+                other => return Err(persist_err(format!("unknown encoder tag {other}"))),
+            };
+            learners.push((alpha, start, end, class_hvs, own_encoder));
+        }
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, learners, num_classes, config, train_errors)
+    }
+
+    /// Writes the ensemble to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads an ensemble written by [`BoostHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BoostHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classifier::Classifier;
+    use linalg::Rng64;
+
+    fn toy() -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::seed_from(4);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..60 {
+            let class = i % 3;
+            rows.push(vec![class as f32 + 0.2 * rng.normal(), 0.2 * rng.normal()]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn writer_reader_primitives_round_trip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 3);
+        w.put_f32(-1.5);
+        w.put_f64(std::f64::consts::PI);
+        w.put_f32_slice(&[1.0, 2.0, 3.0]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.get_f32().unwrap(), -1.5);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let mut rng = Rng64::seed_from(1);
+        let m = Matrix::random_normal(5, 7, &mut rng);
+        let mut w = Writer::new();
+        w.put_matrix(&m);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn truncated_read_fails_cleanly() {
+        let mut w = Writer::new();
+        w.put_u64(10);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes[..4]);
+        assert!(r.get_u64().is_err());
+    }
+
+    #[test]
+    fn onlinehd_round_trip_preserves_predictions() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig { dim: 96, epochs: 4, ..Default::default() };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let restored = OnlineHd::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(model.class_hypervectors(), restored.class_hypervectors());
+        assert_eq!(model.config(), restored.config());
+    }
+
+    #[test]
+    fn boosthd_round_trip_preserves_everything() {
+        let (x, y) = toy();
+        let config = BoostHdConfig { dim_total: 120, n_learners: 6, epochs: 3, ..Default::default() };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let restored = BoostHd::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(model.alphas(), restored.alphas());
+        assert_eq!(model.training_errors(), restored.training_errors());
+        assert_eq!(model.config(), restored.config());
+    }
+
+    #[test]
+    fn file_save_load_round_trip() {
+        let (x, y) = toy();
+        let config = BoostHdConfig { dim_total: 60, n_learners: 3, epochs: 2, ..Default::default() };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let dir = std::env::temp_dir().join("boosthd_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bhd");
+        model.save(&path).unwrap();
+        let restored = BoostHd::load(&path).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let (x, y) = toy();
+        let online = OnlineHd::fit(
+            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        assert!(BoostHd::from_bytes(&online.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let (x, y) = toy();
+        let model = OnlineHd::fit(
+            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let mut bytes = model.to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(OnlineHd::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_blob_is_rejected() {
+        let (x, y) = toy();
+        let model = OnlineHd::fit(
+            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let bytes = model.to_bytes();
+        assert!(OnlineHd::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let (x, y) = toy();
+        let model = OnlineHd::fit(
+            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let mut bytes = model.to_bytes();
+        bytes.push(0);
+        assert!(OnlineHd::from_bytes(&bytes).is_err());
+    }
+}

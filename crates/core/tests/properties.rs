@@ -1,0 +1,112 @@
+//! Property-based tests for the classifier crate: invariants that must hold
+//! for any seed, any (sane) configuration, and any label layout.
+
+use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use linalg::{Matrix, Rng64};
+use proptest::prelude::*;
+
+/// A small random but learnable dataset: class-dependent Gaussian blobs.
+fn blob_data(seed: u64, n: usize, classes: usize) -> (Matrix, Vec<usize>) {
+    let mut rng = Rng64::seed_from(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % classes;
+        let angle = class as f32 / classes as f32 * std::f32::consts::TAU;
+        rows.push(vec![
+            2.0 * angle.cos() + 0.5 * rng.normal(),
+            2.0 * angle.sin() + 0.5 * rng.normal(),
+        ]);
+        labels.push(class);
+    }
+    (Matrix::from_rows(&rows).unwrap(), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn boosthd_predictions_always_in_label_range(
+        seed in any::<u64>(),
+        classes in 2usize..5,
+        n_learners in 1usize..8,
+    ) {
+        let (x, y) = blob_data(seed, 60, classes);
+        let config = BoostHdConfig {
+            dim_total: 128,
+            n_learners,
+            epochs: 3,
+            seed,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        for p in model.predict_batch(&x) {
+            prop_assert!(p < classes);
+        }
+    }
+
+    #[test]
+    fn boosthd_alphas_finite_nonnegative(seed in any::<u64>(), classes in 2usize..4) {
+        let (x, y) = blob_data(seed, 45, classes);
+        let config = BoostHdConfig { dim_total: 96, n_learners: 6, epochs: 3, seed, ..Default::default() };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        for a in model.alphas() {
+            prop_assert!(a.is_finite() && a >= 0.0);
+        }
+        for e in model.training_errors() {
+            prop_assert!((0.0..=1.0).contains(e));
+        }
+    }
+
+    #[test]
+    fn onlinehd_scores_are_valid_cosines(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 40, 3);
+        let config = OnlineHdConfig { dim: 64, epochs: 3, seed, ..Default::default() };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        for r in 0..x.rows() {
+            for s in model.scores(x.row(r)) {
+                prop_assert!((-1.0 - 1e-5..=1.0 + 1e-5).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_predictions(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 40, 3);
+        let config = BoostHdConfig { dim_total: 96, n_learners: 4, epochs: 3, seed, ..Default::default() };
+        let a = BoostHd::fit(&config, &x, &y).unwrap();
+        let b = BoostHd::fit(&config, &x, &y).unwrap();
+        prop_assert_eq!(a.predict_batch(&x), b.predict_batch(&x));
+    }
+
+    #[test]
+    fn parallel_inference_always_matches_serial(seed in any::<u64>(), threads in 1usize..5) {
+        let (x, y) = blob_data(seed, 30, 3);
+        let config = BoostHdConfig { dim_total: 96, n_learners: 4, epochs: 2, seed, ..Default::default() };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        prop_assert_eq!(model.predict_batch(&x), model.predict_batch_parallel(&x, threads));
+    }
+
+    #[test]
+    fn weights_never_break_training(seed in any::<u64>()) {
+        // Arbitrary positive weights must not panic or produce NaN scores.
+        let (x, y) = blob_data(seed, 30, 2);
+        let mut rng = Rng64::seed_from(seed);
+        let w: Vec<f64> = (0..30).map(|_| 0.01 + rng.uniform() as f64 * 10.0).collect();
+        let config = OnlineHdConfig { dim: 64, epochs: 2, seed, ..Default::default() };
+        let model = OnlineHd::fit_weighted(&config, &x, &y, Some(&w)).unwrap();
+        for s in model.scores(x.row(0)) {
+            prop_assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn stacked_class_hvs_shape_invariant(seed in any::<u64>(), n_learners in 1usize..6) {
+        let (x, y) = blob_data(seed, 30, 3);
+        let config = BoostHdConfig { dim_total: 120, n_learners, epochs: 2, seed, ..Default::default() };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let stacked = model.stacked_class_hypervectors();
+        prop_assert_eq!(stacked.rows(), n_learners * 3);
+        prop_assert_eq!(stacked.cols(), 120);
+    }
+}

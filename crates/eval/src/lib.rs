@@ -1,0 +1,36 @@
+//! Evaluation harness for the BoostHD experiments.
+//!
+//! Everything the benchmark binaries need to turn trained
+//! [`boosthd::Classifier`]s into the numbers the paper reports:
+//!
+//! * [`metrics`] — accuracy, *macro* accuracy (the imbalance-fair metric of
+//!   Figure 7), confusion matrices, per-class recall;
+//! * [`repeat`] — `mean ± σ` over repeated seeded runs (the paper reports
+//!   10 runs per cell);
+//! * [`timing`] — wall-clock train/inference timing in the paper's
+//!   `10⁻⁵ s` units;
+//! * [`table`] — ASCII/CSV rendering for tables, series (figure data), and
+//!   heatmaps (Figure 3).
+//!
+//! # Example
+//!
+//! ```
+//! use eval_harness::metrics::{accuracy, macro_accuracy};
+//!
+//! let truth = [0, 0, 1, 1, 2, 2];
+//! let preds = [0, 0, 1, 0, 2, 2];
+//! assert!((accuracy(&preds, &truth) - 5.0 / 6.0).abs() < 1e-12);
+//! assert!((macro_accuracy(&preds, &truth, 3) - (1.0 + 0.5 + 1.0) / 3.0).abs() < 1e-12);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod metrics;
+pub mod repeat;
+pub mod table;
+pub mod timing;
+
+pub use metrics::{accuracy, confusion_matrix, macro_accuracy, per_class_recall};
+pub use repeat::{repeat_runs, RunStats};
+pub use table::{Heatmap, Series, Table};
+pub use timing::{time_per_query_secs, Timed};

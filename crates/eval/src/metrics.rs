@@ -1,0 +1,147 @@
+//! Classification metrics.
+//!
+//! The paper reports plain accuracy for Tables I and III, and switches to
+//! *macro accuracy* (mean per-class recall) for the imbalance experiment
+//! (Figure 7) "to ensure a fair performance evaluation that the varying
+//! sample counts per class do not skew".
+
+use linalg::Matrix;
+
+/// Fraction of predictions equal to the truth.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn accuracy(preds: &[usize], truth: &[usize]) -> f64 {
+    assert_eq!(preds.len(), truth.len(), "prediction/label length mismatch");
+    assert!(!preds.is_empty(), "accuracy of an empty prediction set");
+    preds.iter().zip(truth).filter(|(p, t)| p == t).count() as f64 / preds.len() as f64
+}
+
+/// Per-class recall (`correct_c / count_c`); classes absent from `truth`
+/// report recall 0.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a label exceeds
+/// `num_classes`.
+pub fn per_class_recall(preds: &[usize], truth: &[usize], num_classes: usize) -> Vec<f64> {
+    assert_eq!(preds.len(), truth.len(), "prediction/label length mismatch");
+    let mut correct = vec![0usize; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    for (&p, &t) in preds.iter().zip(truth) {
+        assert!(t < num_classes, "label {t} out of range");
+        counts[t] += 1;
+        if p == t {
+            correct[t] += 1;
+        }
+    }
+    correct
+        .iter()
+        .zip(&counts)
+        .map(|(&c, &n)| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+        .collect()
+}
+
+/// Macro accuracy: the unweighted mean of per-class recalls, over the
+/// classes that actually appear in `truth`.
+///
+/// # Panics
+///
+/// As [`per_class_recall`].
+pub fn macro_accuracy(preds: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    let recalls = per_class_recall(preds, truth, num_classes);
+    let mut present = vec![false; num_classes];
+    for &t in truth {
+        present[t] = true;
+    }
+    let (sum, n) = recalls
+        .iter()
+        .zip(&present)
+        .filter(|(_, &p)| p)
+        .fold((0.0, 0usize), |(s, n), (&r, _)| (s + r, n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Confusion matrix with `truth` on rows and `preds` on columns.
+///
+/// # Panics
+///
+/// Panics on length mismatch or out-of-range labels.
+pub fn confusion_matrix(preds: &[usize], truth: &[usize], num_classes: usize) -> Matrix {
+    assert_eq!(preds.len(), truth.len(), "prediction/label length mismatch");
+    let mut m = Matrix::zeros(num_classes, num_classes);
+    for (&p, &t) in preds.iter().zip(truth) {
+        assert!(p < num_classes && t < num_classes, "label out of range");
+        let v = m.at(t, p);
+        m.set(t, p, v + 1.0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_accuracy() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+    }
+
+    #[test]
+    fn chance_accuracy() {
+        assert_eq!(accuracy(&[0, 0, 0, 0], &[0, 1, 2, 1]), 0.25);
+    }
+
+    #[test]
+    fn macro_accuracy_is_imbalance_fair() {
+        // 90 samples of class 0 all right, 10 of class 1 all wrong:
+        // plain accuracy 0.9, macro accuracy 0.5.
+        let mut truth = vec![0usize; 90];
+        truth.extend(vec![1usize; 10]);
+        let preds = vec![0usize; 100];
+        assert!((accuracy(&preds, &truth) - 0.9).abs() < 1e-12);
+        assert!((macro_accuracy(&preds, &truth, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_ignores_absent_classes() {
+        let truth = [0, 0, 1, 1];
+        let preds = [0, 0, 1, 1];
+        // Class 2 never appears; macro over present classes only.
+        assert_eq!(macro_accuracy(&preds, &truth, 3), 1.0);
+    }
+
+    #[test]
+    fn per_class_recall_basics() {
+        let truth = [0, 0, 1, 1, 2];
+        let preds = [0, 1, 1, 1, 0];
+        let r = per_class_recall(&preds, &truth, 3);
+        assert_eq!(r, vec![0.5, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let truth = [0, 0, 1, 2];
+        let preds = [0, 1, 1, 1];
+        let m = confusion_matrix(&preds, &truth, 3);
+        assert_eq!(m.at(0, 0), 1.0);
+        assert_eq!(m.at(0, 1), 1.0);
+        assert_eq!(m.at(1, 1), 1.0);
+        assert_eq!(m.at(2, 1), 1.0);
+        assert_eq!(m.at(2, 2), 0.0);
+        // Row sums equal per-class truth counts.
+        let row0: f32 = m.row(0).iter().sum();
+        assert_eq!(row0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        accuracy(&[0], &[0, 1]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Repeated-run statistics (`mean ± σ` over seeded runs).
+//!
+//! "Each experiment was conducted over 10 runs" (paper Section IV). Every
+//! Table I/III cell and every Figure 6 point is a [`RunStats`] produced by
+//! [`repeat_runs`], which hands each run a distinct deterministic seed.
+
+use linalg::stats;
+use serde::{Deserialize, Serialize};
+
+/// Mean, sample standard deviation, and the raw per-run values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Per-run metric values, in run order.
+    pub runs: Vec<f64>,
+}
+
+impl RunStats {
+    /// Wraps raw per-run values.
+    pub fn from_runs(runs: Vec<f64>) -> Self {
+        Self { runs }
+    }
+
+    /// Arithmetic mean over runs.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.runs)
+    }
+
+    /// Sample standard deviation over runs (the paper's `± σ`).
+    pub fn std(&self) -> f64 {
+        stats::sample_std_dev(&self.runs)
+    }
+
+    /// Median Absolute Deviation over runs (the Figure 8 robustness
+    /// statistic).
+    pub fn mad(&self) -> f64 {
+        stats::median_abs_deviation(&self.runs)
+    }
+
+    /// Smallest and largest run values (`(0, 0)` if empty).
+    pub fn min_max(&self) -> (f64, f64) {
+        stats::min_max(&self.runs).unwrap_or((0.0, 0.0))
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether no runs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// `"mean ± std"` formatted like the paper's tables (two decimals,
+    /// values in percent if the metric is).
+    pub fn format(&self, decimals: usize) -> String {
+        format!(
+            "{:.prec$} ± {:.prec$}",
+            self.mean(),
+            self.std(),
+            prec = decimals
+        )
+    }
+}
+
+/// Runs `f` once per seed in `0..runs` (offset by `seed_base`), collecting
+/// the returned metric.
+///
+/// The closure receives `(run_index, seed)`; everything stochastic inside a
+/// run should derive from that seed so experiments replay exactly.
+pub fn repeat_runs(runs: usize, seed_base: u64, mut f: impl FnMut(usize, u64) -> f64) -> RunStats {
+    let values = (0..runs)
+        .map(|i| f(i, seed_base.wrapping_add(i as u64)))
+        .collect();
+    RunStats::from_runs(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collects_all_runs() {
+        let stats = repeat_runs(5, 100, |i, seed| {
+            assert_eq!(seed, 100 + i as u64);
+            i as f64
+        });
+        assert_eq!(stats.len(), 5);
+        assert_eq!(stats.mean(), 2.0);
+    }
+
+    #[test]
+    fn std_of_constant_runs_is_zero() {
+        let stats = repeat_runs(10, 0, |_, _| 42.0);
+        assert_eq!(stats.std(), 0.0);
+        assert_eq!(stats.mad(), 0.0);
+    }
+
+    #[test]
+    fn format_matches_paper_style() {
+        let stats = RunStats::from_runs(vec![98.0, 98.5, 98.2, 98.8]);
+        let s = stats.format(2);
+        assert!(s.contains("98.3"));
+        assert!(s.contains("±"));
+    }
+
+    #[test]
+    fn min_max_works() {
+        let stats = RunStats::from_runs(vec![3.0, 1.0, 2.0]);
+        assert_eq!(stats.min_max(), (1.0, 3.0));
+        assert_eq!(RunStats::from_runs(vec![]).min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn seeds_are_distinct_across_runs() {
+        let mut seeds = Vec::new();
+        repeat_runs(4, 7, |_, seed| {
+            seeds.push(seed);
+            0.0
+        });
+        let mut dedup = seeds.clone();
+        dedup.dedup();
+        assert_eq!(seeds, dedup);
+    }
+}

@@ -1,0 +1,304 @@
+//! ASCII/CSV rendering for tables, figure series, and heatmaps.
+//!
+//! The benchmark binaries print their results through these types so every
+//! table and figure of the paper has one canonical textual form, easy to
+//! diff across runs and paste into EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// A labeled 2-D table of string cells (Tables I–III).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Header of the label column (e.g. `"Dataset"`).
+    pub corner: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row labels.
+    pub rows: Vec<String>,
+    /// `rows × columns` cells.
+    pub cells: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given headers.
+    pub fn new(
+        title: impl Into<String>,
+        corner: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            corner: corner.into(),
+            columns,
+            rows: Vec::new(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells.len()` differs from the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.columns.len()
+        );
+        self.rows.push(label.into());
+        self.cells.push(cells);
+    }
+
+    /// Renders a fixed-width ASCII table.
+    pub fn render(&self) -> String {
+        let mut widths = vec![self.corner.len()];
+        for r in &self.rows {
+            widths[0] = widths[0].max(r.len());
+        }
+        for (c, col) in self.columns.iter().enumerate() {
+            let mut w = col.len();
+            for row in &self.cells {
+                w = w.max(row[c].len());
+            }
+            widths.push(w);
+        }
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        let mut header = format!("| {:<w$} |", self.corner, w = widths[0]);
+        for (c, col) in self.columns.iter().enumerate() {
+            header.push_str(&format!(" {:<w$} |", col, w = widths[c + 1]));
+        }
+        out.push_str(&header);
+        out.push('\n');
+        let mut rule = format!("|{}|", "-".repeat(widths[0] + 2));
+        for w in &widths[1..] {
+            rule.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        out.push_str(&rule);
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.cells) {
+            let mut line = format!("| {:<w$} |", label, w = widths[0]);
+            for (c, cell) in row.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", cell, w = widths[c + 1]));
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders comma-separated values (header row first).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.corner);
+        for col in &self.columns {
+            out.push(',');
+            out.push_str(col);
+        }
+        out.push('\n');
+        for (label, row) in self.rows.iter().zip(&self.cells) {
+            out.push_str(label);
+            for cell in row {
+                out.push(',');
+                out.push_str(cell);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// One named data series of a figure (x, y pairs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label.
+    pub name: String,
+    /// Sample points as `(x, y)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a named series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Renders several series that share an x-axis as aligned columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series disagree on their x values.
+    pub fn render_aligned(title: &str, x_label: &str, series: &[Series]) -> String {
+        let mut out = format!("# {title}\n{x_label:>12}");
+        for s in series {
+            out.push_str(&format!(" {:>16}", s.name));
+        }
+        out.push('\n');
+        if let Some(first) = series.first() {
+            for (i, &(x, _)) in first.points.iter().enumerate() {
+                out.push_str(&format!("{x:>12.6}"));
+                for s in series {
+                    assert!(
+                        (s.points[i].0 - x).abs() < 1e-12,
+                        "series {} disagrees on x at index {i}",
+                        s.name
+                    );
+                    out.push_str(&format!(" {:>16.6}", s.points[i].1));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// A 2-D sweep result (Figure 3's accuracy heatmaps).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heatmap {
+    /// Caption.
+    pub title: String,
+    /// Label of the x axis (columns).
+    pub x_label: String,
+    /// Label of the y axis (rows).
+    pub y_label: String,
+    /// Column coordinate values.
+    pub xs: Vec<f64>,
+    /// Row coordinate values.
+    pub ys: Vec<f64>,
+    /// `ys.len() × xs.len()` cell values.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl Heatmap {
+    /// Creates a heatmap filled with `f(x, y)` placeholders of 0.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+    ) -> Self {
+        let values = vec![vec![0.0; xs.len()]; ys.len()];
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            xs,
+            ys,
+            values,
+        }
+    }
+
+    /// Sets the cell at row `yi`, column `xi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn set(&mut self, yi: usize, xi: usize, value: f64) {
+        self.values[yi][xi] = value;
+    }
+
+    /// Renders the grid with row/column coordinates.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "# {} ({} columns × {} rows; x={}, y={})\n",
+            self.title,
+            self.xs.len(),
+            self.ys.len(),
+            self.x_label,
+            self.y_label
+        );
+        out.push_str(&format!("{:>10}", format!("{}\\{}", self.y_label, self.x_label)));
+        for x in &self.xs {
+            out.push_str(&format!(" {x:>8.0}"));
+        }
+        out.push('\n');
+        for (yi, y) in self.ys.iter().enumerate() {
+            out.push_str(&format!("{y:>10.0}"));
+            for v in &self.values[yi] {
+                out.push_str(&format!(" {v:>8.2}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_cells() {
+        let mut t = Table::new("Accuracy", "Dataset", vec!["A".into(), "B".into()]);
+        t.push_row("wesad", vec!["98.4".into(), "96.4".into()]);
+        t.push_row("nurse", vec!["61.5".into(), "61.4".into()]);
+        let rendered = t.render();
+        assert!(rendered.contains("98.4"));
+        assert!(rendered.contains("nurse"));
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    fn table_csv_has_header_and_rows() {
+        let mut t = Table::new("T", "Model", vec!["x".into()]);
+        t.push_row("m1", vec!["1.0".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "Model,x\nm1,1.0\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new("T", "r", vec!["a".into(), "b".into()]);
+        t.push_row("bad", vec!["1".into()]);
+    }
+
+    #[test]
+    fn series_render_aligned() {
+        let mut a = Series::new("BoostHD");
+        let mut b = Series::new("OnlineHD");
+        for i in 0..3 {
+            a.push(i as f64, 90.0 + i as f64);
+            b.push(i as f64, 85.0 + i as f64);
+        }
+        let out = Series::render_aligned("Fig6", "D", &[a, b]);
+        assert!(out.contains("BoostHD"));
+        assert!(out.contains("OnlineHD"));
+        assert_eq!(out.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees on x")]
+    fn series_alignment_checked() {
+        let mut a = Series::new("a");
+        a.push(0.0, 1.0);
+        let mut b = Series::new("b");
+        b.push(5.0, 1.0);
+        Series::render_aligned("t", "x", &[a, b]);
+    }
+
+    #[test]
+    fn heatmap_set_and_render() {
+        let mut h = Heatmap::new("Fig3a", "NL", "D", vec![1.0, 10.0], vec![1000.0, 10000.0]);
+        h.set(0, 0, 94.5);
+        h.set(1, 1, 98.2);
+        let out = h.render();
+        assert!(out.contains("94.50"));
+        assert!(out.contains("98.20"));
+        assert!(out.contains("Fig3a"));
+    }
+}

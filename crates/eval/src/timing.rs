@@ -1,0 +1,98 @@
+//! Wall-clock timing in the paper's reporting units.
+//!
+//! Table II reports *inference time per query* in units of `10⁻⁵` seconds.
+//! [`time_per_query_secs`] measures a batched prediction closure and
+//! divides by the query count; [`Timed`] wraps any computation with its
+//! elapsed time.
+
+use std::time::Instant;
+
+/// A value together with how long it took to produce.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Timed<T> {
+    /// The computed value.
+    pub value: T,
+    /// Elapsed wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl<T> Timed<T> {
+    /// Runs `f`, recording its wall-clock duration.
+    pub fn run(f: impl FnOnce() -> T) -> Self {
+        let start = Instant::now();
+        let value = f();
+        Self {
+            value,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Elapsed time in the paper's `10⁻⁵ s` units.
+    pub fn tenth_millis(&self) -> f64 {
+        self.seconds * 1e5
+    }
+}
+
+/// Measures the average per-query latency of `predict` over `queries`
+/// queries, repeating the whole batch `repeats` times and averaging (first
+/// a warm-up batch runs untimed to populate caches).
+///
+/// # Panics
+///
+/// Panics if `queries` or `repeats` is zero.
+pub fn time_per_query_secs(queries: usize, repeats: usize, mut predict: impl FnMut()) -> f64 {
+    assert!(queries > 0, "need at least one query");
+    assert!(repeats > 0, "need at least one repeat");
+    predict(); // warm-up
+    let start = Instant::now();
+    for _ in 0..repeats {
+        predict();
+    }
+    start.elapsed().as_secs_f64() / (repeats as f64 * queries as f64)
+}
+
+/// Converts seconds to the paper's `10⁻⁵ s` reporting unit.
+pub fn to_tenth_millis(seconds: f64) -> f64 {
+    seconds * 1e5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timed_records_positive_duration() {
+        let timed = Timed::run(|| {
+            let mut acc = 0u64;
+            for i in 0..100_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(timed.seconds >= 0.0);
+        assert!(timed.value > 0);
+        assert!((timed.tenth_millis() - timed.seconds * 1e5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_query_latency_scales_down_with_queries() {
+        let work = || {
+            std::hint::black_box((0..200_000u64).fold(0u64, |a, b| a.wrapping_add(b)));
+        };
+        let few = time_per_query_secs(1, 3, work);
+        let many = time_per_query_secs(100, 3, work);
+        assert!(many < few, "same batch over more queries → lower per-query");
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(to_tenth_millis(1.0), 1e5);
+        assert!((to_tenth_millis(7.57e-5) - 7.57).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one query")]
+    fn zero_queries_panics() {
+        time_per_query_secs(0, 1, || {});
+    }
+}

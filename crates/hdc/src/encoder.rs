@@ -1,0 +1,562 @@
+//! Encoders mapping feature vectors into hyperdimensional space.
+//!
+//! The paper's HDC pipeline (Section II-C) encodes a data point `x ∈ ℝᶠ` as a
+//! hypervector `H ∈ ℝᴰ` by "matrix multiplication with Gaussian distribution
+//! values and trigonometric activation functions such as sine and cosine".
+//! Concretely, following the OnlineHD encoder this work builds on:
+//!
+//! ```text
+//! z = P · x        with  P ∈ ℝ^{D×F},  P_{d,f} ~ N(0, 1)
+//! φ(x)_d = cos(z_d + b_d) · sin(z_d)   with  b_d ~ U[0, 2π)
+//! ```
+//!
+//! The projection rows are the per-dimension Gaussian kernels; the
+//! trigonometric activation makes the encoding nonlinear (an approximation
+//! of an RBF random-feature map). BoostHD's weak learners each own a
+//! contiguous *row slice* of `P` — the `D/n`-dimensional sub-space — produced
+//! by [`SinusoidEncoder::slice_dims`].
+
+use crate::error::{HdcError, Result};
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Types that encode feature vectors into hypervectors.
+///
+/// The trait is object-safe so heterogeneous encoder stacks can be stored
+/// behind `Box<dyn Encode>`.
+pub trait Encode {
+    /// Output dimensionality `D`.
+    fn dim(&self) -> usize;
+
+    /// Expected input feature count `F`.
+    fn input_len(&self) -> usize;
+
+    /// Encodes one feature vector into a fresh hypervector buffer.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `x.len() != self.input_len()`; use
+    /// [`Encode::try_encode_row`] for a fallible variant.
+    fn encode_row(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Fallible encoding with explicit feature-length checking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::FeatureMismatch`] if `x.len() != self.input_len()`.
+    fn try_encode_row(&self, x: &[f32]) -> Result<Vec<f32>> {
+        if x.len() != self.input_len() {
+            return Err(HdcError::FeatureMismatch {
+                expected: self.input_len(),
+                actual: x.len(),
+            });
+        }
+        Ok(self.encode_row(x))
+    }
+
+    /// Encodes a batch of samples (rows of `x`) into a `samples × D` matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_len()`.
+    fn encode_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.input_len(),
+            "batch feature count {} does not match encoder input {}",
+            x.cols(),
+            self.input_len()
+        );
+        let mut rows = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            rows.push(self.encode_row(x.row(r)));
+        }
+        Matrix::from_rows(&rows).expect("encoded rows share the encoder dimension")
+    }
+}
+
+/// The nonlinear random-projection encoder `φ(x) = cos(Px + b) ⊙ sin(Px)`.
+///
+/// The raw projection entries are `N(0, 1)` as the paper states; at
+/// construction they are scaled by `1/bandwidth` with `bandwidth = √F` by
+/// default. This is the standard random-Fourier-feature normalization: for
+/// z-scored inputs it keeps the projected phase `P·x` at unit-ish variance,
+/// so the implied RBF kernel resolves neighborhoods instead of rendering
+/// every pair of samples quasi-orthogonal. (OnlineHD's reference
+/// implementation bakes the same effect into its feature scaling.) Use
+/// [`SinusoidEncoder::try_with_bandwidth`] to pick a different kernel
+/// width.
+///
+/// # Example
+///
+/// ```
+/// use hdc::encoder::{Encode, SinusoidEncoder};
+/// use linalg::Rng64;
+///
+/// let mut rng = Rng64::seed_from(0);
+/// let enc = SinusoidEncoder::new(128, 4, &mut rng);
+/// let hv = enc.encode_row(&[0.5, -0.5, 1.0, 0.0]);
+/// assert_eq!(hv.len(), 128);
+/// assert!(hv.iter().all(|v| v.abs() <= 1.0)); // product of two sinusoids
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SinusoidEncoder {
+    /// `D × F` Gaussian projection (already divided by the bandwidth).
+    projection: Matrix,
+    /// Per-dimension phase `b ~ U[0, 2π)`.
+    bias: Vec<f32>,
+}
+
+impl SinusoidEncoder {
+    /// Creates an encoder for `input_len` features into `dim` dimensions,
+    /// drawing `P ~ N(0,1)` and `b ~ U[0, 2π)` from `rng`, with the default
+    /// `√F` kernel bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or `input_len == 0`; use
+    /// [`SinusoidEncoder::try_new`] for a fallible variant.
+    pub fn new(dim: usize, input_len: usize, rng: &mut Rng64) -> Self {
+        Self::try_new(dim, input_len, rng).expect("dim and input_len must be non-zero")
+    }
+
+    /// Fallible constructor with the default `√F` bandwidth.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `dim` or `input_len` is zero.
+    pub fn try_new(dim: usize, input_len: usize, rng: &mut Rng64) -> Result<Self> {
+        Self::try_with_bandwidth(dim, input_len, (input_len as f32).sqrt(), rng)
+    }
+
+    /// Fallible constructor with an explicit kernel bandwidth (the
+    /// projection is divided by it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `dim` or `input_len` is zero,
+    /// or `bandwidth` is not strictly positive.
+    pub fn try_with_bandwidth(
+        dim: usize,
+        input_len: usize,
+        bandwidth: f32,
+        rng: &mut Rng64,
+    ) -> Result<Self> {
+        if dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "encoder dimensionality must be positive".into(),
+            });
+        }
+        if input_len == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "encoder input length must be positive".into(),
+            });
+        }
+        if !(bandwidth > 0.0) {
+            return Err(HdcError::InvalidConfig {
+                reason: format!("bandwidth must be positive, got {bandwidth}"),
+            });
+        }
+        let mut projection = Matrix::random_normal(dim, input_len, rng);
+        projection.scale_inplace(1.0 / bandwidth);
+        let bias = (0..dim)
+            .map(|_| rng.uniform_in(0.0, std::f32::consts::TAU))
+            .collect();
+        Ok(Self { projection, bias })
+    }
+
+    /// Borrows the Gaussian projection matrix (`D × F`).
+    pub fn projection(&self) -> &Matrix {
+        &self.projection
+    }
+
+    /// Borrows the phase vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Reassembles an encoder from a stored projection and phase vector
+    /// (the persistence path; bandwidth scaling is already baked into the
+    /// projection values).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `bias.len()` differs from
+    /// the projection row count, and [`HdcError::InvalidConfig`] for an
+    /// empty projection.
+    pub fn from_parts(projection: Matrix, bias: Vec<f32>) -> Result<Self> {
+        if projection.rows() == 0 || projection.cols() == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "encoder projection must be non-empty".into(),
+            });
+        }
+        if bias.len() != projection.rows() {
+            return Err(HdcError::DimensionMismatch {
+                expected: projection.rows(),
+                actual: bias.len(),
+            });
+        }
+        Ok(Self { projection, bias })
+    }
+
+    /// Extracts the sub-encoder covering hyperspace dimensions
+    /// `[start, end)` — a weak learner's `D/n`-dimensional slice.
+    ///
+    /// The slice *shares no state* with the parent: it owns copies of the
+    /// corresponding projection rows and phases, so encoding through the
+    /// slice is exactly the restriction of the parent encoding to those
+    /// dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.dim()`.
+    pub fn slice_dims(&self, start: usize, end: usize) -> SinusoidEncoder {
+        assert!(
+            start <= end && end <= self.dim(),
+            "invalid dimension slice {start}..{end} for D={}",
+            self.dim()
+        );
+        let rows: Vec<usize> = (start..end).collect();
+        SinusoidEncoder {
+            projection: self.projection.select_rows(&rows),
+            bias: self.bias[start..end].to_vec(),
+        }
+    }
+}
+
+impl Encode for SinusoidEncoder {
+    fn dim(&self) -> usize {
+        self.projection.rows()
+    }
+
+    fn input_len(&self) -> usize {
+        self.projection.cols()
+    }
+
+    fn encode_row(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.input_len(),
+            "feature length {} does not match encoder input {}",
+            x.len(),
+            self.input_len()
+        );
+        let z = self.projection.matvec(x);
+        z.iter()
+            .zip(self.bias.iter())
+            .map(|(&zd, &bd)| (zd + bd).cos() * zd.sin())
+            .collect()
+    }
+
+    fn encode_batch(&self, x: &Matrix) -> Matrix {
+        assert_eq!(
+            x.cols(),
+            self.input_len(),
+            "batch feature count {} does not match encoder input {}",
+            x.cols(),
+            self.input_len()
+        );
+        // One fused GEMM (X · Pᵀ) then the activation — much faster than
+        // row-at-a-time matvec for experiment-scale batches. The transpose
+        // is materialized so the product runs through the blocked i-k-j
+        // kernel (contiguous AXPY over D-length rows), which is several
+        // times faster than row-dot form when F ≪ D.
+        let mut z = x.matmul(&self.projection.transposed());
+        for r in 0..z.rows() {
+            let row = z.row_mut(r);
+            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
+                *v = (*v + b).cos() * v.sin();
+            }
+        }
+        z
+    }
+}
+
+/// Number of quantization levels used by [`LevelIdEncoder`] by default.
+pub const DEFAULT_LEVELS: usize = 32;
+
+/// Classic record-based level/ID encoder.
+///
+/// Each feature gets a random bipolar *ID* hypervector; each quantization
+/// level gets a *level* hypervector built by progressively flipping bits of
+/// a base vector so nearby levels stay similar. A sample is encoded as
+/// `Σ_f ID_f ⊙ L(level(x_f))` — bind feature identity to value level, bundle
+/// across features. Included as the conventional alternative to the
+/// sinusoid projection (useful for ablations; the paper's pipeline uses the
+/// projection encoder).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelIdEncoder {
+    ids: Matrix,
+    levels: Matrix,
+    lo: f32,
+    hi: f32,
+}
+
+impl LevelIdEncoder {
+    /// Creates an encoder with `levels` quantization levels spanning
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if `dim`, `input_len` or `levels`
+    /// is zero, or `lo >= hi`.
+    pub fn try_new(
+        dim: usize,
+        input_len: usize,
+        levels: usize,
+        lo: f32,
+        hi: f32,
+        rng: &mut Rng64,
+    ) -> Result<Self> {
+        if dim == 0 || input_len == 0 || levels == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "dim, input_len and levels must all be positive".into(),
+            });
+        }
+        if lo >= hi {
+            return Err(HdcError::InvalidConfig {
+                reason: format!("level range [{lo}, {hi}] is empty"),
+            });
+        }
+        let mut ids = Matrix::zeros(input_len, dim);
+        for r in 0..input_len {
+            for c in 0..dim {
+                ids.set(r, c, if rng.chance(0.5) { 1.0 } else { -1.0 });
+            }
+        }
+        // Level vectors: start from a random bipolar base and flip a fresh
+        // random subset of D/levels positions per step, so similarity decays
+        // smoothly with level distance.
+        let mut levels_m = Matrix::zeros(levels, dim);
+        let mut current: Vec<f32> = (0..dim)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let flips_per_step = (dim / levels).max(1);
+        for l in 0..levels {
+            levels_m.row_mut(l).copy_from_slice(&current);
+            for _ in 0..flips_per_step {
+                let idx = rng.below(dim);
+                current[idx] = -current[idx];
+            }
+        }
+        Ok(Self {
+            ids,
+            levels: levels_m,
+            lo,
+            hi,
+        })
+    }
+
+    /// Creates an encoder with [`DEFAULT_LEVELS`] levels over `[-1, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` or `input_len` is zero.
+    pub fn new(dim: usize, input_len: usize, rng: &mut Rng64) -> Self {
+        Self::try_new(dim, input_len, DEFAULT_LEVELS, -1.0, 1.0, rng)
+            .expect("dim and input_len must be non-zero")
+    }
+
+    fn level_of(&self, x: f32) -> usize {
+        let levels = self.levels.rows();
+        let t = ((x - self.lo) / (self.hi - self.lo)).clamp(0.0, 1.0);
+        ((t * (levels - 1) as f32).round() as usize).min(levels - 1)
+    }
+}
+
+impl Encode for LevelIdEncoder {
+    fn dim(&self) -> usize {
+        self.ids.cols()
+    }
+
+    fn input_len(&self) -> usize {
+        self.ids.rows()
+    }
+
+    fn encode_row(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            x.len(),
+            self.input_len(),
+            "feature length {} does not match encoder input {}",
+            x.len(),
+            self.input_len()
+        );
+        let dim = self.dim();
+        let mut acc = vec![0.0f32; dim];
+        for (f, &value) in x.iter().enumerate() {
+            let level = self.levels.row(self.level_of(value));
+            let id = self.ids.row(f);
+            for d in 0..dim {
+                acc[d] += id[d] * level[d];
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::cosine_similarity;
+
+    fn encoder(dim: usize, f: usize) -> SinusoidEncoder {
+        let mut rng = Rng64::seed_from(42);
+        SinusoidEncoder::new(dim, f, &mut rng)
+    }
+
+    #[test]
+    fn output_dimensionality() {
+        let enc = encoder(100, 5);
+        assert_eq!(enc.dim(), 100);
+        assert_eq!(enc.input_len(), 5);
+        assert_eq!(enc.encode_row(&[0.0; 5]).len(), 100);
+    }
+
+    #[test]
+    fn zero_dim_rejected() {
+        let mut rng = Rng64::seed_from(0);
+        assert!(SinusoidEncoder::try_new(0, 4, &mut rng).is_err());
+        assert!(SinusoidEncoder::try_new(4, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn try_encode_rejects_wrong_length() {
+        let enc = encoder(32, 4);
+        assert!(matches!(
+            enc.try_encode_row(&[0.0; 3]),
+            Err(HdcError::FeatureMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let enc = encoder(64, 4);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(enc.encode_row(&x), enc.encode_row(&x));
+    }
+
+    #[test]
+    fn encoding_values_bounded_by_one() {
+        let enc = encoder(256, 6);
+        let hv = enc.encode_row(&[2.0, -3.0, 0.5, 10.0, 0.0, -0.1]);
+        assert!(hv.iter().all(|v| v.abs() <= 1.0 + 1e-6));
+    }
+
+    #[test]
+    fn similar_inputs_encode_similarly() {
+        let enc = encoder(2048, 6);
+        let x = [0.5, -0.2, 0.8, 0.1, -0.6, 0.3];
+        let mut y = x;
+        y[0] += 0.01; // tiny perturbation
+        let far = [-1.5, 2.0, -0.8, 1.4, 0.9, -2.2];
+        let hx = enc.encode_row(&x);
+        let hy = enc.encode_row(&y);
+        let hfar = enc.encode_row(&far);
+        let near_sim = cosine_similarity(&hx, &hy);
+        let far_sim = cosine_similarity(&hx, &hfar);
+        assert!(near_sim > far_sim, "near {near_sim} !> far {far_sim}");
+        assert!(near_sim > 0.9);
+    }
+
+    #[test]
+    fn batch_matches_rowwise() {
+        let enc = encoder(128, 5);
+        let mut rng = Rng64::seed_from(7);
+        let x = Matrix::random_uniform(9, 5, -1.0, 1.0, &mut rng);
+        let batch = enc.encode_batch(&x);
+        for r in 0..x.rows() {
+            let row = enc.encode_row(x.row(r));
+            for (a, b) in batch.row(r).iter().zip(row.iter()) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn slice_dims_restricts_encoding() {
+        let enc = encoder(96, 4);
+        let sub = enc.slice_dims(32, 64);
+        assert_eq!(sub.dim(), 32);
+        let x = [0.3, -0.4, 0.5, 0.6];
+        let full = enc.encode_row(&x);
+        let part = sub.encode_row(&x);
+        assert_eq!(&full[32..64], part.as_slice());
+    }
+
+    #[test]
+    fn slices_partition_the_encoding() {
+        let enc = encoder(100, 4);
+        let x = [1.0, 0.0, -1.0, 0.5];
+        let full = enc.encode_row(&x);
+        let mut rebuilt = Vec::new();
+        for chunk in 0..4 {
+            let sub = enc.slice_dims(chunk * 25, (chunk + 1) * 25);
+            rebuilt.extend(sub.encode_row(&x));
+        }
+        assert_eq!(full, rebuilt);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_projections() {
+        let mut r1 = Rng64::seed_from(1);
+        let mut r2 = Rng64::seed_from(2);
+        let e1 = SinusoidEncoder::new(64, 4, &mut r1);
+        let e2 = SinusoidEncoder::new(64, 4, &mut r2);
+        let x = [0.5; 4];
+        assert_ne!(e1.encode_row(&x), e2.encode_row(&x));
+    }
+
+    #[test]
+    fn level_id_encoder_basic() {
+        let mut rng = Rng64::seed_from(5);
+        let enc = LevelIdEncoder::new(512, 3, &mut rng);
+        assert_eq!(enc.dim(), 512);
+        assert_eq!(enc.input_len(), 3);
+        let hv = enc.encode_row(&[0.0, 0.5, -0.5]);
+        assert_eq!(hv.len(), 512);
+    }
+
+    #[test]
+    fn level_id_similar_values_similar_codes() {
+        let mut rng = Rng64::seed_from(6);
+        let enc = LevelIdEncoder::try_new(4096, 1, 64, -1.0, 1.0, &mut rng).unwrap();
+        let near_a = enc.encode_row(&[0.10]);
+        let near_b = enc.encode_row(&[0.15]);
+        let far = enc.encode_row(&[-0.9]);
+        let sim_near = cosine_similarity(&near_a, &near_b);
+        let sim_far = cosine_similarity(&near_a, &far);
+        assert!(sim_near > sim_far, "{sim_near} !> {sim_far}");
+    }
+
+    #[test]
+    fn level_id_invalid_range_rejected() {
+        let mut rng = Rng64::seed_from(0);
+        assert!(LevelIdEncoder::try_new(16, 2, 4, 1.0, -1.0, &mut rng).is_err());
+        assert!(LevelIdEncoder::try_new(16, 2, 0, -1.0, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn level_quantization_clamps() {
+        let mut rng = Rng64::seed_from(9);
+        let enc = LevelIdEncoder::try_new(64, 1, 8, 0.0, 1.0, &mut rng).unwrap();
+        // Out-of-range values clamp to the boundary levels rather than panic.
+        let lo = enc.encode_row(&[-100.0]);
+        let lo_edge = enc.encode_row(&[0.0]);
+        assert_eq!(lo, lo_edge);
+        let hi = enc.encode_row(&[100.0]);
+        let hi_edge = enc.encode_row(&[1.0]);
+        assert_eq!(hi, hi_edge);
+    }
+
+    #[test]
+    fn encoders_are_object_safe() {
+        let mut rng = Rng64::seed_from(3);
+        let encoders: Vec<Box<dyn Encode>> = vec![
+            Box::new(SinusoidEncoder::new(32, 2, &mut rng)),
+            Box::new(LevelIdEncoder::new(32, 2, &mut rng)),
+        ];
+        for e in &encoders {
+            assert_eq!(e.encode_row(&[0.1, 0.2]).len(), 32);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Error types for the `hdc` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, HdcError>;
+
+/// Errors reported by HDC substrate routines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// A hypervector had a different dimensionality than expected.
+    DimensionMismatch {
+        /// Expected dimensionality.
+        expected: usize,
+        /// Dimensionality actually supplied.
+        actual: usize,
+    },
+    /// An input feature vector had the wrong length for the encoder.
+    FeatureMismatch {
+        /// Number of features the encoder was built for.
+        expected: usize,
+        /// Number of features supplied.
+        actual: usize,
+    },
+    /// Invalid configuration parameter (zero dimensions, zero learners, ...).
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// A numeric routine from the linear-algebra substrate failed.
+    Numeric(linalg::LinalgError),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch { expected, actual } => {
+                write!(f, "hypervector dimension mismatch: expected {expected}, got {actual}")
+            }
+            HdcError::FeatureMismatch { expected, actual } => {
+                write!(f, "feature length mismatch: encoder expects {expected}, got {actual}")
+            }
+            HdcError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            HdcError::Numeric(e) => write!(f, "numeric failure: {e}"),
+        }
+    }
+}
+
+impl StdError for HdcError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            HdcError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<linalg::LinalgError> for HdcError {
+    fn from(e: linalg::LinalgError) -> Self {
+        HdcError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let err = HdcError::DimensionMismatch { expected: 10, actual: 5 };
+        assert!(err.to_string().contains("expected 10"));
+        let err = HdcError::InvalidConfig { reason: "zero learners".into() };
+        assert!(err.to_string().contains("zero learners"));
+    }
+
+    #[test]
+    fn numeric_error_has_source() {
+        use std::error::Error as _;
+        let inner = linalg::LinalgError::Empty { op: "x" };
+        let err = HdcError::from(inner);
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

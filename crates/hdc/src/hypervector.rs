@@ -1,0 +1,222 @@
+//! An owned hypervector type with the HDC algebra as methods.
+
+use crate::error::{HdcError, Result};
+use crate::ops;
+use serde::{Deserialize, Serialize};
+
+/// An owned `D`-dimensional hypervector.
+///
+/// Thin newtype over `Vec<f32>` providing the HDC algebra (bundle, bind,
+/// permute, similarity) with dimension checking. The raw buffer is always
+/// reachable via [`Hypervector::as_slice`] / [`Hypervector::into_inner`], so
+/// batch code can stay allocation-free.
+///
+/// # Example
+///
+/// ```
+/// use hdc::Hypervector;
+///
+/// let a = Hypervector::from_vec(vec![1.0, 0.0, -1.0]);
+/// let b = Hypervector::from_vec(vec![1.0, 1.0, 1.0]);
+/// let bound = a.bind(&b)?;
+/// assert_eq!(bound.as_slice(), &[1.0, 0.0, -1.0]);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hypervector(Vec<f32>);
+
+impl Hypervector {
+    /// Creates the zero hypervector of dimension `dim`.
+    pub fn zeros(dim: usize) -> Self {
+        Self(vec![0.0; dim])
+    }
+
+    /// Wraps an existing buffer.
+    pub fn from_vec(data: Vec<f32>) -> Self {
+        Self(data)
+    }
+
+    /// Dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the hypervector has zero dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Borrows the raw components.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Mutably borrows the raw components.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.0
+    }
+
+    /// Consumes the hypervector, returning the underlying buffer.
+    pub fn into_inner(self) -> Vec<f32> {
+        self.0
+    }
+
+    fn check_dim(&self, other: &Self) -> Result<()> {
+        if self.dim() != other.dim() {
+            return Err(HdcError::DimensionMismatch {
+                expected: self.dim(),
+                actual: other.dim(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Bundles `other` into `self` with weight `w` (`self += w · other`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensionalities differ.
+    pub fn bundle_weighted(&mut self, other: &Self, w: f32) -> Result<()> {
+        self.check_dim(other)?;
+        ops::bundle_into(&mut self.0, &other.0, w);
+        Ok(())
+    }
+
+    /// Bundles `other` into `self` with unit weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensionalities differ.
+    pub fn bundle(&mut self, other: &Self) -> Result<()> {
+        self.bundle_weighted(other, 1.0)
+    }
+
+    /// Binds with `other`, producing a new quasi-orthogonal hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensionalities differ.
+    pub fn bind(&self, other: &Self) -> Result<Self> {
+        self.check_dim(other)?;
+        Ok(Self(ops::bind(&self.0, &other.0)))
+    }
+
+    /// Cyclically permutes by `shift` positions, returning a new hypervector.
+    pub fn permuted(&self, shift: usize) -> Self {
+        Self(ops::permute(&self.0, shift))
+    }
+
+    /// Cosine similarity `δ(self, other)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if dimensionalities differ.
+    pub fn similarity(&self, other: &Self) -> Result<f32> {
+        self.check_dim(other)?;
+        Ok(ops::cosine_similarity(&self.0, &other.0))
+    }
+
+    /// Normalizes to unit norm in place (no-op on the zero vector).
+    pub fn normalize(&mut self) {
+        ops::normalize_inplace(&mut self.0);
+    }
+
+    /// Returns the bipolar (`sign`) quantization.
+    pub fn to_bipolar(&self) -> Self {
+        Self(ops::to_bipolar(&self.0))
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f32 {
+        linalg::matrix::norm(&self.0)
+    }
+}
+
+impl From<Vec<f32>> for Hypervector {
+    fn from(v: Vec<f32>) -> Self {
+        Self(v)
+    }
+}
+
+impl AsRef<[f32]> for Hypervector {
+    fn as_ref(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+impl FromIterator<f32> for Hypervector {
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        Self(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_dim() {
+        let hv = Hypervector::zeros(16);
+        assert_eq!(hv.dim(), 16);
+        assert_eq!(hv.norm(), 0.0);
+    }
+
+    #[test]
+    fn bundle_accumulates() {
+        let mut a = Hypervector::from_vec(vec![1.0, 2.0]);
+        let b = Hypervector::from_vec(vec![3.0, -1.0]);
+        a.bundle(&b).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 1.0]);
+    }
+
+    #[test]
+    fn bundle_dimension_mismatch_errors() {
+        let mut a = Hypervector::zeros(3);
+        let b = Hypervector::zeros(4);
+        assert!(matches!(
+            a.bundle(&b),
+            Err(HdcError::DimensionMismatch { expected: 3, actual: 4 })
+        ));
+    }
+
+    #[test]
+    fn similarity_of_self_is_one() {
+        let a = Hypervector::from_vec(vec![0.2, -0.4, 0.9]);
+        assert!((a.similarity(&a).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bind_then_bind_recovers_bipolar() {
+        let a = Hypervector::from_vec(vec![1.0, -1.0, 1.0]);
+        let key = Hypervector::from_vec(vec![-1.0, -1.0, 1.0]);
+        let bound = a.bind(&key).unwrap();
+        let recovered = bound.bind(&key).unwrap();
+        assert_eq!(recovered, a);
+    }
+
+    #[test]
+    fn permuted_round_trip() {
+        let a = Hypervector::from_vec(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.permuted(1).permuted(2), a);
+    }
+
+    #[test]
+    fn normalize_unit_norm() {
+        let mut a = Hypervector::from_vec(vec![3.0, 4.0]);
+        a.normalize();
+        assert!((a.norm() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let hv: Hypervector = (0..4).map(|i| i as f32).collect();
+        assert_eq!(hv.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn as_ref_view() {
+        let hv = Hypervector::from_vec(vec![1.0]);
+        let s: &[f32] = hv.as_ref();
+        assert_eq!(s, &[1.0]);
+    }
+}

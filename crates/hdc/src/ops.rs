@@ -1,0 +1,224 @@
+//! Primitive hypervector operations.
+//!
+//! The paper (Section II-C) defines two key operations on hypervectors:
+//!
+//! * **Bundling** — element-wise addition `R = V₁ + V₂`, the memorization
+//!   primitive that accumulates samples into class hypervectors;
+//! * **Binding** — element-wise multiplication `R = V₁ * V₂`, which produces
+//!   a vector quasi-orthogonal to both inputs (`δ(R, V₁) ≈ 0`).
+//!
+//! Plus the similarity function (Equation 1):
+//! `δ(V₁, V₂) = V₁ᵀV₂ / (‖V₁‖·‖V₂‖)` — cosine similarity.
+
+use linalg::matrix::{dot, norm};
+
+/// Cosine similarity `δ(a, b)` (paper Equation 1).
+///
+/// Returns 0 when either vector has zero norm (a degenerate hypervector has
+/// no direction to compare).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// let a = [1.0, 0.0];
+/// let b = [0.0, 1.0];
+/// assert_eq!(hdc::ops::cosine_similarity(&a, &b), 0.0);
+/// assert!((hdc::ops::cosine_similarity(&a, &a) - 1.0).abs() < 1e-6);
+/// ```
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine similarity length mismatch");
+    let na = norm(a);
+    let nb = norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Bundling: accumulates `src` into `acc` with weight `w` (`acc += w · src`).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bundle_into(acc: &mut [f32], src: &[f32], w: f32) {
+    assert_eq!(acc.len(), src.len(), "bundle length mismatch");
+    for (a, &s) in acc.iter_mut().zip(src.iter()) {
+        *a += w * s;
+    }
+}
+
+/// Binding: element-wise product of two hypervectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn bind(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "bind length mismatch");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).collect()
+}
+
+/// Cyclic permutation by `shift` positions (`ρ` operator), used to encode
+/// sequence/position information.
+pub fn permute(v: &[f32], shift: usize) -> Vec<f32> {
+    if v.is_empty() {
+        return Vec::new();
+    }
+    let n = v.len();
+    let s = shift % n;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(&v[n - s..]);
+    out.extend_from_slice(&v[..n - s]);
+    out
+}
+
+/// Normalizes `v` to unit Euclidean norm in place; leaves a zero vector
+/// untouched.
+pub fn normalize_inplace(v: &mut [f32]) {
+    let n = norm(v);
+    if n > 0.0 {
+        for x in v {
+            *x /= n;
+        }
+    }
+}
+
+/// Quantizes a real hypervector to bipolar `{-1, +1}` (`sign`, with ties to +1).
+pub fn to_bipolar(v: &[f32]) -> Vec<f32> {
+    v.iter().map(|&x| if x < 0.0 { -1.0 } else { 1.0 }).collect()
+}
+
+/// Hamming distance between two bipolar hypervectors, normalized to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn hamming_distance(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "hamming length mismatch");
+    assert!(!a.is_empty(), "hamming distance of empty vectors");
+    let mismatches = a
+        .iter()
+        .zip(b.iter())
+        .filter(|(x, y)| (x.is_sign_negative()) != (y.is_sign_negative()))
+        .count();
+    mismatches as f32 / a.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Rng64;
+
+    #[test]
+    fn cosine_of_identical_is_one() {
+        let v = [0.3, -0.7, 1.2];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_opposite_is_minus_one() {
+        let v = [1.0, 2.0];
+        let w = [-1.0, -2.0];
+        assert!((cosine_similarity(&v, &w) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_zero_vector_is_zero() {
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_is_scale_invariant() {
+        let v = [0.5, 1.5, -2.0];
+        let scaled: Vec<f32> = v.iter().map(|x| 7.3 * x).collect();
+        let w = [1.0, 0.0, 0.25];
+        let a = cosine_similarity(&v, &w);
+        let b = cosine_similarity(&scaled, &w);
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bundling_accumulates_weighted() {
+        let mut acc = vec![1.0, 1.0];
+        bundle_into(&mut acc, &[2.0, -1.0], 0.5);
+        assert_eq!(acc, vec![2.0, 0.5]);
+    }
+
+    #[test]
+    fn binding_produces_quasi_orthogonal_vector() {
+        // Random high-dimensional bipolar vectors: bind(a,b) should be nearly
+        // orthogonal to both inputs (paper: δ(R, V1) ≈ 0).
+        let mut rng = Rng64::seed_from(2);
+        let d = 4096;
+        let a: Vec<f32> = (0..d).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f32> = (0..d).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
+        let bound = bind(&a, &b);
+        assert!(cosine_similarity(&bound, &a).abs() < 0.05);
+        assert!(cosine_similarity(&bound, &b).abs() < 0.05);
+    }
+
+    #[test]
+    fn binding_is_commutative_and_self_inverse_for_bipolar() {
+        let a = [1.0, -1.0, 1.0, -1.0];
+        let b = [-1.0, -1.0, 1.0, 1.0];
+        assert_eq!(bind(&a, &b), bind(&b, &a));
+        // For bipolar vectors bind(bind(a,b), b) = a.
+        let recovered = bind(&bind(&a, &b), &b);
+        assert_eq!(recovered, a.to_vec());
+    }
+
+    #[test]
+    fn permute_rotates_and_composes() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(permute(&v, 1), vec![4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(permute(&permute(&v, 1), 3), v.to_vec());
+        assert_eq!(permute(&v, 4), v.to_vec());
+        assert_eq!(permute(&v, 0), v.to_vec());
+    }
+
+    #[test]
+    fn permute_empty_is_empty() {
+        assert!(permute(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn permutation_preserves_similarity_structure() {
+        let mut rng = Rng64::seed_from(3);
+        let a: Vec<f32> = (0..512).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..512).map(|_| rng.normal()).collect();
+        let before = cosine_similarity(&a, &b);
+        let after = cosine_similarity(&permute(&a, 17), &permute(&b, 17));
+        assert!((before - after).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normalize_gives_unit_norm() {
+        let mut v = vec![3.0, 4.0];
+        normalize_inplace(&mut v);
+        assert!((linalg::matrix::norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize_inplace(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn bipolar_quantization() {
+        assert_eq!(to_bipolar(&[0.5, -0.5, 0.0]), vec![1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn hamming_of_identical_is_zero() {
+        let v = to_bipolar(&[1.0, -2.0, 3.0]);
+        assert_eq!(hamming_distance(&v, &v), 0.0);
+    }
+
+    #[test]
+    fn hamming_of_opposite_is_one() {
+        let v = [1.0, 1.0, -1.0];
+        let w = [-1.0, -1.0, 1.0];
+        assert_eq!(hamming_distance(&v, &w), 1.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Partitioning a `D`-dimensional hyperspace into weak-learner sub-spaces.
+//!
+//! BoostHD's structural move: rather than one strong learner owning all `D`
+//! dimensions, the space is divided among `n` weak learners, "each receiving
+//! a `D/n` dimensional segment". [`DimensionPartition`] computes those
+//! contiguous segments, spreading any remainder over the leading learners so
+//! every dimension is owned by exactly one learner.
+
+use crate::error::{HdcError, Result};
+use serde::{Deserialize, Serialize};
+use std::ops::Range;
+
+/// A partition of `[0, total_dim)` into `learners` contiguous segments.
+///
+/// # Example
+///
+/// ```
+/// use hdc::DimensionPartition;
+///
+/// let p = DimensionPartition::new(1000, 10)?;
+/// assert_eq!(p.segment(0), 0..100);
+/// assert_eq!(p.segment(9), 900..1000);
+/// assert_eq!(p.segment_dim(3), 100);
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DimensionPartition {
+    total_dim: usize,
+    learners: usize,
+}
+
+impl DimensionPartition {
+    /// Creates a partition of `total_dim` dimensions across `learners`
+    /// segments.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidConfig`] if either argument is zero or if
+    /// there are more learners than dimensions (a learner would own an empty
+    /// sub-space, which the paper identifies as the unstable regime —
+    /// see Figure 3(b)).
+    pub fn new(total_dim: usize, learners: usize) -> Result<Self> {
+        if total_dim == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "total dimensionality must be positive".into(),
+            });
+        }
+        if learners == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "number of learners must be positive".into(),
+            });
+        }
+        if learners > total_dim {
+            return Err(HdcError::InvalidConfig {
+                reason: format!(
+                    "{learners} learners cannot share {total_dim} dimensions: at least one dimension per learner is required"
+                ),
+            });
+        }
+        Ok(Self { total_dim, learners })
+    }
+
+    /// Total dimensionality `D`.
+    pub fn total_dim(&self) -> usize {
+        self.total_dim
+    }
+
+    /// Number of learners `n`.
+    pub fn learners(&self) -> usize {
+        self.learners
+    }
+
+    /// Base per-learner dimensionality `⌊D/n⌋` (the paper's `D_wl`).
+    pub fn base_segment_dim(&self) -> usize {
+        self.total_dim / self.learners
+    }
+
+    /// The half-open dimension range owned by learner `i`.
+    ///
+    /// The first `D mod n` learners receive one extra dimension so the
+    /// segments exactly tile `[0, D)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.learners()`.
+    pub fn segment(&self, i: usize) -> Range<usize> {
+        assert!(i < self.learners, "learner index {i} out of range");
+        let base = self.total_dim / self.learners;
+        let extra = self.total_dim % self.learners;
+        let start = i * base + i.min(extra);
+        let len = base + usize::from(i < extra);
+        start..start + len
+    }
+
+    /// Width of learner `i`'s segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.learners()`.
+    pub fn segment_dim(&self, i: usize) -> usize {
+        self.segment(i).len()
+    }
+
+    /// Iterates over all segments in learner order.
+    pub fn iter(&self) -> impl Iterator<Item = Range<usize>> + '_ {
+        (0..self.learners).map(|i| self.segment(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = DimensionPartition::new(100, 4).unwrap();
+        assert_eq!(p.segment(0), 0..25);
+        assert_eq!(p.segment(3), 75..100);
+        assert!(p.iter().all(|r| r.len() == 25));
+    }
+
+    #[test]
+    fn uneven_split_distributes_remainder() {
+        let p = DimensionPartition::new(10, 3).unwrap();
+        let segs: Vec<_> = p.iter().collect();
+        assert_eq!(segs, vec![0..4, 4..7, 7..10]);
+        assert_eq!(p.base_segment_dim(), 3);
+    }
+
+    #[test]
+    fn segments_tile_the_space() {
+        for (d, n) in [(1000, 10), (997, 13), (64, 64), (5, 2)] {
+            let p = DimensionPartition::new(d, n).unwrap();
+            let mut covered = 0;
+            let mut expected_start = 0;
+            for seg in p.iter() {
+                assert_eq!(seg.start, expected_start, "gap before {seg:?}");
+                covered += seg.len();
+                expected_start = seg.end;
+            }
+            assert_eq!(covered, d);
+        }
+    }
+
+    #[test]
+    fn single_learner_owns_everything() {
+        let p = DimensionPartition::new(128, 1).unwrap();
+        assert_eq!(p.segment(0), 0..128);
+    }
+
+    #[test]
+    fn zero_args_rejected() {
+        assert!(DimensionPartition::new(0, 3).is_err());
+        assert!(DimensionPartition::new(3, 0).is_err());
+    }
+
+    #[test]
+    fn more_learners_than_dims_rejected() {
+        let err = DimensionPartition::new(5, 10).unwrap_err();
+        assert!(matches!(err, HdcError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_learner_panics() {
+        DimensionPartition::new(10, 2).unwrap().segment(2);
+    }
+}

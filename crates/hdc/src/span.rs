@@ -1,0 +1,224 @@
+//! Span utilization of class-hypervector sets (paper Section III, Figure 5).
+//!
+//! The paper defines the theoretical utilization of the subspace spanned by a
+//! classifier's class hypervectors as `rank(K)/D`, where `K` is the matrix of
+//! class hypervectors and `D` the hyperspace dimensionality. In practice the
+//! effective span is attenuated by factors `π₁, π₂, …` derived from cosine
+//! similarities between class hypervectors — mutually correlated class
+//! vectors crowd into the same directions and waste the space. The *span
+//! utilization* is
+//!
+//! ```text
+//! SP = (rank(K) / D) / Π πᵢ
+//! ```
+//!
+//! The paper leaves the exact form of the `πᵢ` open ("product sums of cosine
+//! similarity values between class hypervectors"); we adopt the natural
+//! formalization `πᵢ ≥ 1` per unordered class pair:
+//!
+//! ```text
+//! π_{ij} = 1 + |δ(Cᵢ, Cⱼ)|
+//! ```
+//!
+//! normalized to a *per-pair scale* (the geometric mean over pairs), so an
+//! orthogonal set (`δ = 0`) has attenuation 1 and `SP = rank/D` (maximal),
+//! while strongly correlated sets are penalized — and sets with different
+//! numbers of class hypervectors remain comparable (a raw product would
+//! scale exponentially in the pair count and drown the rank term).
+//! This reading reproduces the Figure 5 comparison: BoostHD stacks `n·k`
+//! per-learner class hypervectors living in disjoint dimension slices —
+//! cross-learner similarities are exactly zero and rank grows with `n·k` —
+//! so its SP dominates OnlineHD's `k`-vector, correlated set.
+
+use crate::error::Result;
+use crate::ops::cosine_similarity;
+use linalg::{numerical_rank, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of the span utilization of a class-hypervector matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpanUtilization {
+    /// Numerical rank of the class-hypervector matrix `K`.
+    pub rank: usize,
+    /// Hyperspace dimensionality `D`.
+    pub dim: usize,
+    /// Raw utilization `rank(K)/D` before attenuation.
+    pub raw: f64,
+    /// Attenuation `≥ 1` from pairwise class-hypervector similarity: the
+    /// geometric mean of `1 + |δ(Cᵢ, Cⱼ)|` over unordered pairs.
+    pub attenuation: f64,
+    /// Final span utilization `raw / attenuation`.
+    pub sp: f64,
+}
+
+/// Computes the span utilization of a `classes × D` class-hypervector
+/// matrix.
+///
+/// # Errors
+///
+/// Propagates numerical failures from the rank computation.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Matrix;
+///
+/// // Two orthogonal class hypervectors in D = 4.
+/// let k = Matrix::from_rows(&[
+///     vec![1.0, 0.0, 0.0, 0.0],
+///     vec![0.0, 1.0, 0.0, 0.0],
+/// ]).unwrap();
+/// let sp = hdc::span_utilization(&k)?;
+/// assert_eq!(sp.rank, 2);
+/// assert!((sp.sp - 0.5).abs() < 1e-9); // rank/D = 2/4, no attenuation
+/// # Ok::<(), hdc::HdcError>(())
+/// ```
+pub fn span_utilization(class_hvs: &Matrix) -> Result<SpanUtilization> {
+    let dim = class_hvs.cols();
+    let rank = numerical_rank(class_hvs, 1.0)?;
+    let raw = if dim == 0 { 0.0 } else { rank as f64 / dim as f64 };
+
+    let mut log_sum = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..class_hvs.rows() {
+        for j in (i + 1)..class_hvs.rows() {
+            let sim = cosine_similarity(class_hvs.row(i), class_hvs.row(j));
+            log_sum += (1.0 + sim.abs() as f64).ln();
+            pairs += 1;
+        }
+    }
+    let attenuation = if pairs == 0 { 1.0 } else { (log_sum / pairs as f64).exp() };
+
+    Ok(SpanUtilization {
+        rank,
+        dim,
+        raw,
+        attenuation,
+        sp: raw / attenuation,
+    })
+}
+
+/// Embeds per-learner class hypervectors into the full-`D` space for span
+/// comparison: learner `i`'s `k × D/n` block is placed at its dimension
+/// segment, zeros elsewhere, and the blocks are stacked vertically into an
+/// `(n·k) × D` matrix.
+///
+/// # Panics
+///
+/// Panics if segment widths do not match block widths or the segments
+/// exceed `total_dim`.
+pub fn embed_blocks(blocks: &[(std::ops::Range<usize>, &Matrix)], total_dim: usize) -> Matrix {
+    let total_rows: usize = blocks.iter().map(|(_, m)| m.rows()).sum();
+    let mut out = Matrix::zeros(total_rows, total_dim);
+    let mut row_offset = 0;
+    for (range, block) in blocks {
+        assert_eq!(
+            range.len(),
+            block.cols(),
+            "segment width {} does not match block width {}",
+            range.len(),
+            block.cols()
+        );
+        assert!(range.end <= total_dim, "segment {range:?} exceeds D={total_dim}");
+        for r in 0..block.rows() {
+            out.row_mut(row_offset + r)[range.start..range.end].copy_from_slice(block.row(r));
+        }
+        row_offset += block.rows();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use linalg::Rng64;
+
+    #[test]
+    fn orthogonal_set_has_unit_attenuation() {
+        let k = Matrix::identity(3);
+        let sp = span_utilization(&k).unwrap();
+        assert_eq!(sp.rank, 3);
+        assert!((sp.attenuation - 1.0).abs() < 1e-6);
+        assert!((sp.sp - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn correlated_set_is_penalized() {
+        let orthogonal = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]).unwrap();
+        let correlated = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.9, 0.1]]).unwrap();
+        let sp_orth = span_utilization(&orthogonal).unwrap();
+        let sp_corr = span_utilization(&correlated).unwrap();
+        assert!(sp_corr.sp < sp_orth.sp);
+        assert!(sp_corr.attenuation > 1.0);
+    }
+
+    #[test]
+    fn duplicate_class_vectors_lose_rank() {
+        let k = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![2.0, 4.0, 6.0]]).unwrap();
+        let sp = span_utilization(&k).unwrap();
+        assert_eq!(sp.rank, 1);
+    }
+
+    #[test]
+    fn partitioned_blocks_beat_single_block() {
+        // Simulate the Figure 5 comparison: 3 classes, D = 60.
+        let mut rng = Rng64::seed_from(3);
+        let d = 60;
+        // "OnlineHD": 3 correlated class hypervectors across the full space.
+        let base: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
+        let mut online_rows = Vec::new();
+        for _ in 0..3 {
+            let row: Vec<f32> = base
+                .iter()
+                .map(|&b| b + 0.3 * rng.normal())
+                .collect();
+            online_rows.push(row);
+        }
+        let online = Matrix::from_rows(&online_rows).unwrap();
+
+        // "BoostHD": 5 learners × 3 classes in disjoint 12-dim slices.
+        let mut blocks_data = Vec::new();
+        for _ in 0..5 {
+            blocks_data.push(Matrix::random_normal(3, 12, &mut rng));
+        }
+        let ranges: Vec<_> = (0..5).map(|i| (i * 12)..((i + 1) * 12)).collect();
+        let blocks: Vec<_> = ranges
+            .iter()
+            .cloned()
+            .zip(blocks_data.iter())
+            .collect();
+        let boost = embed_blocks(&blocks, d);
+
+        let sp_online = span_utilization(&online).unwrap();
+        let sp_boost = span_utilization(&boost).unwrap();
+        assert!(sp_boost.rank > sp_online.rank);
+        assert!(
+            sp_boost.sp > sp_online.sp,
+            "BoostHD SP {} should exceed OnlineHD SP {}",
+            sp_boost.sp,
+            sp_online.sp
+        );
+    }
+
+    #[test]
+    fn embed_blocks_places_content() {
+        let block = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let out = embed_blocks(&[(2..4, &block)], 6);
+        assert_eq!(out.row(0), &[0.0, 0.0, 1.0, 2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_block_similarity_is_zero() {
+        let a = Matrix::from_rows(&[vec![1.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![1.0, -1.0]]).unwrap();
+        let out = embed_blocks(&[(0..2, &a), (2..4, &b)], 4);
+        assert_eq!(cosine_similarity(out.row(0), out.row(1)), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment width")]
+    fn embed_blocks_width_mismatch_panics() {
+        let block = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        embed_blocks(&[(0..3, &block)], 6);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the HDC substrate.
+
+use hdc::encoder::{Encode, SinusoidEncoder};
+use hdc::theory::MarchenkoPastur;
+use hdc::{ops, DimensionPartition};
+use linalg::Rng64;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn cosine_similarity_is_bounded(seed in any::<u64>(), n in 1usize..128) {
+        let mut rng = Rng64::seed_from(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform_in(-5.0, 5.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform_in(-5.0, 5.0)).collect();
+        let sim = ops::cosine_similarity(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&sim));
+    }
+
+    #[test]
+    fn cosine_similarity_is_symmetric(seed in any::<u64>(), n in 1usize..64) {
+        let mut rng = Rng64::seed_from(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        prop_assert_eq!(
+            ops::cosine_similarity(&a, &b).to_bits(),
+            ops::cosine_similarity(&b, &a).to_bits()
+        );
+    }
+
+    #[test]
+    fn permutation_preserves_norm(seed in any::<u64>(), n in 1usize..256, shift in 0usize..512) {
+        let mut rng = Rng64::seed_from(seed);
+        let v: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let p = ops::permute(&v, shift);
+        let norm = |x: &[f32]| x.iter().map(|a| a * a).sum::<f32>();
+        prop_assert!((norm(&v) - norm(&p)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bipolar_bind_is_self_inverse(seed in any::<u64>(), n in 1usize..128) {
+        let mut rng = Rng64::seed_from(seed);
+        let a: Vec<f32> = (0..n).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
+        let key: Vec<f32> = (0..n).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
+        let recovered = ops::bind(&ops::bind(&a, &key), &key);
+        prop_assert_eq!(recovered, a);
+    }
+
+    #[test]
+    fn partition_tiles_exactly(total in 1usize..5000, learners in 1usize..100) {
+        prop_assume!(learners <= total);
+        let p = DimensionPartition::new(total, learners).unwrap();
+        let mut covered = 0usize;
+        let mut next = 0usize;
+        for seg in p.iter() {
+            prop_assert_eq!(seg.start, next);
+            covered += seg.len();
+            next = seg.end;
+            // Segments are within 1 of each other (balanced).
+            prop_assert!(seg.len() >= total / learners);
+            prop_assert!(seg.len() <= total / learners + 1);
+        }
+        prop_assert_eq!(covered, total);
+    }
+
+    #[test]
+    fn encoder_slices_reassemble_full_encoding(
+        seed in any::<u64>(),
+        dim in 8usize..256,
+        features in 1usize..16,
+        cuts in 1usize..6,
+    ) {
+        prop_assume!(cuts <= dim);
+        let mut rng = Rng64::seed_from(seed);
+        let enc = SinusoidEncoder::new(dim, features, &mut rng);
+        let x: Vec<f32> = (0..features).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let full = enc.encode_row(&x);
+        let partition = DimensionPartition::new(dim, cuts).unwrap();
+        let mut rebuilt = Vec::new();
+        for seg in partition.iter() {
+            rebuilt.extend(enc.slice_dims(seg.start, seg.end).encode_row(&x));
+        }
+        prop_assert_eq!(full, rebuilt);
+    }
+
+    #[test]
+    fn encoded_values_stay_in_unit_interval(seed in any::<u64>(), features in 1usize..24) {
+        let mut rng = Rng64::seed_from(seed);
+        let enc = SinusoidEncoder::new(64, features, &mut rng);
+        let x: Vec<f32> = (0..features).map(|_| rng.uniform_in(-10.0, 10.0)).collect();
+        for v in enc.encode_row(&x) {
+            prop_assert!(v.abs() <= 1.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn mp_density_nonnegative_and_supported(q in 0.01f64..2.0, lambda in 0.0f64..10.0) {
+        let mp = MarchenkoPastur::new(1.0, q);
+        let d = mp.density(lambda);
+        prop_assert!(d >= 0.0);
+        if lambda < mp.lambda_min() || lambda > mp.lambda_max() {
+            prop_assert_eq!(d, 0.0);
+        }
+    }
+
+    #[test]
+    fn mp_moments_match_closed_forms(q in 0.02f64..0.95) {
+        let mp = MarchenkoPastur::new(1.0, q);
+        prop_assert!((mp.mean_numeric() - mp.mean()).abs() < 5e-3);
+        prop_assert!((mp.variance_numeric() - mp.variance()).abs() < 5e-3);
+    }
+
+    #[test]
+    fn span_utilization_bounded_by_raw(seed in any::<u64>(), rows in 1usize..8, cols in 1usize..64) {
+        let mut rng = Rng64::seed_from(seed);
+        let m = linalg::Matrix::random_normal(rows, cols, &mut rng);
+        let sp = hdc::span_utilization(&m).unwrap();
+        prop_assert!(sp.sp <= sp.raw + 1e-12, "attenuation can only shrink SP");
+        prop_assert!(sp.attenuation >= 1.0 - 1e-12);
+        prop_assert!(sp.rank <= rows.min(cols));
+    }
+}

@@ -1,0 +1,300 @@
+//! Spectral routines: symmetric eigenvalues, singular values, numerical rank.
+//!
+//! The paper's span-utilization analysis (Figures 4 and 5) needs the singular
+//! spectrum of encoded kernels and the numerical rank of class-hypervector
+//! matrices. Hyperdimensional matrices are short-and-wide (`k` classes ×
+//! thousands of dimensions), so we compute singular values from the *small*
+//! Gram matrix `A·Aᵀ` with a cyclic Jacobi eigensolver — `O(k³)` per sweep,
+//! robust, and dependency-free.
+
+use crate::error::{LinalgError, Result};
+use crate::matrix::Matrix;
+
+/// Maximum number of Jacobi sweeps before declaring non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Convergence threshold on the off-diagonal Frobenius norm, relative to the
+/// total Frobenius norm.
+const OFF_DIAG_TOL: f64 = 1e-12;
+
+/// Computes all eigenvalues of a symmetric matrix with the cyclic Jacobi
+/// method, returned in descending order.
+///
+/// Only the lower/upper symmetry is assumed; the input is averaged with its
+/// transpose first to wash out floating-point asymmetry.
+///
+/// # Errors
+///
+/// * [`LinalgError::NotSquare`] if the input is rectangular.
+/// * [`LinalgError::Empty`] if the input has no elements.
+/// * [`LinalgError::NoConvergence`] if the off-diagonal mass fails to vanish
+///   within the sweep budget (practically unreachable for symmetric input).
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, symmetric_eigenvalues};
+///
+/// let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]).unwrap();
+/// let eig = symmetric_eigenvalues(&m).unwrap();
+/// assert!((eig[0] - 3.0).abs() < 1e-5 && (eig[1] - 1.0).abs() < 1e-5);
+/// ```
+pub fn symmetric_eigenvalues(m: &Matrix) -> Result<Vec<f64>> {
+    if m.rows() != m.cols() {
+        return Err(LinalgError::NotSquare { shape: m.shape() });
+    }
+    if m.is_empty() {
+        return Err(LinalgError::Empty { op: "symmetric_eigenvalues" });
+    }
+    let n = m.rows();
+    // Work in f64: Jacobi rotations on f32 lose too much precision for the
+    // rank tolerance tests downstream.
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = 0.5 * (m.at(i, j) as f64 + m.at(j, i) as f64);
+        }
+    }
+
+    let total_norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if total_norm == 0.0 {
+        return Ok(vec![0.0; n]);
+    }
+
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off: f64 = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i * n + j] * a[i * n + j];
+            }
+        }
+        if off.sqrt() <= OFF_DIAG_TOL * total_norm {
+            let mut eig: Vec<f64> = (0..n).map(|i| a[i * n + i]).collect();
+            eig.sort_by(|x, y| y.partial_cmp(x).expect("eigenvalues are finite"));
+            return Ok(eig);
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[p * n + q];
+                if apq.abs() <= f64::MIN_POSITIVE {
+                    continue;
+                }
+                let app = a[p * n + p];
+                let aqq = a[q * n + q];
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable computation of tan(rotation angle).
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply the rotation on both sides: A <- Jᵀ A J.
+                for k in 0..n {
+                    let akp = a[k * n + p];
+                    let akq = a[k * n + q];
+                    a[k * n + p] = c * akp - s * akq;
+                    a[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p * n + k];
+                    let aqk = a[q * n + k];
+                    a[p * n + k] = c * apk - s * aqk;
+                    a[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        solver: "jacobi",
+        iterations: MAX_SWEEPS,
+    })
+}
+
+/// Computes the singular values of an arbitrary matrix, descending.
+///
+/// Uses the eigenvalues of the smaller of `A·Aᵀ` / `Aᵀ·A`; negative
+/// eigenvalues produced by round-off are clamped to zero before the square
+/// root.
+///
+/// # Errors
+///
+/// Propagates [`symmetric_eigenvalues`] errors.
+///
+/// # Example
+///
+/// ```
+/// use linalg::{Matrix, singular_values};
+///
+/// let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]).unwrap();
+/// let sv = singular_values(&m).unwrap();
+/// assert!((sv[0] - 4.0).abs() < 1e-4 && (sv[1] - 3.0).abs() < 1e-4);
+/// ```
+pub fn singular_values(m: &Matrix) -> Result<Vec<f64>> {
+    if m.is_empty() {
+        return Err(LinalgError::Empty { op: "singular_values" });
+    }
+    let gram = if m.rows() <= m.cols() {
+        m.gram()
+    } else {
+        m.transposed().gram()
+    };
+    let eig = symmetric_eigenvalues(&gram)?;
+    Ok(eig.into_iter().map(|l| l.max(0.0).sqrt()).collect())
+}
+
+/// Numerical rank: the number of singular values above
+/// `tol_factor · max(rows, cols) · σ_max · ε`.
+///
+/// With `tol_factor = 1.0` this matches the conventional LAPACK-style
+/// threshold. The paper's span utilization is `rank(K)/D`.
+///
+/// # Errors
+///
+/// Propagates [`singular_values`] errors.
+pub fn numerical_rank(m: &Matrix, tol_factor: f64) -> Result<usize> {
+    let sv = singular_values(m)?;
+    let Some(&smax) = sv.first() else {
+        return Ok(0);
+    };
+    if smax <= 0.0 {
+        return Ok(0);
+    }
+    let eps = f32::EPSILON as f64;
+    let tol = tol_factor * m.rows().max(m.cols()) as f64 * smax * eps;
+    Ok(sv.iter().filter(|&&s| s > tol).count())
+}
+
+/// Condition-style spread of a spectrum: `(max - min)` over non-negative
+/// eigenvalues, used to summarize kernel-ellipse elongation.
+pub fn spectral_spread(values: &[f64]) -> f64 {
+    match (values.first(), values.last()) {
+        (Some(&max), Some(&min)) => max - min,
+        _ => 0.0,
+    }
+}
+
+/// Axis ratio `AS/AL` of the kernel ellipse: smallest over largest singular
+/// value. Approaches 1 as the kernel becomes circular (the paper's
+/// high-`D` limit in Figure 4).
+pub fn axis_ratio(singular: &[f64]) -> f64 {
+    match (singular.first(), singular.last()) {
+        (Some(&largest), Some(&smallest)) if largest > 0.0 => (smallest / largest).clamp(0.0, 1.0),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng64;
+
+    #[test]
+    fn diagonal_eigenvalues() {
+        let m = Matrix::from_rows(&[
+            vec![5.0, 0.0, 0.0],
+            vec![0.0, -2.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ])
+        .unwrap();
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        assert!((eig[0] - 5.0).abs() < 1e-8);
+        assert!((eig[1] - 1.0).abs() < 1e-8);
+        assert!((eig[2] + 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[4,1],[1,4]] has eigenvalues 5 and 3.
+        let m = Matrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 4.0]]).unwrap();
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        assert!((eig[0] - 5.0).abs() < 1e-6);
+        assert!((eig[1] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let mut rng = Rng64::seed_from(4);
+        let a = Matrix::random_normal(12, 12, &mut rng);
+        let sym = {
+            let at = a.transposed();
+            let mut s = a.clone();
+            s.add_inplace(&at);
+            s.scale_inplace(0.5);
+            s
+        };
+        let trace: f64 = (0..12).map(|i| sym.at(i, i) as f64).sum();
+        let eig_sum: f64 = symmetric_eigenvalues(&sym).unwrap().iter().sum();
+        assert!((trace - eig_sum).abs() < 1e-3, "{trace} vs {eig_sum}");
+    }
+
+    #[test]
+    fn rectangular_input_rejected() {
+        let m = Matrix::zeros(2, 3);
+        assert!(matches!(
+            symmetric_eigenvalues(&m),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn singular_values_of_diagonal() {
+        let m = Matrix::from_rows(&[vec![0.0, -7.0], vec![2.0, 0.0]]).unwrap();
+        let sv = singular_values(&m).unwrap();
+        assert!((sv[0] - 7.0).abs() < 1e-4);
+        assert!((sv[1] - 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn singular_values_wide_and_tall_agree() {
+        let mut rng = Rng64::seed_from(6);
+        let m = Matrix::random_normal(4, 30, &mut rng);
+        let sv_wide = singular_values(&m).unwrap();
+        let sv_tall = singular_values(&m.transposed()).unwrap();
+        for (a, b) in sv_wide.iter().zip(sv_tall.iter()) {
+            assert!((a - b).abs() < 1e-3 * a.max(1.0), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rank_of_rank_deficient_matrix() {
+        // Row 2 = 2 × row 0 → rank 2.
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 3.0],
+            vec![0.0, 1.0, 1.0],
+            vec![2.0, 4.0, 6.0],
+        ])
+        .unwrap();
+        assert_eq!(numerical_rank(&m, 1.0).unwrap(), 2);
+    }
+
+    #[test]
+    fn rank_of_random_matrix_is_full() {
+        let mut rng = Rng64::seed_from(7);
+        let m = Matrix::random_normal(6, 40, &mut rng);
+        assert_eq!(numerical_rank(&m, 1.0).unwrap(), 6);
+    }
+
+    #[test]
+    fn rank_of_zero_matrix_is_zero() {
+        let m = Matrix::zeros(5, 5);
+        assert_eq!(numerical_rank(&m, 1.0).unwrap(), 0);
+    }
+
+    #[test]
+    fn axis_ratio_bounds() {
+        assert_eq!(axis_ratio(&[2.0, 2.0]), 1.0);
+        assert_eq!(axis_ratio(&[4.0, 1.0]), 0.25);
+        assert_eq!(axis_ratio(&[]), 0.0);
+    }
+
+    #[test]
+    fn spectral_spread_basic() {
+        assert_eq!(spectral_spread(&[9.0, 5.0, 1.0]), 8.0);
+        assert_eq!(spectral_spread(&[]), 0.0);
+    }
+
+    #[test]
+    fn zero_matrix_eigenvalues() {
+        let m = Matrix::zeros(4, 4);
+        let eig = symmetric_eigenvalues(&m).unwrap();
+        assert!(eig.iter().all(|&l| l == 0.0));
+    }
+}

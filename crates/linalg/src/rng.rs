@@ -1,0 +1,271 @@
+//! Deterministic random number generation with Gaussian sampling.
+//!
+//! The reproduction requires every experiment to be repeatable, so all
+//! stochastic components (projection matrices, dataset synthesis, bootstrap
+//! resampling, bit-flip injection) draw from a seedable generator. We wrap
+//! [`rand`]'s `StdRng` and add the distributions the paper needs —
+//! `N(0, 1)` via the Box–Muller transform and a few integer/uniform helpers —
+//! rather than pulling in an extra distribution crate.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, RngCore, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+///
+/// Wraps `rand::rngs::StdRng` and caches the spare variate produced by the
+/// Box–Muller transform so consecutive [`Rng64::normal`] calls cost one
+/// transcendental pair per two samples.
+///
+/// # Example
+///
+/// ```
+/// use linalg::Rng64;
+///
+/// let mut a = Rng64::seed_from(7);
+/// let mut b = Rng64::seed_from(7);
+/// assert_eq!(a.normal(), b.normal()); // same seed, same stream
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    inner: StdRng,
+    spare_normal: Option<f32>,
+}
+
+impl Rng64 {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from(seed: u64) -> Self {
+        Self {
+            inner: StdRng::seed_from_u64(seed),
+            spare_normal: None,
+        }
+    }
+
+    /// Derives a child generator whose stream is independent of, but fully
+    /// determined by, this generator's current state and `tag`.
+    ///
+    /// Used to give each weak learner / subject / trial its own stream so
+    /// experiments stay reproducible when loops are reordered.
+    pub fn fork(&mut self, tag: u64) -> Self {
+        let mixed = self.next_u64() ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        Self::seed_from(mixed)
+    }
+
+    /// Samples a uniform value in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Samples a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_in requires lo <= hi");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Samples a uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below requires a non-empty range");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Samples a standard normal variate `N(0, 1)` via Box–Muller.
+    pub fn normal(&mut self) -> f32 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Box–Muller: draw u1 in (0, 1] to keep ln(u1) finite.
+        let u1 = (1.0 - self.uniform()).max(f32::MIN_POSITIVE);
+        let u2 = self.uniform();
+        let radius = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f32::consts::TAU * u2;
+        self.spare_normal = Some(radius * theta.sin());
+        radius * theta.cos()
+    }
+
+    /// Samples `N(mean, std²)`.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.inner.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Draws `k` indices uniformly without replacement from `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_without_replacement(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot sample {k} items from a population of {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut pool);
+        pool.truncate(k);
+        pool
+    }
+
+    /// Samples an index according to the (unnormalized, non-negative)
+    /// `weights` distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_index requires weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let mut target = self.inner.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+impl RngCore for Rng64 {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> std::result::Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng64::seed_from(123);
+        let mut b = Rng64::seed_from(123);
+        for _ in 0..100 {
+            assert_eq!(a.normal().to_bits(), b.normal().to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng64::seed_from(1);
+        let mut b = Rng64::seed_from(2);
+        let same = (0..32).filter(|_| a.uniform() == b.uniform()).count();
+        assert!(same < 4, "independent streams should rarely collide");
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let mut rng = Rng64::seed_from(42);
+        let n = 50_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.02, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn uniform_in_respects_bounds() {
+        let mut rng = Rng64::seed_from(9);
+        for _ in 0..1000 {
+            let x = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_covers_range() {
+        let mut rng = Rng64::seed_from(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.below(7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng64::seed_from(0);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng64::seed_from(11);
+        let mut v: Vec<usize> = (0..50).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_without_replacement_unique() {
+        let mut rng = Rng64::seed_from(3);
+        let picks = rng.sample_without_replacement(20, 10);
+        let mut dedup = picks.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 10);
+        assert!(picks.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn weighted_index_prefers_heavy_weights() {
+        let mut rng = Rng64::seed_from(8);
+        let weights = [0.01, 0.01, 10.0];
+        let heavy = (0..1000)
+            .filter(|_| rng.weighted_index(&weights) == 2)
+            .count();
+        assert!(heavy > 900);
+    }
+
+    #[test]
+    fn fork_streams_are_deterministic() {
+        let mut parent_a = Rng64::seed_from(77);
+        let mut parent_b = Rng64::seed_from(77);
+        let mut child_a = parent_a.fork(1);
+        let mut child_b = parent_b.fork(1);
+        assert_eq!(child_a.normal().to_bits(), child_b.normal().to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty range")]
+    fn below_zero_panics() {
+        Rng64::seed_from(0).below(0);
+    }
+}

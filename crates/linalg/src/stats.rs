@@ -1,0 +1,188 @@
+//! Scalar statistics shared across the evaluation and reliability crates.
+//!
+//! The paper reports results as `mean ± σ` over 10 runs, uses *macro*
+//! accuracy under imbalance, and quantifies bit-flip robustness with the
+//! Median Absolute Deviation (MAD). The primitives live here so every crate
+//! computes them identically.
+
+/// Arithmetic mean. Returns 0 for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(linalg::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0 for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample standard deviation (divides by `n - 1`), matching how `mean ± σ`
+/// is conventionally reported over repeated experiment runs.
+pub fn sample_std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Median of a slice (averaging the two central elements for even lengths).
+/// Returns 0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Median Absolute Deviation: `median(|x_i - median(x)|)`.
+///
+/// The paper uses MAD to compare robustness under bit-flip noise
+/// (Section IV-D): lower MAD means accuracy stays tightly clustered around
+/// its median as faults accumulate.
+///
+/// # Example
+///
+/// ```
+/// let xs = [1.0, 1.0, 2.0, 2.0, 4.0, 6.0, 9.0];
+/// assert_eq!(linalg::stats::median_abs_deviation(&xs), 1.0);
+/// ```
+pub fn median_abs_deviation(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let med = median(xs);
+    let deviations: Vec<f64> = xs.iter().map(|x| (x - med).abs()).collect();
+    median(&deviations)
+}
+
+/// Min and max of a slice; `None` when empty or any value is NaN-incomparable.
+pub fn min_max(xs: &[f64]) -> Option<(f64, f64)> {
+    let mut iter = xs.iter().copied();
+    let first = iter.next()?;
+    let mut lo = first;
+    let mut hi = first;
+    for x in iter {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Pearson correlation of two equal-length series; 0 when degenerate.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson length mismatch");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_std_exceeds_population_std() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!(sample_std_dev(&xs) > std_dev(&xs));
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_of_constant_is_zero() {
+        assert_eq!(median_abs_deviation(&[5.0; 9]), 0.0);
+    }
+
+    #[test]
+    fn mad_is_outlier_resistant() {
+        let clean = [10.0, 10.1, 9.9, 10.05, 9.95];
+        let with_outlier = [10.0, 10.1, 9.9, 10.05, 1000.0];
+        let mad_clean = median_abs_deviation(&clean);
+        let mad_outlier = median_abs_deviation(&with_outlier);
+        // The single outlier should barely move the MAD.
+        assert!(mad_outlier < 10.0 * (mad_clean + 0.01));
+    }
+
+    #[test]
+    fn min_max_works() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0]), Some((-1.0, 7.0)));
+        assert_eq!(min_max(&[]), None);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [2.0, 4.0, 6.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg = [6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the linear algebra substrate.
+
+use linalg::{matrix::dot, singular_values, symmetric_eigenvalues, Matrix, Rng64};
+use proptest::prelude::*;
+
+/// Strategy producing a small random matrix with bounded entries.
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = Rng64::seed_from(seed);
+        Matrix::random_uniform(r, c, -3.0, 3.0, &mut rng)
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_associates_with_identity(m in matrix_strategy(12)) {
+        let id = Matrix::identity(m.cols());
+        let prod = m.matmul(&id);
+        prop_assert_eq!(prod, m);
+    }
+
+    #[test]
+    fn transpose_is_involution(m in matrix_strategy(12)) {
+        prop_assert_eq!(m.transposed().transposed(), m.clone());
+    }
+
+    #[test]
+    fn matmul_transposed_consistent(seed in any::<u64>(), r in 1usize..10, k in 1usize..10, c in 1usize..10) {
+        let mut rng = Rng64::seed_from(seed);
+        let a = Matrix::random_uniform(r, k, -2.0, 2.0, &mut rng);
+        let b = Matrix::random_uniform(c, k, -2.0, 2.0, &mut rng);
+        let fused = a.matmul_transposed(&b);
+        let explicit = a.matmul(&b.transposed());
+        for (x, y) in fused.as_slice().iter().zip(explicit.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn gram_eigenvalues_nonnegative(m in matrix_strategy(10)) {
+        let gram = m.gram();
+        let eig = symmetric_eigenvalues(&gram).unwrap();
+        for l in eig {
+            prop_assert!(l > -1e-3, "gram eigenvalue {} below zero", l);
+        }
+    }
+
+    #[test]
+    fn singular_values_sorted_and_nonnegative(m in matrix_strategy(10)) {
+        let sv = singular_values(&m).unwrap();
+        for w in sv.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for s in &sv {
+            prop_assert!(*s >= 0.0);
+        }
+    }
+
+    #[test]
+    fn frobenius_matches_singular_norm(m in matrix_strategy(8)) {
+        // ||A||_F² = Σ σᵢ²
+        let sv = singular_values(&m).unwrap();
+        let from_sv: f64 = sv.iter().map(|s| s * s).sum();
+        let direct = (m.frobenius_norm() as f64).powi(2);
+        prop_assert!((from_sv - direct).abs() < 1e-2 * direct.max(1.0), "{} vs {}", from_sv, direct);
+    }
+
+    #[test]
+    fn dot_is_bilinear(seed in any::<u64>(), n in 1usize..32, alpha in -3.0f32..3.0) {
+        let mut rng = Rng64::seed_from(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let scaled: Vec<f32> = a.iter().map(|x| alpha * x).collect();
+        let lhs = dot(&scaled, &b);
+        let rhs = alpha * dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-2 * rhs.abs().max(1.0));
+    }
+
+    #[test]
+    fn hconcat_then_slice_roundtrip(m in matrix_strategy(10), split_frac in 0.0f64..1.0) {
+        let split = ((m.cols() as f64) * split_frac) as usize;
+        let left = m.slice_columns(0, split);
+        let right = m.slice_columns(split, m.cols());
+        let back = Matrix::hconcat(&[&left, &right]).unwrap();
+        prop_assert_eq!(back, m.clone());
+    }
+
+    #[test]
+    fn select_rows_preserves_content(m in matrix_strategy(10)) {
+        let all: Vec<usize> = (0..m.rows()).collect();
+        prop_assert_eq!(m.select_rows(&all), m.clone());
+    }
+
+    #[test]
+    fn stats_mean_bounded_by_min_max(xs in proptest::collection::vec(-100.0f64..100.0, 1..50)) {
+        let m = linalg::stats::mean(&xs);
+        let (lo, hi) = linalg::stats::min_max(&xs).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+
+    #[test]
+    fn stats_mad_never_negative(xs in proptest::collection::vec(-100.0f64..100.0, 0..50)) {
+        prop_assert!(linalg::stats::median_abs_deviation(&xs) >= 0.0);
+    }
+}

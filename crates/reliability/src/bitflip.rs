@@ -1,0 +1,235 @@
+//! IEEE-754 bit-flip fault injection (paper Section IV-D, Figure 8).
+//!
+//! Wearable devices hold trained model parameters in small, often
+//! unprotected memories; single-event upsets flip individual bits. The paper
+//! models this as an independent Bernoulli(`p_b`) flip per bit of every
+//! stored parameter word and measures accuracy degradation as `p_b` grows.
+//!
+//! Injection operates directly on the `f32` bit patterns, so a flip can hit
+//! the sign, exponent, or mantissa — exponent hits are what make DNNs
+//! catastrophically sensitive, while HDC's similarity voting absorbs them.
+
+use linalg::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Summary of one injection pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitflipReport {
+    /// Number of parameter words visited.
+    pub words: usize,
+    /// Number of individual bits flipped.
+    pub flipped: usize,
+}
+
+impl BitflipReport {
+    /// Merges two reports (used when a model spans several buffers).
+    pub fn merge(self, other: BitflipReport) -> BitflipReport {
+        BitflipReport {
+            words: self.words + other.words,
+            flipped: self.flipped + other.flipped,
+        }
+    }
+}
+
+/// Models whose trained parameters can be exposed for fault injection.
+///
+/// Implementors return every learned `f32` buffer (class hypervectors,
+/// tree thresholds, layer weights, ...). The injector walks each buffer and
+/// flips bits in place.
+pub trait Perturbable {
+    /// Mutable views over all learned parameter buffers.
+    fn param_buffers_mut(&mut self) -> Vec<&mut [f32]>;
+
+    /// Total number of learned parameters.
+    fn param_count(&mut self) -> usize {
+        self.param_buffers_mut().iter().map(|b| b.len()).sum()
+    }
+}
+
+/// Flips each bit of each word in `params` independently with probability
+/// `p_b`, in place.
+///
+/// For the tiny probabilities the paper sweeps (`10⁻⁶ … 10⁻⁴`), sampling a
+/// Bernoulli per bit would be wasteful; instead the number of flips is drawn
+/// from the exact binomial via geometric skips (inverse CDF on the gap
+/// distribution), which is statistically identical and O(flips).
+pub fn flip_bits_in(params: &mut [f32], p_b: f64, rng: &mut Rng64) -> BitflipReport {
+    let words = params.len();
+    if words == 0 || p_b <= 0.0 {
+        return BitflipReport { words, flipped: 0 };
+    }
+    let total_bits = (words as u64) * 32;
+    let mut flipped = 0usize;
+
+    if p_b >= 1.0 {
+        for w in params.iter_mut() {
+            *w = f32::from_bits(!w.to_bits());
+        }
+        return BitflipReport {
+            words,
+            flipped: (total_bits as usize),
+        };
+    }
+
+    // Walk flip positions via geometric gaps: gap ~ floor(ln(U)/ln(1-p)) is
+    // the number of non-flipped bits before the next flip.
+    let ln_keep = (1.0 - p_b).ln();
+    let mut pos: u64 = 0;
+    loop {
+        let u: f64 = {
+            // Avoid ln(0).
+            let v = rng.uniform() as f64;
+            if v <= f64::MIN_POSITIVE {
+                f64::MIN_POSITIVE
+            } else {
+                v
+            }
+        };
+        let gap = (u.ln() / ln_keep).floor() as u64;
+        pos = pos.saturating_add(gap);
+        if pos >= total_bits {
+            break;
+        }
+        let word = (pos / 32) as usize;
+        let bit = (pos % 32) as u32;
+        params[word] = f32::from_bits(params[word].to_bits() ^ (1u32 << bit));
+        flipped += 1;
+        pos += 1;
+        if pos >= total_bits {
+            break;
+        }
+    }
+
+    BitflipReport { words, flipped }
+}
+
+/// Applies [`flip_bits_in`] to every parameter buffer of a [`Perturbable`]
+/// model, returning the merged report.
+pub fn flip_bits<M: Perturbable + ?Sized>(
+    model: &mut M,
+    p_b: f64,
+    rng: &mut Rng64,
+) -> BitflipReport {
+    let mut report = BitflipReport::default();
+    for buffer in model.param_buffers_mut() {
+        report = report.merge(flip_bits_in(buffer, p_b, rng));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ToyModel {
+        a: Vec<f32>,
+        b: Vec<f32>,
+    }
+
+    impl Perturbable for ToyModel {
+        fn param_buffers_mut(&mut self) -> Vec<&mut [f32]> {
+            vec![&mut self.a, &mut self.b]
+        }
+    }
+
+    #[test]
+    fn zero_probability_flips_nothing() {
+        let mut params = vec![1.5f32; 100];
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_bits_in(&mut params, 0.0, &mut rng);
+        assert_eq!(report.flipped, 0);
+        assert!(params.iter().all(|&p| p == 1.5));
+    }
+
+    #[test]
+    fn probability_one_flips_every_bit() {
+        let mut params = vec![0.0f32; 4];
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_bits_in(&mut params, 1.0, &mut rng);
+        assert_eq!(report.flipped, 128);
+        // All bits of 0.0 flipped = all-ones pattern = NaN.
+        assert!(params.iter().all(|p| p.is_nan()));
+    }
+
+    #[test]
+    fn flip_count_matches_expectation() {
+        let mut rng = Rng64::seed_from(42);
+        let p_b = 1e-3;
+        let words = 50_000;
+        let mut total = 0usize;
+        let trials = 20;
+        for _ in 0..trials {
+            let mut params = vec![1.0f32; words];
+            total += flip_bits_in(&mut params, p_b, &mut rng).flipped;
+        }
+        let expected = (words as f64) * 32.0 * p_b * trials as f64;
+        let observed = total as f64;
+        assert!(
+            (observed - expected).abs() < 0.15 * expected,
+            "observed {observed} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn flips_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut params = vec![2.5f32; 1000];
+            let mut rng = Rng64::seed_from(seed);
+            flip_bits_in(&mut params, 1e-3, &mut rng);
+            params
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn double_flip_restores_word() {
+        // Flipping the same bit twice must restore the original value —
+        // verified via the XOR identity.
+        let original = 3.75f32;
+        let flipped_once = f32::from_bits(original.to_bits() ^ (1 << 30));
+        let flipped_twice = f32::from_bits(flipped_once.to_bits() ^ (1 << 30));
+        assert_eq!(original, flipped_twice);
+    }
+
+    #[test]
+    fn perturbable_walks_all_buffers() {
+        let mut model = ToyModel {
+            a: vec![1.0; 512],
+            b: vec![2.0; 512],
+        };
+        let mut rng = Rng64::seed_from(9);
+        let report = flip_bits(&mut model, 0.01, &mut rng);
+        assert_eq!(report.words, 1024);
+        assert!(report.flipped > 0);
+        let a_changed = model.a.iter().any(|&x| x != 1.0);
+        let b_changed = model.b.iter().any(|&x| x != 2.0);
+        assert!(a_changed && b_changed, "both buffers should be hit at p_b=1%");
+    }
+
+    #[test]
+    fn param_count_sums_buffers() {
+        let mut model = ToyModel {
+            a: vec![0.0; 3],
+            b: vec![0.0; 5],
+        };
+        assert_eq!(model.param_count(), 8);
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let mut params: Vec<f32> = Vec::new();
+        let mut rng = Rng64::seed_from(1);
+        let report = flip_bits_in(&mut params, 0.5, &mut rng);
+        assert_eq!(report.flipped, 0);
+    }
+
+    #[test]
+    fn report_merge_adds() {
+        let a = BitflipReport { words: 3, flipped: 1 };
+        let b = BitflipReport { words: 4, flipped: 2 };
+        let m = a.merge(b);
+        assert_eq!(m.words, 7);
+        assert_eq!(m.flipped, 3);
+    }
+}

@@ -1,0 +1,184 @@
+//! Class-imbalance dataset crafting (paper Section IV-C, Equation 8).
+//!
+//! To probe overfitting, the paper builds imbalanced variants of a dataset:
+//! every sample of a *target* class is kept while each other class is
+//! subsampled to a fraction `r` of its original size:
+//!
+//! ```text
+//! D = { x           if y = C_target
+//!     { x × r       if y ≠ C_target
+//! ```
+//!
+//! As `r` shrinks (note the paper's Figure 7 sweeps the *reduction* — here
+//! `keep_fraction` is the fraction retained), the non-target classes starve
+//! and a model that overfits the majority class collapses in macro accuracy.
+
+use linalg::Rng64;
+use serde::{Deserialize, Serialize};
+
+/// Specification of an imbalance experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImbalanceSpec {
+    /// The class whose samples are all kept (`C_target` in Equation 8).
+    pub target_class: usize,
+    /// Fraction of each non-target class retained, in `[0, 1]`.
+    pub keep_fraction: f64,
+}
+
+impl ImbalanceSpec {
+    /// Creates a spec, clamping `keep_fraction` into `[0, 1]`.
+    pub fn new(target_class: usize, keep_fraction: f64) -> Self {
+        Self {
+            target_class,
+            keep_fraction: keep_fraction.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The paper's `r` axis is the amount *removed* from non-target classes;
+    /// this helper converts it (`r = 0.8` keeps 20% of each other class).
+    pub fn from_reduction(target_class: usize, r: f64) -> Self {
+        Self::new(target_class, 1.0 - r)
+    }
+}
+
+/// Returns the indices of the samples retained under `spec`, preserving the
+/// original order of kept samples.
+///
+/// Every index with `labels[i] == spec.target_class` is kept. For each other
+/// class, `ceil(keep_fraction × count)` members are chosen uniformly without
+/// replacement (at least one sample survives whenever `keep_fraction > 0`,
+/// so classes never silently vanish mid-sweep).
+pub fn imbalanced_indices(labels: &[usize], spec: ImbalanceSpec, rng: &mut Rng64) -> Vec<usize> {
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        per_class[y].push(i);
+    }
+
+    let mut kept: Vec<usize> = Vec::new();
+    for (class, members) in per_class.into_iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        if class == spec.target_class {
+            kept.extend(members);
+            continue;
+        }
+        if spec.keep_fraction <= 0.0 {
+            continue;
+        }
+        let want = ((spec.keep_fraction * members.len() as f64).ceil() as usize)
+            .clamp(1, members.len());
+        let mut chosen = rng.sample_without_replacement(members.len(), want);
+        chosen.sort_unstable();
+        kept.extend(chosen.into_iter().map(|j| members[j]));
+    }
+    kept.sort_unstable();
+    kept
+}
+
+/// Per-class sample counts, a convenience for assertions and reporting.
+pub fn class_counts(labels: &[usize]) -> Vec<usize> {
+    let num_classes = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut counts = vec![0usize; num_classes];
+    for &y in labels {
+        counts[y] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 10 of class 0, 20 of class 1, 30 of class 2.
+        let mut l = vec![0; 10];
+        l.extend(vec![1; 20]);
+        l.extend(vec![2; 30]);
+        l
+    }
+
+    #[test]
+    fn full_keep_retains_everything() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(0);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(0, 1.0), &mut rng);
+        assert_eq!(kept.len(), l.len());
+    }
+
+    #[test]
+    fn target_class_is_never_reduced() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(1);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(1, 0.1), &mut rng);
+        let kept_labels: Vec<usize> = kept.iter().map(|&i| l[i]).collect();
+        let counts = class_counts(&kept_labels);
+        assert_eq!(counts[1], 20, "target class must be intact");
+        assert!(counts[0] < 10 && counts[2] < 30);
+    }
+
+    #[test]
+    fn keep_fraction_scales_counts() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(2);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(0, 0.5), &mut rng);
+        let kept_labels: Vec<usize> = kept.iter().map(|&i| l[i]).collect();
+        let counts = class_counts(&kept_labels);
+        assert_eq!(counts[0], 10);
+        assert_eq!(counts[1], 10); // ceil(0.5 × 20)
+        assert_eq!(counts[2], 15); // ceil(0.5 × 30)
+    }
+
+    #[test]
+    fn zero_keep_drops_non_target_classes() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(3);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(2, 0.0), &mut rng);
+        assert!(kept.iter().all(|&i| l[i] == 2));
+        assert_eq!(kept.len(), 30);
+    }
+
+    #[test]
+    fn tiny_keep_leaves_at_least_one_per_class() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(4);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(0, 0.001), &mut rng);
+        let kept_labels: Vec<usize> = kept.iter().map(|&i| l[i]).collect();
+        let counts = class_counts(&kept_labels);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[2], 1);
+    }
+
+    #[test]
+    fn from_reduction_inverts_r() {
+        let spec = ImbalanceSpec::from_reduction(0, 0.8);
+        assert!((spec.keep_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn indices_are_sorted_and_unique() {
+        let l = labels();
+        let mut rng = Rng64::seed_from(5);
+        let kept = imbalanced_indices(&l, ImbalanceSpec::new(1, 0.4), &mut rng);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(kept, sorted);
+    }
+
+    #[test]
+    fn clamps_out_of_range_fraction() {
+        let spec = ImbalanceSpec::new(0, 2.0);
+        assert_eq!(spec.keep_fraction, 1.0);
+        let spec = ImbalanceSpec::new(0, -0.3);
+        assert_eq!(spec.keep_fraction, 0.0);
+    }
+
+    #[test]
+    fn empty_labels_give_empty_result() {
+        let mut rng = Rng64::seed_from(6);
+        let kept = imbalanced_indices(&[], ImbalanceSpec::new(0, 0.5), &mut rng);
+        assert!(kept.is_empty());
+    }
+}

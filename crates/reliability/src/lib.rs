@@ -1,0 +1,36 @@
+//! Reliability substrate for the BoostHD evaluation.
+//!
+//! The paper stresses that healthcare deployments need more than accuracy:
+//! models must stay dependable under *hardware faults* and *skewed data*.
+//! This crate provides the fault and skew machinery behind Sections IV-C/IV-D:
+//!
+//! * [`bitflip`] — IEEE-754 bit-flip injection on trained model parameters
+//!   with per-bit probability `p_b`, modelling memory faults in wearable
+//!   hardware (Figure 8). Models opt in by implementing [`Perturbable`].
+//! * [`imbalance`] — class-imbalance dataset crafting per the paper's
+//!   Equation 8: keep every sample of the target class, subsample each other
+//!   class to a fraction `r` (Figure 7).
+//! * [`noise`] — additive Gaussian feature noise and label flipping, used in
+//!   robustness ablations.
+//!
+//! # Example: flipping bits in a parameter buffer
+//!
+//! ```
+//! use linalg::Rng64;
+//! use reliability::bitflip::{flip_bits_in, BitflipReport};
+//!
+//! let mut params = vec![1.0f32; 1024];
+//! let mut rng = Rng64::seed_from(1);
+//! let report = flip_bits_in(&mut params, 1e-3, &mut rng);
+//! assert!(report.flipped > 0);
+//! assert!(params.iter().any(|&p| p != 1.0));
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod bitflip;
+pub mod imbalance;
+pub mod noise;
+
+pub use bitflip::{flip_bits, flip_bits_in, BitflipReport, Perturbable};
+pub use imbalance::{imbalanced_indices, ImbalanceSpec};

@@ -1,0 +1,128 @@
+//! Feature and label noise models for robustness ablations.
+//!
+//! The paper's main robustness axis is hardware bit-flips ([`crate::bitflip`]);
+//! these software-level corruptions (sensor noise on features, annotation
+//! noise on labels) round out the reliability story and power the
+//! noise-ablation benchmark.
+
+use linalg::{Matrix, Rng64};
+
+/// Adds i.i.d. `N(0, std²)` noise to every feature in place.
+pub fn add_gaussian_noise(x: &mut Matrix, std: f32, rng: &mut Rng64) {
+    if std <= 0.0 {
+        return;
+    }
+    for v in x.as_mut_slice() {
+        *v += rng.normal_with(0.0, std);
+    }
+}
+
+/// Flips each label to a uniformly random *different* class with probability
+/// `p`, in place. Returns the number of labels changed.
+///
+/// # Panics
+///
+/// Panics if `num_classes < 2` while `p > 0` (there is no different class to
+/// flip to).
+pub fn flip_labels(labels: &mut [usize], num_classes: usize, p: f64, rng: &mut Rng64) -> usize {
+    if p <= 0.0 {
+        return 0;
+    }
+    assert!(num_classes >= 2, "label flipping needs at least two classes");
+    let mut changed = 0;
+    for y in labels.iter_mut() {
+        if rng.chance(p) {
+            let mut new = rng.below(num_classes - 1);
+            if new >= *y {
+                new += 1;
+            }
+            *y = new;
+            changed += 1;
+        }
+    }
+    changed
+}
+
+/// Zeroes out each feature column independently with probability `p`,
+/// simulating a dropped sensor channel. Returns the dropped column indices.
+pub fn drop_channels(x: &mut Matrix, p: f64, rng: &mut Rng64) -> Vec<usize> {
+    let mut dropped = Vec::new();
+    for c in 0..x.cols() {
+        if rng.chance(p) {
+            for r in 0..x.rows() {
+                x.set(r, c, 0.0);
+            }
+            dropped.push(c);
+        }
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_std_is_noop() {
+        let mut x = Matrix::filled(3, 3, 1.0);
+        let mut rng = Rng64::seed_from(0);
+        add_gaussian_noise(&mut x, 0.0, &mut rng);
+        assert!(x.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let mut x = Matrix::filled(10, 10, 1.0);
+        let mut rng = Rng64::seed_from(1);
+        add_gaussian_noise(&mut x, 0.5, &mut rng);
+        let moved = x.as_slice().iter().filter(|&&v| v != 1.0).count();
+        assert!(moved > 90);
+    }
+
+    #[test]
+    fn label_flip_probability_zero_is_noop() {
+        let mut labels = vec![0, 1, 2, 1];
+        let mut rng = Rng64::seed_from(2);
+        assert_eq!(flip_labels(&mut labels, 3, 0.0, &mut rng), 0);
+        assert_eq!(labels, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn label_flip_changes_to_different_class() {
+        let mut labels = vec![1usize; 1000];
+        let mut rng = Rng64::seed_from(3);
+        let changed = flip_labels(&mut labels, 3, 1.0, &mut rng);
+        assert_eq!(changed, 1000);
+        assert!(labels.iter().all(|&y| y != 1 && y < 3));
+    }
+
+    #[test]
+    fn label_flip_rate_is_respected() {
+        let mut labels = vec![0usize; 10_000];
+        let mut rng = Rng64::seed_from(4);
+        let changed = flip_labels(&mut labels, 4, 0.1, &mut rng);
+        assert!((changed as f64 - 1000.0).abs() < 200.0, "changed {changed}");
+    }
+
+    #[test]
+    fn drop_channels_zeroes_columns() {
+        let mut x = Matrix::filled(4, 8, 2.0);
+        let mut rng = Rng64::seed_from(5);
+        let dropped = drop_channels(&mut x, 0.5, &mut rng);
+        for &c in &dropped {
+            assert!((0..4).all(|r| x.at(r, c) == 0.0));
+        }
+        let untouched: Vec<usize> = (0..8).filter(|c| !dropped.contains(c)).collect();
+        for &c in &untouched {
+            assert!((0..4).all(|r| x.at(r, c) == 2.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn flip_labels_single_class_panics() {
+        let mut labels = vec![0usize; 3];
+        let mut rng = Rng64::seed_from(6);
+        flip_labels(&mut labels, 1, 0.5, &mut rng);
+    }
+}

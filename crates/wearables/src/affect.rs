@@ -1,0 +1,223 @@
+//! Affective states and their physiological signatures.
+//!
+//! The paper reduces all three datasets to three labels. WESAD names them
+//! *neutral / stress / amusement*; the nurse and Stress-Predict reductions
+//! use *good / common / stress*. We use one three-state enum and let each
+//! dataset profile choose display names.
+//!
+//! Each state shifts the latent physiological parameters in the direction
+//! the stress literature (and the WESAD paper) describes: acute stress
+//! raises heart rate, electrodermal activity (more skin-conductance
+//! responses), respiration rate and muscle tone, and lowers heart-rate
+//! variability and peripheral temperature; amusement is a milder, partially
+//! overlapping arousal state.
+
+use serde::{Deserialize, Serialize};
+
+/// The three affective conditions every dataset labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AffectState {
+    /// Calm baseline ("neutral" / "good").
+    Baseline,
+    /// Positive arousal ("amusement" / "common").
+    Amusement,
+    /// Acute stress.
+    Stress,
+}
+
+impl AffectState {
+    /// All states in label order (`Baseline = 0`, `Amusement = 1`,
+    /// `Stress = 2`).
+    pub const ALL: [AffectState; 3] = [
+        AffectState::Baseline,
+        AffectState::Amusement,
+        AffectState::Stress,
+    ];
+
+    /// The class label used in datasets.
+    pub fn label(self) -> usize {
+        match self {
+            AffectState::Baseline => 0,
+            AffectState::Amusement => 1,
+            AffectState::Stress => 2,
+        }
+    }
+
+    /// State from a class label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label > 2`.
+    pub fn from_label(label: usize) -> Self {
+        Self::ALL[label]
+    }
+
+    /// WESAD-style display name.
+    pub fn wesad_name(self) -> &'static str {
+        match self {
+            AffectState::Baseline => "neutral",
+            AffectState::Amusement => "amusement",
+            AffectState::Stress => "stress",
+        }
+    }
+
+    /// Nurse/Stress-Predict-style display name.
+    pub fn stress_level_name(self) -> &'static str {
+        match self {
+            AffectState::Baseline => "good",
+            AffectState::Amusement => "common",
+            AffectState::Stress => "stress",
+        }
+    }
+}
+
+/// Latent physiological parameters for one recording window.
+///
+/// Units are approximate physical ones (bpm, breaths/min, µS, °C); they only
+/// need to be *consistent*, since the pipeline z-normalizes features.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhysioParams {
+    /// Heart rate in beats per minute.
+    pub heart_rate: f32,
+    /// Heart-rate variability (std of beat-to-beat interval, seconds).
+    pub hrv: f32,
+    /// Tonic electrodermal level in µS.
+    pub eda_tonic: f32,
+    /// Skin conductance responses per minute.
+    pub scr_rate: f32,
+    /// Respiration rate in breaths per minute.
+    pub resp_rate: f32,
+    /// Skin temperature in °C.
+    pub temperature: f32,
+    /// Gross motion level (arbitrary g-scaled units).
+    pub motion: f32,
+    /// Muscle tone driving the EMG envelope.
+    pub emg_tone: f32,
+}
+
+impl PhysioParams {
+    /// Population-average resting physiology.
+    pub fn resting() -> Self {
+        Self {
+            heart_rate: 68.0,
+            hrv: 0.060,
+            eda_tonic: 2.0,
+            scr_rate: 2.0,
+            resp_rate: 14.0,
+            temperature: 33.6,
+            motion: 0.15,
+            emg_tone: 0.8,
+        }
+    }
+
+    /// Applies the signature of `state`, scaled by `separation` (the dataset
+    /// profile's difficulty knob; 1.0 = textbook effect sizes) and by the
+    /// subject's individual `response_gain`.
+    pub fn with_state(mut self, state: AffectState, separation: f32, response_gain: f32) -> Self {
+        let s = separation * response_gain;
+        match state {
+            AffectState::Baseline => {}
+            AffectState::Amusement => {
+                self.heart_rate += 6.0 * s;
+                self.hrv -= 0.008 * s;
+                self.eda_tonic += 0.5 * s;
+                self.scr_rate += 1.5 * s;
+                self.resp_rate += 1.5 * s;
+                self.temperature -= 0.1 * s;
+                self.motion += 0.10 * s;
+                self.emg_tone += 0.2 * s;
+            }
+            AffectState::Stress => {
+                self.heart_rate += 16.0 * s;
+                self.hrv -= 0.022 * s;
+                self.eda_tonic += 1.8 * s;
+                self.scr_rate += 5.0 * s;
+                self.resp_rate += 4.0 * s;
+                self.temperature -= 0.45 * s;
+                self.motion += 0.05 * s;
+                self.emg_tone += 0.9 * s;
+            }
+        }
+        self.clamped()
+    }
+
+    /// Clamps every parameter to its physically plausible range.
+    pub fn clamped(mut self) -> Self {
+        self.heart_rate = self.heart_rate.clamp(40.0, 190.0);
+        self.hrv = self.hrv.clamp(0.003, 0.2);
+        self.eda_tonic = self.eda_tonic.clamp(0.05, 25.0);
+        self.scr_rate = self.scr_rate.clamp(0.0, 25.0);
+        self.resp_rate = self.resp_rate.clamp(6.0, 40.0);
+        self.temperature = self.temperature.clamp(28.0, 38.0);
+        self.motion = self.motion.clamp(0.0, 3.0);
+        self.emg_tone = self.emg_tone.clamp(0.0, 8.0);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for state in AffectState::ALL {
+            assert_eq!(AffectState::from_label(state.label()), state);
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let wesad: Vec<&str> = AffectState::ALL.iter().map(|s| s.wesad_name()).collect();
+        assert_eq!(wesad.len(), 3);
+        assert!(wesad.contains(&"stress") && wesad.contains(&"neutral"));
+        assert_eq!(AffectState::Stress.stress_level_name(), "stress");
+        assert_eq!(AffectState::Baseline.stress_level_name(), "good");
+    }
+
+    #[test]
+    fn stress_raises_arousal_markers() {
+        let base = PhysioParams::resting();
+        let stressed = base.with_state(AffectState::Stress, 1.0, 1.0);
+        assert!(stressed.heart_rate > base.heart_rate);
+        assert!(stressed.eda_tonic > base.eda_tonic);
+        assert!(stressed.scr_rate > base.scr_rate);
+        assert!(stressed.hrv < base.hrv);
+        assert!(stressed.temperature < base.temperature);
+    }
+
+    #[test]
+    fn amusement_is_milder_than_stress() {
+        let base = PhysioParams::resting();
+        let amused = base.with_state(AffectState::Amusement, 1.0, 1.0);
+        let stressed = base.with_state(AffectState::Stress, 1.0, 1.0);
+        assert!(amused.heart_rate > base.heart_rate);
+        assert!(amused.heart_rate < stressed.heart_rate);
+        assert!(amused.scr_rate < stressed.scr_rate);
+    }
+
+    #[test]
+    fn zero_separation_means_no_shift() {
+        let base = PhysioParams::resting();
+        let unchanged = base.with_state(AffectState::Stress, 0.0, 1.0);
+        assert_eq!(base, unchanged);
+    }
+
+    #[test]
+    fn response_gain_scales_shift() {
+        let base = PhysioParams::resting();
+        let weak = base.with_state(AffectState::Stress, 1.0, 0.5);
+        let strong = base.with_state(AffectState::Stress, 1.0, 2.0);
+        assert!(strong.heart_rate > weak.heart_rate);
+    }
+
+    #[test]
+    fn clamping_bounds_extremes() {
+        let mut wild = PhysioParams::resting();
+        wild.heart_rate = 1000.0;
+        wild.hrv = -3.0;
+        let clamped = wild.clamped();
+        assert_eq!(clamped.heart_rate, 190.0);
+        assert_eq!(clamped.hrv, 0.003);
+    }
+}

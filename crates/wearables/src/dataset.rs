@@ -1,0 +1,357 @@
+//! Labeled feature tables with subject metadata and subject-wise splits.
+//!
+//! The paper organizes test data "by subject units": a model never sees the
+//! test subjects during training. [`Dataset::split_by_subject_fraction`]
+//! implements that protocol, and [`Dataset::split_by_group`] implements the
+//! Table III person-specific protocol (train on everyone outside the group,
+//! test on the group's members).
+
+use crate::error::{Result, WearableError};
+use crate::preprocess::Normalizer;
+use crate::subject::{Subject, SubjectGroup};
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// A labeled dataset of windowed wearable features.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"wesad-like"`).
+    pub name: String,
+    x: Matrix,
+    y: Vec<usize>,
+    subject_ids: Vec<usize>,
+    subjects: Vec<Subject>,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Assembles a dataset, validating that rows, labels, and subject ids
+    /// agree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::InvalidConfig`] on any length mismatch.
+    pub fn new(
+        name: impl Into<String>,
+        x: Matrix,
+        y: Vec<usize>,
+        subject_ids: Vec<usize>,
+        subjects: Vec<Subject>,
+        feature_names: Vec<String>,
+    ) -> Result<Self> {
+        if x.rows() != y.len() || x.rows() != subject_ids.len() {
+            return Err(WearableError::InvalidConfig {
+                reason: format!(
+                    "rows={}, labels={}, subject_ids={} must agree",
+                    x.rows(),
+                    y.len(),
+                    subject_ids.len()
+                ),
+            });
+        }
+        if x.cols() != feature_names.len() {
+            return Err(WearableError::InvalidConfig {
+                reason: format!(
+                    "{} feature columns but {} feature names",
+                    x.cols(),
+                    feature_names.len()
+                ),
+            });
+        }
+        Ok(Self {
+            name: name.into(),
+            x,
+            y,
+            subject_ids,
+            subjects,
+            feature_names,
+        })
+    }
+
+    /// The feature matrix (`windows × features`).
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// Per-row class labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.y
+    }
+
+    /// Per-row subject ids.
+    pub fn subject_ids(&self) -> &[usize] {
+        &self.subject_ids
+    }
+
+    /// The subject roster (including subjects whose rows were filtered out).
+    pub fn subjects(&self) -> &[Subject] {
+        &self.subjects
+    }
+
+    /// Feature column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Number of rows (windows).
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Whether the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Number of classes (`max(label) + 1`).
+    pub fn num_classes(&self) -> usize {
+        self.y.iter().copied().max().map_or(0, |m| m + 1)
+    }
+
+    /// Number of feature columns.
+    pub fn num_features(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// A new dataset holding only the given rows (subject roster is kept in
+    /// full so group definitions stay valid).
+    pub fn select(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            name: self.name.clone(),
+            x: self.x.select_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+            subject_ids: indices.iter().map(|&i| self.subject_ids[i]).collect(),
+            subjects: self.subjects.clone(),
+            feature_names: self.feature_names.clone(),
+        }
+    }
+
+    /// Splits into (train, test) with all rows of `test_subjects` in the
+    /// test set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::DegenerateSplit`] if either side would be
+    /// empty.
+    pub fn split_by_subjects(&self, test_subjects: &[usize]) -> Result<(Dataset, Dataset)> {
+        let mut train_idx = Vec::new();
+        let mut test_idx = Vec::new();
+        for (i, sid) in self.subject_ids.iter().enumerate() {
+            if test_subjects.contains(sid) {
+                test_idx.push(i);
+            } else {
+                train_idx.push(i);
+            }
+        }
+        if train_idx.is_empty() || test_idx.is_empty() {
+            return Err(WearableError::DegenerateSplit {
+                reason: format!(
+                    "split leaves train={} / test={} rows",
+                    train_idx.len(),
+                    test_idx.len()
+                ),
+            });
+        }
+        Ok((self.select(&train_idx), self.select(&test_idx)))
+    }
+
+    /// Holds out a random `test_fraction` of *subjects* (not rows) as the
+    /// test set — the paper's protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::DegenerateSplit`] if the fraction rounds to
+    /// zero or all subjects.
+    pub fn split_by_subject_fraction(
+        &self,
+        test_fraction: f64,
+        seed: u64,
+    ) -> Result<(Dataset, Dataset)> {
+        let mut ids: Vec<usize> = self.subjects.iter().map(|s| s.id).collect();
+        if ids.is_empty() {
+            // Fall back to distinct ids present in rows.
+            ids = self.distinct_subject_ids();
+        }
+        let n_test = ((ids.len() as f64) * test_fraction).round() as usize;
+        if n_test == 0 || n_test >= ids.len() {
+            return Err(WearableError::DegenerateSplit {
+                reason: format!(
+                    "test fraction {test_fraction} keeps {n_test} of {} subjects",
+                    ids.len()
+                ),
+            });
+        }
+        let mut rng = Rng64::seed_from(seed);
+        rng.shuffle(&mut ids);
+        ids.truncate(n_test);
+        self.split_by_subjects(&ids)
+    }
+
+    /// Table III protocol: train on subjects outside `group`, test on its
+    /// members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::DegenerateSplit`] if the group is empty or
+    /// covers every subject.
+    pub fn split_by_group(&self, group: SubjectGroup) -> Result<(Dataset, Dataset)> {
+        let members: Vec<usize> = self
+            .subjects
+            .iter()
+            .filter(|s| group.contains(s))
+            .map(|s| s.id)
+            .collect();
+        if members.is_empty() {
+            return Err(WearableError::DegenerateSplit {
+                reason: format!("group {} has no members", group.name()),
+            });
+        }
+        self.split_by_subjects(&members)
+    }
+
+    /// The distinct subject ids present in the rows, ascending.
+    pub fn distinct_subject_ids(&self) -> Vec<usize> {
+        let mut ids = self.subject_ids.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Per-class row counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes()];
+        for &y in &self.y {
+            counts[y] += 1;
+        }
+        counts
+    }
+}
+
+/// Fits a [`Normalizer`] on `train` and applies it to both splits — the
+/// leakage-free way to implement the paper's "normalization was applied".
+///
+/// # Errors
+///
+/// Propagates normalizer fitting errors (empty training split).
+pub fn normalize_pair(train: &Dataset, test: &Dataset) -> Result<(Dataset, Dataset)> {
+    let norm = Normalizer::fit(train.features())?;
+    let mut train_out = train.clone();
+    let mut test_out = test.clone();
+    train_out.x = norm.apply(train.features());
+    test_out.x = norm.apply(test.features());
+    Ok((train_out, test_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subject::Handedness;
+
+    fn toy(n_subjects: usize, rows_per_subject: usize) -> Dataset {
+        let mut rng = Rng64::seed_from(1);
+        let subjects: Vec<Subject> = (0..n_subjects)
+            .map(|i| Subject::sample(i, 1.0, &mut rng))
+            .collect();
+        let n = n_subjects * rows_per_subject;
+        let x = Matrix::random_uniform(n, 3, -1.0, 1.0, &mut rng);
+        let y: Vec<usize> = (0..n).map(|i| i % 3).collect();
+        let subject_ids: Vec<usize> = (0..n).map(|i| i / rows_per_subject).collect();
+        Dataset::new(
+            "toy",
+            x,
+            y,
+            subject_ids,
+            subjects,
+            vec!["f0".into(), "f1".into(), "f2".into()],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let x = Matrix::zeros(3, 2);
+        assert!(Dataset::new("bad", x.clone(), vec![0, 1], vec![0, 0, 0], vec![], vec![]).is_err());
+        assert!(Dataset::new("bad", x, vec![0, 1, 2], vec![0, 0, 0], vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn subject_split_is_disjoint() {
+        let data = toy(10, 6);
+        let (train, test) = data.split_by_subjects(&[0, 3, 7]).unwrap();
+        assert_eq!(test.len(), 3 * 6);
+        assert_eq!(train.len(), 7 * 6);
+        for sid in test.subject_ids() {
+            assert!(!train.subject_ids().contains(sid));
+        }
+    }
+
+    #[test]
+    fn fraction_split_rounds_subjects() {
+        let data = toy(10, 4);
+        let (train, test) = data.split_by_subject_fraction(0.3, 5).unwrap();
+        assert_eq!(test.distinct_subject_ids().len(), 3);
+        assert_eq!(train.distinct_subject_ids().len(), 7);
+    }
+
+    #[test]
+    fn fraction_split_is_deterministic() {
+        let data = toy(8, 5);
+        let (a_train, _) = data.split_by_subject_fraction(0.25, 9).unwrap();
+        let (b_train, _) = data.split_by_subject_fraction(0.25, 9).unwrap();
+        assert_eq!(a_train.subject_ids(), b_train.subject_ids());
+    }
+
+    #[test]
+    fn degenerate_fraction_rejected() {
+        let data = toy(4, 3);
+        assert!(data.split_by_subject_fraction(0.0, 1).is_err());
+        assert!(data.split_by_subject_fraction(1.0, 1).is_err());
+    }
+
+    #[test]
+    fn group_split_tests_only_members() {
+        let data = toy(30, 2);
+        let group = SubjectGroup::LeftHanded;
+        let (train, test) = data.split_by_group(group).unwrap();
+        let left_ids: Vec<usize> = data
+            .subjects()
+            .iter()
+            .filter(|s| s.handedness == Handedness::Left)
+            .map(|s| s.id)
+            .collect();
+        for sid in test.subject_ids() {
+            assert!(left_ids.contains(sid));
+        }
+        for sid in train.subject_ids() {
+            assert!(!left_ids.contains(sid));
+        }
+    }
+
+    #[test]
+    fn class_counts_sum_to_len() {
+        let data = toy(5, 6);
+        assert_eq!(data.class_counts().iter().sum::<usize>(), data.len());
+        assert_eq!(data.num_classes(), 3);
+    }
+
+    #[test]
+    fn normalize_pair_uses_train_statistics() {
+        let data = toy(10, 4);
+        let (train, test) = data.split_by_subject_fraction(0.3, 2).unwrap();
+        let (ntrain, ntest) = normalize_pair(&train, &test).unwrap();
+        // Train columns are exactly standardized; test only approximately.
+        for c in 0..ntrain.num_features() {
+            let col: Vec<f64> = ntrain.features().column(c).iter().map(|&v| v as f64).collect();
+            assert!(linalg::stats::mean(&col).abs() < 1e-4);
+        }
+        assert_eq!(ntest.len(), test.len());
+    }
+
+    #[test]
+    fn select_preserves_roster() {
+        let data = toy(6, 3);
+        let subset = data.select(&[0, 5, 10]);
+        assert_eq!(subset.len(), 3);
+        assert_eq!(subset.subjects().len(), 6);
+    }
+}

@@ -1,0 +1,55 @@
+//! Error types for the `wearables` crate.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Convenient alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, WearableError>;
+
+/// Errors reported while synthesizing or splitting datasets.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum WearableError {
+    /// A profile or split parameter was invalid.
+    InvalidConfig {
+        /// Human-readable description of the invalid parameter.
+        reason: String,
+    },
+    /// A split would leave one side empty.
+    DegenerateSplit {
+        /// Human-readable description of the degenerate split.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WearableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WearableError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
+            }
+            WearableError::DegenerateSplit { reason } => {
+                write!(f, "degenerate split: {reason}")
+            }
+        }
+    }
+}
+
+impl StdError for WearableError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_reason() {
+        let e = WearableError::DegenerateSplit { reason: "no test subjects".into() };
+        assert!(e.to_string().contains("no test subjects"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WearableError>();
+    }
+}

@@ -1,0 +1,57 @@
+//! Synthetic wearable-sensor substrate for the BoostHD evaluation.
+//!
+//! The paper evaluates on three proprietary-ish wearable stress datasets —
+//! WESAD (Empatica E4 + RespiBAN, 15 subjects), the Nurse Stress dataset
+//! (37 subjects), and Stress-Predict (15 subjects). None ship with this
+//! repository, so this crate implements the closest synthetic equivalent
+//! that exercises the same code paths (see DESIGN.md §2 for the
+//! substitution argument):
+//!
+//! * [`signals`] — generative models of the physiological channels those
+//!   devices record: blood volume pulse, ECG, electrodermal activity
+//!   (tonic level + phasic SCR bursts), respiration, skin temperature,
+//!   3-axis acceleration, and EMG;
+//! * [`subject`] — per-subject latent physiology (baseline heart rate, EDA
+//!   level, stress response gain, …) plus the demographic attributes
+//!   (handedness, gender, age, height) behind the paper's person-specific
+//!   evaluation (Table III);
+//! * [`affect`] — the three affective states and how each shifts the
+//!   physiological parameters;
+//! * [`preprocess`] — the paper's exact pipeline: moving-average filter
+//!   with window 30, per-window min/max/mean/std features, z-normalization;
+//! * [`profiles`] — dataset profiles calibrated so classifier accuracy
+//!   lands in each paper dataset's band (high for WESAD-like, ~60% for
+//!   Nurse-like, high-60s for Stress-Predict-like);
+//! * [`dataset`] — the labeled feature table with subject metadata and
+//!   subject-wise train/test splitting (the paper organizes test data "by
+//!   subject units").
+//!
+//! # Example
+//!
+//! ```
+//! use wearables::profiles::{self, DatasetProfile};
+//!
+//! let profile = DatasetProfile { subjects: 4, windows_per_state: 5, ..profiles::wesad_like() };
+//! let data = profiles::generate(&profile, 42)?;
+//! assert_eq!(data.num_classes(), 3);
+//! assert_eq!(data.len(), 4 * 3 * 5);
+//! let (train, test) = data.split_by_subject_fraction(0.25, 7)?;
+//! assert!(train.len() > test.len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod affect;
+pub mod dataset;
+pub mod error;
+pub mod preprocess;
+pub mod profiles;
+pub mod signals;
+pub mod subject;
+
+pub use affect::AffectState;
+pub use dataset::Dataset;
+pub use error::{Result, WearableError};
+pub use profiles::{generate, DatasetProfile};
+pub use subject::{Handedness, Sex, Subject, SubjectGroup};

@@ -1,0 +1,275 @@
+//! The paper's preprocessing pipeline.
+//!
+//! Section IV: "Datasets were preprocessed using a moving average filter
+//! with a window size of 30, extracting statistical features such as
+//! minimum, maximum, mean, and standard deviation. To address varying
+//! ranges, normalization was applied to ensure consistent scaling."
+//!
+//! [`moving_average`] implements the filter, [`window_features`] the
+//! statistics (optionally over several sub-segments per window, which is
+//! how the wider Nurse/Stress-Predict feature vectors arise), and
+//! [`Normalizer`] the train-fitted z-normalization.
+
+use crate::error::{Result, WearableError};
+use linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// The paper's moving-average window size.
+pub const PAPER_MA_WINDOW: usize = 30;
+
+/// Causal moving average with the given window (the paper uses 30).
+///
+/// The first `window − 1` outputs average the samples seen so far, so the
+/// output has the same length as the input.
+///
+/// # Panics
+///
+/// Panics if `window == 0`.
+pub fn moving_average(signal: &[f32], window: usize) -> Vec<f32> {
+    assert!(window > 0, "moving average window must be positive");
+    let mut out = Vec::with_capacity(signal.len());
+    let mut acc = 0.0f64;
+    for (i, &v) in signal.iter().enumerate() {
+        acc += v as f64;
+        if i >= window {
+            acc -= signal[i - window] as f64;
+        }
+        let denom = (i + 1).min(window) as f64;
+        out.push((acc / denom) as f32);
+    }
+    out
+}
+
+/// The four statistics extracted per (sub-)segment, in feature order.
+pub const STATS_PER_SEGMENT: usize = 4;
+
+/// Extracts `[min, max, mean, std]` per segment from a filtered signal,
+/// splitting the window into `segments` equal parts (1 reproduces the plain
+/// WESAD feature set; larger values give the wider Nurse/Stress-Predict
+/// input vectors).
+///
+/// # Panics
+///
+/// Panics if `segments == 0` or the signal is shorter than `segments`.
+pub fn window_features(signal: &[f32], segments: usize) -> Vec<f32> {
+    assert!(segments > 0, "need at least one segment");
+    assert!(
+        signal.len() >= segments,
+        "signal of {} samples cannot form {} segments",
+        signal.len(),
+        segments
+    );
+    let mut features = Vec::with_capacity(segments * STATS_PER_SEGMENT);
+    let seg_len = signal.len() / segments;
+    for s in 0..segments {
+        let start = s * seg_len;
+        let end = if s == segments - 1 { signal.len() } else { start + seg_len };
+        let seg = &signal[start..end];
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        let mut sum = 0.0f64;
+        for &v in seg {
+            lo = lo.min(v);
+            hi = hi.max(v);
+            sum += v as f64;
+        }
+        let mean = sum / seg.len() as f64;
+        let var = seg
+            .iter()
+            .map(|&v| (v as f64 - mean) * (v as f64 - mean))
+            .sum::<f64>()
+            / seg.len() as f64;
+        features.push(lo);
+        features.push(hi);
+        features.push(mean as f32);
+        features.push(var.sqrt() as f32);
+    }
+    features
+}
+
+/// Per-feature z-normalization fitted on training data and applied to any
+/// split (never fit on test data — that leaks).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Normalizer {
+    /// Fits per-column mean and standard deviation on `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::InvalidConfig`] for an empty matrix.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.rows() == 0 || x.cols() == 0 {
+            return Err(WearableError::InvalidConfig {
+                reason: "cannot fit a normalizer on empty data".into(),
+            });
+        }
+        let n = x.rows() as f64;
+        let mut mean = vec![0.0f64; x.cols()];
+        for r in 0..x.rows() {
+            for (m, &v) in mean.iter_mut().zip(x.row(r).iter()) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; x.cols()];
+        for r in 0..x.rows() {
+            for c in 0..x.cols() {
+                let d = x.at(r, c) as f64 - mean[c];
+                var[c] += d * d;
+            }
+        }
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt() as f32;
+                // Constant features normalize to 0 rather than NaN.
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Ok(Self {
+            mean: mean.into_iter().map(|m| m as f32).collect(),
+            std,
+        })
+    }
+
+    /// Applies the fitted normalization, returning a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn apply(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "normalizer feature mismatch");
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for c in 0..row.len() {
+                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            }
+        }
+        out
+    }
+
+    /// Number of features the normalizer was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.mean.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_smooths_constant() {
+        let signal = vec![2.0; 50];
+        let out = moving_average(&signal, 30);
+        assert!(out.iter().all(|&v| (v - 2.0).abs() < 1e-6));
+        assert_eq!(out.len(), 50);
+    }
+
+    #[test]
+    fn moving_average_reduces_variance() {
+        let mut rng = linalg::Rng64::seed_from(1);
+        let signal: Vec<f32> = (0..500).map(|_| rng.normal()).collect();
+        let filtered = moving_average(&signal, 30);
+        let var = |xs: &[f32]| {
+            let v: Vec<f64> = xs.iter().map(|&x| x as f64).collect();
+            linalg::stats::variance(&v)
+        };
+        assert!(var(&filtered) < 0.2 * var(&signal));
+    }
+
+    #[test]
+    fn moving_average_window_one_is_identity() {
+        let signal = vec![1.0, -2.0, 3.5];
+        assert_eq!(moving_average(&signal, 1), signal);
+    }
+
+    #[test]
+    fn moving_average_tracks_step() {
+        let mut signal = vec![0.0; 60];
+        signal.extend(vec![10.0; 60]);
+        let out = moving_average(&signal, 30);
+        assert!(out[59] < 1.0);
+        assert!((out[119] - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn window_features_known_values() {
+        let signal = vec![1.0, 2.0, 3.0, 4.0];
+        let f = window_features(&signal, 1);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], 1.0); // min
+        assert_eq!(f[1], 4.0); // max
+        assert_eq!(f[2], 2.5); // mean
+        assert!((f[3] - 1.118034).abs() < 1e-5); // population std
+    }
+
+    #[test]
+    fn segments_multiply_feature_count() {
+        let signal: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        assert_eq!(window_features(&signal, 1).len(), 4);
+        assert_eq!(window_features(&signal, 4).len(), 16);
+        // Segment means should ascend for a ramp.
+        let f = window_features(&signal, 4);
+        assert!(f[2] < f[6] && f[6] < f[10] && f[10] < f[14]);
+    }
+
+    #[test]
+    fn normalizer_zero_means_unit_std() {
+        let mut rng = linalg::Rng64::seed_from(2);
+        let x = Matrix::random_uniform(200, 5, -3.0, 7.0, &mut rng);
+        let norm = Normalizer::fit(&x).unwrap();
+        let z = norm.apply(&x);
+        for c in 0..5 {
+            let col: Vec<f64> = z.column(c).iter().map(|&v| v as f64).collect();
+            assert!(linalg::stats::mean(&col).abs() < 1e-4);
+            assert!((linalg::stats::std_dev(&col) - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn normalizer_handles_constant_columns() {
+        let x = Matrix::filled(10, 3, 4.2);
+        let norm = Normalizer::fit(&x).unwrap();
+        let z = norm.apply(&x);
+        assert!(z.as_slice().iter().all(|v| v.is_finite()));
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn normalizer_is_train_fitted() {
+        // Applying train statistics to shifted test data must preserve the
+        // shift (no re-fitting on test).
+        let train = Matrix::filled(5, 1, 0.0);
+        let test = Matrix::filled(5, 1, 10.0);
+        let mut train_var = train.clone();
+        train_var.set(0, 0, 1.0); // non-constant so std is real
+        let norm = Normalizer::fit(&train_var).unwrap();
+        let z = norm.apply(&test);
+        assert!(z.at(0, 0) > 5.0, "shift must survive normalization");
+    }
+
+    #[test]
+    fn normalizer_rejects_empty() {
+        assert!(Normalizer::fit(&Matrix::zeros(0, 3)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature mismatch")]
+    fn normalizer_apply_checks_width() {
+        let x = Matrix::filled(3, 2, 1.0);
+        let norm = Normalizer::fit(&x).unwrap();
+        norm.apply(&Matrix::filled(3, 5, 1.0));
+    }
+}

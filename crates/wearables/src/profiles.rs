@@ -1,0 +1,399 @@
+//! Dataset profiles reproducing the paper's three evaluation datasets.
+//!
+//! Each profile bundles the knobs of the generative pipeline. The defaults
+//! are calibrated (see EXPERIMENTS.md) so that the classifier accuracy
+//! bands land where the paper's Table I reports them:
+//!
+//! * [`wesad_like`] — clean lab protocol, strong affect signatures:
+//!   accuracies in the 90s, HDC and tree ensembles near 96–98%;
+//! * [`nurse_like`] — in-the-wild hospital shifts, 37 subjects, heavy label
+//!   ambiguity: everything lands near 55–62%;
+//! * [`stress_predict_like`] — pilot-study quality, 15 subjects: mid-60s.
+//!
+//! The *difficulty* axes are exactly the ones that differ between the real
+//! datasets: affect-signature strength (`state_separation`), inter-subject
+//! physiology spread (`subject_variability`, which is what makes
+//! leave-subject-out evaluation hard), sensor noise, and annotation quality
+//! (`label_noise` — ecological momentary stress labels are notoriously
+//! unreliable). `segments` widens the feature vector the way the
+//! Nurse/Stress-Predict preprocessing does (more per-window statistics).
+
+use crate::affect::{AffectState, PhysioParams};
+use crate::dataset::Dataset;
+use crate::error::{Result, WearableError};
+use crate::preprocess::{moving_average, window_features, PAPER_MA_WINDOW, STATS_PER_SEGMENT};
+use crate::signals::{self, Channel};
+use crate::subject::Subject;
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Full specification of a synthetic dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name stamped on the generated [`Dataset`].
+    pub name: String,
+    /// Number of subjects in the cohort.
+    pub subjects: usize,
+    /// Recording windows per subject per affective state.
+    pub windows_per_state: usize,
+    /// Raw samples per window per channel (at 16 Hz; 480 = 30 s).
+    pub window_samples: usize,
+    /// Sub-segments per window for feature extraction (1 → 32 features,
+    /// 4 → 128 features).
+    pub segments: usize,
+    /// Scale of the affective parameter shifts (1.0 = textbook effects).
+    pub state_separation: f32,
+    /// Spread of per-subject baselines (drives leave-subject-out
+    /// difficulty).
+    pub subject_variability: f32,
+    /// Additive sensor noise std on every raw sample.
+    pub sensor_noise: f32,
+    /// Probability that a window's label is replaced by a random other
+    /// state (annotation ambiguity).
+    pub label_noise: f64,
+    /// Moving-average window (the paper uses 30).
+    pub ma_window: usize,
+}
+
+/// WESAD-like profile: 15 subjects, clean lab protocol.
+pub fn wesad_like() -> DatasetProfile {
+    DatasetProfile {
+        name: "wesad-like".into(),
+        subjects: 15,
+        windows_per_state: 40,
+        window_samples: 480,
+        segments: 1,
+        state_separation: 1.7,
+        subject_variability: 0.4,
+        sensor_noise: 0.05,
+        label_noise: 0.0,
+        ma_window: PAPER_MA_WINDOW,
+    }
+}
+
+/// Nurse-Stress-like profile: 37 subjects, in-the-wild, hard.
+pub fn nurse_like() -> DatasetProfile {
+    DatasetProfile {
+        name: "nurse-stress-like".into(),
+        subjects: 37,
+        windows_per_state: 18,
+        window_samples: 480,
+        segments: 4,
+        state_separation: 1.2,
+        subject_variability: 0.9,
+        sensor_noise: 0.35,
+        label_noise: 0.30,
+        ma_window: PAPER_MA_WINDOW,
+    }
+}
+
+/// Stress-Predict-like profile: 15 subjects, pilot-study quality.
+pub fn stress_predict_like() -> DatasetProfile {
+    DatasetProfile {
+        name: "stress-predict-like".into(),
+        subjects: 15,
+        windows_per_state: 30,
+        window_samples: 480,
+        segments: 3,
+        state_separation: 1.3,
+        subject_variability: 0.85,
+        sensor_noise: 0.3,
+        label_noise: 0.15,
+        ma_window: PAPER_MA_WINDOW,
+    }
+}
+
+/// The three paper datasets in Table I row order.
+pub fn paper_profiles() -> [DatasetProfile; 3] {
+    [wesad_like(), nurse_like(), stress_predict_like()]
+}
+
+/// Per-window physiological wander: no two windows of the same subject and
+/// state are identical.
+fn window_jitter(mut p: PhysioParams, rng: &mut Rng64) -> PhysioParams {
+    p.heart_rate += rng.normal_with(0.0, 2.5);
+    p.hrv += rng.normal_with(0.0, 0.004);
+    p.eda_tonic += rng.normal_with(0.0, 0.15);
+    p.scr_rate += rng.normal_with(0.0, 0.6);
+    p.resp_rate += rng.normal_with(0.0, 0.8);
+    p.temperature += rng.normal_with(0.0, 0.08);
+    p.motion += rng.normal_with(0.0, 0.05);
+    p.emg_tone += rng.normal_with(0.0, 0.15);
+    p.clamped()
+}
+
+/// Generates the dataset a profile describes. Deterministic in
+/// `(profile, seed)`.
+///
+/// Features are **not** normalized here: normalization statistics must come
+/// from the training split only (see [`crate::dataset::normalize_pair`]).
+///
+/// # Errors
+///
+/// Returns [`WearableError::InvalidConfig`] for zero subjects/windows, a
+/// window too short for the segment count, or a zero moving-average window.
+pub fn generate(profile: &DatasetProfile, seed: u64) -> Result<Dataset> {
+    if profile.subjects == 0 || profile.windows_per_state == 0 {
+        return Err(WearableError::InvalidConfig {
+            reason: "profile needs at least one subject and one window per state".into(),
+        });
+    }
+    if profile.segments == 0 || profile.window_samples < profile.segments {
+        return Err(WearableError::InvalidConfig {
+            reason: format!(
+                "{} samples cannot form {} segments",
+                profile.window_samples, profile.segments
+            ),
+        });
+    }
+    if profile.ma_window == 0 {
+        return Err(WearableError::InvalidConfig {
+            reason: "moving-average window must be positive".into(),
+        });
+    }
+
+    let mut rng = Rng64::seed_from(seed);
+    let subjects: Vec<Subject> = (0..profile.subjects)
+        .map(|i| Subject::sample(i, profile.subject_variability, &mut rng))
+        .collect();
+
+    let n_rows = profile.subjects * AffectState::ALL.len() * profile.windows_per_state;
+    let n_features = Channel::ALL.len() * profile.segments * STATS_PER_SEGMENT;
+    let mut x = Matrix::zeros(n_rows, n_features);
+    let mut y = Vec::with_capacity(n_rows);
+    let mut subject_ids = Vec::with_capacity(n_rows);
+
+    let mut row = 0usize;
+    for subject in &subjects {
+        for &state in &AffectState::ALL {
+            let state_params = subject.baseline.with_state(
+                state,
+                profile.state_separation,
+                subject.response_gain,
+            );
+            for _w in 0..profile.windows_per_state {
+                let params = window_jitter(state_params, &mut rng);
+                let raw = signals::generate_window(
+                    &params,
+                    profile.window_samples,
+                    profile.sensor_noise,
+                    &mut rng,
+                );
+                let out_row = x.row_mut(row);
+                let mut offset = 0usize;
+                for channel in &raw {
+                    let filtered = moving_average(channel, profile.ma_window);
+                    let feats = window_features(&filtered, profile.segments);
+                    out_row[offset..offset + feats.len()].copy_from_slice(&feats);
+                    offset += feats.len();
+                }
+                let label = if rng.chance(profile.label_noise) {
+                    let mut other = rng.below(AffectState::ALL.len() - 1);
+                    if other >= state.label() {
+                        other += 1;
+                    }
+                    other
+                } else {
+                    state.label()
+                };
+                y.push(label);
+                subject_ids.push(subject.id);
+                row += 1;
+            }
+        }
+    }
+
+    let feature_names = feature_names(profile.segments);
+    Dataset::new(profile.name.clone(), x, y, subject_ids, subjects, feature_names)
+}
+
+/// Column names: `"{CHANNEL}_{seg}_{stat}"`.
+fn feature_names(segments: usize) -> Vec<String> {
+    let stats = ["min", "max", "mean", "std"];
+    let mut names = Vec::new();
+    for channel in Channel::ALL {
+        for seg in 0..segments {
+            for stat in stats {
+                names.push(format!("{}_{}_{}", channel.name(), seg, stat));
+            }
+        }
+    }
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(profile: DatasetProfile) -> DatasetProfile {
+        DatasetProfile {
+            subjects: 4,
+            windows_per_state: 4,
+            window_samples: 160,
+            ..profile
+        }
+    }
+
+    #[test]
+    fn generation_shapes() {
+        let data = generate(&tiny(wesad_like()), 1).unwrap();
+        assert_eq!(data.len(), 4 * 3 * 4);
+        assert_eq!(data.num_features(), 8 * 1 * 4);
+        assert_eq!(data.num_classes(), 3);
+        assert_eq!(data.subjects().len(), 4);
+    }
+
+    #[test]
+    fn segments_widen_features() {
+        let data = generate(&tiny(nurse_like()), 1).unwrap();
+        assert_eq!(data.num_features(), 8 * 4 * 4);
+        let data = generate(&tiny(stress_predict_like()), 1).unwrap();
+        assert_eq!(data.num_features(), 8 * 3 * 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&tiny(wesad_like()), 9).unwrap();
+        let b = generate(&tiny(wesad_like()), 9).unwrap();
+        assert_eq!(a, b);
+        let c = generate(&tiny(wesad_like()), 10).unwrap();
+        assert_ne!(a.features(), c.features());
+    }
+
+    #[test]
+    fn labels_are_balanced_without_label_noise() {
+        let data = generate(&tiny(wesad_like()), 2).unwrap();
+        let counts = data.class_counts();
+        assert!(counts.iter().all(|&c| c == counts[0]));
+    }
+
+    #[test]
+    fn label_noise_perturbs_labels() {
+        let mut profile = tiny(wesad_like());
+        profile.label_noise = 0.5;
+        let clean = generate(&tiny(wesad_like()), 3).unwrap();
+        let noisy = generate(&profile, 3).unwrap();
+        let differing = clean
+            .labels()
+            .iter()
+            .zip(noisy.labels())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(differing > 0, "label noise must change some labels");
+    }
+
+    #[test]
+    fn wesad_like_is_linearly_separable_enough() {
+        // Quick sanity: a nearest-centroid rule on normalized features must
+        // beat chance by a wide margin on the clean profile (full models
+        // are exercised in the integration tests).
+        let profile = DatasetProfile { subjects: 6, windows_per_state: 10, ..wesad_like() };
+        let data = generate(&profile, 4).unwrap();
+        let (train, test) = data.split_by_subject_fraction(0.34, 1).unwrap();
+        let (train, test) = crate::dataset::normalize_pair(&train, &test).unwrap();
+        let k = train.num_classes();
+        let f = train.num_features();
+        let mut centroids = vec![vec![0.0f64; f]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &label) in train.labels().iter().enumerate() {
+            for (c, &v) in centroids[label].iter_mut().zip(train.features().row(i)) {
+                *c += v as f64;
+            }
+            counts[label] += 1;
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= *n as f64;
+            }
+        }
+        let mut correct = 0usize;
+        for (i, &label) in test.labels().iter().enumerate() {
+            let row = test.features().row(i);
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d: f64 = row
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(&a, &b)| (a as f64 - b) * (a as f64 - b))
+                    .sum();
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            if best == label {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.6, "nearest centroid should beat chance easily, got {acc}");
+    }
+
+    #[test]
+    fn nurse_like_is_harder_than_wesad_like() {
+        let easy = DatasetProfile { subjects: 6, windows_per_state: 8, ..wesad_like() };
+        let hard = DatasetProfile { subjects: 6, windows_per_state: 8, ..nurse_like() };
+        let acc = |profile: &DatasetProfile| {
+            let data = generate(profile, 5).unwrap();
+            let (train, test) = data.split_by_subject_fraction(0.34, 2).unwrap();
+            let (train, test) = crate::dataset::normalize_pair(&train, &test).unwrap();
+            // 1-NN accuracy as a model-free difficulty probe.
+            let mut correct = 0usize;
+            for (i, &label) in test.labels().iter().enumerate() {
+                let row = test.features().row(i);
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for j in 0..train.len() {
+                    let d: f64 = row
+                        .iter()
+                        .zip(train.features().row(j))
+                        .map(|(&a, &b)| (a as f64 - b as f64) * (a as f64 - b as f64))
+                        .sum();
+                    if d < best_d {
+                        best_d = d;
+                        best = train.labels()[j];
+                    }
+                }
+                if best == label {
+                    correct += 1;
+                }
+            }
+            correct as f64 / test.len() as f64
+        };
+        assert!(acc(&easy) > acc(&hard) + 0.1);
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        let mut p = tiny(wesad_like());
+        p.subjects = 0;
+        assert!(generate(&p, 0).is_err());
+        let mut p = tiny(wesad_like());
+        p.segments = 0;
+        assert!(generate(&p, 0).is_err());
+        let mut p = tiny(wesad_like());
+        p.window_samples = 2;
+        p.segments = 4;
+        assert!(generate(&p, 0).is_err());
+        let mut p = tiny(wesad_like());
+        p.ma_window = 0;
+        assert!(generate(&p, 0).is_err());
+    }
+
+    #[test]
+    fn feature_names_match_columns() {
+        let data = generate(&tiny(stress_predict_like()), 6).unwrap();
+        assert_eq!(data.feature_names().len(), data.num_features());
+        assert!(data.feature_names()[0].starts_with("BVP"));
+        assert!(data.feature_names().iter().any(|n| n.contains("EDA")));
+    }
+
+    #[test]
+    fn paper_profiles_have_paper_cohort_sizes() {
+        let [wesad, nurse, sp] = paper_profiles();
+        assert_eq!(wesad.subjects, 15);
+        assert_eq!(nurse.subjects, 37);
+        assert_eq!(sp.subjects, 15);
+    }
+}

@@ -1,0 +1,349 @@
+//! Generative models of the wearable sensor channels.
+//!
+//! WESAD's devices record blood volume pulse (BVP), ECG, electrodermal
+//! activity (EDA), EMG, respiration, skin temperature, and 3-axis
+//! acceleration. Each generator here produces a raw window of one channel
+//! from the latent [`PhysioParams`], with the morphology that makes the
+//! downstream statistical features (min/max/mean/std) carry the same
+//! information they carry in the real datasets:
+//!
+//! * **BVP** — a pulse train at the heart rate with beat-to-beat jitter set
+//!   by HRV and a dicrotic second harmonic;
+//! * **ECG** — sharp R-peaks on a flat baseline (same beat clock);
+//! * **EDA** — slow tonic level plus phasic skin-conductance responses
+//!   (Poisson arrivals, fast-rise/slow-decay kernels);
+//! * **RESP** — breathing sinusoid with amplitude wander;
+//! * **TEMP** — baseline with a slow random walk;
+//! * **ACC** — Ornstein–Uhlenbeck motion noise scaled by activity level;
+//! * **EMG** — zero-mean noise whose envelope follows muscle tone.
+
+use crate::affect::PhysioParams;
+use linalg::Rng64;
+
+/// Sampling rate of every generated channel (Hz). Real devices sample
+/// faster, but feature extraction only consumes window statistics, which
+/// converge well below this rate.
+pub const SAMPLE_RATE_HZ: f32 = 16.0;
+
+/// The sensor channels in dataset column order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Channel {
+    /// Blood volume pulse (wrist PPG).
+    Bvp,
+    /// Electrocardiogram (chest).
+    Ecg,
+    /// Electrodermal activity / skin conductance.
+    Eda,
+    /// Electromyogram.
+    Emg,
+    /// Respiration.
+    Resp,
+    /// Skin temperature.
+    Temp,
+    /// Accelerometer magnitude (norm of the 3 axes).
+    AccMag,
+    /// Accelerometer vertical axis.
+    AccZ,
+}
+
+impl Channel {
+    /// All channels in column order.
+    pub const ALL: [Channel; 8] = [
+        Channel::Bvp,
+        Channel::Ecg,
+        Channel::Eda,
+        Channel::Emg,
+        Channel::Resp,
+        Channel::Temp,
+        Channel::AccMag,
+        Channel::AccZ,
+    ];
+
+    /// Short name used in feature labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::Bvp => "BVP",
+            Channel::Ecg => "ECG",
+            Channel::Eda => "EDA",
+            Channel::Emg => "EMG",
+            Channel::Resp => "RESP",
+            Channel::Temp => "TEMP",
+            Channel::AccMag => "ACC",
+            Channel::AccZ => "ACCZ",
+        }
+    }
+}
+
+/// Generates one window of every channel; returns `channels × samples`.
+pub fn generate_window(
+    params: &PhysioParams,
+    samples: usize,
+    noise: f32,
+    rng: &mut Rng64,
+) -> Vec<Vec<f32>> {
+    // One shared beat clock so BVP and ECG stay physiologically coupled.
+    let beats = beat_train(params, samples, rng);
+    Channel::ALL
+        .iter()
+        .map(|&c| generate_channel(c, params, samples, noise, &beats, rng))
+        .collect()
+}
+
+/// Generates one window of a single channel.
+pub fn generate_channel(
+    channel: Channel,
+    params: &PhysioParams,
+    samples: usize,
+    noise: f32,
+    beats: &[f32],
+    rng: &mut Rng64,
+) -> Vec<f32> {
+    let mut out = match channel {
+        Channel::Bvp => bvp(beats, samples),
+        Channel::Ecg => ecg(beats, samples),
+        Channel::Eda => eda(params, samples, rng),
+        Channel::Emg => emg(params, samples, rng),
+        Channel::Resp => resp(params, samples, rng),
+        Channel::Temp => temp(params, samples, rng),
+        Channel::AccMag => acc(params, samples, 1.0, rng),
+        Channel::AccZ => acc(params, samples, 0.6, rng),
+    };
+    if noise > 0.0 {
+        for v in &mut out {
+            *v += rng.normal_with(0.0, noise);
+        }
+    }
+    out
+}
+
+/// Beat phase accumulator: `beats[t] ∈ [0, 1)` is the phase within the
+/// current cardiac cycle; resets at each beat. Beat-to-beat interval jitters
+/// with the HRV parameter.
+pub fn beat_train(params: &PhysioParams, samples: usize, rng: &mut Rng64) -> Vec<f32> {
+    let mut phases = Vec::with_capacity(samples);
+    let mut phase = rng.uniform();
+    let base_interval = 60.0 / params.heart_rate; // seconds per beat
+    let mut interval = jittered_interval(base_interval, params.hrv, rng);
+    for _ in 0..samples {
+        phases.push(phase);
+        phase += 1.0 / (interval * SAMPLE_RATE_HZ);
+        if phase >= 1.0 {
+            phase -= phase.floor();
+            interval = jittered_interval(base_interval, params.hrv, rng);
+        }
+    }
+    phases
+}
+
+fn jittered_interval(base: f32, hrv: f32, rng: &mut Rng64) -> f32 {
+    (base + rng.normal_with(0.0, hrv)).max(0.25)
+}
+
+fn bvp(beats: &[f32], samples: usize) -> Vec<f32> {
+    debug_assert_eq!(beats.len(), samples);
+    beats
+        .iter()
+        .map(|&p| {
+            let main = (std::f32::consts::TAU * p).sin();
+            let dicrotic = 0.35 * (2.0 * std::f32::consts::TAU * p + 0.8).sin();
+            main + dicrotic
+        })
+        .collect()
+}
+
+fn ecg(beats: &[f32], samples: usize) -> Vec<f32> {
+    debug_assert_eq!(beats.len(), samples);
+    beats
+        .iter()
+        .map(|&p| {
+            // Narrow Gaussian R-peak at phase 0.1, small T-wave at 0.45.
+            let r = (-((p - 0.10) * (p - 0.10)) / (2.0 * 0.0009)).exp();
+            let t = 0.25 * (-((p - 0.45) * (p - 0.45)) / (2.0 * 0.004)).exp();
+            1.2 * r + t - 0.05
+        })
+        .collect()
+}
+
+fn eda(params: &PhysioParams, samples: usize, rng: &mut Rng64) -> Vec<f32> {
+    let mut out = vec![params.eda_tonic; samples];
+    // Slow tonic drift.
+    let mut drift = 0.0f32;
+    for v in out.iter_mut() {
+        drift += rng.normal_with(0.0, 0.002);
+        *v += drift;
+    }
+    // Phasic SCRs: Poisson arrivals at scr_rate per minute; each response is
+    // a fast-rise / slow-decay bump lasting a few seconds.
+    let per_sample_rate = params.scr_rate / 60.0 / SAMPLE_RATE_HZ;
+    for t in 0..samples {
+        if rng.chance(per_sample_rate as f64) {
+            let amplitude = 0.25 + 0.4 * rng.uniform();
+            let rise = (0.7 * SAMPLE_RATE_HZ) as usize; // ~0.7 s rise
+            let decay = (3.0 * SAMPLE_RATE_HZ) as usize; // ~3 s decay
+            for (k, v) in out.iter_mut().enumerate().skip(t) {
+                let dt = k - t;
+                let shape = if dt < rise {
+                    dt as f32 / rise as f32
+                } else {
+                    (-((dt - rise) as f32) / decay as f32).exp()
+                };
+                *v += amplitude * shape;
+                if dt > rise + 4 * decay {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+fn emg(params: &PhysioParams, samples: usize, rng: &mut Rng64) -> Vec<f32> {
+    (0..samples)
+        .map(|_| rng.normal_with(0.0, 0.1 + 0.12 * params.emg_tone))
+        .collect()
+}
+
+fn resp(params: &PhysioParams, samples: usize, rng: &mut Rng64) -> Vec<f32> {
+    let freq = params.resp_rate / 60.0; // Hz
+    let mut amp = 1.0f32;
+    (0..samples)
+        .map(|t| {
+            amp = (amp + rng.normal_with(0.0, 0.01)).clamp(0.6, 1.4);
+            amp * (std::f32::consts::TAU * freq * t as f32 / SAMPLE_RATE_HZ).sin()
+        })
+        .collect()
+}
+
+fn temp(params: &PhysioParams, samples: usize, rng: &mut Rng64) -> Vec<f32> {
+    let mut level = params.temperature;
+    (0..samples)
+        .map(|_| {
+            level += rng.normal_with(0.0, 0.003);
+            level
+        })
+        .collect()
+}
+
+fn acc(params: &PhysioParams, samples: usize, axis_gain: f32, rng: &mut Rng64) -> Vec<f32> {
+    // Ornstein–Uhlenbeck around the gravity offset: correlated motion noise.
+    let theta = 0.15f32;
+    let sigma = params.motion * axis_gain;
+    let mut v = 0.0f32;
+    (0..samples)
+        .map(|_| {
+            v += -theta * v + rng.normal_with(0.0, sigma * 0.3);
+            1.0 * axis_gain + v
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affect::AffectState;
+    use linalg::stats;
+
+    fn window(params: &PhysioParams, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Rng64::seed_from(seed);
+        generate_window(params, 480, 0.01, &mut rng)
+    }
+
+    fn channel_stats(w: &[Vec<f32>], c: Channel) -> (f64, f64) {
+        let idx = Channel::ALL.iter().position(|&x| x == c).unwrap();
+        let xs: Vec<f64> = w[idx].iter().map(|&v| v as f64).collect();
+        (stats::mean(&xs), stats::std_dev(&xs))
+    }
+
+    #[test]
+    fn window_has_all_channels_and_lengths() {
+        let w = window(&PhysioParams::resting(), 1);
+        assert_eq!(w.len(), 8);
+        assert!(w.iter().all(|c| c.len() == 480));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = window(&PhysioParams::resting(), 7);
+        let b = window(&PhysioParams::resting(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stress_raises_eda_mean() {
+        let base = PhysioParams::resting();
+        let stressed = base.with_state(AffectState::Stress, 1.0, 1.0);
+        // Average over several windows to suppress SCR shot noise.
+        let mean_of = |p: &PhysioParams| {
+            (0..5)
+                .map(|s| channel_stats(&window(p, 100 + s), Channel::Eda).0)
+                .sum::<f64>()
+                / 5.0
+        };
+        assert!(mean_of(&stressed) > mean_of(&base));
+    }
+
+    #[test]
+    fn stress_lowers_temperature() {
+        let base = PhysioParams::resting();
+        let stressed = base.with_state(AffectState::Stress, 1.0, 1.0);
+        let t_base = channel_stats(&window(&base, 3), Channel::Temp).0;
+        let t_stress = channel_stats(&window(&stressed, 3), Channel::Temp).0;
+        assert!(t_stress < t_base);
+    }
+
+    #[test]
+    fn higher_heart_rate_means_more_beats() {
+        let mut fast = PhysioParams::resting();
+        fast.heart_rate = 150.0;
+        let slow = PhysioParams::resting();
+        let count_beats = |p: &PhysioParams| {
+            let mut rng = Rng64::seed_from(5);
+            let phases = beat_train(p, 960, &mut rng);
+            phases.windows(2).filter(|w| w[1] < w[0]).count()
+        };
+        assert!(count_beats(&fast) > count_beats(&slow));
+    }
+
+    #[test]
+    fn emg_envelope_follows_tone() {
+        let mut tense = PhysioParams::resting();
+        tense.emg_tone = 4.0;
+        let calm = PhysioParams::resting();
+        let std_of = |p: &PhysioParams| channel_stats(&window(p, 9), Channel::Emg).1;
+        assert!(std_of(&tense) > std_of(&calm));
+    }
+
+    #[test]
+    fn motion_scales_acc_variance() {
+        let mut moving = PhysioParams::resting();
+        moving.motion = 1.5;
+        let still = PhysioParams::resting();
+        let std_of = |p: &PhysioParams| channel_stats(&window(p, 11), Channel::AccMag).1;
+        assert!(std_of(&moving) > std_of(&still));
+    }
+
+    #[test]
+    fn ecg_peaks_are_sparse_and_positive() {
+        let w = window(&PhysioParams::resting(), 13);
+        let idx = Channel::ALL.iter().position(|&x| x == Channel::Ecg).unwrap();
+        let ecg = &w[idx];
+        let above_one = ecg.iter().filter(|&&v| v > 1.0).count() as f32 / ecg.len() as f32;
+        assert!(above_one > 0.005 && above_one < 0.2, "R-peak duty cycle {above_one}");
+    }
+
+    #[test]
+    fn resp_oscillates_around_zero() {
+        let w = window(&PhysioParams::resting(), 15);
+        let (mean, std) = channel_stats(&w, Channel::Resp);
+        assert!(mean.abs() < 0.3);
+        assert!(std > 0.3);
+    }
+
+    #[test]
+    fn channel_names_unique() {
+        let mut names: Vec<&str> = Channel::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+}

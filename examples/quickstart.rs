@@ -1,0 +1,58 @@
+//! Quickstart: train BoostHD on a WESAD-like stress dataset and compare it
+//! against OnlineHD, end to end.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use boosthd_repro::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Synthesize a wearable stress dataset (15 subjects, 3 affect
+    //    states, multimodal sensors) and split it by subject: the model
+    //    never sees the test subjects during training.
+    let profile = wearables::profiles::wesad_like();
+    let data = wearables::generate(&profile, 42)?;
+    println!(
+        "dataset: {} windows x {} features, {} subjects, {} classes",
+        data.len(),
+        data.num_features(),
+        data.subjects().len(),
+        data.num_classes()
+    );
+    let (train, test) = data.split_by_subject_fraction(0.3, 7)?;
+    let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
+
+    // 2. Train OnlineHD (one strong learner, D = 4000).
+    let online = OnlineHd::fit(
+        &OnlineHdConfig { dim: 4000, ..Default::default() },
+        train.features(),
+        train.labels(),
+    )?;
+
+    // 3. Train BoostHD (ten weak learners sharing the same D = 4000).
+    let boost = BoostHd::fit(
+        &BoostHdConfig { dim_total: 4000, n_learners: 10, ..Default::default() },
+        train.features(),
+        train.labels(),
+    )?;
+    println!(
+        "BoostHD weak-learner weighted errors: {:?}",
+        boost
+            .training_errors()
+            .iter()
+            .map(|e| format!("{e:.3}"))
+            .collect::<Vec<_>>()
+    );
+
+    // 4. Evaluate both on the held-out subjects.
+    let acc = |preds: &[usize]| eval_harness::metrics::accuracy(preds, test.labels()) * 100.0;
+    let online_acc = acc(&online.predict_batch(test.features()));
+    let boost_acc = acc(&boost.predict_batch(test.features()));
+    println!("OnlineHD accuracy: {online_acc:.2}%");
+    println!("BoostHD  accuracy: {boost_acc:.2}%");
+
+    // 5. BoostHD inference parallelizes across queries.
+    let parallel_preds = boost.predict_batch_parallel(test.features(), 2);
+    assert_eq!(parallel_preds, boost.predict_batch(test.features()));
+    println!("parallel inference matches serial — ready for deployment.");
+    Ok(())
+}
