@@ -116,8 +116,7 @@ impl AdaBoost {
                 .sum();
             let eps = 1e-10;
             let clamped = err.clamp(eps, 1.0 - 1.0 / k - eps);
-            let alpha =
-                config.learning_rate * (((1.0 - clamped) / clamped).ln() + (k - 1.0).ln());
+            let alpha = config.learning_rate * (((1.0 - clamped) / clamped).ln() + (k - 1.0).ln());
             let alpha = alpha.max(0.0);
 
             let boost = alpha.exp();
@@ -136,7 +135,11 @@ impl AdaBoost {
             alphas.push(alpha);
         }
 
-        Ok(Self { trees, alphas, num_classes })
+        Ok(Self {
+            trees,
+            alphas,
+            num_classes,
+        })
     }
 
     /// Vote weights of the weak trees, in training order.
@@ -190,7 +193,11 @@ mod tests {
     #[test]
     fn boosted_stumps_solve_three_stripes() {
         let (x, y) = stripes(240, 1);
-        let config = AdaBoostConfig { max_depth: 1, n_estimators: 20, ..Default::default() };
+        let config = AdaBoostConfig {
+            max_depth: 1,
+            n_estimators: 20,
+            ..Default::default()
+        };
         let model = AdaBoost::fit(&config, &x, &y).unwrap();
         let acc = model
             .predict_batch(&x)
@@ -206,19 +213,31 @@ mod tests {
     fn ensemble_beats_single_stump() {
         let (x, y) = stripes(240, 2);
         let single = AdaBoost::fit(
-            &AdaBoostConfig { n_estimators: 1, max_depth: 1, ..Default::default() },
+            &AdaBoostConfig {
+                n_estimators: 1,
+                max_depth: 1,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let many = AdaBoost::fit(
-            &AdaBoostConfig { n_estimators: 15, max_depth: 1, ..Default::default() },
+            &AdaBoostConfig {
+                n_estimators: 15,
+                max_depth: 1,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let acc = |m: &AdaBoost| {
-            m.predict_batch(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+            m.predict_batch(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| p == t)
+                .count() as f64
                 / y.len() as f64
         };
         assert!(acc(&many) > acc(&single));
@@ -236,13 +255,19 @@ mod tests {
     fn learning_rate_scales_alphas() {
         let (x, y) = stripes(120, 4);
         let full = AdaBoost::fit(
-            &AdaBoostConfig { learning_rate: 1.0, ..Default::default() },
+            &AdaBoostConfig {
+                learning_rate: 1.0,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let half = AdaBoost::fit(
-            &AdaBoostConfig { learning_rate: 0.5, ..Default::default() },
+            &AdaBoostConfig {
+                learning_rate: 0.5,
+                ..Default::default()
+            },
             &x,
             &y,
         )
@@ -274,13 +299,19 @@ mod tests {
     fn invalid_config_rejected() {
         let (x, y) = stripes(30, 5);
         assert!(AdaBoost::fit(
-            &AdaBoostConfig { n_estimators: 0, ..Default::default() },
+            &AdaBoostConfig {
+                n_estimators: 0,
+                ..Default::default()
+            },
             &x,
             &y
         )
         .is_err());
         assert!(AdaBoost::fit(
-            &AdaBoostConfig { learning_rate: 0.0, ..Default::default() },
+            &AdaBoostConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
             &x,
             &y
         )

@@ -74,7 +74,9 @@ mod tests {
 
     #[test]
     fn display_contains_reason() {
-        let e = BaselineError::InvalidConfig { reason: "zero trees".into() };
+        let e = BaselineError::InvalidConfig {
+            reason: "zero trees".into(),
+        };
         assert!(e.to_string().contains("zero trees"));
     }
 

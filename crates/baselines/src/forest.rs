@@ -208,9 +208,17 @@ mod tests {
     fn forest_beats_or_matches_single_bagged_tree_out_of_sample() {
         let (xtr, ytr) = blobs(300, 4, 0.9);
         let (xte, yte) = blobs(150, 99, 0.9);
-        let rf_config = RandomForestConfig { n_trees: 15, max_depth: 6, ..Default::default() };
+        let rf_config = RandomForestConfig {
+            n_trees: 15,
+            max_depth: 6,
+            ..Default::default()
+        };
         let rf = RandomForest::fit(&rf_config, &xtr, &ytr).unwrap();
-        let one_config = RandomForestConfig { n_trees: 1, max_depth: 6, ..Default::default() };
+        let one_config = RandomForestConfig {
+            n_trees: 1,
+            max_depth: 6,
+            ..Default::default()
+        };
         let one = RandomForest::fit(&one_config, &xtr, &ytr).unwrap();
         let acc = |m: &RandomForest| {
             m.predict_batch(&xte)
@@ -220,13 +228,21 @@ mod tests {
                 .count() as f64
                 / yte.len() as f64
         };
-        assert!(acc(&rf) + 0.03 >= acc(&one), "{} vs {}", acc(&rf), acc(&one));
+        assert!(
+            acc(&rf) + 0.03 >= acc(&one),
+            "{} vs {}",
+            acc(&rf),
+            acc(&one)
+        );
     }
 
     #[test]
     fn zero_trees_rejected() {
         let (x, y) = blobs(20, 5, 0.3);
-        let config = RandomForestConfig { n_trees: 0, ..Default::default() };
+        let config = RandomForestConfig {
+            n_trees: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             RandomForest::fit(&config, &x, &y),
             Err(BaselineError::InvalidConfig { .. })
@@ -244,7 +260,10 @@ mod tests {
     #[test]
     fn no_bootstrap_mode_works() {
         let (x, y) = blobs(80, 7, 0.4);
-        let config = RandomForestConfig { bootstrap: false, ..Default::default() };
+        let config = RandomForestConfig {
+            bootstrap: false,
+            ..Default::default()
+        };
         let rf = RandomForest::fit(&config, &x, &y).unwrap();
         assert_eq!(rf.n_trees(), 10);
     }

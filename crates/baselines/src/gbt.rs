@@ -54,8 +54,15 @@ impl Default for GradientBoostingConfig {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum RegNode {
-    Leaf { value: f32 },
-    Split { feature: usize, threshold: f32, left: u32, right: u32 },
+    Leaf {
+        value: f32,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A regression tree over gradient/hessian targets.
@@ -70,7 +77,12 @@ impl RegTree {
         loop {
             match &self.nodes[i] {
                 RegNode::Leaf { value } => return *value,
-                RegNode::Split { feature, threshold, left, right } => {
+                RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     i = if x[*feature] <= *threshold {
                         *left as usize
                     } else {
@@ -102,9 +114,8 @@ impl RegBuilder<'_> {
 
         match best {
             None => {
-                let value =
-                    (-(g / (h + self.config.lambda as f64)) * self.config.learning_rate as f64)
-                        as f32;
+                let value = (-(g / (h + self.config.lambda as f64))
+                    * self.config.learning_rate as f64) as f32;
                 self.nodes.push(RegNode::Leaf { value });
                 (self.nodes.len() - 1) as u32
             }
@@ -116,7 +127,12 @@ impl RegBuilder<'_> {
                 let me = (self.nodes.len() - 1) as u32;
                 let left = self.build(&l, depth + 1);
                 let right = self.build(&r, depth + 1);
-                self.nodes[me as usize] = RegNode::Split { feature, threshold, left, right };
+                self.nodes[me as usize] = RegNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -127,8 +143,10 @@ impl RegBuilder<'_> {
         let parent_score = g * g / (h + lambda);
         let mut best: Option<(usize, f32, f64)> = None;
         for feature in 0..self.x.cols() {
-            let mut vals: Vec<(f32, usize)> =
-                indices.iter().map(|&i| (self.x.at(i, feature), i)).collect();
+            let mut vals: Vec<(f32, usize)> = indices
+                .iter()
+                .map(|&i| (self.x.at(i, feature), i))
+                .collect();
             vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
             let mut gl = 0.0f64;
             let mut hl = 0.0f64;
@@ -149,7 +167,7 @@ impl RegBuilder<'_> {
                 }
                 let gain = 0.5 * (gl * gl / (hl + lambda) + gr * gr / (hr + lambda) - parent_score)
                     - self.config.gamma as f64;
-                if gain > 1e-12 && best.map_or(true, |(_, _, b)| gain > b) {
+                if gain > 1e-12 && best.is_none_or(|(_, _, b)| gain > b) {
                     best = Some((feature, 0.5 * (v + next_v), gain));
                 }
             }
@@ -247,7 +265,9 @@ impl GradientBoostedTrees {
                     nodes: Vec::new(),
                 };
                 builder.build(&all, 0);
-                let tree = RegTree { nodes: builder.nodes };
+                let tree = RegTree {
+                    nodes: builder.nodes,
+                };
                 for i in 0..n {
                     logits[i * num_classes + c] += tree.predict(x.row(i));
                 }
@@ -347,19 +367,29 @@ mod tests {
     fn more_rounds_do_not_hurt_training_fit() {
         let (x, y) = rings(200, 3);
         let short = GradientBoostedTrees::fit(
-            &GradientBoostingConfig { n_estimators: 2, ..Default::default() },
+            &GradientBoostingConfig {
+                n_estimators: 2,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let long = GradientBoostedTrees::fit(
-            &GradientBoostingConfig { n_estimators: 15, ..Default::default() },
+            &GradientBoostingConfig {
+                n_estimators: 15,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let acc = |m: &GradientBoostedTrees| {
-            m.predict_batch(&x).iter().zip(&y).filter(|(p, t)| p == t).count() as f64
+            m.predict_batch(&x)
+                .iter()
+                .zip(&y)
+                .filter(|(p, t)| p == t)
+                .count() as f64
                 / y.len() as f64
         };
         assert!(acc(&long) >= acc(&short));
@@ -369,19 +399,30 @@ mod tests {
     fn shrinkage_moderates_first_round() {
         let (x, y) = rings(100, 4);
         let slow = GradientBoostedTrees::fit(
-            &GradientBoostingConfig { learning_rate: 0.05, n_estimators: 1, ..Default::default() },
+            &GradientBoostingConfig {
+                learning_rate: 0.05,
+                n_estimators: 1,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let fast = GradientBoostedTrees::fit(
-            &GradientBoostingConfig { learning_rate: 0.9, n_estimators: 1, ..Default::default() },
+            &GradientBoostingConfig {
+                learning_rate: 0.9,
+                n_estimators: 1,
+                ..Default::default()
+            },
             &x,
             &y,
         )
         .unwrap();
         let max_abs = |m: &GradientBoostedTrees| {
-            m.scores(x.row(0)).iter().map(|s| s.abs()).fold(0.0f32, f32::max)
+            m.scores(x.row(0))
+                .iter()
+                .map(|s| s.abs())
+                .fold(0.0f32, f32::max)
         };
         assert!(max_abs(&slow) < max_abs(&fast));
     }
@@ -389,20 +430,28 @@ mod tests {
     #[test]
     fn single_class_rejected() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
-        assert!(GradientBoostedTrees::fit(&GradientBoostingConfig::default(), &x, &[0, 0]).is_err());
+        assert!(
+            GradientBoostedTrees::fit(&GradientBoostingConfig::default(), &x, &[0, 0]).is_err()
+        );
     }
 
     #[test]
     fn invalid_config_rejected() {
         let (x, y) = rings(20, 5);
         assert!(GradientBoostedTrees::fit(
-            &GradientBoostingConfig { n_estimators: 0, ..Default::default() },
+            &GradientBoostingConfig {
+                n_estimators: 0,
+                ..Default::default()
+            },
             &x,
             &y
         )
         .is_err());
         assert!(GradientBoostedTrees::fit(
-            &GradientBoostingConfig { learning_rate: -0.1, ..Default::default() },
+            &GradientBoostingConfig {
+                learning_rate: -0.1,
+                ..Default::default()
+            },
             &x,
             &y
         )

@@ -71,11 +71,13 @@ impl MlpConfig {
 /// use linalg::Matrix;
 ///
 /// let x = Matrix::from_rows(&[
-///     vec![0.0, 0.0], vec![0.1, 0.1], vec![1.0, 1.0], vec![1.1, 0.9],
+///     vec![0.0, 0.0], vec![0.1, 0.1], vec![0.1, -0.1], vec![-0.1, 0.0],
+///     vec![1.0, 1.0], vec![1.1, 0.9], vec![0.9, 1.1], vec![1.0, 1.2],
 /// ])?;
-/// let y = vec![0, 0, 1, 1];
+/// let y = vec![0, 0, 0, 0, 1, 1, 1, 1];
 /// let model = Mlp::fit(&MlpConfig::small(), &x, &y)?;
-/// assert_eq!(model.predict(&[0.05, 0.05]), 0);
+/// assert_eq!(model.predict(&[0.0, 0.05]), 0);
+/// assert_eq!(model.predict(&[1.0, 1.05]), 1);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -156,7 +158,11 @@ impl Mlp {
             }
         }
 
-        Ok(Self { weights, biases, num_classes })
+        Ok(Self {
+            weights,
+            biases,
+            num_classes,
+        })
     }
 
     /// Number of layers (including the output layer).
@@ -230,13 +236,20 @@ impl Adam {
             beta2: 0.999,
             eps: 1e-8,
             t: 0,
-            m_w: weights.iter().map(|w| vec![0.0; w.as_slice().len()]).collect(),
-            v_w: weights.iter().map(|w| vec![0.0; w.as_slice().len()]).collect(),
+            m_w: weights
+                .iter()
+                .map(|w| vec![0.0; w.as_slice().len()])
+                .collect(),
+            v_w: weights
+                .iter()
+                .map(|w| vec![0.0; w.as_slice().len()])
+                .collect(),
             m_b: biases.iter().map(|b| vec![0.0; b.len()]).collect(),
             v_b: biases.iter().map(|b| vec![0.0; b.len()]).collect(),
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn step_tensor(
         lr_t: f32,
         beta1: f32,
@@ -263,8 +276,8 @@ impl Adam {
     ) {
         self.t += 1;
         // Bias-corrected step size.
-        let lr_t = self.lr * (1.0 - self.beta2.powi(self.t)).sqrt()
-            / (1.0 - self.beta1.powi(self.t));
+        let lr_t =
+            self.lr * (1.0 - self.beta2.powi(self.t)).sqrt() / (1.0 - self.beta1.powi(self.t));
         for l in 0..weights.len() {
             Self::step_tensor(
                 lr_t,
@@ -301,8 +314,8 @@ fn add_bias(z: &mut Matrix, b: &[f32]) {
 /// One minibatch forward/backward/Adam step.
 #[allow(clippy::too_many_arguments)]
 fn train_step(
-    weights: &mut Vec<Matrix>,
-    biases: &mut Vec<Vec<f32>>,
+    weights: &mut [Matrix],
+    biases: &mut [Vec<f32>],
     opt: &mut Adam,
     xb: &Matrix,
     yb: &[usize],
@@ -324,7 +337,13 @@ fn train_step(
             if dropout > 0.0 {
                 let keep = 1.0 - dropout;
                 let mask: Vec<f32> = (0..z.as_slice().len())
-                    .map(|_| if rng.chance(dropout as f64) { 0.0 } else { 1.0 / keep })
+                    .map(|_| {
+                        if rng.chance(dropout as f64) {
+                            0.0
+                        } else {
+                            1.0 / keep
+                        }
+                    })
                     .collect();
                 for (v, &m) in z.as_mut_slice().iter_mut().zip(mask.iter()) {
                     *v *= m;
@@ -342,14 +361,14 @@ fn train_step(
     // Softmax cross-entropy gradient at the output: dZ = (p − onehot)/B.
     let logits = activations.last().expect("forward produced output");
     let mut dz = Matrix::zeros(batch, num_classes);
-    for r in 0..batch {
+    for (r, &yr) in yb.iter().enumerate() {
         let row = logits.row(r);
         let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exp: Vec<f32> = row.iter().map(|&v| (v - m).exp()).collect();
         let z: f32 = exp.iter().sum();
-        for c in 0..num_classes {
-            let p = exp[c] / z;
-            let target = if yb[r] == c { 1.0 } else { 0.0 };
+        for (c, &e) in exp.iter().enumerate() {
+            let p = e / z;
+            let target = if yr == c { 1.0 } else { 0.0 };
             dz.set(r, c, (p - target) / batch as f32);
         }
     }
@@ -403,7 +422,10 @@ mod tests {
         for i in 0..n {
             let class = i % 3;
             let (cx, cy) = centers[class];
-            rows.push(vec![cx * sep + 0.3 * rng.normal(), cy * sep + 0.3 * rng.normal()]);
+            rows.push(vec![
+                cx * sep + 0.3 * rng.normal(),
+                cy * sep + 0.3 * rng.normal(),
+            ]);
             labels.push(class);
         }
         (Matrix::from_rows(&rows).unwrap(), labels)
@@ -444,7 +466,10 @@ mod tests {
         }
         let x = Matrix::from_rows(&rows).unwrap();
         let model = Mlp::fit(&MlpConfig::small(), &x, &labels).unwrap();
-        assert!(accuracy(&model, &x, &labels) > 0.95, "a linear model cannot do this");
+        assert!(
+            accuracy(&model, &x, &labels) > 0.95,
+            "a linear model cannot do this"
+        );
     }
 
     #[test]
@@ -475,7 +500,10 @@ mod tests {
     #[test]
     fn dropout_zero_also_trains() {
         let (x, y) = blobs(120, 6, 1.0);
-        let config = MlpConfig { dropout: 0.0, ..MlpConfig::small() };
+        let config = MlpConfig {
+            dropout: 0.0,
+            ..MlpConfig::small()
+        };
         let model = Mlp::fit(&config, &x, &y).unwrap();
         assert!(accuracy(&model, &x, &y) > 0.9);
     }
@@ -484,14 +512,35 @@ mod tests {
     fn invalid_configs_rejected() {
         let (x, y) = blobs(20, 7, 1.0);
         for config in [
-            MlpConfig { hidden: vec![], ..MlpConfig::small() },
-            MlpConfig { hidden: vec![0], ..MlpConfig::small() },
-            MlpConfig { epochs: 0, ..MlpConfig::small() },
-            MlpConfig { batch_size: 0, ..MlpConfig::small() },
-            MlpConfig { lr: 0.0, ..MlpConfig::small() },
-            MlpConfig { dropout: 1.0, ..MlpConfig::small() },
+            MlpConfig {
+                hidden: vec![],
+                ..MlpConfig::small()
+            },
+            MlpConfig {
+                hidden: vec![0],
+                ..MlpConfig::small()
+            },
+            MlpConfig {
+                epochs: 0,
+                ..MlpConfig::small()
+            },
+            MlpConfig {
+                batch_size: 0,
+                ..MlpConfig::small()
+            },
+            MlpConfig {
+                lr: 0.0,
+                ..MlpConfig::small()
+            },
+            MlpConfig {
+                dropout: 1.0,
+                ..MlpConfig::small()
+            },
         ] {
-            assert!(Mlp::fit(&config, &x, &y).is_err(), "{config:?} should be rejected");
+            assert!(
+                Mlp::fit(&config, &x, &y).is_err(),
+                "{config:?} should be rejected"
+            );
         }
     }
 

@@ -123,7 +123,10 @@ impl LinearSvm {
             }
         }
 
-        Ok(Self { weights, num_classes })
+        Ok(Self {
+            weights,
+            num_classes,
+        })
     }
 
     /// The learned weight matrix (`classes × (features + 1)`, bias last).
@@ -253,13 +256,19 @@ mod tests {
     fn invalid_config_rejected() {
         let (x, y) = blobs(20, 5, 1.0);
         assert!(LinearSvm::fit(
-            &LinearSvmConfig { lambda: 0.0, ..Default::default() },
+            &LinearSvmConfig {
+                lambda: 0.0,
+                ..Default::default()
+            },
             &x,
             &y
         )
         .is_err());
         assert!(LinearSvm::fit(
-            &LinearSvmConfig { epochs: 0, ..Default::default() },
+            &LinearSvmConfig {
+                epochs: 0,
+                ..Default::default()
+            },
             &x,
             &y
         )

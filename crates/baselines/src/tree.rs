@@ -170,7 +170,12 @@ impl DecisionTree {
         loop {
             match &self.nodes[i] {
                 Node::Leaf { dist } => return dist,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     i = if x[*feature] <= *threshold {
                         *left as usize
                     } else {
@@ -237,7 +242,12 @@ impl Builder<'_> {
                 let me = (self.nodes.len() - 1) as u32;
                 let left = self.build(&left_idx, depth + 1);
                 let right = self.build(&right_idx, depth + 1);
-                self.nodes[me as usize] = Node::Split { feature, threshold, left, right };
+                self.nodes[me as usize] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
                 me
             }
         }
@@ -270,8 +280,10 @@ impl Builder<'_> {
     ) -> Option<(usize, f32, f64)> {
         let mut best: Option<(usize, f32, f64)> = None;
         for feature in self.candidate_features() {
-            let mut vals: Vec<(f32, usize)> =
-                indices.iter().map(|&i| (self.x.at(i, feature), i)).collect();
+            let mut vals: Vec<(f32, usize)> = indices
+                .iter()
+                .map(|&i| (self.x.at(i, feature), i))
+                .collect();
             vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature values"));
 
             let mut left_counts = vec![0.0f64; self.num_classes];
@@ -296,7 +308,7 @@ impl Builder<'_> {
                 let weighted_child_gini = (left_total / total) * gini(&left_counts, left_total)
                     + (right_total / total) * gini(&right_counts, right_total);
                 let decrease = node_gini - weighted_child_gini;
-                if decrease > 1e-12 && best.map_or(true, |(_, _, b)| decrease > b) {
+                if decrease > 1e-12 && best.is_none_or(|(_, _, b)| decrease > b) {
                     best = Some((feature, 0.5 * (v + next_v), decrease));
                 }
             }
@@ -337,7 +349,7 @@ mod tests {
         ] {
             for _ in 0..count {
                 rows.push(vec![a, b]);
-                labels.push(((a as usize) ^ (b as usize)) as usize);
+                labels.push((a as usize) ^ (b as usize));
             }
         }
         (Matrix::from_rows(&rows).unwrap(), labels)
@@ -356,7 +368,10 @@ mod tests {
     #[test]
     fn learns_xor_with_depth_two() {
         let (x, y) = xor_data();
-        let config = DecisionTreeConfig { max_depth: 2, ..Default::default() };
+        let config = DecisionTreeConfig {
+            max_depth: 2,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&config, &x, &y).unwrap();
         let acc = tree
             .predict_batch(&x)
@@ -370,7 +385,10 @@ mod tests {
     #[test]
     fn stump_cannot_learn_xor() {
         let (x, y) = xor_data();
-        let config = DecisionTreeConfig { max_depth: 1, ..Default::default() };
+        let config = DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&config, &x, &y).unwrap();
         let acc = tree
             .predict_batch(&x)
@@ -396,7 +414,10 @@ mod tests {
     fn max_depth_zero_gives_majority_leaf() {
         let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
         let y = vec![0, 1, 1];
-        let config = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let config = DecisionTreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let tree = DecisionTree::fit(&config, &x, &y).unwrap();
         assert_eq!(tree.node_count(), 1);
         assert_eq!(tree.predict(&[0.0]), 1, "majority class wins at depth 0");
@@ -407,7 +428,10 @@ mod tests {
         // Same data, but weighting flips which class dominates a leaf.
         let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![0.2]]).unwrap();
         let y = vec![0, 1, 1];
-        let config = DecisionTreeConfig { max_depth: 0, ..Default::default() };
+        let config = DecisionTreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        };
         let heavy0 = DecisionTree::fit_weighted(&config, &x, &y, Some(&[10.0, 1.0, 1.0])).unwrap();
         assert_eq!(heavy0.predict(&[0.0]), 0);
     }

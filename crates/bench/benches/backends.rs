@@ -1,0 +1,124 @@
+//! Backend-comparison benchmarks: f32 cosine vs bitpacked popcount
+//! similarity at the paper's `D = 4000`, single-query and batched, plus
+//! bundling. Results are also snapshotted to `BENCH_backends.json` at the
+//! repository root (the artifact tracking the ≥5× similarity speedup
+//! claim).
+//!
+//! Run with `cargo bench --bench backends`.
+
+use criterion::{Criterion, Throughput};
+use hdc::backend::{BitpackedSign, DenseF32, PackedHv, PackedMatrix, VectorBackend};
+use hdc::ops;
+use linalg::{Matrix, Rng64};
+
+/// The paper's hyperspace dimensionality.
+const DIM: usize = 4000;
+/// Class stack for the batched benchmark: 10 weak learners × 3 classes.
+const STACK_ROWS: usize = 30;
+
+fn random_dense(dim: usize, rng: &mut Rng64) -> Vec<f32> {
+    (0..dim).map(|_| rng.normal()).collect()
+}
+
+fn bench_similarity_single(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(1);
+    let a = random_dense(DIM, &mut rng);
+    let b = random_dense(DIM, &mut rng);
+    let pa = PackedHv::from_signs(&a);
+    let pb = PackedHv::from_signs(&b);
+    let mut group = c.benchmark_group("similarity_d4000");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(DIM as u64));
+    group.bench_function(DenseF32::NAME, |bch| {
+        bch.iter(|| std::hint::black_box(ops::cosine_similarity(&a, &b)))
+    });
+    group.bench_function(BitpackedSign::NAME, |bch| {
+        bch.iter(|| std::hint::black_box(pa.similarity(&pb)))
+    });
+    group.finish();
+}
+
+fn bench_similarity_batched(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(2);
+    let classes = Matrix::random_normal(STACK_ROWS, DIM, &mut rng);
+    let packed_classes = PackedMatrix::from_dense_rows(&classes);
+    let q = random_dense(DIM, &mut rng);
+    let pq = PackedHv::from_signs(&q);
+    let mut group = c.benchmark_group(format!("batched_scores_{STACK_ROWS}x_d4000"));
+    group.sample_size(20);
+    group.throughput(Throughput::Elements((STACK_ROWS * DIM) as u64));
+    group.bench_function(DenseF32::NAME, |bch| {
+        bch.iter(|| {
+            let scores: Vec<f32> = (0..classes.rows())
+                .map(|r| ops::cosine_similarity(classes.row(r), &q))
+                .collect();
+            std::hint::black_box(scores)
+        })
+    });
+    group.bench_function(BitpackedSign::NAME, |bch| {
+        bch.iter(|| std::hint::black_box(packed_classes.similarities(&pq)))
+    });
+    group.finish();
+}
+
+fn bench_bundle(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(3);
+    let dense: Vec<Vec<f32>> = (0..10)
+        .map(|_| ops::to_bipolar(&random_dense(DIM, &mut rng)))
+        .collect();
+    let packed: Vec<PackedHv> = dense.iter().map(|v| PackedHv::from_signs(v)).collect();
+    let mut group = c.benchmark_group("bundle_10x_d4000");
+    group.sample_size(10);
+    group.bench_function(DenseF32::NAME, |bch| {
+        bch.iter(|| std::hint::black_box(DenseF32::bundle(&dense)))
+    });
+    group.bench_function(BitpackedSign::NAME, |bch| {
+        bch.iter(|| std::hint::black_box(BitpackedSign::bundle(&packed)))
+    });
+    group.finish();
+}
+
+/// Extracts `median_ns` for an id, panicking if the bench didn't run.
+fn median_ns(c: &Criterion, id: &str) -> f64 {
+    c.results()
+        .iter()
+        .find(|r| r.id == id)
+        .unwrap_or_else(|| panic!("missing bench result {id}"))
+        .median_ns
+}
+
+fn main() {
+    let mut c = Criterion::default();
+    bench_similarity_single(&mut c);
+    bench_similarity_batched(&mut c);
+    bench_bundle(&mut c);
+
+    let single_dense = median_ns(&c, "similarity_d4000/dense_f32");
+    let single_packed = median_ns(&c, "similarity_d4000/bitpacked_sign");
+    let batched_dense = median_ns(&c, &format!("batched_scores_{STACK_ROWS}x_d4000/dense_f32"));
+    let batched_packed = median_ns(
+        &c,
+        &format!("batched_scores_{STACK_ROWS}x_d4000/bitpacked_sign"),
+    );
+    let single_speedup = single_dense / single_packed;
+    let batched_speedup = batched_dense / batched_packed;
+    println!("\nsingle-query speedup:  {single_speedup:.1}x (target >= 5x)");
+    println!("batched speedup:       {batched_speedup:.1}x");
+
+    // Snapshot next to the workspace root so the artifact ships with the
+    // repository.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_backends.json");
+    let mut json = c.to_json();
+    json.truncate(json.len() - 1); // drop the closing ']' to append summary
+    let summary = format!(
+        ",\n  {{\"id\": \"summary/single_query_speedup_x\", \"median_ns\": {single_speedup:.2}, \"iters_per_sample\": 0, \"samples\": 0}},\n  {{\"id\": \"summary/batched_speedup_x\", \"median_ns\": {batched_speedup:.2}, \"iters_per_sample\": 0, \"samples\": 0}}\n]"
+    );
+    json.push_str(&summary);
+    std::fs::write(path, json).expect("write BENCH_backends.json");
+    println!("snapshot written to BENCH_backends.json");
+
+    assert!(
+        single_speedup >= 5.0,
+        "acceptance: packed similarity must be >= 5x faster than f32 cosine at D=4000, got {single_speedup:.1}x"
+    );
+}

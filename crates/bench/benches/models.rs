@@ -26,7 +26,11 @@ fn bench_train(c: &mut Criterion) {
     let mut group = c.benchmark_group("train");
     group.sample_size(10);
     group.bench_function("onlinehd_d1000", |b| {
-        let config = OnlineHdConfig { dim: 1000, epochs: 10, ..Default::default() };
+        let config = OnlineHdConfig {
+            dim: 1000,
+            epochs: 10,
+            ..Default::default()
+        };
         b.iter(|| std::hint::black_box(OnlineHd::fit(&config, &x, &y).expect("fit")));
     });
     group.bench_function("boosthd_d1000_nl10", |b| {
@@ -44,13 +48,22 @@ fn bench_train(c: &mut Criterion) {
 fn bench_infer(c: &mut Criterion) {
     let (x, y, queries) = workload();
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 4000, epochs: 10, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 4000,
+            epochs: 10,
+            ..Default::default()
+        },
         &x,
         &y,
     )
     .expect("fit");
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 4000, n_learners: 10, epochs: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 4000,
+            n_learners: 10,
+            epochs: 10,
+            ..Default::default()
+        },
         &x,
         &y,
     )
@@ -71,7 +84,11 @@ fn bench_infer(c: &mut Criterion) {
 fn bench_bitflip(c: &mut Criterion) {
     let (x, y, _) = workload();
     let model = OnlineHd::fit(
-        &OnlineHdConfig { dim: 4000, epochs: 5, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 4000,
+            epochs: 5,
+            ..Default::default()
+        },
         &x,
         &y,
     )

@@ -24,23 +24,44 @@ use wearables::profiles;
 fn main() {
     let (runs, quick) = parse_common_args(5);
     let variants: Vec<(&str, BoostHdConfig)> = vec![
-        ("default (soft, partition, refine, resample)", BoostHdConfig::default()),
-        ("voting: hard", BoostHdConfig { voting: Voting::Hard, ..Default::default() }),
+        (
+            "default (soft, partition, refine, resample)",
+            BoostHdConfig::default(),
+        ),
+        (
+            "voting: hard",
+            BoostHdConfig {
+                voting: Voting::Hard,
+                ..Default::default()
+            },
+        ),
         (
             "partition: independent full-D",
-            BoostHdConfig { mode: EnsembleMode::FullDimension, ..Default::default() },
+            BoostHdConfig {
+                mode: EnsembleMode::FullDimension,
+                ..Default::default()
+            },
         ),
         (
             "weak learner: centroid (no refinement)",
-            BoostHdConfig { epochs: 0, ..Default::default() },
+            BoostHdConfig {
+                epochs: 0,
+                ..Default::default()
+            },
         ),
         (
             "sample mode: reweight",
-            BoostHdConfig { sample_mode: SampleMode::Reweight, ..Default::default() },
+            BoostHdConfig {
+                sample_mode: SampleMode::Reweight,
+                ..Default::default()
+            },
         ),
         (
             "boosting off (uniform weights)",
-            BoostHdConfig { boost_shrinkage: 0.0, ..Default::default() },
+            BoostHdConfig {
+                boost_shrinkage: 0.0,
+                ..Default::default()
+            },
         ),
     ];
 
@@ -54,7 +75,11 @@ fn main() {
         eprintln!("[ablation] {name} ...");
         let mut cells = Vec::new();
         for profile in [profiles::wesad_like(), profiles::stress_predict_like()] {
-            let profile = if quick { quick_profile(profile) } else { profile };
+            let profile = if quick {
+                quick_profile(profile)
+            } else {
+                profile
+            };
             let mut train_secs = 0.0;
             let stats = repeat_runs(runs, 42, |_, seed| {
                 let (train, test) = prepare_split(&profile, seed);
@@ -65,7 +90,11 @@ fn main() {
                 train_secs += fitted.seconds;
                 accuracy(&fitted.value.predict_batch(test.features()), test.labels()) * 100.0
             });
-            cells.push(format!("{} ({:.2}s)", stats.format(2), train_secs / runs as f64));
+            cells.push(format!(
+                "{} ({:.2}s)",
+                stats.format(2),
+                train_secs / runs as f64
+            ));
         }
         table.push_row(*name, cells);
     }

@@ -22,7 +22,11 @@ fn main() {
     let hd_variants = args.iter().any(|a| a == "--hd-variants");
 
     for profile in profiles::paper_profiles() {
-        let profile = if quick { quick_profile(profile) } else { profile };
+        let profile = if quick {
+            quick_profile(profile)
+        } else {
+            profile
+        };
         println!("== {} ==", profile.name);
         for run in 0..runs as u64 {
             let prep = Timed::run(|| prepare_split(&profile, 42 + run));
@@ -38,9 +42,8 @@ fn main() {
                 if skip_dnn && kind == ModelKind::Dnn {
                     continue;
                 }
-                let trained = Timed::run(|| {
-                    train_model(kind, train.features(), train.labels(), 1000 + run)
-                });
+                let trained =
+                    Timed::run(|| train_model(kind, train.features(), train.labels(), 1000 + run));
                 let preds = Timed::run(|| trained.value.predict_batch(test.features()));
                 let acc = accuracy(&preds.value, test.labels());
                 println!(
@@ -53,14 +56,47 @@ fn main() {
             }
             if hd_variants {
                 let variants: Vec<(&str, BoostHdConfig)> = vec![
-                    ("BoostHD-nl5", BoostHdConfig { n_learners: 5, ..Default::default() }),
-                    ("BoostHD-nl20", BoostHdConfig { n_learners: 20, ..Default::default() }),
-                    ("BoostHD-e40", BoostHdConfig { epochs: 40, ..Default::default() }),
-                    ("BoostHD-lr06", BoostHdConfig { lr: 0.06, ..Default::default() }),
-                    ("BoostHD-hard", BoostHdConfig { voting: Voting::Hard, ..Default::default() }),
+                    (
+                        "BoostHD-nl5",
+                        BoostHdConfig {
+                            n_learners: 5,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        "BoostHD-nl20",
+                        BoostHdConfig {
+                            n_learners: 20,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        "BoostHD-e40",
+                        BoostHdConfig {
+                            epochs: 40,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        "BoostHD-lr06",
+                        BoostHdConfig {
+                            lr: 0.06,
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        "BoostHD-hard",
+                        BoostHdConfig {
+                            voting: Voting::Hard,
+                            ..Default::default()
+                        },
+                    ),
                     (
                         "BoostHD-resamp",
-                        BoostHdConfig { sample_mode: SampleMode::Resample, ..Default::default() },
+                        BoostHdConfig {
+                            sample_mode: SampleMode::Resample,
+                            ..Default::default()
+                        },
                     ),
                 ];
                 for (tag, base) in variants {
@@ -69,8 +105,7 @@ fn main() {
                         seed: 1000 + run,
                         ..base
                     };
-                    let model =
-                        BoostHd::fit(&config, train.features(), train.labels()).unwrap();
+                    let model = BoostHd::fit(&config, train.features(), train.labels()).unwrap();
                     let acc = accuracy(&model.predict_batch(test.features()), test.labels());
                     println!("    {:<15} acc={:6.2}%", tag, acc * 100.0);
                 }

@@ -33,8 +33,16 @@ fn main() {
         profile.windows_per_state = 8;
     }
 
-    let nls: Vec<usize> = if quick { vec![1, 10, 100] } else { vec![1, 2, 5, 10, 20, 50, 100] };
-    let dims: Vec<usize> = if quick { vec![1000, 10_000] } else { vec![1000, 2000, 5000, 10_000] };
+    let nls: Vec<usize> = if quick {
+        vec![1, 10, 100]
+    } else {
+        vec![1, 2, 5, 10, 20, 50, 100]
+    };
+    let dims: Vec<usize> = if quick {
+        vec![1000, 10_000]
+    } else {
+        vec![1000, 2000, 5000, 10_000]
+    };
 
     let mut panel_a = Heatmap::new(
         "Figure 3(a) — accuracy (%), full dimension D per learner",

@@ -21,10 +21,18 @@ fn spectrum_summary(name: &str, m: &linalg::Matrix, mp: Option<MarchenkoPastur>)
     let sv = singular_values(m).expect("spectrum");
     let largest = sv.first().copied().unwrap_or(0.0);
     let smallest = sv.last().copied().unwrap_or(0.0);
-    let axis_ratio = if largest > 0.0 { smallest / largest } else { 0.0 };
+    let axis_ratio = if largest > 0.0 {
+        smallest / largest
+    } else {
+        0.0
+    };
     let sum: f64 = sv.iter().map(|s| s * s).sum();
     let sum_sq: f64 = sv.iter().map(|s| s.powi(4)).sum();
-    let eff_rank = if sum_sq > 0.0 { sum * sum / sum_sq } else { 0.0 };
+    let eff_rank = if sum_sq > 0.0 {
+        sum * sum / sum_sq
+    } else {
+        0.0
+    };
     print!(
         "{name:<28} sv_max={largest:9.3} sv_min={smallest:9.3} axis_ratio={axis_ratio:.4} eff_rank={eff_rank:7.2}"
     );
@@ -45,14 +53,21 @@ fn main() {
     let idx: Vec<usize> = (0..samples).collect();
     let x = x.select_rows(&idx);
 
-    println!("# Figure 4 — kernel geometry (samples={} features={})", x.rows(), x.cols());
+    println!(
+        "# Figure 4 — kernel geometry (samples={} features={})",
+        x.rows(),
+        x.cols()
+    );
     spectrum_summary("(a) raw input space", &x, None);
 
     let mut rng = Rng64::seed_from(7);
     for dim in [4000usize, 400] {
         let enc = SinusoidEncoder::new(dim, x.cols(), &mut rng);
         let z = enc.encode_batch(&x);
-        let label = format!("({}) hyperspace D={dim}", if dim == 4000 { 'b' } else { 'c' });
+        let label = format!(
+            "({}) hyperspace D={dim}",
+            if dim == 4000 { 'b' } else { 'c' }
+        );
         // MP aspect ratio q = Nc/Nr with Nr = D (paper convention).
         spectrum_summary(&label, &z, Some(MarchenkoPastur::for_shape(dim, x.rows())));
     }

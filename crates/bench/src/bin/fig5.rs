@@ -24,7 +24,10 @@ fn main() {
     let (train, _test) = prepare_split(&profile, 42);
 
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: DEFAULT_DIM_TOTAL, ..OnlineHdConfig::default() },
+        &OnlineHdConfig {
+            dim: DEFAULT_DIM_TOTAL,
+            ..OnlineHdConfig::default()
+        },
         train.features(),
         train.labels(),
     )

@@ -43,7 +43,11 @@ fn main() {
     for &dim in &dims {
         let online = repeat_runs(runs, 42, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
-            let config = OnlineHdConfig { dim, seed, ..OnlineHdConfig::default() };
+            let config = OnlineHdConfig {
+                dim,
+                seed,
+                ..OnlineHdConfig::default()
+            };
             let m = OnlineHd::fit(&config, train.features(), train.labels()).expect("fit");
             accuracy(&m.predict_batch(test.features()), test.labels()) * 100.0
         });
@@ -64,7 +68,11 @@ fn main() {
         std_boost.push(dim as f64, boost.std());
         sigmas_online.push(online.std());
         sigmas_boost.push(boost.std());
-        eprintln!("[fig6] D={dim}: OnlineHD {} | BoostHD {}", online.format(2), boost.format(2));
+        eprintln!(
+            "[fig6] D={dim}: OnlineHD {} | BoostHD {}",
+            online.format(2),
+            boost.format(2)
+        );
     }
 
     println!(

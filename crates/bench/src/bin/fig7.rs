@@ -50,7 +50,11 @@ fn main() {
                         );
                         let sub = train.select(&keep);
                         let online = OnlineHd::fit(
-                            &OnlineHdConfig { dim: dim_total, seed, ..Default::default() },
+                            &OnlineHdConfig {
+                                dim: dim_total,
+                                seed,
+                                ..Default::default()
+                            },
                             sub.features(),
                             sub.labels(),
                         )
@@ -71,19 +75,15 @@ fn main() {
                             test.labels(),
                             k,
                         ) * 100.0;
-                        accs.1 += macro_accuracy(
-                            &boost.predict_batch(test.features()),
-                            test.labels(),
-                            k,
-                        ) * 100.0;
+                        accs.1 +=
+                            macro_accuracy(&boost.predict_batch(test.features()), test.labels(), k)
+                                * 100.0;
                     }
                     (accs.0 / k as f64, accs.1 / k as f64)
                 })
                 .collect();
-            let online_mean =
-                stats_pair.iter().map(|p| p.0).sum::<f64>() / stats_pair.len() as f64;
-            let boost_mean =
-                stats_pair.iter().map(|p| p.1).sum::<f64>() / stats_pair.len() as f64;
+            let online_mean = stats_pair.iter().map(|p| p.0).sum::<f64>() / stats_pair.len() as f64;
+            let boost_mean = stats_pair.iter().map(|p| p.1).sum::<f64>() / stats_pair.len() as f64;
             online_series.push(r, online_mean);
             boost_series.push(r, boost_mean);
             eprintln!(

@@ -60,7 +60,10 @@ fn main() {
 
     eprintln!("[fig8] training the three models ...");
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: DEFAULT_DIM_TOTAL, ..Default::default() },
+        &OnlineHdConfig {
+            dim: DEFAULT_DIM_TOTAL,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )
@@ -76,19 +79,39 @@ fn main() {
     )
     .expect("boosthd fit");
     let dnn = Mlp::fit(
-        &MlpConfig { epochs: if quick { 3 } else { 6 }, ..MlpConfig::default() },
+        &MlpConfig {
+            epochs: if quick { 3 } else { 6 },
+            ..MlpConfig::default()
+        },
         train.features(),
         train.labels(),
     )
     .expect("mlp fit");
 
     for (panel, scale) in [('a', 1e-6f64), ('b', 1e-5)] {
-        let steps: Vec<f64> = if quick { vec![0.0, 5.0, 15.0] } else { vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0] };
+        let steps: Vec<f64> = if quick {
+            vec![0.0, 5.0, 15.0]
+        } else {
+            vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0]
+        };
         let pbs: Vec<f64> = steps.iter().map(|k| k * scale).collect();
         eprintln!("[fig8] panel ({panel}) p_b in {:?} ...", pbs);
-        let (s_boost, st_boost) = sweep("BoostHD", &boost, test.features(), test.labels(), &pbs, trials);
-        let (s_online, st_online) =
-            sweep("OnlineHD", &online, test.features(), test.labels(), &pbs, trials);
+        let (s_boost, st_boost) = sweep(
+            "BoostHD",
+            &boost,
+            test.features(),
+            test.labels(),
+            &pbs,
+            trials,
+        );
+        let (s_online, st_online) = sweep(
+            "OnlineHD",
+            &online,
+            test.features(),
+            test.labels(),
+            &pbs,
+            trials,
+        );
         let (s_dnn, st_dnn) = sweep("DNN", &dnn, test.features(), test.labels(), &pbs, trials);
         println!(
             "{}",

@@ -19,25 +19,72 @@ fn main() {
         let online = repeat_runs(runs, 42, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
             let mut rng = Rng64::seed_from(seed);
-            let keep = imbalanced_indices(train.labels(), ImbalanceSpec::from_reduction(0, r), &mut rng);
+            let keep = imbalanced_indices(
+                train.labels(),
+                ImbalanceSpec::from_reduction(0, r),
+                &mut rng,
+            );
             let sub = train.select(&keep);
-            let m = OnlineHd::fit(&OnlineHdConfig { dim: 1000, epochs: EPOCHS, seed, ..Default::default() }, sub.features(), sub.labels()).unwrap();
+            let m = OnlineHd::fit(
+                &OnlineHdConfig {
+                    dim: 1000,
+                    epochs: EPOCHS,
+                    seed,
+                    ..Default::default()
+                },
+                sub.features(),
+                sub.labels(),
+            )
+            .unwrap();
             macro_accuracy(&m.predict_batch(test.features()), test.labels(), 3) * 100.0
         });
         println!("r={r:.1} OnlineHD        {}", online.format(2));
         let variants: Vec<(&str, BoostHdConfig)> = vec![
             ("default", BoostHdConfig::default()),
-            ("reweight", BoostHdConfig { sample_mode: SampleMode::Reweight, ..Default::default() }),
-            ("nobalance", BoostHdConfig { class_balanced_init: false, ..Default::default() }),
-            ("rw-nobal", BoostHdConfig { class_balanced_init: false, sample_mode: SampleMode::Reweight, ..Default::default() }),
+            (
+                "reweight",
+                BoostHdConfig {
+                    sample_mode: SampleMode::Reweight,
+                    ..Default::default()
+                },
+            ),
+            (
+                "nobalance",
+                BoostHdConfig {
+                    class_balanced_init: false,
+                    ..Default::default()
+                },
+            ),
+            (
+                "rw-nobal",
+                BoostHdConfig {
+                    class_balanced_init: false,
+                    sample_mode: SampleMode::Reweight,
+                    ..Default::default()
+                },
+            ),
         ];
         for (tag, base) in variants {
             let boost = repeat_runs(runs, 42, |_, seed| {
                 let (train, test) = prepare_split(&profile, seed);
                 let mut rng = Rng64::seed_from(seed);
-                let keep = imbalanced_indices(train.labels(), ImbalanceSpec::from_reduction(0, r), &mut rng);
+                let keep = imbalanced_indices(
+                    train.labels(),
+                    ImbalanceSpec::from_reduction(0, r),
+                    &mut rng,
+                );
                 let sub = train.select(&keep);
-                let m = BoostHd::fit(&BoostHdConfig { dim_total: 1000, epochs: EPOCHS, seed, ..base }, sub.features(), sub.labels()).unwrap();
+                let m = BoostHd::fit(
+                    &BoostHdConfig {
+                        dim_total: 1000,
+                        epochs: EPOCHS,
+                        seed,
+                        ..base
+                    },
+                    sub.features(),
+                    sub.labels(),
+                )
+                .unwrap();
                 macro_accuracy(&m.predict_batch(test.features()), test.labels(), 3) * 100.0
             });
             println!("r={r:.1} BoostHD-{tag:<12} {}", boost.format(2));

@@ -27,7 +27,11 @@ fn main() {
     );
 
     for profile in profiles::paper_profiles() {
-        let profile = if quick { quick_profile(profile) } else { profile };
+        let profile = if quick {
+            quick_profile(profile)
+        } else {
+            profile
+        };
         eprintln!("[table1] {} ...", profile.name);
         let mut cells = Vec::new();
         for kind in ModelKind::TABLE_ORDER {

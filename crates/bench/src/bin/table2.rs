@@ -14,7 +14,9 @@
 
 use boosthd::parallel::default_threads;
 use boosthd::Classifier;
-use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, AnyModel, ModelKind};
+use boosthd_bench::{
+    parse_common_args, prepare_split, quick_profile, train_model, AnyModel, ModelKind,
+};
 use eval_harness::table::Table;
 use eval_harness::timing::{time_per_query_secs, to_tenth_millis};
 use wearables::profiles;
@@ -34,7 +36,11 @@ fn main() {
     );
 
     for profile in profiles::paper_profiles() {
-        let profile = if quick { quick_profile(profile) } else { profile };
+        let profile = if quick {
+            quick_profile(profile)
+        } else {
+            profile
+        };
         eprintln!("[table2] {} ...", profile.name);
         let (train, test) = prepare_split(&profile, 42);
         let queries = test.len();

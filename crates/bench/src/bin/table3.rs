@@ -51,7 +51,12 @@ fn main() {
                 let model = train_model(kind, train.features(), train.labels(), seed);
                 accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0
             });
-            let valid: Vec<f64> = stats.runs.iter().copied().filter(|v| v.is_finite()).collect();
+            let valid: Vec<f64> = stats
+                .runs
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
             if valid.is_empty() {
                 cells.push("-".into());
             } else {

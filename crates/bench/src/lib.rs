@@ -161,12 +161,22 @@ pub fn train_model_with_dim(
 ) -> AnyModel {
     match kind {
         ModelKind::AdaBoost => AnyModel::AdaBoost(
-            AdaBoost::fit(&AdaBoostConfig { seed, ..AdaBoostConfig::default() }, x, y)
-                .expect("adaboost training"),
+            AdaBoost::fit(
+                &AdaBoostConfig {
+                    seed,
+                    ..AdaBoostConfig::default()
+                },
+                x,
+                y,
+            )
+            .expect("adaboost training"),
         ),
         ModelKind::RandomForest => AnyModel::RandomForest(
             RandomForest::fit(
-                &RandomForestConfig { seed, ..RandomForestConfig::default() },
+                &RandomForestConfig {
+                    seed,
+                    ..RandomForestConfig::default()
+                },
                 x,
                 y,
             )
@@ -177,12 +187,23 @@ pub fn train_model_with_dim(
                 .expect("gradient boosting training"),
         ),
         ModelKind::Svm => AnyModel::Svm(
-            LinearSvm::fit(&LinearSvmConfig { seed, ..LinearSvmConfig::default() }, x, y)
-                .expect("svm training"),
+            LinearSvm::fit(
+                &LinearSvmConfig {
+                    seed,
+                    ..LinearSvmConfig::default()
+                },
+                x,
+                y,
+            )
+            .expect("svm training"),
         ),
         ModelKind::Dnn => AnyModel::Dnn(
             Mlp::fit(
-                &MlpConfig { seed, epochs: 8, ..MlpConfig::default() },
+                &MlpConfig {
+                    seed,
+                    epochs: 8,
+                    ..MlpConfig::default()
+                },
                 x,
                 y,
             )
@@ -190,7 +211,11 @@ pub fn train_model_with_dim(
         ),
         ModelKind::OnlineHd => AnyModel::OnlineHd(
             OnlineHd::fit(
-                &OnlineHdConfig { dim: dim_total, seed, ..OnlineHdConfig::default() },
+                &OnlineHdConfig {
+                    dim: dim_total,
+                    seed,
+                    ..OnlineHdConfig::default()
+                },
                 x,
                 y,
             )

@@ -214,8 +214,12 @@ impl BoostHd {
                 reason: "boosting requires at least two classes".into(),
             });
         }
-        let partition = DimensionPartition::new(config.dim_total, config.n_learners)
-            .map_err(|e| BoostHdError::InvalidConfig { reason: e.to_string() })?;
+        let partition =
+            DimensionPartition::new(config.dim_total, config.n_learners).map_err(|e| {
+                BoostHdError::InvalidConfig {
+                    reason: e.to_string(),
+                }
+            })?;
 
         let mut rng = Rng64::seed_from(config.seed);
         let encoder = SinusoidEncoder::try_new(config.dim_total, x.cols(), &mut rng)
@@ -441,8 +445,12 @@ impl BoostHd {
         config: BoostHdConfig,
         train_errors: Vec<f64>,
     ) -> Result<Self> {
-        let partition = DimensionPartition::new(config.dim_total, config.n_learners)
-            .map_err(|e| BoostHdError::InvalidConfig { reason: e.to_string() })?;
+        let partition =
+            DimensionPartition::new(config.dim_total, config.n_learners).map_err(|e| {
+                BoostHdError::InvalidConfig {
+                    reason: e.to_string(),
+                }
+            })?;
         let learners: Vec<WeakLearner> = learners
             .into_iter()
             .map(|(alpha, seg_start, seg_end, class_hvs, own_encoder)| {
@@ -456,7 +464,13 @@ impl BoostHd {
                         reason: "class hypervector width disagrees with segment".into(),
                     });
                 }
-                Ok(WeakLearner { class_hvs, alpha, seg_start, seg_end, own_encoder })
+                Ok(WeakLearner {
+                    class_hvs,
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder,
+                })
             })
             .collect::<Result<_>>()?;
         Ok(Self {
@@ -552,9 +566,7 @@ impl Classifier for BoostHd {
                     .map(|r| argmax(&self.votes_for_encoded(z.row(r), x.row(r))))
                     .collect()
             }
-            EnsembleMode::FullDimension => {
-                (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
-            }
+            EnsembleMode::FullDimension => (0..x.rows()).map(|r| self.predict(x.row(r))).collect(),
         }
     }
 }
@@ -644,7 +656,10 @@ mod tests {
         let model = BoostHd::fit(&small_config(), &x, &y).unwrap();
         let errs = model.training_errors();
         let all_same = errs.windows(2).all(|w| (w[0] - w[1]).abs() < 1e-12);
-        assert!(!all_same, "training errors should vary across learners: {errs:?}");
+        assert!(
+            !all_same,
+            "training errors should vary across learners: {errs:?}"
+        );
     }
 
     #[test]
@@ -666,7 +681,10 @@ mod tests {
     #[test]
     fn soft_voting_works() {
         let (x, y) = blobs(150, 7, 1.0, 0.4);
-        let config = BoostHdConfig { voting: Voting::Soft, ..small_config() };
+        let config = BoostHdConfig {
+            voting: Voting::Soft,
+            ..small_config()
+        };
         let model = BoostHd::fit(&config, &x, &y).unwrap();
         assert!(accuracy(&model, &x, &y) > 0.9);
     }
@@ -716,7 +734,11 @@ mod tests {
     #[test]
     fn more_learners_than_dims_rejected() {
         let (x, y) = blobs(30, 11, 1.0, 0.4);
-        let config = BoostHdConfig { dim_total: 4, n_learners: 8, ..BoostHdConfig::default() };
+        let config = BoostHdConfig {
+            dim_total: 4,
+            n_learners: 8,
+            ..BoostHdConfig::default()
+        };
         assert!(matches!(
             BoostHd::fit(&config, &x, &y),
             Err(BoostHdError::InvalidConfig { .. })
@@ -736,7 +758,10 @@ mod tests {
     fn different_seeds_differ() {
         let (x, y) = blobs(90, 13, 0.8, 0.6);
         let a = BoostHd::fit(&small_config(), &x, &y).unwrap();
-        let config_b = BoostHdConfig { seed: 999, ..small_config() };
+        let config_b = BoostHdConfig {
+            seed: 999,
+            ..small_config()
+        };
         let b = BoostHd::fit(&config_b, &x, &y).unwrap();
         assert_ne!(
             a.learner_class_hypervectors(0),
@@ -773,8 +798,12 @@ mod tests {
             };
             let boost = BoostHd::fit(&boost_config, &xtr, &ytr).unwrap();
             boost_accs.push(accuracy(&boost, &xte, &yte));
-            let weak_config =
-                OnlineHdConfig { dim: 6, epochs: 10, seed, ..OnlineHdConfig::default() };
+            let weak_config = OnlineHdConfig {
+                dim: 6,
+                epochs: 10,
+                seed,
+                ..OnlineHdConfig::default()
+            };
             let weak = OnlineHd::fit(&weak_config, &xtr, &ytr).unwrap();
             weak_accs.push(accuracy(&weak, &xte, &yte));
         }

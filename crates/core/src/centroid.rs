@@ -27,7 +27,10 @@ pub struct CentroidHdConfig {
 
 impl Default for CentroidHdConfig {
     fn default() -> Self {
-        Self { dim: 4000, seed: 0x5EED }
+        Self {
+            dim: 4000,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -110,6 +113,11 @@ impl CentroidHd {
         &self.class_hvs
     }
 
+    /// The encoder used to map features into the hyperspace.
+    pub fn encoder(&self) -> &SinusoidEncoder {
+        &self.encoder
+    }
+
     /// Hyperspace dimensionality `D`.
     pub fn dim(&self) -> usize {
         self.class_hvs.cols()
@@ -160,7 +168,10 @@ mod tests {
     #[test]
     fn separable_blobs_are_learned() {
         let (x, y) = blobs(200, 1, 1.5);
-        let config = CentroidHdConfig { dim: 512, ..Default::default() };
+        let config = CentroidHdConfig {
+            dim: 512,
+            ..Default::default()
+        };
         let model = CentroidHd::fit(&config, &x, &y).unwrap();
         let preds = model.predict_batch(&x);
         let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
@@ -170,8 +181,15 @@ mod tests {
     #[test]
     fn class_hv_count_matches_labels() {
         let (x, y) = blobs(40, 2, 1.5);
-        let model = CentroidHd::fit(&CentroidHdConfig { dim: 128, ..Default::default() }, &x, &y)
-            .unwrap();
+        let model = CentroidHd::fit(
+            &CentroidHdConfig {
+                dim: 128,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
         assert_eq!(model.class_hypervectors().rows(), 2);
         assert_eq!(model.dim(), 128);
     }
@@ -179,9 +197,14 @@ mod tests {
     #[test]
     fn weighted_bundling_shifts_centroids() {
         let (x, y) = blobs(100, 3, 0.5);
-        let config = CentroidHdConfig { dim: 256, ..Default::default() };
+        let config = CentroidHdConfig {
+            dim: 256,
+            ..Default::default()
+        };
         let uniform = CentroidHd::fit(&config, &x, &y).unwrap();
-        let weights: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 10.0 } else { 1.0 }).collect();
+        let weights: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 10.0 } else { 1.0 })
+            .collect();
         let weighted = CentroidHd::fit_weighted(&config, &x, &y, Some(&weights)).unwrap();
         assert_ne!(uniform.class_hypervectors(), weighted.class_hypervectors());
     }
@@ -189,7 +212,10 @@ mod tests {
     #[test]
     fn zero_dim_rejected() {
         let (x, y) = blobs(10, 4, 1.0);
-        let config = CentroidHdConfig { dim: 0, ..Default::default() };
+        let config = CentroidHdConfig {
+            dim: 0,
+            ..Default::default()
+        };
         assert!(matches!(
             CentroidHd::fit(&config, &x, &y),
             Err(BoostHdError::InvalidConfig { .. })
@@ -199,8 +225,15 @@ mod tests {
     #[test]
     fn batch_matches_rowwise() {
         let (x, y) = blobs(50, 5, 1.5);
-        let model = CentroidHd::fit(&CentroidHdConfig { dim: 256, ..Default::default() }, &x, &y)
-            .unwrap();
+        let model = CentroidHd::fit(
+            &CentroidHdConfig {
+                dim: 256,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
         let batch = model.predict_batch(&x);
         let rowwise: Vec<usize> = (0..x.rows()).map(|r| model.predict(x.row(r))).collect();
         assert_eq!(batch, rowwise);
@@ -209,8 +242,15 @@ mod tests {
     #[test]
     fn perturbation_changes_predictions_eventually() {
         let (x, y) = blobs(100, 6, 1.5);
-        let mut model =
-            CentroidHd::fit(&CentroidHdConfig { dim: 256, ..Default::default() }, &x, &y).unwrap();
+        let mut model = CentroidHd::fit(
+            &CentroidHdConfig {
+                dim: 256,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
         let before = model.predict_batch(&x);
         let mut rng = Rng64::seed_from(0);
         reliability::flip_bits(&mut model, 0.05, &mut rng);

@@ -57,7 +57,9 @@ mod tests {
 
     #[test]
     fn display_contains_reason() {
-        let e = BoostHdError::InvalidConfig { reason: "zero learners".into() };
+        let e = BoostHdError::InvalidConfig {
+            reason: "zero learners".into(),
+        };
         assert!(e.to_string().contains("zero learners"));
     }
 

@@ -117,8 +117,8 @@ impl OnlineHd {
         }
         let num_classes = y.iter().copied().max().expect("validated non-empty") + 1;
         let mut rng = Rng64::seed_from(config.seed);
-        let encoder = SinusoidEncoder::try_new(config.dim, x.cols(), &mut rng)
-            .map_err(BoostHdError::from)?;
+        let encoder =
+            SinusoidEncoder::try_new(config.dim, x.cols(), &mut rng).map_err(BoostHdError::from)?;
         let z = encoder.encode_batch(x);
         let normalized = normalize_weights(weights, y.len());
         let mut class_hvs = train_class_hvs(
@@ -414,8 +414,7 @@ pub(crate) fn train_class_hvs(
             let mut best = 0usize;
             let mut best_sim = f32::NEG_INFINITY;
             let mut true_sim = 0.0f32;
-            for l in 0..num_classes {
-                let cn = class_norms[l];
+            for (l, &cn) in class_norms.iter().enumerate() {
                 let sim = if cn == 0.0 {
                     0.0
                 } else {
@@ -543,13 +542,21 @@ mod tests {
         }
         let x = Matrix::from_rows(&rows).unwrap();
         let no_refine = OnlineHd::fit(
-            &OnlineHdConfig { dim: 1024, epochs: 0, ..OnlineHdConfig::default() },
+            &OnlineHdConfig {
+                dim: 1024,
+                epochs: 0,
+                ..OnlineHdConfig::default()
+            },
             &x,
             &labels,
         )
         .unwrap();
         let refined = OnlineHd::fit(
-            &OnlineHdConfig { dim: 1024, epochs: 20, ..OnlineHdConfig::default() },
+            &OnlineHdConfig {
+                dim: 1024,
+                epochs: 20,
+                ..OnlineHdConfig::default()
+            },
             &x,
             &labels,
         )
@@ -578,9 +585,11 @@ mod tests {
             labels.push(class);
         }
         let x = Matrix::from_rows(&rows).unwrap();
-        let weights: Vec<f64> = labels.iter().map(|&y| if y == 1 { 50.0 } else { 1.0 }).collect();
-        let model =
-            OnlineHd::fit_weighted(&small_config(), &x, &labels, Some(&weights)).unwrap();
+        let weights: Vec<f64> = labels
+            .iter()
+            .map(|&y| if y == 1 { 50.0 } else { 1.0 })
+            .collect();
+        let model = OnlineHd::fit_weighted(&small_config(), &x, &labels, Some(&weights)).unwrap();
         let preds = model.predict_batch(&x);
         let recall_1 = preds
             .iter()
@@ -596,7 +605,10 @@ mod tests {
             .filter(|(p, t)| p == t)
             .count() as f64
             / labels.iter().filter(|&&t| t == 0).count() as f64;
-        assert!(recall_1 > recall_0, "heavy class recall {recall_1} vs {recall_0}");
+        assert!(
+            recall_1 > recall_0,
+            "heavy class recall {recall_1} vs {recall_0}"
+        );
     }
 
     #[test]
@@ -633,7 +645,10 @@ mod tests {
     #[test]
     fn zero_lr_rejected() {
         let (x, y) = blobs(10, 11);
-        let config = OnlineHdConfig { lr: 0.0, ..small_config() };
+        let config = OnlineHdConfig {
+            lr: 0.0,
+            ..small_config()
+        };
         assert!(matches!(
             OnlineHd::fit(&config, &x, &y),
             Err(BoostHdError::InvalidConfig { .. })
@@ -716,7 +731,11 @@ mod tests {
     fn bipolar_quantization_keeps_most_accuracy() {
         let (x, y) = blobs(200, 35);
         let mut model = OnlineHd::fit(
-            &OnlineHdConfig { dim: 2048, epochs: 10, ..OnlineHdConfig::default() },
+            &OnlineHdConfig {
+                dim: 2048,
+                epochs: 10,
+                ..OnlineHdConfig::default()
+            },
             &x,
             &y,
         )

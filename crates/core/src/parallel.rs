@@ -4,7 +4,7 @@
 //! (each weak learner corrects its predecessors), *inference* parallelizes —
 //! both across queries and across weak learners. This module provides the
 //! small deterministic fork/join primitive the classifiers use, built on
-//! `crossbeam`'s scoped threads so no `'static` bounds leak into model code.
+//! `std::thread::scope` so no `'static` bounds leak into model code.
 
 /// Applies `f` to every index in `0..count`, splitting the range into
 /// `threads` contiguous chunks executed on scoped threads. Results are
@@ -27,19 +27,18 @@ where
     let workers = threads.min(count);
     let chunk = count.div_ceil(workers);
     let mut results: Vec<Vec<T>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let start = w * chunk;
             let end = ((w + 1) * chunk).min(count);
             let f = &f;
-            handles.push(scope.spawn(move |_| (start..end).map(f).collect::<Vec<T>>()));
+            handles.push(scope.spawn(move || (start..end).map(f).collect::<Vec<T>>()));
         }
         for h in handles {
             results.push(h.join().expect("parallel worker panicked"));
         }
-    })
-    .expect("crossbeam scope failed");
+    });
     results.into_iter().flatten().collect()
 }
 

@@ -10,7 +10,13 @@
 //! blob     := magic:u32 version:u8 kind:u8 payload
 //! matrix   := rows:u64 cols:u64 f32[rows·cols]
 //! vec<f32> := len:u64 f32[len]
+//! vec<u64> := len:u64 u64[len]          (v2+)
+//! packed   := rows:u64 dim:u64 vec<u64> (v2+, bitpacked sign matrices)
 //! ```
+//!
+//! Version history: **v1** stored only the dense-f32 models (kinds 1–2);
+//! **v2** adds the bitpacked inference models (kinds 3–4) and keeps the v1
+//! layouts byte-identical, so v1 blobs remain readable.
 //!
 //! # Example
 //!
@@ -36,18 +42,29 @@ use crate::boost::{BoostHd, BoostHdConfig, EnsembleMode, SampleMode, Voting};
 use crate::classifier::Classifier;
 use crate::error::{BoostHdError, Result};
 use crate::online::{OnlineHd, OnlineHdConfig};
+use crate::quantized::{QuantizedBoostHd, QuantizedHd, QuantizedWeakLearner};
+use hdc::backend::PackedMatrix;
 use hdc::encoder::SinusoidEncoder;
 use linalg::Matrix;
 
 /// `"BHD1"` little-endian.
 const MAGIC: u32 = 0x3144_4842;
-/// Bump on any incompatible layout change.
-const VERSION: u8 = 1;
+/// Bump on any incompatible layout change; readers accept every version
+/// back to [`MIN_VERSION`] whose layout for the requested kind is known.
+const VERSION: u8 = 2;
+/// Oldest readable blob version.
+const MIN_VERSION: u8 = 1;
 const KIND_ONLINE: u8 = 1;
 const KIND_BOOST: u8 = 2;
+/// Bitpacked single-learner model ([`QuantizedHd`]); requires v2.
+const KIND_QUANT_ONLINE: u8 = 3;
+/// Bitpacked boosted ensemble ([`QuantizedBoostHd`]); requires v2.
+const KIND_QUANT_BOOST: u8 = 4;
 
 fn persist_err(reason: impl Into<String>) -> BoostHdError {
-    BoostHdError::DataMismatch { reason: reason.into() }
+    BoostHdError::DataMismatch {
+        reason: reason.into(),
+    }
 }
 
 /// Little-endian byte sink.
@@ -100,6 +117,21 @@ impl Writer {
         }
     }
 
+    /// Appends a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.put_u64(x);
+        }
+    }
+
+    /// Appends a shape-prefixed bitpacked matrix.
+    pub fn put_packed_matrix(&mut self, m: &PackedMatrix) {
+        self.put_u64(m.rows() as u64);
+        self.put_u64(m.dim() as u64);
+        self.put_u64_slice(m.as_words());
+    }
+
     /// Appends a shape-prefixed matrix.
     pub fn put_matrix(&mut self, m: &Matrix) {
         self.put_u64(m.rows() as u64);
@@ -149,7 +181,9 @@ impl<'a> Reader<'a> {
     ///
     /// Fails on truncated input.
     pub fn get_u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `u64`.
@@ -158,7 +192,9 @@ impl<'a> Reader<'a> {
     ///
     /// Fails on truncated input.
     pub fn get_u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a `u64` that must fit a `usize`.
@@ -176,7 +212,9 @@ impl<'a> Reader<'a> {
     ///
     /// Fails on truncated input.
     pub fn get_f32(&mut self) -> Result<f32> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     /// Reads a little-endian `f64`.
@@ -185,7 +223,9 @@ impl<'a> Reader<'a> {
     ///
     /// Fails on truncated input.
     pub fn get_f64(&mut self) -> Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     /// Reads a length-prefixed `f32` vector.
@@ -200,6 +240,32 @@ impl<'a> Reader<'a> {
             out.push(self.get_f32()?);
         }
         Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_u64_vec(&mut self) -> Result<Vec<u64>> {
+        let len = self.get_len()?;
+        let mut out = Vec::with_capacity(len.min(1 << 20));
+        for _ in 0..len {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a shape-prefixed bitpacked matrix.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or inconsistent shape.
+    pub fn get_packed_matrix(&mut self) -> Result<PackedMatrix> {
+        let rows = self.get_len()?;
+        let dim = self.get_len()?;
+        let words = self.get_u64_vec()?;
+        PackedMatrix::from_parts(words, rows, dim).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads a shape-prefixed matrix.
@@ -237,9 +303,14 @@ fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<()> {
         return Err(persist_err("not a BoostHD model blob (bad magic)"));
     }
     let version = r.get_u8()?;
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(persist_err(format!(
-            "unsupported model blob version {version} (expected {VERSION})"
+            "unsupported model blob version {version} (supported {MIN_VERSION}..={VERSION})"
+        )));
+    }
+    if version < 2 && kind >= KIND_QUANT_ONLINE {
+        return Err(persist_err(format!(
+            "model kind {kind} requires blob version 2, got {version}"
         )));
     }
     let got = r.get_u8()?;
@@ -490,6 +561,141 @@ impl BoostHd {
     }
 }
 
+impl QuantizedHd {
+    /// Serializes the bitpacked model to the compact binary format (v2).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_QUANT_ONLINE);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_packed_matrix(self.class_bits());
+        w.into_bytes()
+    }
+
+    /// Deserializes a model written by [`QuantizedHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, KIND_QUANT_ONLINE)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r)?;
+        let class_bits = r.get_packed_matrix()?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, class_bits, num_classes)
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads a model written by [`QuantizedHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl QuantizedBoostHd {
+    /// Serializes the bitpacked ensemble to the compact binary format (v2).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_QUANT_BOOST);
+        w.put_u64(self.dim_total() as u64);
+        w.put_u8(voting_tag(self.voting()));
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_u64(self.num_learners() as u64);
+        for i in 0..self.num_learners() {
+            let (class_bits, alpha, start, end, own_encoder) = self.learner_parts(i);
+            w.put_f32(alpha);
+            w.put_u64(start as u64);
+            w.put_u64(end as u64);
+            w.put_packed_matrix(class_bits);
+            match own_encoder {
+                None => w.put_u8(0),
+                Some(enc) => {
+                    w.put_u8(1);
+                    put_encoder(&mut w, enc);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes an ensemble written by [`QuantizedBoostHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, KIND_QUANT_BOOST)?;
+        let dim_total = r.get_len()?;
+        let voting = voting_from(r.get_u8()?)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r)?;
+        let n_learners = r.get_len()?;
+        let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
+        for _ in 0..n_learners {
+            let alpha = r.get_f32()?;
+            let seg_start = r.get_len()?;
+            let seg_end = r.get_len()?;
+            let class_bits = r.get_packed_matrix()?;
+            let own_encoder = match r.get_u8()? {
+                0 => None,
+                1 => Some(get_encoder(&mut r)?),
+                other => return Err(persist_err(format!("unknown encoder tag {other}"))),
+            };
+            learners.push(QuantizedWeakLearner {
+                class_bits,
+                alpha,
+                seg_start,
+                seg_end,
+                own_encoder,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, learners, num_classes, voting, dim_total)
+    }
+
+    /// Writes the ensemble to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads an ensemble written by [`QuantizedBoostHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedBoostHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -551,7 +757,11 @@ mod tests {
     #[test]
     fn onlinehd_round_trip_preserves_predictions() {
         let (x, y) = toy();
-        let config = OnlineHdConfig { dim: 96, epochs: 4, ..Default::default() };
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
         let model = OnlineHd::fit(&config, &x, &y).unwrap();
         let restored = OnlineHd::from_bytes(&model.to_bytes()).unwrap();
         assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
@@ -562,7 +772,12 @@ mod tests {
     #[test]
     fn boosthd_round_trip_preserves_everything() {
         let (x, y) = toy();
-        let config = BoostHdConfig { dim_total: 120, n_learners: 6, epochs: 3, ..Default::default() };
+        let config = BoostHdConfig {
+            dim_total: 120,
+            n_learners: 6,
+            epochs: 3,
+            ..Default::default()
+        };
         let model = BoostHd::fit(&config, &x, &y).unwrap();
         let restored = BoostHd::from_bytes(&model.to_bytes()).unwrap();
         assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
@@ -574,7 +789,12 @@ mod tests {
     #[test]
     fn file_save_load_round_trip() {
         let (x, y) = toy();
-        let config = BoostHdConfig { dim_total: 60, n_learners: 3, epochs: 2, ..Default::default() };
+        let config = BoostHdConfig {
+            dim_total: 60,
+            n_learners: 3,
+            epochs: 2,
+            ..Default::default()
+        };
         let model = BoostHd::fit(&config, &x, &y).unwrap();
         let dir = std::env::temp_dir().join("boosthd_persist_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -586,10 +806,107 @@ mod tests {
     }
 
     #[test]
+    fn quantized_onlinehd_round_trips() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize();
+        let restored = QuantizedHd::from_bytes(&quantized.to_bytes()).unwrap();
+        assert_eq!(quantized.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(quantized.class_bits(), restored.class_bits());
+    }
+
+    #[test]
+    fn quantized_boosthd_round_trips() {
+        let (x, y) = toy();
+        let config = BoostHdConfig {
+            dim_total: 120,
+            n_learners: 6,
+            epochs: 3,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize();
+        let restored = QuantizedBoostHd::from_bytes(&quantized.to_bytes()).unwrap();
+        assert_eq!(quantized.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(quantized.alphas(), restored.alphas());
+        assert_eq!(quantized.voting(), restored.voting());
+        assert_eq!(quantized.dim_total(), restored.dim_total());
+    }
+
+    #[test]
+    fn quantized_blob_kinds_are_disjoint_from_f32_kinds() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        assert!(OnlineHd::from_bytes(&quantized.to_bytes()).is_err());
+        assert!(QuantizedHd::from_bytes(&model.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_quantized_blob_is_rejected() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize();
+        let bytes = quantized.to_bytes();
+        for cut in (0..bytes.len()).step_by(bytes.len() / 7 + 1) {
+            assert!(QuantizedHd::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn v1_header_is_rejected_for_quantized_kinds() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize();
+        let mut bytes = quantized.to_bytes();
+        bytes[4] = 1; // version byte: pretend this is a v1 blob
+        let err = QuantizedHd::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("requires blob version 2"), "{err}");
+    }
+
+    #[test]
+    fn v1_dense_blobs_remain_readable() {
+        // The v2 writer emits the same payload layout for kinds 1–2 as v1
+        // did; a blob re-stamped as v1 must still load.
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let mut bytes = model.to_bytes();
+        assert_eq!(bytes[4], 2, "current writer stamps v2");
+        bytes[4] = 1;
+        let restored = OnlineHd::from_bytes(&bytes).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+    }
+
+    #[test]
     fn wrong_kind_is_rejected() {
         let (x, y) = toy();
         let online = OnlineHd::fit(
-            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &OnlineHdConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
             &x,
             &y,
         )
@@ -601,7 +918,11 @@ mod tests {
     fn corrupt_magic_is_rejected() {
         let (x, y) = toy();
         let model = OnlineHd::fit(
-            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &OnlineHdConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
             &x,
             &y,
         )
@@ -615,7 +936,11 @@ mod tests {
     fn truncated_blob_is_rejected() {
         let (x, y) = toy();
         let model = OnlineHd::fit(
-            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &OnlineHdConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
             &x,
             &y,
         )
@@ -628,7 +953,11 @@ mod tests {
     fn trailing_bytes_are_rejected() {
         let (x, y) = toy();
         let model = OnlineHd::fit(
-            &OnlineHdConfig { dim: 32, epochs: 2, ..Default::default() },
+            &OnlineHdConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
             &x,
             &y,
         )

@@ -1,0 +1,846 @@
+//! Frozen bitpacked inference models — the `quantize()` step.
+//!
+//! Training stays in f32 (gradient-like OnlineHD updates need magnitude
+//! information), but a *deployed* model only scores queries. Sign-binarizing
+//! the trained class hypervectors and packing them into `u64` words
+//! ([`hdc::backend::BitpackedSign`]) shrinks the stored model 32× and turns
+//! every similarity into `⌈D/64⌉` XOR + popcount operations — the binary-HDC
+//! execution model wearable accelerators implement in hardware.
+//!
+//! [`OnlineHd::quantize`], [`CentroidHd::quantize`] and
+//! [`BoostHd::quantize`] freeze a trained f32 model into [`QuantizedHd`] /
+//! [`QuantizedBoostHd`]. Queries are encoded with the unchanged f32
+//! projection, sign-packed, and scored entirely in the packed domain, so
+//! class *and* query quantization noise are both bounded by the sign
+//! rounding — the packed arithmetic itself is exact (see
+//! `hdc::ops::packed_similarity`).
+//!
+//! For fault-injection studies the packed models implement
+//! [`reliability::PerturbablePacked`]: bit flips land directly on the
+//! stored `u64` words, a more faithful single-event-upset model for 1-bit
+//! memories than f32 mantissa flips.
+//!
+//! # Quantization-aware refit
+//!
+//! Plain sign binarization is data-free but lossy when the per-learner
+//! dimensionality is small (similarity noise grows like `1/√D_wl`). The
+//! `quantize_with_refit` variants run a few straight-through refinement
+//! epochs before freezing: queries are scored against the *binarized*
+//! class vectors (exactly what deployment will do) while the OnlineHD
+//! update accumulates in f32 shadow weights, whose signs re-binarize after
+//! every touched update. On the wearable workloads this recovers most of
+//! the sign-rounding loss at `D_wl = 400`.
+
+use crate::boost::{BoostHd, Voting};
+use crate::classifier::{argmax, Classifier};
+use crate::error::{BoostHdError, Result};
+use crate::online::OnlineHd;
+use crate::parallel::parallel_map_indices;
+use crate::CentroidHd;
+use hdc::backend::{PackedHv, PackedMatrix};
+use hdc::encoder::{Encode, SinusoidEncoder};
+use linalg::matrix::norm;
+use linalg::Matrix;
+use reliability::PerturbablePacked;
+use serde::{Deserialize, Serialize};
+
+/// Straight-through refinement of one class matrix: score queries against
+/// the binarized classes (the deployment arithmetic), update f32 shadow
+/// weights with the OnlineHD rule on misclassification, and re-binarize
+/// the touched rows. Returns the final packed classes.
+fn refit_packed_classes(
+    z: &Matrix,
+    y: &[usize],
+    shadow: &mut Matrix,
+    lr: f32,
+    epochs: usize,
+) -> PackedMatrix {
+    let mut bits = PackedMatrix::from_dense_rows(shadow);
+    for _epoch in 0..epochs {
+        for (r, &truth) in y.iter().enumerate() {
+            let h = z.row(r);
+            let query = PackedHv::from_signs(h);
+            let sims = bits.similarities(&query);
+            let pred = argmax(&sims);
+            if pred == truth {
+                continue;
+            }
+            let hn = norm(h);
+            if hn == 0.0 {
+                continue;
+            }
+            // The packed similarity lives on the cosine scale, so the
+            // (1 − δ) error weighting carries over unchanged; the sample is
+            // normalized like OnlineHd::update so one step nudges rather
+            // than overwrites the shadow direction.
+            hdc::ops::bundle_into(shadow.row_mut(truth), h, lr * (1.0 - sims[truth]) / hn);
+            hdc::ops::bundle_into(shadow.row_mut(pred), h, -lr * (1.0 - sims[pred]) / hn);
+            bits.set_row_signs(truth, shadow.row(truth));
+            bits.set_row_signs(pred, shadow.row(pred));
+        }
+    }
+    bits
+}
+
+/// Validates refit inputs against a trained model's shape.
+fn validate_refit_inputs(
+    x: &Matrix,
+    y: &[usize],
+    input_len: usize,
+    num_classes: usize,
+) -> Result<()> {
+    if x.rows() == 0 || x.rows() != y.len() {
+        return Err(BoostHdError::DataMismatch {
+            reason: format!("{} refit rows but {} labels", x.rows(), y.len()),
+        });
+    }
+    if x.cols() != input_len {
+        return Err(BoostHdError::DataMismatch {
+            reason: format!(
+                "refit samples have {} features but the encoder expects {input_len}",
+                x.cols()
+            ),
+        });
+    }
+    if let Some(&bad) = y.iter().find(|&&yi| yi >= num_classes) {
+        return Err(BoostHdError::DataMismatch {
+            reason: format!("refit label {bad} outside the {num_classes} trained classes"),
+        });
+    }
+    Ok(())
+}
+
+/// A frozen single-learner HDC classifier with bitpacked class
+/// hypervectors (quantized [`OnlineHd`] or [`CentroidHd`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedHd {
+    encoder: SinusoidEncoder,
+    class_bits: PackedMatrix,
+    num_classes: usize,
+}
+
+impl QuantizedHd {
+    pub(crate) fn from_class_matrix(
+        encoder: SinusoidEncoder,
+        class_hvs: &Matrix,
+        num_classes: usize,
+    ) -> Self {
+        Self {
+            encoder,
+            class_bits: PackedMatrix::from_dense_rows(class_hvs),
+            num_classes,
+        }
+    }
+
+    /// Reassembles a model from stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for inconsistent shapes.
+    pub(crate) fn from_parts(
+        encoder: SinusoidEncoder,
+        class_bits: PackedMatrix,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if class_bits.rows() != num_classes {
+            return Err(BoostHdError::DataMismatch {
+                reason: "packed class count disagrees with header".into(),
+            });
+        }
+        if class_bits.dim() != encoder.dim() {
+            return Err(BoostHdError::DataMismatch {
+                reason: "packed class width disagrees with encoder".into(),
+            });
+        }
+        Ok(Self {
+            encoder,
+            class_bits,
+            num_classes,
+        })
+    }
+
+    /// Hyperspace dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.class_bits.dim()
+    }
+
+    /// The packed class hypervectors.
+    pub fn class_bits(&self) -> &PackedMatrix {
+        &self.class_bits
+    }
+
+    /// The (f32) query encoder.
+    pub fn encoder(&self) -> &SinusoidEncoder {
+        &self.encoder
+    }
+
+    /// Bytes of class-hypervector storage (the memory a 1-bit associative
+    /// memory would hold; excludes the shared projection).
+    pub fn class_storage_bytes(&self) -> usize {
+        std::mem::size_of_val(self.class_bits.as_words())
+    }
+
+    /// Per-class popcount similarities for an already-packed query.
+    pub fn scores_packed(&self, query: &PackedHv) -> Vec<f32> {
+        self.class_bits.similarities(query)
+    }
+
+    /// Predicts every row of `x` using `threads` worker threads.
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        let queries = self.encoder.encode_batch_packed(x);
+        parallel_map_indices(queries.len(), threads, |r| {
+            argmax(&self.scores_packed(&queries[r]))
+        })
+    }
+}
+
+impl Classifier for QuantizedHd {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        self.scores_packed(&self.encoder.encode_row_packed(x))
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        self.encoder
+            .encode_batch_packed(x)
+            .iter()
+            .map(|q| argmax(&self.scores_packed(q)))
+            .collect()
+    }
+}
+
+impl PerturbablePacked for QuantizedHd {
+    fn packed_bit_count(&self) -> u64 {
+        self.class_bits.bit_count()
+    }
+
+    fn flip_packed_bit(&mut self, index: u64) {
+        flip_matrix_bit(&mut self.class_bits, index);
+    }
+}
+
+impl OnlineHd {
+    /// Freezes the trained model into a bitpacked inference model: class
+    /// hypervectors sign-quantized into packed words, scoring via popcount.
+    pub fn quantize(&self) -> QuantizedHd {
+        QuantizedHd::from_class_matrix(
+            self.encoder().clone(),
+            self.class_hypervectors(),
+            self.num_classes(),
+        )
+    }
+
+    /// [`OnlineHd::quantize`] preceded by `epochs` of quantization-aware
+    /// refinement on `(x, y)` (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for empty/inconsistent refit
+    /// data or out-of-range labels.
+    pub fn quantize_with_refit(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+    ) -> Result<QuantizedHd> {
+        validate_refit_inputs(x, y, self.encoder().input_len(), self.num_classes())?;
+        let z = self.encoder().encode_batch(x);
+        let mut shadow = self.class_hypervectors().clone();
+        let class_bits = refit_packed_classes(&z, y, &mut shadow, self.config().lr, epochs);
+        QuantizedHd::from_parts(self.encoder().clone(), class_bits, self.num_classes())
+    }
+}
+
+impl CentroidHd {
+    /// Freezes the trained model into a bitpacked inference model; see
+    /// [`OnlineHd::quantize`].
+    pub fn quantize(&self) -> QuantizedHd {
+        QuantizedHd::from_class_matrix(
+            self.encoder().clone(),
+            self.class_hypervectors(),
+            self.num_classes(),
+        )
+    }
+}
+
+/// One frozen weak learner: packed class hypervectors plus its vote weight
+/// and hyperspace segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct QuantizedWeakLearner {
+    pub(crate) class_bits: PackedMatrix,
+    pub(crate) alpha: f32,
+    pub(crate) seg_start: usize,
+    pub(crate) seg_end: usize,
+    /// Present only for full-dimension (ablation-mode) ensembles.
+    pub(crate) own_encoder: Option<SinusoidEncoder>,
+}
+
+/// A frozen BoostHD ensemble with bitpacked weak learners.
+///
+/// Inference encodes the query once at full `D` with the f32 projection,
+/// sign-packs each weak learner's segment, and aggregates `α`-weighted
+/// popcount votes — the batch popcount scoring path across weak learners.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedBoostHd {
+    encoder: SinusoidEncoder,
+    learners: Vec<QuantizedWeakLearner>,
+    num_classes: usize,
+    voting: Voting,
+    dim_total: usize,
+}
+
+impl QuantizedBoostHd {
+    pub(crate) fn from_model(model: &BoostHd) -> Self {
+        let learners = (0..model.num_learners())
+            .map(|i| {
+                let (alpha, seg_start, seg_end, own_encoder) = model.learner_parts(i);
+                QuantizedWeakLearner {
+                    class_bits: PackedMatrix::from_dense_rows(model.learner_class_hypervectors(i)),
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder: own_encoder.cloned(),
+                }
+            })
+            .collect();
+        Self {
+            encoder: model.encoder().clone(),
+            learners,
+            num_classes: model.num_classes(),
+            voting: model.config().voting,
+            dim_total: model.dim_total(),
+        }
+    }
+
+    /// Reassembles an ensemble from stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for inconsistent segments or
+    /// class shapes.
+    pub(crate) fn from_parts(
+        encoder: SinusoidEncoder,
+        learners: Vec<QuantizedWeakLearner>,
+        num_classes: usize,
+        voting: Voting,
+        dim_total: usize,
+    ) -> Result<Self> {
+        for l in &learners {
+            if l.seg_start > l.seg_end || l.seg_end > dim_total {
+                return Err(BoostHdError::DataMismatch {
+                    reason: format!("segment {}..{} out of bounds", l.seg_start, l.seg_end),
+                });
+            }
+            if l.class_bits.rows() != num_classes {
+                return Err(BoostHdError::DataMismatch {
+                    reason: "learner class count disagrees with header".into(),
+                });
+            }
+            match &l.own_encoder {
+                None if l.class_bits.dim() != l.seg_end - l.seg_start => {
+                    return Err(BoostHdError::DataMismatch {
+                        reason: "packed class width disagrees with segment".into(),
+                    });
+                }
+                Some(enc) if l.class_bits.dim() != enc.dim() => {
+                    return Err(BoostHdError::DataMismatch {
+                        reason: "packed class width disagrees with learner encoder".into(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Self {
+            encoder,
+            learners,
+            num_classes,
+            voting,
+            dim_total,
+        })
+    }
+
+    /// Number of weak learners `N_L`.
+    pub fn num_learners(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// Total hyperspace dimensionality `D_total`.
+    pub fn dim_total(&self) -> usize {
+        self.dim_total
+    }
+
+    /// Vote aggregation rule inherited from the f32 ensemble.
+    pub fn voting(&self) -> Voting {
+        self.voting
+    }
+
+    /// The shared full-`D` (f32) query encoder.
+    pub fn encoder(&self) -> &SinusoidEncoder {
+        &self.encoder
+    }
+
+    /// Vote weights `α_i`, in training order.
+    pub fn alphas(&self) -> Vec<f32> {
+        self.learners.iter().map(|l| l.alpha).collect()
+    }
+
+    /// Bytes of packed class-hypervector storage across all weak learners.
+    pub fn class_storage_bytes(&self) -> usize {
+        self.learners
+            .iter()
+            .map(|l| std::mem::size_of_val(l.class_bits.as_words()))
+            .sum()
+    }
+
+    pub(crate) fn learner_parts(
+        &self,
+        i: usize,
+    ) -> (&PackedMatrix, f32, usize, usize, Option<&SinusoidEncoder>) {
+        let l = &self.learners[i];
+        (
+            &l.class_bits,
+            l.alpha,
+            l.seg_start,
+            l.seg_end,
+            l.own_encoder.as_ref(),
+        )
+    }
+
+    /// `α`-weighted popcount votes for a query whose full-`D` dense
+    /// encoding is `full_h` (`x` is the raw feature row, needed only by
+    /// full-dimension ablation learners).
+    fn votes_for_encoded(&self, full_h: &[f32], x: &[f32]) -> Vec<f32> {
+        let mut votes = vec![0.0f32; self.num_classes];
+        for learner in &self.learners {
+            let sims = match &learner.own_encoder {
+                None => {
+                    let q = PackedHv::from_signs(&full_h[learner.seg_start..learner.seg_end]);
+                    learner.class_bits.similarities(&q)
+                }
+                Some(enc) => learner.class_bits.similarities(&enc.encode_row_packed(x)),
+            };
+            match self.voting {
+                Voting::Hard => votes[argmax(&sims)] += learner.alpha,
+                Voting::Soft => {
+                    for (v, s) in votes.iter_mut().zip(sims.iter()) {
+                        *v += learner.alpha * s;
+                    }
+                }
+            }
+        }
+        votes
+    }
+
+    /// Predicts every row of `x` using `threads` worker threads (queries
+    /// are independent; popcount scoring parallelizes embarrassingly).
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        let any_partitioned = self.learners.iter().any(|l| l.own_encoder.is_none());
+        if any_partitioned {
+            let z = self.encoder.encode_batch(x);
+            parallel_map_indices(x.rows(), threads, |r| {
+                argmax(&self.votes_for_encoded(z.row(r), x.row(r)))
+            })
+        } else {
+            parallel_map_indices(x.rows(), threads, |r| self.predict(x.row(r)))
+        }
+    }
+}
+
+impl Classifier for QuantizedBoostHd {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let needs_full = self.learners.iter().any(|l| l.own_encoder.is_none());
+        let full_h = if needs_full {
+            self.encoder.encode_row(x)
+        } else {
+            Vec::new()
+        };
+        self.votes_for_encoded(&full_h, x)
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        self.predict_batch_parallel(x, 1)
+    }
+}
+
+impl PerturbablePacked for QuantizedBoostHd {
+    fn packed_bit_count(&self) -> u64 {
+        self.learners.iter().map(|l| l.class_bits.bit_count()).sum()
+    }
+
+    fn flip_packed_bit(&mut self, mut index: u64) {
+        for learner in &mut self.learners {
+            let bits = learner.class_bits.bit_count();
+            if index < bits {
+                flip_matrix_bit(&mut learner.class_bits, index);
+                return;
+            }
+            index -= bits;
+        }
+        panic!("packed bit index out of range");
+    }
+}
+
+impl BoostHd {
+    /// Freezes the trained ensemble into a bitpacked inference model: every
+    /// weak learner's class hypervectors sign-quantized into packed words,
+    /// votes scored via popcount. See the [module docs](self).
+    pub fn quantize(&self) -> QuantizedBoostHd {
+        QuantizedBoostHd::from_model(self)
+    }
+
+    /// [`BoostHd::quantize`] preceded by `epochs` of per-learner
+    /// quantization-aware refinement on `(x, y)`.
+    ///
+    /// Each weak learner refines against its own segment of the encoded
+    /// refit batch, scoring exactly the way the deployed packed model will
+    /// (popcount against binarized classes) while updates accumulate in
+    /// f32 shadow weights. Recommended before shipping: at the paper's
+    /// `D_wl = 400` it recovers most of the sign-rounding loss. A handful
+    /// of epochs suffices; long refits start fitting quantization noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for empty/inconsistent refit
+    /// data or out-of-range labels.
+    pub fn quantize_with_refit(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+    ) -> Result<QuantizedBoostHd> {
+        validate_refit_inputs(x, y, self.encoder().input_len(), self.num_classes())?;
+        let z = self.encoder().encode_batch(x);
+        let learners = (0..self.num_learners())
+            .map(|i| {
+                let (alpha, seg_start, seg_end, own_encoder) = self.learner_parts(i);
+                let zi = match own_encoder {
+                    None => z.slice_columns(seg_start, seg_end),
+                    Some(enc) => enc.encode_batch(x),
+                };
+                let mut shadow = self.learner_class_hypervectors(i).clone();
+                let class_bits =
+                    refit_packed_classes(&zi, y, &mut shadow, self.config().lr, epochs);
+                QuantizedWeakLearner {
+                    class_bits,
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder: own_encoder.cloned(),
+                }
+            })
+            .collect();
+        QuantizedBoostHd::from_parts(
+            self.encoder().clone(),
+            learners,
+            self.num_classes(),
+            self.config().voting,
+            self.dim_total(),
+        )
+    }
+}
+
+/// Flips valid (non-padding) bit `index` of a packed matrix, where bits
+/// are numbered row-major over the `rows × dim` grid.
+fn flip_matrix_bit(m: &mut PackedMatrix, index: u64) {
+    let dim = m.dim() as u64;
+    let row = (index / dim) as usize;
+    let offset = (index % dim) as usize;
+    let words_per_row = m.as_words().len() / m.rows();
+    let word = row * words_per_row + offset / 64;
+    m.as_words_mut()[word] ^= 1u64 << (offset % 64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::BoostHdConfig;
+    use crate::online::OnlineHdConfig;
+    use linalg::Rng64;
+    use reliability::flip_sign_bits;
+
+    fn blobs(n: usize, seed: u64, sep: f32, noise: f32) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::seed_from(seed);
+        let centers = [(-1.0f32, -1.0f32), (1.0, 1.0), (-1.0, 1.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let (cx, cy) = centers[class];
+            rows.push(vec![
+                cx * sep + noise * rng.normal(),
+                cy * sep + noise * rng.normal(),
+                noise * rng.normal(),
+            ]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn accuracy(model: &impl Classifier, x: &Matrix, y: &[usize]) -> f64 {
+        model
+            .predict_batch(x)
+            .iter()
+            .zip(y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64
+    }
+
+    #[test]
+    fn quantized_onlinehd_tracks_f32_accuracy() {
+        let (x, y) = blobs(240, 1, 1.0, 0.35);
+        let config = OnlineHdConfig {
+            dim: 2048,
+            epochs: 10,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        let full = accuracy(&model, &x, &y);
+        let quant = accuracy(&quantized, &x, &y);
+        assert!(quant > full - 0.05, "quantized {quant} vs f32 {full}");
+        assert_eq!(quantized.num_classes(), 3);
+        assert_eq!(quantized.dim(), 2048);
+    }
+
+    #[test]
+    fn quantized_boosthd_tracks_f32_accuracy() {
+        let (x, y) = blobs(240, 2, 1.0, 0.35);
+        let config = BoostHdConfig {
+            dim_total: 2048,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        let full = accuracy(&model, &x, &y);
+        let quant = accuracy(&quantized, &x, &y);
+        assert!(quant > full - 0.05, "quantized {quant} vs f32 {full}");
+        assert_eq!(quantized.num_learners(), 8);
+        assert_eq!(quantized.alphas(), model.alphas());
+    }
+
+    #[test]
+    fn packed_batch_matches_rowwise() {
+        let (x, y) = blobs(90, 3, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 8,
+            epochs: 6,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize();
+        let batch = quantized.predict_batch(&x);
+        let rowwise: Vec<usize> = (0..x.rows()).map(|r| quantized.predict(x.row(r))).collect();
+        assert_eq!(batch, rowwise);
+        assert_eq!(batch, quantized.predict_batch_parallel(&x, 4));
+    }
+
+    #[test]
+    fn quantized_centroid_works() {
+        let (x, y) = blobs(120, 4, 1.2, 0.3);
+        let config = crate::CentroidHdConfig {
+            dim: 1024,
+            ..Default::default()
+        };
+        let model = CentroidHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        assert!(accuracy(&quantized, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn quantized_full_dimension_mode_works() {
+        use crate::boost::EnsembleMode;
+        let (x, y) = blobs(120, 5, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 256,
+            n_learners: 4,
+            epochs: 5,
+            mode: EnsembleMode::FullDimension,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        assert!(accuracy(&quantized, &x, &y) > 0.85);
+        assert_eq!(
+            quantized.predict_batch(&x),
+            quantized.predict_batch_parallel(&x, 3)
+        );
+    }
+
+    #[test]
+    fn storage_shrinks_32x_versus_f32_classes() {
+        let (x, y) = blobs(90, 6, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 5,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize();
+        let f32_bytes: usize = (0..model.num_learners())
+            .map(|i| model.learner_class_hypervectors(i).as_slice().len() * 4)
+            .sum();
+        // 640/5 = 128 dims per learner → no padding → exactly 32×.
+        assert_eq!(f32_bytes, 32 * quantized.class_storage_bytes());
+    }
+
+    #[test]
+    fn refit_improves_or_matches_data_free_quantization() {
+        // Dimension-starved learners (D_wl = 40) lose real accuracy to sign
+        // rounding; straight-through refit must claw some back on the
+        // training distribution.
+        let (x, y) = blobs(300, 10, 0.7, 0.55);
+        let config = BoostHdConfig {
+            dim_total: 320,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let plain = accuracy(&model.quantize(), &x, &y);
+        let refit = accuracy(&model.quantize_with_refit(&x, &y, 5).unwrap(), &x, &y);
+        assert!(
+            refit >= plain,
+            "refit {refit} should not trail data-free {plain}"
+        );
+    }
+
+    #[test]
+    fn refit_rejects_bad_inputs() {
+        let (x, y) = blobs(60, 11, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 320,
+            n_learners: 4,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let empty = Matrix::zeros(0, 3);
+        assert!(model.quantize_with_refit(&empty, &[], 3).is_err());
+        assert!(model.quantize_with_refit(&x, &y[..10], 3).is_err());
+        let bad_labels = vec![99usize; y.len()];
+        assert!(model.quantize_with_refit(&x, &bad_labels, 3).is_err());
+        let narrow = Matrix::zeros(60, 1);
+        assert!(model.quantize_with_refit(&narrow, &y, 3).is_err());
+        // Zero refit epochs degenerates to data-free quantization.
+        let zero = model.quantize_with_refit(&x, &y, 0).unwrap();
+        assert_eq!(zero.predict_batch(&x), model.quantize().predict_batch(&x));
+    }
+
+    #[test]
+    fn onlinehd_refit_quantization_works() {
+        let (x, y) = blobs(200, 12, 0.8, 0.5);
+        let config = OnlineHdConfig {
+            dim: 256,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let plain = accuracy(&model.quantize(), &x, &y);
+        let refit = accuracy(&model.quantize_with_refit(&x, &y, 5).unwrap(), &x, &y);
+        assert!(refit >= plain - 1e-9, "refit {refit} vs plain {plain}");
+    }
+
+    #[test]
+    fn from_parts_rejects_own_encoder_width_mismatch() {
+        use crate::boost::EnsembleMode;
+        let (x, y) = blobs(90, 15, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 128,
+            n_learners: 2,
+            epochs: 3,
+            mode: EnsembleMode::FullDimension,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let good = model.quantize();
+        // Rebuild the learners but give one an encoder of the wrong width:
+        // loading such a blob must Err instead of panicking at inference.
+        let mut rng = linalg::Rng64::seed_from(0);
+        let wrong_encoder = SinusoidEncoder::new(64, x.cols(), &mut rng);
+        let learners: Vec<QuantizedWeakLearner> = (0..good.num_learners())
+            .map(|i| {
+                let (class_bits, alpha, seg_start, seg_end, _) = good.learner_parts(i);
+                QuantizedWeakLearner {
+                    class_bits: class_bits.clone(),
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder: Some(wrong_encoder.clone()),
+                }
+            })
+            .collect();
+        assert!(QuantizedBoostHd::from_parts(
+            good.encoder().clone(),
+            learners,
+            good.num_classes(),
+            good.voting(),
+            good.dim_total(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn packed_bitflips_land_on_stored_words() {
+        let (x, y) = blobs(120, 7, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 8,
+            epochs: 6,
+            ..Default::default()
+        };
+        let mut quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize();
+        let before = quantized.clone();
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_sign_bits(&mut quantized, 0.02, &mut rng);
+        assert!(report.flipped > 0);
+        // Flips must change stored words but keep every padding bit clear
+        // (from_parts round-trip would reject set padding).
+        let mut changed = false;
+        for i in 0..quantized.num_learners() {
+            let (bits, ..) = quantized.learner_parts(i);
+            let (bits_before, ..) = before.learner_parts(i);
+            if bits != bits_before {
+                changed = true;
+            }
+            for r in 0..bits.rows() {
+                assert!(
+                    hdc::backend::PackedHv::from_words(bits.row_words(r).to_vec(), bits.dim())
+                        .is_ok()
+                );
+            }
+        }
+        assert!(changed);
+    }
+
+    #[test]
+    fn quantized_ensemble_absorbs_moderate_sign_flips() {
+        let (x, y) = blobs(240, 8, 1.0, 0.35);
+        let config = BoostHdConfig {
+            dim_total: 2048,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize();
+        let clean = accuracy(&quantized, &x, &y);
+        let mut corrupted = quantized.clone();
+        let mut rng = Rng64::seed_from(3);
+        flip_sign_bits(&mut corrupted, 1e-3, &mut rng);
+        let faulty = accuracy(&corrupted, &x, &y);
+        assert!(
+            faulty > clean - 0.05,
+            "0.1% sign flips should be absorbed: {clean} -> {faulty}"
+        );
+    }
+}

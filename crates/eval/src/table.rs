@@ -23,11 +23,7 @@ pub struct Table {
 
 impl Table {
     /// Creates an empty table with the given headers.
-    pub fn new(
-        title: impl Into<String>,
-        corner: impl Into<String>,
-        columns: Vec<String>,
-    ) -> Self {
+    pub fn new(title: impl Into<String>, corner: impl Into<String>, columns: Vec<String>) -> Self {
         Self {
             title: title.into(),
             corner: corner.into(),
@@ -221,7 +217,10 @@ impl Heatmap {
             self.x_label,
             self.y_label
         );
-        out.push_str(&format!("{:>10}", format!("{}\\{}", self.y_label, self.x_label)));
+        out.push_str(&format!(
+            "{:>10}",
+            format!("{}\\{}", self.y_label, self.x_label)
+        ));
         for x in &self.xs {
             out.push_str(&format!(" {x:>8.0}"));
         }

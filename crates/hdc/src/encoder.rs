@@ -16,7 +16,9 @@
 //! contiguous *row slice* of `P` — the `D/n`-dimensional sub-space — produced
 //! by [`SinusoidEncoder::slice_dims`].
 
+use crate::backend::PackedHv;
 use crate::error::{HdcError, Result};
+use crate::ops;
 use linalg::{Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
@@ -52,6 +54,31 @@ pub trait Encode {
             });
         }
         Ok(self.encode_row(x))
+    }
+
+    /// Encodes one feature vector directly into the bitpacked sign
+    /// representation (see [`crate::backend::BitpackedSign`]).
+    ///
+    /// The default packs the dense encoding; [`SinusoidEncoder`] overrides
+    /// it with a buffer-free path that packs `sign(φ(x))` as it is
+    /// computed.
+    ///
+    /// # Panics
+    ///
+    /// As [`Encode::encode_row`].
+    fn encode_row_packed(&self, x: &[f32]) -> PackedHv {
+        PackedHv::from_signs(&self.encode_row(x))
+    }
+
+    /// Encodes a batch of samples directly into packed hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_len()`.
+    fn encode_batch_packed(&self, x: &Matrix) -> Vec<PackedHv> {
+        (0..x.rows())
+            .map(|r| self.encode_row_packed(x.row(r)))
+            .collect()
     }
 
     /// Encodes a batch of samples (rows of `x`) into a `samples × D` matrix.
@@ -152,7 +179,7 @@ impl SinusoidEncoder {
                 reason: "encoder input length must be positive".into(),
             });
         }
-        if !(bandwidth > 0.0) {
+        if bandwidth.is_nan() || bandwidth <= 0.0 {
             return Err(HdcError::InvalidConfig {
                 reason: format!("bandwidth must be positive, got {bandwidth}"),
             });
@@ -244,7 +271,40 @@ impl Encode for SinusoidEncoder {
         let z = self.projection.matvec(x);
         z.iter()
             .zip(self.bias.iter())
-            .map(|(&zd, &bd)| (zd + bd).cos() * zd.sin())
+            .map(|(&zd, &bd)| sinusoid_phi(zd, bd))
+            .collect()
+    }
+
+    fn encode_row_packed(&self, x: &[f32]) -> PackedHv {
+        assert_eq!(
+            x.len(),
+            self.input_len(),
+            "feature length {} does not match encoder input {}",
+            x.len(),
+            self.input_len()
+        );
+        // Packs sign(φ(x)) as each dimension is computed — no intermediate
+        // D-length f32 buffer, which keeps the working set at ⌈D/64⌉ words
+        // for memory-starved (wearable-sized) encode paths.
+        let dim = self.dim();
+        let mut words = vec![0u64; ops::packed_words(dim)];
+        for d in 0..dim {
+            let zd = linalg::matrix::dot(self.projection.row(d), x);
+            let phi = sinusoid_phi(zd, self.bias[d]);
+            // Same tie rule as ops::pack_signs / ops::to_bipolar.
+            if phi >= 0.0 || phi.is_nan() {
+                words[d / 64] |= 1u64 << (d % 64);
+            }
+        }
+        PackedHv::from_words(words, dim).expect("freshly packed words are consistent")
+    }
+
+    fn encode_batch_packed(&self, x: &Matrix) -> Vec<PackedHv> {
+        // Batches favor the fused GEMM (amortized across rows) over the
+        // buffer-free row path: encode densely once, then pack each row.
+        let z = self.encode_batch(x);
+        (0..z.rows())
+            .map(|r| PackedHv::from_signs(z.row(r)))
             .collect()
     }
 
@@ -265,11 +325,20 @@ impl Encode for SinusoidEncoder {
         for r in 0..z.rows() {
             let row = z.row_mut(r);
             for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
-                *v = (*v + b).cos() * v.sin();
+                *v = sinusoid_phi(*v, b);
             }
         }
         z
     }
+}
+
+/// The sinusoid activation `φ_d = cos(z_d + b_d) · sin(z_d)` — the single
+/// definition every encode path (dense row, packed row, fused batch)
+/// shares, so the f32 training path and the packed inference path can
+/// never diverge.
+#[inline]
+fn sinusoid_phi(zd: f32, bd: f32) -> f32 {
+    (zd + bd).cos() * zd.sin()
 }
 
 /// Number of quantization levels used by [`LevelIdEncoder`] by default.
@@ -424,7 +493,10 @@ mod tests {
         let enc = encoder(32, 4);
         assert!(matches!(
             enc.try_encode_row(&[0.0; 3]),
-            Err(HdcError::FeatureMismatch { expected: 4, actual: 3 })
+            Err(HdcError::FeatureMismatch {
+                expected: 4,
+                actual: 3
+            })
         ));
     }
 
@@ -504,6 +576,42 @@ mod tests {
         let e2 = SinusoidEncoder::new(64, 4, &mut r2);
         let x = [0.5; 4];
         assert_ne!(e1.encode_row(&x), e2.encode_row(&x));
+    }
+
+    #[test]
+    fn packed_row_matches_packed_dense_row() {
+        let enc = encoder(200, 6);
+        let x = [0.4, -0.2, 0.9, -1.1, 0.0, 0.3];
+        let direct = enc.encode_row_packed(&x);
+        let via_dense = PackedHv::from_signs(&enc.encode_row(&x));
+        assert_eq!(direct, via_dense);
+        assert_eq!(direct.dim(), 200);
+    }
+
+    #[test]
+    fn packed_batch_matches_rowwise_packed() {
+        let enc = encoder(130, 4);
+        let mut rng = Rng64::seed_from(17);
+        let x = Matrix::random_uniform(7, 4, -1.0, 1.0, &mut rng);
+        let batch = enc.encode_batch_packed(&x);
+        assert_eq!(batch.len(), 7);
+        for (r, packed) in batch.iter().enumerate() {
+            // GEMM and row-dot differ by float rounding; components landing
+            // exactly on a sign boundary are astronomically unlikely with
+            // random inputs, so the packs agree bit-for-bit.
+            assert_eq!(packed, &enc.encode_row_packed(x.row(r)), "row {r}");
+        }
+    }
+
+    #[test]
+    fn default_trait_packed_path_works_for_level_id() {
+        let mut rng = Rng64::seed_from(19);
+        let enc = LevelIdEncoder::new(96, 3, &mut rng);
+        let x = [0.2, -0.4, 0.9];
+        assert_eq!(
+            enc.encode_row_packed(&x),
+            PackedHv::from_signs(&enc.encode_row(&x))
+        );
     }
 
     #[test]

@@ -37,10 +37,16 @@ impl fmt::Display for HdcError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HdcError::DimensionMismatch { expected, actual } => {
-                write!(f, "hypervector dimension mismatch: expected {expected}, got {actual}")
+                write!(
+                    f,
+                    "hypervector dimension mismatch: expected {expected}, got {actual}"
+                )
             }
             HdcError::FeatureMismatch { expected, actual } => {
-                write!(f, "feature length mismatch: encoder expects {expected}, got {actual}")
+                write!(
+                    f,
+                    "feature length mismatch: encoder expects {expected}, got {actual}"
+                )
             }
             HdcError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
             HdcError::Numeric(e) => write!(f, "numeric failure: {e}"),
@@ -69,9 +75,14 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let err = HdcError::DimensionMismatch { expected: 10, actual: 5 };
+        let err = HdcError::DimensionMismatch {
+            expected: 10,
+            actual: 5,
+        };
         assert!(err.to_string().contains("expected 10"));
-        let err = HdcError::InvalidConfig { reason: "zero learners".into() };
+        let err = HdcError::InvalidConfig {
+            reason: "zero learners".into(),
+        };
         assert!(err.to_string().contains("zero learners"));
     }
 

@@ -126,6 +126,12 @@ impl Hypervector {
         Self(ops::to_bipolar(&self.0))
     }
 
+    /// Sign-quantizes into the bitpacked backend representation (one bit
+    /// per dimension; see [`crate::backend::BitpackedSign`]).
+    pub fn to_packed(&self) -> crate::backend::PackedHv {
+        crate::backend::PackedHv::from_signs(&self.0)
+    }
+
     /// Euclidean norm.
     pub fn norm(&self) -> f32 {
         linalg::matrix::norm(&self.0)
@@ -175,7 +181,10 @@ mod tests {
         let b = Hypervector::zeros(4);
         assert!(matches!(
             a.bundle(&b),
-            Err(HdcError::DimensionMismatch { expected: 3, actual: 4 })
+            Err(HdcError::DimensionMismatch {
+                expected: 3,
+                actual: 4
+            })
         ));
     }
 

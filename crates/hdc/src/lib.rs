@@ -8,7 +8,13 @@
 //! This crate provides the substrate the classifiers in the `boosthd` crate
 //! are built on:
 //!
-//! * [`ops`] — bundling, binding, permutation, cosine similarity;
+//! * [`ops`] — bundling, binding, permutation, cosine similarity, plus the
+//!   packed sign-bit primitives (XOR + popcount similarity, majority vote);
+//! * [`backend`] — pluggable hypervector representations:
+//!   [`DenseF32`](backend::DenseF32) (reference `Vec<f32>` + cosine) and
+//!   [`BitpackedSign`](backend::BitpackedSign) (1 bit/dimension in `u64`
+//!   words + popcount), behind the [`VectorBackend`](backend::VectorBackend)
+//!   trait;
 //! * [`Hypervector`] — an owned hypervector with the operations above;
 //! * [`encoder`] — the nonlinear random-projection encoder
 //!   `φ(x) = cos(P·x + b) ⊙ sin(P·x)` the paper uses (`P ~ N(0,1)`,
@@ -34,6 +40,7 @@
 
 #![deny(missing_docs)]
 
+pub mod backend;
 pub mod encoder;
 pub mod error;
 pub mod hypervector;
@@ -42,6 +49,7 @@ pub mod partition;
 pub mod span;
 pub mod theory;
 
+pub use backend::{BitpackedSign, DenseF32, PackedHv, PackedMatrix, VectorBackend};
 pub use encoder::{Encode, LevelIdEncoder, SinusoidEncoder};
 pub use error::{HdcError, Result};
 pub use hypervector::Hypervector;

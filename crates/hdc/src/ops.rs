@@ -88,7 +88,130 @@ pub fn normalize_inplace(v: &mut [f32]) {
 
 /// Quantizes a real hypervector to bipolar `{-1, +1}` (`sign`, with ties to +1).
 pub fn to_bipolar(v: &[f32]) -> Vec<f32> {
-    v.iter().map(|&x| if x < 0.0 { -1.0 } else { 1.0 }).collect()
+    v.iter()
+        .map(|&x| if x < 0.0 { -1.0 } else { 1.0 })
+        .collect()
+}
+
+/// Number of `u64` words required to store `dim` sign bits.
+pub const fn packed_words(dim: usize) -> usize {
+    dim.div_ceil(64)
+}
+
+/// Mask selecting the valid bits of the *last* word of a `dim`-bit packed
+/// hypervector (all-ones when `dim` is a multiple of 64).
+pub const fn last_word_mask(dim: usize) -> u64 {
+    if dim.is_multiple_of(64) {
+        u64::MAX
+    } else {
+        (1u64 << (dim % 64)) - 1
+    }
+}
+
+/// Packs the signs of a dense hypervector into `u64` words: bit `d` of the
+/// output is set iff `v[d] >= 0` (ties to +1, matching [`to_bipolar`]).
+/// Padding bits past `v.len()` are zero.
+pub fn pack_signs(v: &[f32]) -> Vec<u64> {
+    let mut words = vec![0u64; packed_words(v.len())];
+    for (d, &x) in v.iter().enumerate() {
+        // Identical tie handling to `to_bipolar`: everything not strictly
+        // negative (including -0.0 and NaN) quantizes to +1.
+        if x >= 0.0 || x.is_nan() {
+            words[d / 64] |= 1u64 << (d % 64);
+        }
+    }
+    words
+}
+
+/// Hamming distance (number of differing sign bits) between two packed
+/// hypervectors — one XOR + popcount per word.
+///
+/// # Panics
+///
+/// Panics if the word slices have different lengths.
+pub fn hamming_packed(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "packed hamming word-count mismatch");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum()
+}
+
+/// Similarity of two `dim`-bit packed sign hypervectors, on the cosine
+/// scale: `1 − 2·hamming/dim ∈ [−1, 1]`.
+///
+/// For bipolar vectors this *equals* their cosine similarity exactly
+/// (`cos = (matches − mismatches)/D`), so packed scoring ranks classes
+/// identically to f32 cosine over the same `±1` vectors.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or the word slices disagree with `dim`.
+pub fn packed_similarity(a: &[u64], b: &[u64], dim: usize) -> f32 {
+    assert!(dim > 0, "packed similarity of empty vectors");
+    assert_eq!(a.len(), packed_words(dim), "word count disagrees with dim");
+    1.0 - 2.0 * hamming_packed(a, b) as f32 / dim as f32
+}
+
+/// Majority-vote bundling of packed sign hypervectors: output bit `d` is
+/// set iff at least half of the inputs have bit `d` set — exactly
+/// `sign(Σᵢ vᵢ)` of the underlying bipolar vectors, with the sum's ties
+/// resolving to +1 like [`to_bipolar`].
+///
+/// Runs word-parallel: per output word, the 64 per-bit vote counters live
+/// as carry-save bitplanes (`⌈log₂ k⌉ + 1` words), each input is added
+/// with a ripple of AND/XOR, and the majority threshold is one lane-wise
+/// borrow-ripple compare — no per-bit extraction anywhere.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or any row has the wrong word count for `dim`.
+pub fn majority_bundle(rows: &[&[u64]], dim: usize) -> Vec<u64> {
+    assert!(!rows.is_empty(), "majority bundle of zero hypervectors");
+    let wpr = packed_words(dim);
+    for row in rows {
+        assert_eq!(row.len(), wpr, "word count disagrees with dim");
+    }
+    // Bit set ⇔ 2·ones ≥ k ⇔ ones ≥ ⌈k/2⌉ (ties to +1 like `to_bipolar`).
+    let threshold = rows.len().div_ceil(2) as u64;
+    let threshold_lanes = (u64::BITS - threshold.leading_zeros()) as usize;
+    let mut out = vec![0u64; wpr];
+    let mut planes: Vec<u64> = Vec::new();
+    for (w, out_word) in out.iter_mut().enumerate() {
+        planes.clear();
+        for row in rows {
+            // Carry-save add: plane i holds bit i of all 64 counters.
+            let mut carry_in = row[w];
+            for plane in planes.iter_mut() {
+                let carry = *plane & carry_in;
+                *plane ^= carry_in;
+                carry_in = carry;
+                if carry_in == 0 {
+                    break;
+                }
+            }
+            if carry_in != 0 {
+                planes.push(carry_in);
+            }
+        }
+        // Lane-wise `ones − threshold`: lanes that end without a borrow
+        // have ones ≥ threshold and win the majority.
+        let mut borrow = 0u64;
+        for i in 0..planes.len().max(threshold_lanes) {
+            let ones = planes.get(i).copied().unwrap_or(0);
+            let t = if (threshold >> i) & 1 == 1 {
+                u64::MAX
+            } else {
+                0
+            };
+            borrow = (!ones & (t | borrow)) | (t & borrow);
+        }
+        *out_word = !borrow;
+    }
+    if let Some(last) = out.last_mut() {
+        *last &= last_word_mask(dim);
+    }
+    out
 }
 
 /// Hamming distance between two bipolar hypervectors, normalized to `[0, 1]`.
@@ -153,8 +276,12 @@ mod tests {
         // orthogonal to both inputs (paper: δ(R, V1) ≈ 0).
         let mut rng = Rng64::seed_from(2);
         let d = 4096;
-        let a: Vec<f32> = (0..d).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
-        let b: Vec<f32> = (0..d).map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 }).collect();
+        let a: Vec<f32> = (0..d)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
+        let b: Vec<f32> = (0..d)
+            .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+            .collect();
         let bound = bind(&a, &b);
         assert!(cosine_similarity(&bound, &a).abs() < 0.05);
         assert!(cosine_similarity(&bound, &b).abs() < 0.05);

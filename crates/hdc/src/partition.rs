@@ -57,7 +57,10 @@ impl DimensionPartition {
                 ),
             });
         }
-        Ok(Self { total_dim, learners })
+        Ok(Self {
+            total_dim,
+            learners,
+        })
     }
 
     /// Total dimensionality `D`.

@@ -76,7 +76,11 @@ pub struct SpanUtilization {
 pub fn span_utilization(class_hvs: &Matrix) -> Result<SpanUtilization> {
     let dim = class_hvs.cols();
     let rank = numerical_rank(class_hvs, 1.0)?;
-    let raw = if dim == 0 { 0.0 } else { rank as f64 / dim as f64 };
+    let raw = if dim == 0 {
+        0.0
+    } else {
+        rank as f64 / dim as f64
+    };
 
     let mut log_sum = 0.0f64;
     let mut pairs = 0usize;
@@ -87,7 +91,11 @@ pub fn span_utilization(class_hvs: &Matrix) -> Result<SpanUtilization> {
             pairs += 1;
         }
     }
-    let attenuation = if pairs == 0 { 1.0 } else { (log_sum / pairs as f64).exp() };
+    let attenuation = if pairs == 0 {
+        1.0
+    } else {
+        (log_sum / pairs as f64).exp()
+    };
 
     Ok(SpanUtilization {
         rank,
@@ -119,7 +127,10 @@ pub fn embed_blocks(blocks: &[(std::ops::Range<usize>, &Matrix)], total_dim: usi
             range.len(),
             block.cols()
         );
-        assert!(range.end <= total_dim, "segment {range:?} exceeds D={total_dim}");
+        assert!(
+            range.end <= total_dim,
+            "segment {range:?} exceeds D={total_dim}"
+        );
         for r in 0..block.rows() {
             out.row_mut(row_offset + r)[range.start..range.end].copy_from_slice(block.row(r));
         }
@@ -168,10 +179,7 @@ mod tests {
         let base: Vec<f32> = (0..d).map(|_| rng.normal()).collect();
         let mut online_rows = Vec::new();
         for _ in 0..3 {
-            let row: Vec<f32> = base
-                .iter()
-                .map(|&b| b + 0.3 * rng.normal())
-                .collect();
+            let row: Vec<f32> = base.iter().map(|&b| b + 0.3 * rng.normal()).collect();
             online_rows.push(row);
         }
         let online = Matrix::from_rows(&online_rows).unwrap();
@@ -182,11 +190,7 @@ mod tests {
             blocks_data.push(Matrix::random_normal(3, 12, &mut rng));
         }
         let ranges: Vec<_> = (0..5).map(|i| (i * 12)..((i + 1) * 12)).collect();
-        let blocks: Vec<_> = ranges
-            .iter()
-            .cloned()
-            .zip(blocks_data.iter())
-            .collect();
+        let blocks: Vec<_> = ranges.iter().cloned().zip(blocks_data.iter()).collect();
         let boost = embed_blocks(&blocks, d);
 
         let sp_online = span_utilization(&online).unwrap();

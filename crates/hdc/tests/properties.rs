@@ -1,10 +1,17 @@
 //! Property-based tests for the HDC substrate.
 
+use hdc::backend::{BitpackedSign, PackedHv, PackedMatrix, VectorBackend};
 use hdc::encoder::{Encode, SinusoidEncoder};
 use hdc::theory::MarchenkoPastur;
 use hdc::{ops, DimensionPartition};
 use linalg::Rng64;
 use proptest::prelude::*;
+
+fn random_sign_vector(rng: &mut Rng64, dim: usize) -> Vec<f32> {
+    (0..dim)
+        .map(|_| if rng.chance(0.5) { 1.0 } else { -1.0 })
+        .collect()
+}
 
 proptest! {
     #[test]
@@ -117,5 +124,98 @@ proptest! {
         prop_assert!(sp.sp <= sp.raw + 1e-12, "attenuation can only shrink SP");
         prop_assert!(sp.attenuation >= 1.0 - 1e-12);
         prop_assert!(sp.rank <= rows.min(cols));
+    }
+
+    #[test]
+    fn packed_similarity_agrees_with_cosine_on_sign_vectors(
+        seed in any::<u64>(),
+        dim in 1usize..600,
+    ) {
+        // On ±1 vectors the packed popcount similarity IS the cosine:
+        // cos = (matches − mismatches)/D = 1 − 2·hamming/D.
+        let mut rng = Rng64::seed_from(seed);
+        let a = random_sign_vector(&mut rng, dim);
+        let b = random_sign_vector(&mut rng, dim);
+        let cos = ops::cosine_similarity(&a, &b);
+        let packed = PackedHv::from_signs(&a).similarity(&PackedHv::from_signs(&b));
+        prop_assert!((packed - cos).abs() < 1e-5, "dim {}: packed {} cosine {}", dim, packed, cos);
+    }
+
+    #[test]
+    fn packed_ranking_agrees_with_cosine_ranking(
+        seed in any::<u64>(),
+        dim in 1usize..400,
+        classes in 2usize..8,
+    ) {
+        // Exact rank agreement: scoring a random sign query against random
+        // sign class vectors orders classes identically under f32 cosine
+        // and packed popcount (modulo exact ties, compared directly).
+        let mut rng = Rng64::seed_from(seed);
+        let q = random_sign_vector(&mut rng, dim);
+        let class_rows: Vec<Vec<f32>> =
+            (0..classes).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let dense = linalg::Matrix::from_rows(&class_rows).unwrap();
+        let packed = PackedMatrix::from_dense_rows(&dense);
+        let cosine_scores: Vec<f32> =
+            class_rows.iter().map(|c| ops::cosine_similarity(c, &q)).collect();
+        let packed_scores = packed.similarities(&PackedHv::from_signs(&q));
+        // Pairwise order agreement is stronger than argmax agreement and
+        // robust to ties.
+        for i in 0..classes {
+            prop_assert!((packed_scores[i] - cosine_scores[i]).abs() < 1e-5);
+            for j in 0..classes {
+                let cos_gt = cosine_scores[i] > cosine_scores[j] + 1e-6;
+                let packed_lt = packed_scores[i] < packed_scores[j] - 1e-6;
+                prop_assert!(
+                    !(cos_gt && packed_lt),
+                    "rank flip between classes {} and {}", i, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn majority_bundle_matches_sign_of_sum(
+        seed in any::<u64>(),
+        dim in 1usize..300,
+        k in 1usize..9,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let dense: Vec<Vec<f32>> = (0..k).map(|_| random_sign_vector(&mut rng, dim)).collect();
+        let mut sum = vec![0.0f32; dim];
+        for v in &dense {
+            ops::bundle_into(&mut sum, v, 1.0);
+        }
+        let expected = PackedHv::from_signs(&ops::to_bipolar(&sum));
+        let packed: Vec<PackedHv> = dense.iter().map(|v| PackedHv::from_signs(v)).collect();
+        prop_assert_eq!(BitpackedSign::bundle(&packed), expected);
+    }
+
+    #[test]
+    fn pack_unpack_round_trips_any_signs(seed in any::<u64>(), dim in 1usize..500) {
+        let mut rng = Rng64::seed_from(seed);
+        let v: Vec<f32> = (0..dim).map(|_| rng.normal()).collect();
+        let packed = PackedHv::from_signs(&v);
+        prop_assert_eq!(packed.to_bipolar(), ops::to_bipolar(&v));
+        prop_assert_eq!(packed.dim(), dim);
+        // Round-trip through raw words preserves the vector and never
+        // leaves padding bits set.
+        let rebuilt = PackedHv::from_words(packed.words().to_vec(), dim).unwrap();
+        prop_assert_eq!(rebuilt, packed);
+    }
+
+    #[test]
+    fn buffer_free_packed_encode_matches_dense_then_pack(
+        seed in any::<u64>(),
+        dim in 1usize..200,
+        features in 1usize..12,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let enc = SinusoidEncoder::new(dim, features, &mut rng);
+        let x: Vec<f32> = (0..features).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        prop_assert_eq!(
+            enc.encode_row_packed(&x),
+            PackedHv::from_signs(&enc.encode_row(&x))
+        );
     }
 }

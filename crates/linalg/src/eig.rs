@@ -44,7 +44,9 @@ pub fn symmetric_eigenvalues(m: &Matrix) -> Result<Vec<f64>> {
         return Err(LinalgError::NotSquare { shape: m.shape() });
     }
     if m.is_empty() {
-        return Err(LinalgError::Empty { op: "symmetric_eigenvalues" });
+        return Err(LinalgError::Empty {
+            op: "symmetric_eigenvalues",
+        });
     }
     let n = m.rows();
     // Work in f64: Jacobi rotations on f32 lose too much precision for the
@@ -129,7 +131,9 @@ pub fn symmetric_eigenvalues(m: &Matrix) -> Result<Vec<f64>> {
 /// ```
 pub fn singular_values(m: &Matrix) -> Result<Vec<f64>> {
     if m.is_empty() {
-        return Err(LinalgError::Empty { op: "singular_values" });
+        return Err(LinalgError::Empty {
+            op: "singular_values",
+        });
     }
     let gram = if m.rows() <= m.cols() {
         m.gram()

@@ -1,13 +1,23 @@
-//! IEEE-754 bit-flip fault injection (paper Section IV-D, Figure 8).
+//! Bit-flip fault injection (paper Section IV-D, Figure 8).
 //!
 //! Wearable devices hold trained model parameters in small, often
 //! unprotected memories; single-event upsets flip individual bits. The paper
 //! models this as an independent Bernoulli(`p_b`) flip per bit of every
 //! stored parameter word and measures accuracy degradation as `p_b` grows.
 //!
-//! Injection operates directly on the `f32` bit patterns, so a flip can hit
-//! the sign, exponent, or mantissa — exponent hits are what make DNNs
-//! catastrophically sensitive, while HDC's similarity voting absorbs them.
+//! Two storage models are supported:
+//!
+//! * **f32 parameters** ([`Perturbable`] / [`flip_bits`]) — injection
+//!   operates on the IEEE-754 bit patterns, so a flip can hit the sign,
+//!   exponent, or mantissa. Exponent hits are what make DNNs
+//!   catastrophically sensitive, while HDC's similarity voting absorbs
+//!   them.
+//! * **Packed sign bits** ([`PerturbablePacked`] / [`flip_sign_bits`]) —
+//!   for bitpacked binary-HDC models every stored bit *is* one hypervector
+//!   component, so flips land directly on the `u64` words. This is the
+//!   faithful SEU model for 1-bit associative memories: there is no
+//!   exponent to corrupt, and a single upset perturbs one similarity by
+//!   exactly `2/D`.
 
 use linalg::Rng64;
 use serde::{Deserialize, Serialize};
@@ -46,34 +56,29 @@ pub trait Perturbable {
     }
 }
 
-/// Flips each bit of each word in `params` independently with probability
-/// `p_b`, in place.
+/// Visits each of `total_bits` positions independently with probability
+/// `p_b`, calling `flip(pos)` for every hit, and returns the hit count.
 ///
 /// For the tiny probabilities the paper sweeps (`10⁻⁶ … 10⁻⁴`), sampling a
-/// Bernoulli per bit would be wasteful; instead the number of flips is drawn
-/// from the exact binomial via geometric skips (inverse CDF on the gap
-/// distribution), which is statistically identical and O(flips).
-pub fn flip_bits_in(params: &mut [f32], p_b: f64, rng: &mut Rng64) -> BitflipReport {
-    let words = params.len();
-    if words == 0 || p_b <= 0.0 {
-        return BitflipReport { words, flipped: 0 };
+/// Bernoulli per bit would be wasteful; instead flip positions are walked
+/// via geometric gaps (`gap ~ ⌊ln U / ln(1−p)⌋` non-flipped bits before the
+/// next flip), which draws from the exact binomial in O(flips).
+///
+/// `p_b >= 1` degenerates to flipping every position. Shared by the f32
+/// and packed-sign injectors so both storage models corrupt identically
+/// per seed.
+fn for_each_flip(total_bits: u64, p_b: f64, rng: &mut Rng64, mut flip: impl FnMut(u64)) -> usize {
+    if total_bits == 0 || p_b <= 0.0 {
+        return 0;
     }
-    let total_bits = (words as u64) * 32;
-    let mut flipped = 0usize;
-
     if p_b >= 1.0 {
-        for w in params.iter_mut() {
-            *w = f32::from_bits(!w.to_bits());
+        for pos in 0..total_bits {
+            flip(pos);
         }
-        return BitflipReport {
-            words,
-            flipped: (total_bits as usize),
-        };
+        return total_bits as usize;
     }
-
-    // Walk flip positions via geometric gaps: gap ~ floor(ln(U)/ln(1-p)) is
-    // the number of non-flipped bits before the next flip.
     let ln_keep = (1.0 - p_b).ln();
+    let mut flipped = 0usize;
     let mut pos: u64 = 0;
     loop {
         let u: f64 = {
@@ -90,17 +95,63 @@ pub fn flip_bits_in(params: &mut [f32], p_b: f64, rng: &mut Rng64) -> BitflipRep
         if pos >= total_bits {
             break;
         }
-        let word = (pos / 32) as usize;
-        let bit = (pos % 32) as u32;
-        params[word] = f32::from_bits(params[word].to_bits() ^ (1u32 << bit));
+        flip(pos);
         flipped += 1;
         pos += 1;
         if pos >= total_bits {
             break;
         }
     }
+    flipped
+}
 
+/// Flips each bit of each word in `params` independently with probability
+/// `p_b`, in place. See [`for_each_flip`] for the sampling scheme.
+pub fn flip_bits_in(params: &mut [f32], p_b: f64, rng: &mut Rng64) -> BitflipReport {
+    let words = params.len();
+    let total_bits = (words as u64) * 32;
+    let flipped = for_each_flip(total_bits, p_b, rng, |pos| {
+        let word = (pos / 32) as usize;
+        let bit = (pos % 32) as u32;
+        params[word] = f32::from_bits(params[word].to_bits() ^ (1u32 << bit));
+    });
     BitflipReport { words, flipped }
+}
+
+/// Models whose trained parameters live as packed hypervector sign bits.
+///
+/// Bit indices run over the model's *valid* stored bits only (padding
+/// words in the packed representation are not addressable), so an injected
+/// flip always lands on a real hypervector component.
+pub trait PerturbablePacked {
+    /// Total number of stored sign bits.
+    fn packed_bit_count(&self) -> u64;
+
+    /// Flips stored sign bit `index`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `index >= self.packed_bit_count()`.
+    fn flip_packed_bit(&mut self, index: u64);
+}
+
+/// Flips each stored sign bit of a [`PerturbablePacked`] model
+/// independently with probability `p_b` — the single-event-upset model for
+/// 1-bit associative memories.
+///
+/// The report's `words` field counts 64-bit storage words (`⌈bits/64⌉`),
+/// mirroring [`flip_bits`]'s word accounting.
+pub fn flip_sign_bits<M: PerturbablePacked + ?Sized>(
+    model: &mut M,
+    p_b: f64,
+    rng: &mut Rng64,
+) -> BitflipReport {
+    let total_bits = model.packed_bit_count();
+    let flipped = for_each_flip(total_bits, p_b, rng, |pos| model.flip_packed_bit(pos));
+    BitflipReport {
+        words: total_bits.div_ceil(64) as usize,
+        flipped,
+    }
 }
 
 /// Applies [`flip_bits_in`] to every parameter buffer of a [`Perturbable`]
@@ -204,7 +255,10 @@ mod tests {
         assert!(report.flipped > 0);
         let a_changed = model.a.iter().any(|&x| x != 1.0);
         let b_changed = model.b.iter().any(|&x| x != 2.0);
-        assert!(a_changed && b_changed, "both buffers should be hit at p_b=1%");
+        assert!(
+            a_changed && b_changed,
+            "both buffers should be hit at p_b=1%"
+        );
     }
 
     #[test]
@@ -224,10 +278,95 @@ mod tests {
         assert_eq!(report.flipped, 0);
     }
 
+    /// A toy packed model: 200 valid bits across a plain word buffer.
+    struct ToyPacked {
+        words: Vec<u64>,
+        bits: u64,
+    }
+
+    impl PerturbablePacked for ToyPacked {
+        fn packed_bit_count(&self) -> u64 {
+            self.bits
+        }
+
+        fn flip_packed_bit(&mut self, index: u64) {
+            assert!(index < self.bits, "index {index} out of {}", self.bits);
+            self.words[(index / 64) as usize] ^= 1u64 << (index % 64);
+        }
+    }
+
+    #[test]
+    fn sign_flip_zero_probability_is_identity() {
+        let mut model = ToyPacked {
+            words: vec![0xABCD; 4],
+            bits: 200,
+        };
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_sign_bits(&mut model, 0.0, &mut rng);
+        assert_eq!(report.flipped, 0);
+        assert_eq!(model.words, vec![0xABCD; 4]);
+    }
+
+    #[test]
+    fn sign_flip_probability_one_negates_every_valid_bit() {
+        let mut model = ToyPacked {
+            words: vec![0; 4],
+            bits: 200,
+        };
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_sign_bits(&mut model, 1.0, &mut rng);
+        assert_eq!(report.flipped, 200);
+        assert_eq!(report.words, 4, "⌈200/64⌉ storage words");
+        let set: u32 = model.words.iter().map(|w| w.count_ones()).sum();
+        assert_eq!(set, 200, "exactly the valid bits flipped, no padding");
+    }
+
+    #[test]
+    fn sign_flip_count_matches_expectation() {
+        let mut rng = Rng64::seed_from(7);
+        let p_b = 1e-3;
+        let bits = 1_600_000u64;
+        let mut total = 0usize;
+        let trials = 10;
+        for _ in 0..trials {
+            let mut model = ToyPacked {
+                words: vec![0; (bits / 64) as usize],
+                bits,
+            };
+            total += flip_sign_bits(&mut model, p_b, &mut rng).flipped;
+        }
+        let expected = bits as f64 * p_b * trials as f64;
+        assert!(
+            (total as f64 - expected).abs() < 0.15 * expected,
+            "observed {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn sign_flips_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut model = ToyPacked {
+                words: vec![u64::MAX; 8],
+                bits: 512,
+            };
+            let mut rng = Rng64::seed_from(seed);
+            flip_sign_bits(&mut model, 1e-2, &mut rng);
+            model.words
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
     #[test]
     fn report_merge_adds() {
-        let a = BitflipReport { words: 3, flipped: 1 };
-        let b = BitflipReport { words: 4, flipped: 2 };
+        let a = BitflipReport {
+            words: 3,
+            flipped: 1,
+        };
+        let b = BitflipReport {
+            words: 4,
+            flipped: 2,
+        };
         let m = a.merge(b);
         assert_eq!(m.words, 7);
         assert_eq!(m.flipped, 3);

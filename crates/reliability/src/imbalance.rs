@@ -67,8 +67,8 @@ pub fn imbalanced_indices(labels: &[usize], spec: ImbalanceSpec, rng: &mut Rng64
         if spec.keep_fraction <= 0.0 {
             continue;
         }
-        let want = ((spec.keep_fraction * members.len() as f64).ceil() as usize)
-            .clamp(1, members.len());
+        let want =
+            ((spec.keep_fraction * members.len() as f64).ceil() as usize).clamp(1, members.len());
         let mut chosen = rng.sample_without_replacement(members.len(), want);
         chosen.sort_unstable();
         kept.extend(chosen.into_iter().map(|j| members[j]));

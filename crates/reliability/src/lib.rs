@@ -4,9 +4,11 @@
 //! models must stay dependable under *hardware faults* and *skewed data*.
 //! This crate provides the fault and skew machinery behind Sections IV-C/IV-D:
 //!
-//! * [`bitflip`] — IEEE-754 bit-flip injection on trained model parameters
-//!   with per-bit probability `p_b`, modelling memory faults in wearable
-//!   hardware (Figure 8). Models opt in by implementing [`Perturbable`].
+//! * [`bitflip`] — bit-flip injection on trained model parameters with
+//!   per-bit probability `p_b`, modelling memory faults in wearable
+//!   hardware (Figure 8). f32 models opt in via [`Perturbable`] (IEEE-754
+//!   word flips); bitpacked binary-HDC models opt in via
+//!   [`PerturbablePacked`] (flips land directly on stored sign bits).
 //! * [`imbalance`] — class-imbalance dataset crafting per the paper's
 //!   Equation 8: keep every sample of the target class, subsample each other
 //!   class to a fraction `r` (Figure 7).
@@ -32,5 +34,7 @@ pub mod bitflip;
 pub mod imbalance;
 pub mod noise;
 
-pub use bitflip::{flip_bits, flip_bits_in, BitflipReport, Perturbable};
+pub use bitflip::{
+    flip_bits, flip_bits_in, flip_sign_bits, BitflipReport, Perturbable, PerturbablePacked,
+};
 pub use imbalance::{imbalanced_indices, ImbalanceSpec};

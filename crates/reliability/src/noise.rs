@@ -28,7 +28,10 @@ pub fn flip_labels(labels: &mut [usize], num_classes: usize, p: f64, rng: &mut R
     if p <= 0.0 {
         return 0;
     }
-    assert!(num_classes >= 2, "label flipping needs at least two classes");
+    assert!(
+        num_classes >= 2,
+        "label flipping needs at least two classes"
+    );
     let mut changed = 0;
     for y in labels.iter_mut() {
         if rng.chance(p) {

@@ -341,7 +341,12 @@ mod tests {
         let (ntrain, ntest) = normalize_pair(&train, &test).unwrap();
         // Train columns are exactly standardized; test only approximately.
         for c in 0..ntrain.num_features() {
-            let col: Vec<f64> = ntrain.features().column(c).iter().map(|&v| v as f64).collect();
+            let col: Vec<f64> = ntrain
+                .features()
+                .column(c)
+                .iter()
+                .map(|&v| v as f64)
+                .collect();
             assert!(linalg::stats::mean(&col).abs() < 1e-4);
         }
         assert_eq!(ntest.len(), test.len());

@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn display_contains_reason() {
-        let e = WearableError::DegenerateSplit { reason: "no test subjects".into() };
+        let e = WearableError::DegenerateSplit {
+            reason: "no test subjects".into(),
+        };
         assert!(e.to_string().contains("no test subjects"));
     }
 

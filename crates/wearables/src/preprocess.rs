@@ -63,7 +63,11 @@ pub fn window_features(signal: &[f32], segments: usize) -> Vec<f32> {
     let seg_len = signal.len() / segments;
     for s in 0..segments {
         let start = s * seg_len;
-        let end = if s == segments - 1 { signal.len() } else { start + seg_len };
+        let end = if s == segments - 1 {
+            signal.len()
+        } else {
+            start + seg_len
+        };
         let seg = &signal[start..end];
         let mut lo = f32::INFINITY;
         let mut hi = f32::NEG_INFINITY;
@@ -152,8 +156,8 @@ impl Normalizer {
         let mut out = x.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
             }
         }
         out

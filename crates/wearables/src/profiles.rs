@@ -166,11 +166,10 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Result<Dataset> {
     let mut row = 0usize;
     for subject in &subjects {
         for &state in &AffectState::ALL {
-            let state_params = subject.baseline.with_state(
-                state,
-                profile.state_separation,
-                subject.response_gain,
-            );
+            let state_params =
+                subject
+                    .baseline
+                    .with_state(state, profile.state_separation, subject.response_gain);
             for _w in 0..profile.windows_per_state {
                 let params = window_jitter(state_params, &mut rng);
                 let raw = signals::generate_window(
@@ -204,7 +203,14 @@ pub fn generate(profile: &DatasetProfile, seed: u64) -> Result<Dataset> {
     }
 
     let feature_names = feature_names(profile.segments);
-    Dataset::new(profile.name.clone(), x, y, subject_ids, subjects, feature_names)
+    Dataset::new(
+        profile.name.clone(),
+        x,
+        y,
+        subject_ids,
+        subjects,
+        feature_names,
+    )
 }
 
 /// Column names: `"{CHANNEL}_{seg}_{stat}"`.
@@ -238,7 +244,7 @@ mod tests {
     fn generation_shapes() {
         let data = generate(&tiny(wesad_like()), 1).unwrap();
         assert_eq!(data.len(), 4 * 3 * 4);
-        assert_eq!(data.num_features(), 8 * 1 * 4);
+        assert_eq!(data.num_features(), 8 * 4);
         assert_eq!(data.num_classes(), 3);
         assert_eq!(data.subjects().len(), 4);
     }
@@ -287,7 +293,11 @@ mod tests {
         // Quick sanity: a nearest-centroid rule on normalized features must
         // beat chance by a wide margin on the clean profile (full models
         // are exercised in the integration tests).
-        let profile = DatasetProfile { subjects: 6, windows_per_state: 10, ..wesad_like() };
+        let profile = DatasetProfile {
+            subjects: 6,
+            windows_per_state: 10,
+            ..wesad_like()
+        };
         let data = generate(&profile, 4).unwrap();
         let (train, test) = data.split_by_subject_fraction(0.34, 1).unwrap();
         let (train, test) = crate::dataset::normalize_pair(&train, &test).unwrap();
@@ -327,13 +337,24 @@ mod tests {
             }
         }
         let acc = correct as f64 / test.len() as f64;
-        assert!(acc > 0.6, "nearest centroid should beat chance easily, got {acc}");
+        assert!(
+            acc > 0.6,
+            "nearest centroid should beat chance easily, got {acc}"
+        );
     }
 
     #[test]
     fn nurse_like_is_harder_than_wesad_like() {
-        let easy = DatasetProfile { subjects: 6, windows_per_state: 8, ..wesad_like() };
-        let hard = DatasetProfile { subjects: 6, windows_per_state: 8, ..nurse_like() };
+        let easy = DatasetProfile {
+            subjects: 6,
+            windows_per_state: 8,
+            ..wesad_like()
+        };
+        let hard = DatasetProfile {
+            subjects: 6,
+            windows_per_state: 8,
+            ..nurse_like()
+        };
         let acc = |profile: &DatasetProfile| {
             let data = generate(profile, 5).unwrap();
             let (train, test) = data.split_by_subject_fraction(0.34, 2).unwrap();

@@ -325,10 +325,16 @@ mod tests {
     #[test]
     fn ecg_peaks_are_sparse_and_positive() {
         let w = window(&PhysioParams::resting(), 13);
-        let idx = Channel::ALL.iter().position(|&x| x == Channel::Ecg).unwrap();
+        let idx = Channel::ALL
+            .iter()
+            .position(|&x| x == Channel::Ecg)
+            .unwrap();
         let ecg = &w[idx];
         let above_one = ecg.iter().filter(|&&v| v > 1.0).count() as f32 / ecg.len() as f32;
-        assert!(above_one > 0.005 && above_one < 0.2, "R-peak duty cycle {above_one}");
+        assert!(
+            above_one > 0.005 && above_one < 0.2,
+            "R-peak duty cycle {above_one}"
+        );
     }
 
     #[test]

@@ -58,8 +58,16 @@ impl Subject {
     /// population mean — the dataset-difficulty knob that makes
     /// leave-subject-out splits hard.
     pub fn sample(id: usize, variability: f32, rng: &mut Rng64) -> Self {
-        let handedness = if rng.chance(0.2) { Handedness::Left } else { Handedness::Right };
-        let sex = if rng.chance(0.45) { Sex::Female } else { Sex::Male };
+        let handedness = if rng.chance(0.2) {
+            Handedness::Left
+        } else {
+            Handedness::Right
+        };
+        let sex = if rng.chance(0.45) {
+            Sex::Female
+        } else {
+            Sex::Male
+        };
         let age = (22.0 + rng.uniform() * 16.0) as u32; // 22..38, WESAD-like cohort
         let height_cm = match sex {
             Sex::Male => (170.0 + rng.normal_with(8.0, 7.0)) as u32,
@@ -68,8 +76,8 @@ impl Subject {
 
         let v = variability;
         let mut baseline = PhysioParams::resting();
-        baseline.heart_rate += rng.normal_with(0.0, 7.0 * v)
-            + if sex == Sex::Female { 3.0 } else { 0.0 };
+        baseline.heart_rate +=
+            rng.normal_with(0.0, 7.0 * v) + if sex == Sex::Female { 3.0 } else { 0.0 };
         // HRV declines with age in real cohorts; mirror that so age-based
         // groups are physiologically distinct.
         baseline.hrv += rng.normal_with(0.0, 0.012 * v) - 0.0008 * (age as f32 - 28.0);
@@ -192,7 +200,11 @@ mod tests {
         let subjects = cohort(100, 4);
         for group in SubjectGroup::table3_groups() {
             let members = subjects.iter().filter(|s| group.contains(s)).count();
-            assert!(members > 0, "group {} is empty in a 100-person cohort", group.name());
+            assert!(
+                members > 0,
+                "group {} is empty in a 100-person cohort",
+                group.name()
+            );
             assert!(members < 100, "group {} swallowed everyone", group.name());
         }
     }

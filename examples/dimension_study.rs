@@ -60,12 +60,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Show the span-utilization angle on the same trained budget.
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 4000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 4000,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 4000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 4000,
+            n_learners: 10,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;

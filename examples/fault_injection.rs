@@ -38,17 +38,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("training the three models ...");
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 4000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 4000,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 4000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 4000,
+            n_learners: 10,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;
     let dnn = Mlp::fit(
-        &MlpConfig { epochs: 4, ..MlpConfig::default() },
+        &MlpConfig {
+            epochs: 4,
+            ..MlpConfig::default()
+        },
         train.features(),
         train.labels(),
     )?;

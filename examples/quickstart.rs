@@ -23,14 +23,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Train OnlineHD (one strong learner, D = 4000).
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 4000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 4000,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;
 
     // 3. Train BoostHD (ten weak learners sharing the same D = 4000).
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 4000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 4000,
+            n_learners: 10,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )?;
@@ -54,5 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let parallel_preds = boost.predict_batch_parallel(test.features(), 2);
     assert_eq!(parallel_preds, boost.predict_batch(test.features()));
     println!("parallel inference matches serial — ready for deployment.");
+
+    // 6. Freeze for the device: quantization-aware refit, then bitpacked
+    //    sign storage (32x smaller class memory, similarity = XOR+popcount).
+    let packed = boost.quantize_with_refit(train.features(), train.labels(), 5)?;
+    let packed_acc = acc(&packed.predict_batch(test.features()));
+    println!(
+        "bitpacked BoostHD accuracy: {packed_acc:.2}% with {} B of class memory",
+        packed.class_storage_bytes()
+    );
     Ok(())
 }

@@ -26,16 +26,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (population, wearer) = wearables::dataset::normalize_pair(&population, &wearer)?;
 
     let mut model = OnlineHd::fit(
-        &OnlineHdConfig { dim: 2000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 2000,
+            ..Default::default()
+        },
         population.features(),
         population.labels(),
     )?;
     let frozen = model.clone();
 
-    let cold_acc = eval_harness::metrics::accuracy(
-        &frozen.predict_batch(wearer.features()),
-        wearer.labels(),
-    ) * 100.0;
+    let cold_acc =
+        eval_harness::metrics::accuracy(&frozen.predict_batch(wearer.features()), wearer.labels())
+            * 100.0;
     println!("population model on the new wearer (no adaptation): {cold_acc:.2}%");
     println!();
     println!("streaming the wearer's windows (predict, then learn):");
@@ -59,19 +61,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seen = end;
     }
 
-    let adapted_acc = eval_harness::metrics::accuracy(
-        &model.predict_batch(wearer.features()),
-        wearer.labels(),
-    ) * 100.0;
+    let adapted_acc =
+        eval_harness::metrics::accuracy(&model.predict_batch(wearer.features()), wearer.labels())
+            * 100.0;
     println!();
     println!("after one streaming pass: {adapted_acc:.2}% (was {cold_acc:.2}%)");
 
     // Deployment bonus: quantize to bipolar for 1-bit on-device storage.
     model.quantize_bipolar();
-    let bipolar_acc = eval_harness::metrics::accuracy(
-        &model.predict_batch(wearer.features()),
-        wearer.labels(),
-    ) * 100.0;
+    let bipolar_acc =
+        eval_harness::metrics::accuracy(&model.predict_batch(wearer.features()), wearer.labels())
+            * 100.0;
     println!("bipolar-quantized (32x smaller model): {bipolar_acc:.2}%");
     Ok(())
 }

@@ -23,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let config = BoostHdConfig { dim_total: 4000, n_learners: 10, ..Default::default() };
+    let config = BoostHdConfig {
+        dim_total: 4000,
+        n_learners: 10,
+        ..Default::default()
+    };
     let mut worst: Option<(String, f64)> = None;
 
     for group in SubjectGroup::table3_groups() {
@@ -36,10 +40,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         };
         let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
         let model = BoostHd::fit(&config, train.features(), train.labels())?;
-        let acc = eval_harness::metrics::accuracy(
-            &model.predict_batch(test.features()),
-            test.labels(),
-        ) * 100.0;
+        let acc =
+            eval_harness::metrics::accuracy(&model.predict_batch(test.features()), test.labels())
+                * 100.0;
         println!(
             "{:<14} {:>3} test subjects  accuracy {:>6.2}%",
             group.name(),

@@ -60,8 +60,8 @@ pub mod prelude {
         LinearSvmConfig, Mlp, MlpConfig, RandomForest, RandomForestConfig,
     };
     pub use boosthd::{
-        BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd,
-        OnlineHdConfig, Voting,
+        BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd, OnlineHdConfig,
+        Voting,
     };
     pub use eval_harness;
     pub use hdc::{DimensionPartition, Hypervector, SinusoidEncoder};

@@ -26,7 +26,12 @@ fn full_training_pipeline_replays_exactly() {
         let (train, test) = data.split_by_subject_fraction(0.4, 2).unwrap();
         let (train, test) = wearables::dataset::normalize_pair(&train, &test).unwrap();
         let model = BoostHd::fit(
-            &BoostHdConfig { dim_total: 300, n_learners: 6, epochs: 5, ..Default::default() },
+            &BoostHdConfig {
+                dim_total: 300,
+                n_learners: 6,
+                epochs: 5,
+                ..Default::default()
+            },
             train.features(),
             train.labels(),
         )
@@ -43,7 +48,11 @@ fn full_training_pipeline_replays_exactly() {
 fn bitflip_injection_replays_exactly() {
     let data = wearables::generate(&profile(), 5).unwrap();
     let model = OnlineHd::fit(
-        &OnlineHdConfig { dim: 256, epochs: 5, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 256,
+            epochs: 5,
+            ..Default::default()
+        },
         data.features(),
         data.labels(),
     )
@@ -67,7 +76,13 @@ fn different_seeds_give_different_models_but_same_api_shape() {
     let data = wearables::generate(&profile(), 5).unwrap();
     let fit = |seed| {
         BoostHd::fit(
-            &BoostHdConfig { dim_total: 300, n_learners: 6, epochs: 5, seed, ..Default::default() },
+            &BoostHdConfig {
+                dim_total: 300,
+                n_learners: 6,
+                epochs: 5,
+                seed,
+                ..Default::default()
+            },
             data.features(),
             data.labels(),
         )

@@ -21,7 +21,11 @@ fn small_split() -> (Dataset, Dataset) {
 #[test]
 fn boosthd_learns_synthetic_wesad_end_to_end() {
     let (train, test) = small_split();
-    let config = BoostHdConfig { dim_total: 1000, n_learners: 10, ..Default::default() };
+    let config = BoostHdConfig {
+        dim_total: 1000,
+        n_learners: 10,
+        ..Default::default()
+    };
     let model = BoostHd::fit(&config, train.features(), train.labels()).unwrap();
     let acc = eval_harness::metrics::accuracy(&model.predict_batch(test.features()), test.labels());
     assert!(acc > 0.75, "end-to-end accuracy {acc}");
@@ -34,13 +38,20 @@ fn every_model_beats_chance_on_the_clean_profile() {
     let models: Vec<(&str, Box<dyn Classifier>)> = vec![
         (
             "adaboost",
-            Box::new(AdaBoost::fit(&AdaBoostConfig::default(), train.features(), train.labels()).unwrap()),
+            Box::new(
+                AdaBoost::fit(&AdaBoostConfig::default(), train.features(), train.labels())
+                    .unwrap(),
+            ),
         ),
         (
             "random forest",
             Box::new(
-                RandomForest::fit(&RandomForestConfig::default(), train.features(), train.labels())
-                    .unwrap(),
+                RandomForest::fit(
+                    &RandomForestConfig::default(),
+                    train.features(),
+                    train.labels(),
+                )
+                .unwrap(),
             ),
         ),
         (
@@ -56,7 +67,14 @@ fn every_model_beats_chance_on_the_clean_profile() {
         ),
         (
             "svm",
-            Box::new(LinearSvm::fit(&LinearSvmConfig::default(), train.features(), train.labels()).unwrap()),
+            Box::new(
+                LinearSvm::fit(
+                    &LinearSvmConfig::default(),
+                    train.features(),
+                    train.labels(),
+                )
+                .unwrap(),
+            ),
         ),
         (
             "mlp",
@@ -66,7 +84,10 @@ fn every_model_beats_chance_on_the_clean_profile() {
             "onlinehd",
             Box::new(
                 OnlineHd::fit(
-                    &OnlineHdConfig { dim: 512, ..Default::default() },
+                    &OnlineHdConfig {
+                        dim: 512,
+                        ..Default::default()
+                    },
                     train.features(),
                     train.labels(),
                 )
@@ -77,7 +98,10 @@ fn every_model_beats_chance_on_the_clean_profile() {
             "centroidhd",
             Box::new(
                 CentroidHd::fit(
-                    &CentroidHdConfig { dim: 512, ..Default::default() },
+                    &CentroidHdConfig {
+                        dim: 512,
+                        ..Default::default()
+                    },
                     train.features(),
                     train.labels(),
                 )
@@ -105,7 +129,12 @@ fn subject_splits_do_not_leak() {
 #[test]
 fn boosthd_serialization_round_trips_predictions() {
     let (train, test) = small_split();
-    let config = BoostHdConfig { dim_total: 400, n_learners: 5, epochs: 5, ..Default::default() };
+    let config = BoostHdConfig {
+        dim_total: 400,
+        n_learners: 5,
+        epochs: 5,
+        ..Default::default()
+    };
     let model = BoostHd::fit(&config, train.features(), train.labels()).unwrap();
     // serde round-trip through the derived impls (postcard/json are not in
     // the dependency set; a custom bincode-like check via serde_test would
@@ -124,13 +153,20 @@ fn bitflip_robustness_ordering_holds_end_to_end() {
     // much accuracy as the strong learner on average.
     let (train, test) = small_split();
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 1000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 1000,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )
     .unwrap();
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 1000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 1000,
+            n_learners: 10,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )
@@ -138,10 +174,13 @@ fn bitflip_robustness_ordering_holds_end_to_end() {
     let trials = 12;
     let pb = 2e-4;
     let mean_acc = |make: &dyn Fn(u64) -> Vec<usize>| -> f64 {
-        (0..trials).map(|t| {
-            let preds = make(t);
-            eval_harness::metrics::accuracy(&preds, test.labels())
-        }).sum::<f64>() / trials as f64
+        (0..trials)
+            .map(|t| {
+                let preds = make(t);
+                eval_harness::metrics::accuracy(&preds, test.labels())
+            })
+            .sum::<f64>()
+            / trials as f64
     };
     let online_acc = mean_acc(&|t| {
         let mut m = online.clone();
@@ -173,14 +212,21 @@ fn imbalance_pipeline_produces_macro_fair_numbers() {
     let sub = train.select(&keep);
     assert!(sub.len() < train.len());
     let model = BoostHd::fit(
-        &BoostHdConfig { dim_total: 1000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 1000,
+            n_learners: 10,
+            ..Default::default()
+        },
         sub.features(),
         sub.labels(),
     )
     .unwrap();
     let preds = model.predict_batch(test.features());
     let macro_acc = eval_harness::metrics::macro_accuracy(&preds, test.labels(), 3);
-    assert!(macro_acc > 0.6, "macro accuracy under imbalance: {macro_acc}");
+    assert!(
+        macro_acc > 0.6,
+        "macro accuracy under imbalance: {macro_acc}"
+    );
 }
 
 #[test]
@@ -189,13 +235,20 @@ fn hdc_theory_consistency_with_trained_models() {
     // learner's — the Figure 5 property as an invariant.
     let (train, _test) = small_split();
     let online = OnlineHd::fit(
-        &OnlineHdConfig { dim: 1000, ..Default::default() },
+        &OnlineHdConfig {
+            dim: 1000,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )
     .unwrap();
     let boost = BoostHd::fit(
-        &BoostHdConfig { dim_total: 1000, n_learners: 10, ..Default::default() },
+        &BoostHdConfig {
+            dim_total: 1000,
+            n_learners: 10,
+            ..Default::default()
+        },
         train.features(),
         train.labels(),
     )

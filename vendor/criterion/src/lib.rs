@@ -1,0 +1,279 @@
+//! Vendored stand-in for `criterion` (offline build).
+//!
+//! Implements the benchmarking surface the `boosthd_bench` crate uses —
+//! `Criterion`, `benchmark_group`, `bench_function` / `bench_with_input`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, and the `criterion_group!`
+//! / `criterion_main!` macros — over a plain wall-clock measurement loop
+//! (warm-up, then `sample_count` timed samples; the median per-iteration
+//! time is reported). No statistical regression analysis, plots, or HTML
+//! reports; results print to stdout and can be exported as JSON via
+//! [`Criterion::export_json`].
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark; only stored for display parity.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// One measured result, as recorded by the harness.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/name`).
+    pub id: String,
+    /// Median time per iteration, in nanoseconds.
+    pub median_ns: f64,
+    /// Number of iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    sample_count: usize,
+    result_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates an iteration count targeting ~20 ms
+    /// per sample, runs warm-up plus `sample_count` timed samples, and
+    /// records the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until one batch costs >= 2 ms.
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+                // Scale to ~20 ms per sample.
+                let per_iter = elapsed.as_secs_f64() / iters as f64;
+                let target = 0.02;
+                iters = ((target / per_iter.max(1e-12)) as u64).clamp(1, 1 << 28);
+                break;
+            }
+            iters *= 4;
+        }
+        let mut samples = Vec::with_capacity(self.sample_count);
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples.push(start.elapsed().as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite times"));
+        self.result_ns = samples[samples.len() / 2] * 1e9;
+        self.iters = iters;
+    }
+}
+
+/// Benchmark registry and runner; mirrors `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_count: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(self, name.to_string(), 10, f);
+        self
+    }
+
+    /// All results measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Serializes results as a JSON array (id, median_ns per entry).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.3}, \"iters_per_sample\": {}, \"samples\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.iters_per_sample,
+                r.samples,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes [`Criterion::to_json`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn export_json(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(c: &mut Criterion, id: String, sample_count: usize, mut f: F) {
+    let mut bencher = Bencher {
+        sample_count,
+        result_ns: f64::NAN,
+        iters: 0,
+    };
+    f(&mut bencher);
+    let unit = |ns: f64| -> String {
+        if ns < 1e3 {
+            format!("{ns:.1} ns")
+        } else if ns < 1e6 {
+            format!("{:.2} µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.2} ms", ns / 1e6)
+        } else {
+            format!("{:.2} s", ns / 1e9)
+        }
+    };
+    println!("{id:<44} time: {}", unit(bencher.result_ns));
+    c.results.push(BenchResult {
+        id,
+        median_ns: bencher.result_ns,
+        iters_per_sample: bencher.iters,
+        samples: sample_count,
+    });
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_count: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Records the group throughput (display-only in this shim).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, full, self.sample_count, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, full, self.sample_count, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; parity with criterion's API).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a named group runner; mirrors
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups; mirrors `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_a_result() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns.is_finite());
+        assert!(c.to_json().contains("g/noop"));
+    }
+}

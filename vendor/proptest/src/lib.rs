@@ -1,0 +1,170 @@
+//! Vendored stand-in for `proptest` (offline build).
+//!
+//! Implements the slice of proptest's API the repository's property tests
+//! use: the [`Strategy`](strategy::Strategy) trait with ranges, tuples,
+//! `prop_map`, `any::<T>()` and `collection::vec`, plus the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!` and `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports its inputs via the assertion
+//!   message but is not minimized;
+//! * **Deterministic generation** — cases derive from a fixed per-test seed
+//!   so CI failures always reproduce;
+//! * **Smaller default case count** (32 vs 256) to keep model-fitting
+//!   property tests fast.
+
+#![deny(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// `proptest::collection` — strategies for collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length distribution for [`vec`]; mirrors proptest's `SizeRange`.
+    ///
+    /// Only `usize`-based conversions exist, so bare integer literals in
+    /// `vec(elem, 0..50)` infer `usize` the way they do with the real crate.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = (self.size.lo..self.size.hi).generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current generated case when its precondition does not hold.
+///
+/// Expands to an early `return` from the per-case closure the `proptest!`
+/// macro wraps around each body, so rejected cases simply don't count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests; mirrors `proptest::proptest!`.
+///
+/// Supports the two forms the repository uses: an optional leading
+/// `#![proptest_config(...)]` attribute, then any number of
+/// `#[test] fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            $(let $arg = ($strat);)+
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::generate(&$arg, &mut __rng);)+
+                #[allow(unused_mut)]
+                let mut __one_case = move || -> () { $body };
+                __one_case();
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}

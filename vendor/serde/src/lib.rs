@@ -1,0 +1,21 @@
+//! Vendored stand-in for the `serde` facade.
+//!
+//! The build environment is offline; this crate supplies just enough of
+//! serde's surface for the reproduction to compile: the `Serialize` /
+//! `Deserialize` marker traits and the (no-op) derive macros. No serializer
+//! crate is in the dependency set — model persistence uses the hand-rolled
+//! little-endian codec in `boosthd::persist` — so nothing ever calls
+//! through these traits. Swapping in the real serde is a drop-in change.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+///
+/// The vendored derive expands to nothing, so no impls exist; the trait
+/// only satisfies `use serde::Serialize` imports.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

@@ -1,0 +1,22 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment is offline, so the real `serde_derive` cannot be
+//! fetched. This repository's dependency policy admits the serde *traits*
+//! as API markers only — all persistence goes through the hand-rolled codec
+//! in `boosthd::persist` — so the derives can safely expand to nothing.
+//! If a real serializer is ever added, replace this shim with the genuine
+//! crates and the derive-annotated types pick up working impls unchanged.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
