@@ -12,7 +12,8 @@
 //!
 //! Usage: `fig8_packed [--runs N] [--quick]` (trials per point; default 30).
 
-use boosthd::{BoostHd, BoostHdConfig, Classifier, QuantizedBoostHd};
+use boosthd::parallel::default_threads;
+use boosthd::{BoostHd, BoostHdConfig, QuantizedBoostHd};
 use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::RunStats;
@@ -83,13 +84,18 @@ fn main() {
     } else {
         vec![0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
     };
+    // Each trial predicts the whole test set through the batched pipeline
+    // (encode GEMM + per-learner sweeps) fanned out over the thread pool —
+    // the equivalence property tests pin this to the per-sample path, so
+    // the sweep measures exactly what a row-at-a-time deployment would see.
+    let threads = default_threads();
     let (s_f32, st_f32) = sweep(
         "BoostHD-f32",
         &|pb, seed| {
             let mut m = boost.clone();
             let mut rng = Rng64::seed_from(seed);
             flip_bits(&mut m, pb, &mut rng);
-            m.predict_batch(test.features())
+            m.predict_batch_parallel(test.features(), threads)
         },
         test.labels(),
         &steps,
@@ -101,7 +107,7 @@ fn main() {
             let mut m = packed.clone();
             let mut rng = Rng64::seed_from(seed);
             flip_sign_bits(&mut m, pb, &mut rng);
-            m.predict_batch(test.features())
+            m.predict_batch_parallel(test.features(), threads)
         },
         test.labels(),
         &steps,

@@ -1,7 +1,8 @@
 //! Quick HDC-only probe across runs (calibration aid, not a paper artifact).
 
 use boosthd::boost::SampleMode;
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::parallel::default_threads;
+use boosthd::{BoostHd, BoostHdConfig, OnlineHd, OnlineHdConfig};
 use boosthd_bench::{parse_common_args, prepare_split};
 use eval_harness::metrics::macro_accuracy;
 use eval_harness::repeat::repeat_runs;
@@ -36,7 +37,8 @@ fn main() {
                 sub.labels(),
             )
             .unwrap();
-            macro_accuracy(&m.predict_batch(test.features()), test.labels(), 3) * 100.0
+            let preds = m.predict_batch_parallel(test.features(), default_threads());
+            macro_accuracy(&preds, test.labels(), 3) * 100.0
         });
         println!("r={r:.1} OnlineHD        {}", online.format(2));
         let variants: Vec<(&str, BoostHdConfig)> = vec![
@@ -85,7 +87,8 @@ fn main() {
                     sub.labels(),
                 )
                 .unwrap();
-                macro_accuracy(&m.predict_batch(test.features()), test.labels(), 3) * 100.0
+                let preds = m.predict_batch_parallel(test.features(), default_threads());
+                macro_accuracy(&preds, test.labels(), 3) * 100.0
             });
             println!("r={r:.1} BoostHD-{tag:<12} {}", boost.format(2));
         }

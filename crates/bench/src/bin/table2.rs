@@ -17,6 +17,7 @@ use boosthd::Classifier;
 use boosthd_bench::{
     parse_common_args, prepare_split, quick_profile, train_model, AnyModel, ModelKind,
 };
+use boosthd_serve::{EngineConfig, InferenceEngine};
 use eval_harness::table::Table;
 use eval_harness::timing::{time_per_query_secs, to_tenth_millis};
 use wearables::profiles;
@@ -57,11 +58,21 @@ fn main() {
                 boosthd_model = Some(model);
             }
         }
-        // BoostHD with query-parallel inference (the paper's optimized path).
+        // BoostHD through the serving engine: the batched encode GEMM +
+        // vote sweep fanned out over the scoped-thread pool (identical
+        // predictions to the serial path; see the equivalence property
+        // tests).
         let parallel_cell = match boosthd_model {
             Some(AnyModel::BoostHd(model)) => {
+                let engine = InferenceEngine::with_config(
+                    &model,
+                    EngineConfig {
+                        threads: Some(threads),
+                        ..Default::default()
+                    },
+                );
                 let secs = time_per_query_secs(queries, 3, || {
-                    std::hint::black_box(model.predict_batch_parallel(test.features(), threads));
+                    std::hint::black_box(engine.predict_batch(test.features()));
                 });
                 format!("{:.2}", to_tenth_millis(secs))
             }

@@ -30,13 +30,12 @@
 //! dot products per learner), which is what makes the Table II latencies
 //! land next to OnlineHD's.
 
-use crate::classifier::{argmax, Classifier};
+use crate::classifier::{argmax, argmax_rows, predict_batch_chunked, Classifier};
 use crate::error::{BoostHdError, Result};
 use crate::online::{
-    normalize_rows, normalize_weights, scores_unit_classes, train_class_hvs,
-    validate_training_inputs,
+    normalize_rows, normalize_weights, scores_unit_classes, scores_unit_classes_batch,
+    train_class_hvs, validate_training_inputs,
 };
-use crate::parallel::parallel_map_indices;
 use hdc::encoder::{Encode, SinusoidEncoder};
 use hdc::DimensionPartition;
 use linalg::{Matrix, Rng64};
@@ -497,14 +496,17 @@ impl BoostHd {
         }
     }
 
-    /// Predicts every row of `x` using `threads` worker threads.
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode-GEMM + vote aggregation on a contiguous
+    /// chunk of the batch.
     ///
     /// Inference is embarrassingly parallel across queries (the paper's
     /// "parallelization becomes feasible during the inference phase"); this
     /// is the path behind BoostHD's Table II latencies on wide-input
-    /// datasets.
+    /// datasets. Identical to [`Classifier::predict_batch`] for any thread
+    /// count.
     pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
-        parallel_map_indices(x.rows(), threads, |r| self.predict(x.row(r)))
+        predict_batch_chunked(self, x, threads)
     }
 
     fn votes_for_encoded(&self, full_h: &[f32], x: &[f32]) -> Vec<f32> {
@@ -521,6 +523,24 @@ impl BoostHd {
             }
         }
         votes
+    }
+
+    /// Accumulates one learner's `α`-weighted votes for a chunk of batch
+    /// rows into the `samples × classes` vote matrix starting at row
+    /// `offset`, given that learner's per-chunk similarity matrix.
+    fn accumulate_votes(&self, votes: &mut Matrix, offset: usize, sims: &Matrix, alpha: f32) {
+        for r in 0..sims.rows() {
+            let sims_row = sims.row(r);
+            let vote_row = votes.row_mut(offset + r);
+            match self.config.voting {
+                Voting::Hard => vote_row[argmax(sims_row)] += alpha,
+                Voting::Soft => {
+                    for (v, s) in vote_row.iter_mut().zip(sims_row.iter()) {
+                        *v += alpha * s;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -558,16 +578,42 @@ impl Classifier for BoostHd {
         self.votes_for_encoded(&full_h, x)
     }
 
-    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        match self.config.mode {
-            EnsembleMode::Partitioned => {
-                let z = self.encoder.encode_batch(x);
-                (0..z.rows())
-                    .map(|r| argmax(&self.votes_for_encoded(z.row(r), x.row(r))))
-                    .collect()
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        // Walk the batch in row chunks through a reused encode buffer:
+        // each chunk is encoded once (shared full-`D` GEMM for partitioned
+        // learners, one GEMM per private encoder in the full-dimension
+        // ablation), then every learner scores it with one batched
+        // similarity product — learners visited in training order so vote
+        // sums accumulate exactly like the row path.
+        let mut votes = Matrix::zeros(x.rows(), self.num_classes);
+        let needs_full = self.learners.iter().any(|l| l.own_encoder.is_none());
+        let mut zbuf = Matrix::zeros(0, 0);
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            let xc = x.slice_rows(start, end);
+            if needs_full {
+                self.encoder.encode_batch_into(&xc, &mut zbuf);
             }
-            EnsembleMode::FullDimension => (0..x.rows()).map(|r| self.predict(x.row(r))).collect(),
+            for learner in &self.learners {
+                let sims = match &learner.own_encoder {
+                    None => {
+                        let zi = zbuf.slice_columns(learner.seg_start, learner.seg_end);
+                        scores_unit_classes_batch(&learner.class_hvs, &zi)
+                    }
+                    Some(enc) => {
+                        scores_unit_classes_batch(&learner.class_hvs, &enc.encode_batch(&xc))
+                    }
+                };
+                self.accumulate_votes(&mut votes, start, &sims, learner.alpha);
+            }
+            start = end;
         }
+        votes
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.scores_batch(x))
     }
 }
 

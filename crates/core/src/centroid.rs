@@ -6,10 +6,11 @@
 //! Included both as the simplest member of the HDC family and as the ablation
 //! weak learner ("what does BoostHD buy beyond bundling?").
 
-use crate::classifier::{argmax, Classifier};
+use crate::classifier::{argmax_rows, Classifier};
 use crate::error::{BoostHdError, Result};
 use crate::online::{
-    normalize_rows, normalize_weights, scores_unit_classes, validate_training_inputs,
+    chunked_unit_scores, normalize_rows, normalize_weights, scores_unit_classes,
+    validate_training_inputs,
 };
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::{Matrix, Rng64};
@@ -134,11 +135,12 @@ impl Classifier for CentroidHd {
         scores_unit_classes(&self.class_hvs, &h)
     }
 
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        chunked_unit_scores(&self.encoder, &self.class_hvs, x)
+    }
+
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        let z = self.encoder.encode_batch(x);
-        (0..z.rows())
-            .map(|r| argmax(&scores_unit_classes(&self.class_hvs, z.row(r))))
-            .collect()
+        argmax_rows(&self.scores_batch(x))
     }
 }
 

@@ -1,5 +1,6 @@
 //! The [`Classifier`] trait shared by every model in the reproduction.
 
+use crate::parallel::parallel_map_indices;
 use linalg::Matrix;
 
 /// Index of the largest value in `xs`; 0 for an empty slice. Ties resolve to
@@ -39,6 +40,21 @@ pub trait Classifier {
         argmax(&self.scores(x))
     }
 
+    /// Per-class decision scores for every row of `x`, as a
+    /// `samples × classes` matrix.
+    ///
+    /// The default loops over [`Classifier::scores`]; the HDC family
+    /// overrides it with genuinely batched paths (one fused encode GEMM
+    /// feeding one scoring sweep) whose rows are bit-identical to the
+    /// row-at-a-time scores.
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.num_classes());
+        for r in 0..x.rows() {
+            out.row_mut(r).copy_from_slice(&self.scores(x.row(r)));
+        }
+        out
+    }
+
     /// Predicted classes for every row of `x`.
     ///
     /// The default loops over [`Classifier::predict`]; models with a faster
@@ -46,6 +62,40 @@ pub trait Classifier {
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
         (0..x.rows()).map(|r| self.predict(x.row(r))).collect()
     }
+}
+
+/// Row-major argmax over a scores matrix: the shared decision rule batched
+/// predictors apply after [`Classifier::scores_batch`].
+pub fn argmax_rows(scores: &Matrix) -> Vec<usize> {
+    (0..scores.rows()).map(|r| argmax(scores.row(r))).collect()
+}
+
+/// Predicts every row of `x` by splitting the batch into `threads`
+/// contiguous chunks and running [`Classifier::predict_batch`] on each
+/// chunk from a scoped worker thread — the fan-out primitive the serving
+/// engine and the `*_parallel` model methods share.
+///
+/// Every chunk flows through the same batched kernels as the whole batch,
+/// and those kernels are row-independent, so the result is identical to
+/// `model.predict_batch(x)` for any thread count.
+pub fn predict_batch_chunked<C>(model: &C, x: &Matrix, threads: usize) -> Vec<usize>
+where
+    C: Classifier + Sync + ?Sized,
+{
+    let rows = x.rows();
+    let workers = threads.clamp(1, rows.max(1));
+    if workers <= 1 {
+        return model.predict_batch(x);
+    }
+    let chunk = rows.div_ceil(workers);
+    parallel_map_indices(workers, workers, |w| {
+        let start = (w * chunk).min(rows);
+        let end = ((w + 1) * chunk).min(rows);
+        model.predict_batch(&x.slice_rows(start, end))
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! OnlineHD: single-pass adaptive hyperdimensional classification.
 //!
 //! Reimplementation of the classifier the paper builds on (its reference
-//! [18]: Hernández-Cano et al., *"OnlineHD: Robust, efficient, and
+//! \[18\]: Hernández-Cano et al., *"OnlineHD: Robust, efficient, and
 //! single-pass online learning using hyperdimensional system"*, DATE 2021).
 //! Training is two-phase:
 //!
@@ -26,7 +26,7 @@
 //! fit), which is the hook BoostHD's booster uses to focus weak learners on
 //! previously misclassified samples.
 
-use crate::classifier::{argmax, Classifier};
+use crate::classifier::{argmax, argmax_rows, Classifier};
 use crate::error::{BoostHdError, Result};
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::matrix::{dot, norm};
@@ -267,6 +267,16 @@ impl OnlineHd {
     }
 }
 
+impl OnlineHd {
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode-GEMM + scoring path on a contiguous
+    /// chunk. Identical to [`Classifier::predict_batch`] for any thread
+    /// count.
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        crate::classifier::predict_batch_chunked(self, x, threads)
+    }
+}
+
 impl Classifier for OnlineHd {
     fn num_classes(&self) -> usize {
         self.num_classes
@@ -277,11 +287,12 @@ impl Classifier for OnlineHd {
         self.scores_encoded(&h)
     }
 
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        chunked_unit_scores(&self.encoder, &self.class_hvs, x)
+    }
+
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        let z = self.encoder.encode_batch(x);
-        (0..z.rows())
-            .map(|r| argmax(&self.scores_encoded(z.row(r))))
-            .collect()
+        argmax_rows(&self.scores_batch(x))
     }
 }
 
@@ -355,6 +366,61 @@ pub(crate) fn scores_unit_classes(class_hvs: &Matrix, h: &[f32]) -> Vec<f32> {
     (0..class_hvs.rows())
         .map(|l| (dot(class_hvs.row(l), h) / hn).clamp(-1.0, 1.0))
         .collect()
+}
+
+/// Row-chunk width shared by every batched scoring path: large enough to
+/// amortize the projection stream across a GEMM row block, small enough
+/// that the encoded chunk (`SCORE_CHUNK × D` f32) stays cache-resident
+/// instead of round-tripping a whole-batch hypervector matrix through
+/// memory.
+pub(crate) const SCORE_CHUNK: usize = 256;
+
+/// The fused batched scoring pipeline for single-matrix classifiers:
+/// encode `x` in row chunks through a reused buffer, score each chunk
+/// against the unit-norm class rows, and assemble the `samples × classes`
+/// result. Row-identical to encoding and scoring one sample at a time.
+pub(crate) fn chunked_unit_scores(
+    encoder: &SinusoidEncoder,
+    class_hvs: &Matrix,
+    x: &Matrix,
+) -> Matrix {
+    let mut out = Matrix::zeros(x.rows(), class_hvs.rows());
+    let mut zbuf = Matrix::zeros(0, 0);
+    let mut start = 0;
+    while start < x.rows() {
+        let end = (start + SCORE_CHUNK).min(x.rows());
+        encoder.encode_batch_into(&x.slice_rows(start, end), &mut zbuf);
+        let sims = scores_unit_classes_batch(class_hvs, &zbuf);
+        for r in 0..sims.rows() {
+            out.row_mut(start + r).copy_from_slice(sims.row(r));
+        }
+        start = end;
+    }
+    out
+}
+
+/// Batched [`scores_unit_classes`]: cosine similarities of every row of the
+/// pre-encoded batch `z` against *unit-norm* class hypervector rows, as a
+/// `samples × classes` matrix.
+///
+/// One tiled `Z · Cᵀ` product replaces the per-sample dot loops; every
+/// entry is computed by the same [`dot`] as the row path (dot products
+/// commute operand-wise lane by lane), so the rows equal the row-at-a-time
+/// scores bit for bit.
+pub(crate) fn scores_unit_classes_batch(class_hvs: &Matrix, z: &Matrix) -> Matrix {
+    let mut sims = z.matmul_transposed(class_hvs);
+    for r in 0..sims.rows() {
+        let hn = norm(z.row(r));
+        let row = sims.row_mut(r);
+        if hn == 0.0 {
+            row.fill(0.0);
+        } else {
+            for v in row.iter_mut() {
+                *v = (*v / hn).clamp(-1.0, 1.0);
+            }
+        }
+    }
+    sims
 }
 
 /// Cosine similarities of `h` against every row of `class_hvs`.

@@ -42,10 +42,39 @@ where
     results.into_iter().flatten().collect()
 }
 
-/// Number of worker threads to use by default: the machine's available
-/// parallelism, capped at 8 (the experiment binaries never benefit beyond
-/// that at our batch sizes).
+/// Process-wide thread-count override set by [`set_default_threads`]
+/// (0 = unset).
+static THREAD_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Environment variable consulted by [`default_threads`] when no
+/// programmatic override is set.
+pub const THREADS_ENV_VAR: &str = "HDC_THREADS";
+
+/// Overrides the worker-thread count returned by [`default_threads`] for
+/// the rest of the process. Pass `0` to clear the override and fall back to
+/// the `HDC_THREADS` environment variable / hardware detection.
+pub fn set_default_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Number of worker threads to use by default, resolved in priority order:
+///
+/// 1. a programmatic [`set_default_threads`] override;
+/// 2. the `HDC_THREADS` environment variable (positive integer);
+/// 3. the machine's available parallelism, capped at 8 (the experiment
+///    binaries never benefit beyond that at our batch sizes).
 pub fn default_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Some(n) = std::env::var(THREADS_ENV_VAR)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -83,6 +112,16 @@ mod tests {
 
     #[test]
     fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn setter_overrides_and_clears() {
+        // Exercises the programmatic override end of the resolution order
+        // (the env-var path would race other tests in this process).
+        set_default_threads(5);
+        assert_eq!(default_threads(), 5);
+        set_default_threads(0);
         assert!(default_threads() >= 1);
     }
 }

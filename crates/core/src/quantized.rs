@@ -32,10 +32,9 @@
 //! the sign-rounding loss at `D_wl = 400`.
 
 use crate::boost::{BoostHd, Voting};
-use crate::classifier::{argmax, Classifier};
+use crate::classifier::{argmax, argmax_rows, predict_batch_chunked, Classifier};
 use crate::error::{BoostHdError, Result};
 use crate::online::OnlineHd;
-use crate::parallel::parallel_map_indices;
 use crate::CentroidHd;
 use hdc::backend::{PackedHv, PackedMatrix};
 use hdc::encoder::{Encode, SinusoidEncoder};
@@ -185,12 +184,11 @@ impl QuantizedHd {
         self.class_bits.similarities(query)
     }
 
-    /// Predicts every row of `x` using `threads` worker threads.
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode + popcount sweep on a contiguous chunk.
+    /// Identical to [`Classifier::predict_batch`] for any thread count.
     pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
-        let queries = self.encoder.encode_batch_packed(x);
-        parallel_map_indices(queries.len(), threads, |r| {
-            argmax(&self.scores_packed(&queries[r]))
-        })
+        predict_batch_chunked(self, x, threads)
     }
 }
 
@@ -203,12 +201,34 @@ impl Classifier for QuantizedHd {
         self.scores_packed(&self.encoder.encode_row_packed(x))
     }
 
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        // Walk the batch in row chunks through a reused encode buffer: the
+        // fused GEMM encodes each chunk, signs pack straight off the
+        // buffer, and one batched popcount sweep over the flat class words
+        // scores the whole chunk.
+        let mut out = Matrix::zeros(x.rows(), self.num_classes);
+        let mut zbuf = Matrix::zeros(0, 0);
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            self.encoder
+                .encode_batch_into(&x.slice_rows(start, end), &mut zbuf);
+            let packed: Vec<PackedHv> = (0..zbuf.rows())
+                .map(|r| PackedHv::from_signs(zbuf.row(r)))
+                .collect();
+            let queries = PackedMatrix::from_rows(&packed)
+                .expect("chunk queries share the encoder dimension");
+            let sims = self.class_bits.batch_similarities(&queries);
+            for r in 0..sims.rows() {
+                out.row_mut(start + r).copy_from_slice(sims.row(r));
+            }
+            start = end;
+        }
+        out
+    }
+
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        self.encoder
-            .encode_batch_packed(x)
-            .iter()
-            .map(|q| argmax(&self.scores_packed(q)))
-            .collect()
+        argmax_rows(&self.scores_batch(x))
     }
 }
 
@@ -434,18 +454,13 @@ impl QuantizedBoostHd {
         votes
     }
 
-    /// Predicts every row of `x` using `threads` worker threads (queries
-    /// are independent; popcount scoring parallelizes embarrassingly).
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode + per-learner popcount sweeps on a
+    /// contiguous chunk (queries are independent; popcount scoring
+    /// parallelizes embarrassingly). Identical to
+    /// [`Classifier::predict_batch`] for any thread count.
     pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
-        let any_partitioned = self.learners.iter().any(|l| l.own_encoder.is_none());
-        if any_partitioned {
-            let z = self.encoder.encode_batch(x);
-            parallel_map_indices(x.rows(), threads, |r| {
-                argmax(&self.votes_for_encoded(z.row(r), x.row(r)))
-            })
-        } else {
-            parallel_map_indices(x.rows(), threads, |r| self.predict(x.row(r)))
-        }
+        predict_batch_chunked(self, x, threads)
     }
 }
 
@@ -464,8 +479,55 @@ impl Classifier for QuantizedBoostHd {
         self.votes_for_encoded(&full_h, x)
     }
 
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        // Walk the batch in row chunks through a reused encode buffer; each
+        // chunk is encoded once at full `D`, then every weak learner packs
+        // its segment and scores the chunk with one batched popcount sweep
+        // over its packed class memory — learners visited in training order
+        // so the `α`-weighted vote sums accumulate exactly like the row
+        // path.
+        let mut votes = Matrix::zeros(x.rows(), self.num_classes);
+        let needs_full = self.learners.iter().any(|l| l.own_encoder.is_none());
+        let mut zbuf = Matrix::zeros(0, 0);
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            let xc = x.slice_rows(start, end);
+            if needs_full {
+                self.encoder.encode_batch_into(&xc, &mut zbuf);
+            }
+            for learner in &self.learners {
+                let queries: Vec<PackedHv> = match &learner.own_encoder {
+                    None => (0..zbuf.rows())
+                        .map(|r| {
+                            PackedHv::from_signs(&zbuf.row(r)[learner.seg_start..learner.seg_end])
+                        })
+                        .collect(),
+                    Some(enc) => enc.encode_batch_packed(&xc),
+                };
+                let queries = PackedMatrix::from_rows(&queries)
+                    .expect("chunk queries share the segment width");
+                let sims = learner.class_bits.batch_similarities(&queries);
+                for r in 0..sims.rows() {
+                    let sims_row = sims.row(r);
+                    let vote_row = votes.row_mut(start + r);
+                    match self.voting {
+                        Voting::Hard => vote_row[argmax(sims_row)] += learner.alpha,
+                        Voting::Soft => {
+                            for (v, s) in vote_row.iter_mut().zip(sims_row.iter()) {
+                                *v += learner.alpha * s;
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        votes
+    }
+
     fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        self.predict_batch_parallel(x, 1)
+        argmax_rows(&self.scores_batch(x))
     }
 }
 

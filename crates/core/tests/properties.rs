@@ -1,9 +1,13 @@
 //! Property-based tests for the classifier crate: invariants that must hold
 //! for any seed, any (sane) configuration, and any label layout.
 
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::boost::EnsembleMode;
+use boosthd::{
+    BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd, OnlineHdConfig,
+};
 use linalg::{Matrix, Rng64};
 use proptest::prelude::*;
+use reliability::{flip_bits, flip_sign_bits, Perturbable, PerturbablePacked};
 
 /// A small random but learnable dataset: class-dependent Gaussian blobs.
 fn blob_data(seed: u64, n: usize, classes: usize) -> (Matrix, Vec<usize>) {
@@ -108,5 +112,140 @@ proptest! {
         let stacked = model.stacked_class_hypervectors();
         prop_assert_eq!(stacked.rows(), n_learners * 3);
         prop_assert_eq!(stacked.cols(), 120);
+    }
+}
+
+/// Batch-vs-row equivalence: the tentpole invariant of the batched
+/// inference refactor. Every classifier's `predict_batch`/`scores_batch`
+/// must reproduce the mapped row-at-a-time calls bit for bit — dense and
+/// packed, clean and fault-injected — because the batched kernels share
+/// their per-element arithmetic with the row kernels.
+mod batch_row_equivalence {
+    use super::*;
+
+    fn assert_batch_matches_rows(name: &str, model: &dyn Classifier, x: &Matrix) {
+        let rowwise: Vec<usize> = (0..x.rows()).map(|r| model.predict(x.row(r))).collect();
+        assert_eq!(model.predict_batch(x), rowwise, "{name}: predictions");
+        let batch_scores = model.scores_batch(x);
+        assert_eq!(batch_scores.shape(), (x.rows(), model.num_classes()));
+        for r in 0..x.rows() {
+            // Compare raw bits so the contract also holds for NaN/Inf scores
+            // produced by exponent-bit faults (NaN != NaN under PartialEq).
+            let batch_bits: Vec<u32> = batch_scores.row(r).iter().map(|v| v.to_bits()).collect();
+            let row_bits: Vec<u32> = model.scores(x.row(r)).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(batch_bits, row_bits, "{name}: scores row {r}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn all_five_classifiers_dense_and_packed(seed in any::<u64>(), classes in 2usize..4) {
+            let (x, y) = blob_data(seed, 36, classes);
+            let online = OnlineHd::fit(
+                &OnlineHdConfig { dim: 96, epochs: 3, seed, ..Default::default() }, &x, &y,
+            ).unwrap();
+            let centroid = CentroidHd::fit(
+                &CentroidHdConfig { dim: 96, seed }, &x, &y,
+            ).unwrap();
+            let boost = BoostHd::fit(
+                &BoostHdConfig { dim_total: 96, n_learners: 4, epochs: 2, seed, ..Default::default() },
+                &x, &y,
+            ).unwrap();
+            let q_online = online.quantize();
+            let q_boost = boost.quantize();
+            let models: [(&str, &dyn Classifier); 5] = [
+                ("OnlineHd", &online),
+                ("CentroidHd", &centroid),
+                ("BoostHd", &boost),
+                ("QuantizedHd", &q_online),
+                ("QuantizedBoostHd", &q_boost),
+            ];
+            for (name, model) in models {
+                assert_batch_matches_rows(name, model, &x);
+            }
+        }
+
+        #[test]
+        fn equivalence_survives_bit_flip_perturbation(seed in any::<u64>(), p_exp in 1u32..4) {
+            // Fault-injected models must keep the batch/row contract: the
+            // reliability sweeps predict whole batches and must measure
+            // exactly what a per-sample deployment would produce.
+            let p_b = 10f64.powi(-(p_exp as i32));
+            let (x, y) = blob_data(seed, 30, 3);
+            let config = BoostHdConfig {
+                dim_total: 128, n_learners: 4, epochs: 2, seed, ..Default::default()
+            };
+            let mut boost = BoostHd::fit(&config, &x, &y).unwrap();
+            let mut packed = boost.quantize();
+            let mut online = OnlineHd::fit(
+                &OnlineHdConfig { dim: 96, epochs: 2, seed, ..Default::default() }, &x, &y,
+            ).unwrap();
+            let mut q_online = online.quantize();
+
+            let mut rng = Rng64::seed_from(seed ^ 0xF11);
+            flip_bits(&mut boost, p_b, &mut rng);
+            flip_bits(&mut online, p_b, &mut rng);
+            flip_sign_bits(&mut packed, p_b, &mut rng);
+            flip_sign_bits(&mut q_online, p_b, &mut rng);
+
+            let models: [(&str, &dyn Classifier); 4] = [
+                ("BoostHd+flips", &boost),
+                ("OnlineHd+flips", &online),
+                ("QuantizedBoostHd+flips", &packed),
+                ("QuantizedHd+flips", &q_online),
+            ];
+            for (name, model) in models {
+                assert_batch_matches_rows(name, model, &x);
+            }
+        }
+
+        #[test]
+        fn full_dimension_ablation_keeps_the_contract(seed in any::<u64>()) {
+            let (x, y) = blob_data(seed, 30, 3);
+            let config = BoostHdConfig {
+                dim_total: 64, n_learners: 2, epochs: 2, seed,
+                mode: EnsembleMode::FullDimension,
+                ..Default::default()
+            };
+            let boost = BoostHd::fit(&config, &x, &y).unwrap();
+            let packed = boost.quantize();
+            assert_batch_matches_rows("BoostHd-fulldim", &boost, &x);
+            assert_batch_matches_rows("QuantizedBoostHd-fulldim", &packed, &x);
+        }
+
+        #[test]
+        fn chunked_parallel_prediction_is_thread_invariant(
+            seed in any::<u64>(), threads in 1usize..6,
+        ) {
+            let (x, y) = blob_data(seed, 24, 3);
+            let online = OnlineHd::fit(
+                &OnlineHdConfig { dim: 64, epochs: 2, seed, ..Default::default() }, &x, &y,
+            ).unwrap();
+            let q = online.quantize();
+            prop_assert_eq!(online.predict_batch(&x), online.predict_batch_parallel(&x, threads));
+            prop_assert_eq!(q.predict_batch(&x), q.predict_batch_parallel(&x, threads));
+        }
+    }
+
+    #[test]
+    fn perturbable_surface_counts_are_consistent() {
+        // Anchor the perturbation plumbing the equivalence tests rely on.
+        let (x, y) = blob_data(7, 30, 3);
+        let online = OnlineHd::fit(
+            &OnlineHdConfig {
+                dim: 64,
+                epochs: 2,
+                seed: 7,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
+        let mut m = online.clone();
+        assert_eq!(m.param_count(), 3 * 64);
+        assert_eq!(online.quantize().packed_bit_count(), 3 * 64);
     }
 }

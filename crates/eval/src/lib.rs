@@ -1,7 +1,7 @@
 //! Evaluation harness for the BoostHD experiments.
 //!
 //! Everything the benchmark binaries need to turn trained
-//! [`boosthd::Classifier`]s into the numbers the paper reports:
+//! `boosthd::Classifier`s into the numbers the paper reports:
 //!
 //! * [`metrics`] — accuracy, *macro* accuracy (the imbalance-fair metric of
 //!   Figure 7), confusion matrices, per-class recall;
@@ -33,4 +33,4 @@ pub mod timing;
 pub use metrics::{accuracy, confusion_matrix, macro_accuracy, per_class_recall};
 pub use repeat::{repeat_runs, RunStats};
 pub use table::{Heatmap, Series, Table};
-pub use timing::{time_per_query_secs, Timed};
+pub use timing::{percentile, time_per_query_secs, LatencySummary, Timed};

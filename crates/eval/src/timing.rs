@@ -56,6 +56,83 @@ pub fn to_tenth_millis(seconds: f64) -> f64 {
     seconds * 1e5
 }
 
+/// The `q`-th percentile (0.0 ≤ `q` ≤ 100.0) of `samples` by the
+/// nearest-rank method on a sorted copy. Returns `NaN` for an empty slice.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+    percentile_sorted(&sorted, q)
+}
+
+/// [`percentile`] over an already-sorted slice (no copy, no re-sort).
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Tail-aware latency summary: the percentiles a serving pipeline reports
+/// alongside the mean (mean-only reporting hides exactly the tail spikes
+/// continuous monitoring cares about).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples summarized.
+    pub count: usize,
+    /// Arithmetic mean, in seconds.
+    pub mean: f64,
+    /// Median (p50), in seconds.
+    pub p50: f64,
+    /// 95th percentile, in seconds.
+    pub p95: f64,
+    /// 99th percentile, in seconds.
+    pub p99: f64,
+    /// Worst observed sample, in seconds.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes raw latency samples (seconds). Returns an all-zero
+    /// summary for an empty slice.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency samples"));
+        Self {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            max: sorted[sorted.len() - 1],
+        }
+    }
+
+    /// Renders the summary in the paper's `10⁻⁵ s` units, e.g. for table
+    /// rows and engine reports.
+    pub fn format_tenth_millis(&self) -> String {
+        format!(
+            "mean {:.2} | p50 {:.2} | p95 {:.2} | p99 {:.2} | max {:.2} (1e-5 s, n={})",
+            to_tenth_millis(self.mean),
+            to_tenth_millis(self.p50),
+            to_tenth_millis(self.p95),
+            to_tenth_millis(self.p99),
+            to_tenth_millis(self.max),
+            self.count
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +171,40 @@ mod tests {
     #[should_panic(expected = "at least one query")]
     fn zero_queries_panics() {
         time_per_query_secs(0, 1, || {});
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 50.0), 50.0);
+        assert_eq!(percentile(&samples, 95.0), 95.0);
+        assert_eq!(percentile(&samples, 99.0), 99.0);
+        assert_eq!(percentile(&samples, 100.0), 100.0);
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert!(percentile(&[], 50.0).is_nan());
+        // Order-independence: percentiles sort internally.
+        assert_eq!(percentile(&[3.0, 1.0, 2.0], 50.0), 2.0);
+    }
+
+    #[test]
+    fn latency_summary_orders_tail() {
+        let mut samples: Vec<f64> = vec![1e-4; 99];
+        samples.push(1e-2); // one tail spike
+        let summary = LatencySummary::from_samples(&samples);
+        assert_eq!(summary.count, 100);
+        assert_eq!(summary.p50, 1e-4);
+        assert_eq!(summary.p99, 1e-4);
+        assert_eq!(summary.max, 1e-2);
+        assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        assert!(summary.mean > summary.p50, "spike must pull the mean up");
+        assert!(summary.format_tenth_millis().contains("p99"));
+    }
+
+    #[test]
+    fn latency_summary_empty_is_zeroed() {
+        let summary = LatencySummary::from_samples(&[]);
+        assert_eq!(summary.count, 0);
+        assert_eq!(summary.max, 0.0);
     }
 }

@@ -432,6 +432,32 @@ impl PackedMatrix {
     pub fn bit_count(&self) -> u64 {
         self.rows as u64 * self.dim as u64
     }
+
+    /// Batch-of-batches popcount scoring: similarity of every `queries` row
+    /// against every stored row, as a `queries.rows() × self.rows()` dense
+    /// matrix on the cosine scale.
+    ///
+    /// This is the quantized *batch* inference hot path — one sweep over
+    /// two flat `u64` buffers with the class words hot in cache across all
+    /// queries. Each entry equals the corresponding
+    /// [`PackedMatrix::similarities`] entry exactly (popcount arithmetic
+    /// has no rounding).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` has a different dimensionality.
+    pub fn batch_similarities(&self, queries: &PackedMatrix) -> linalg::Matrix {
+        assert_eq!(self.dim, queries.dim(), "query batch dimension mismatch");
+        let mut out = linalg::Matrix::zeros(queries.rows(), self.rows);
+        for q in 0..queries.rows() {
+            let qw = queries.row_words(q);
+            let out_row = out.row_mut(q);
+            for (r, o) in out_row.iter_mut().enumerate() {
+                *o = ops::packed_similarity(self.row_words(r), qw, self.dim);
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -550,6 +576,21 @@ mod tests {
         for (r, &score) in batch.iter().enumerate() {
             assert_eq!(score, pm.row(r).similarity(&q));
         }
+    }
+
+    #[test]
+    fn batch_similarities_match_per_query_sweeps() {
+        let mut rng = Rng64::seed_from(21);
+        let classes = PackedMatrix::from_dense_rows(&Matrix::random_normal(4, 130, &mut rng));
+        let queries = PackedMatrix::from_dense_rows(&Matrix::random_normal(7, 130, &mut rng));
+        let sims = classes.batch_similarities(&queries);
+        assert_eq!(sims.shape(), (7, 4));
+        for q in 0..queries.rows() {
+            assert_eq!(sims.row(q), classes.similarities(&queries.row(q)));
+        }
+        // Empty query batch is fine.
+        let empty = PackedMatrix::from_dense_rows(&Matrix::zeros(0, 130));
+        assert_eq!(classes.batch_similarities(&empty).rows(), 0);
     }
 
     #[test]

@@ -18,7 +18,6 @@
 
 use crate::backend::PackedHv;
 use crate::error::{HdcError, Result};
-use crate::ops;
 use linalg::{Matrix, Rng64};
 use serde::{Deserialize, Serialize};
 
@@ -59,9 +58,9 @@ pub trait Encode {
     /// Encodes one feature vector directly into the bitpacked sign
     /// representation (see [`crate::backend::BitpackedSign`]).
     ///
-    /// The default packs the dense encoding; [`SinusoidEncoder`] overrides
-    /// it with a buffer-free path that packs `sign(φ(x))` as it is
-    /// computed.
+    /// The default packs the dense [`Encode::encode_row`] output, which
+    /// keeps the packed row bit-identical to a packed batch row for any
+    /// encoder whose batch path reproduces its row path.
     ///
     /// # Panics
     ///
@@ -83,6 +82,11 @@ pub trait Encode {
 
     /// Encodes a batch of samples (rows of `x`) into a `samples × D` matrix.
     ///
+    /// Implementations must produce rows bit-identical to
+    /// [`Encode::encode_row`] on the same inputs, so batched inference can
+    /// replace row-at-a-time inference without changing a single
+    /// prediction.
+    ///
     /// # Panics
     ///
     /// Panics if `x.cols() != self.input_len()`.
@@ -94,11 +98,25 @@ pub trait Encode {
             x.cols(),
             self.input_len()
         );
-        let mut rows = Vec::with_capacity(x.rows());
+        let mut out = Matrix::zeros(x.rows(), self.dim());
         for r in 0..x.rows() {
-            rows.push(self.encode_row(x.row(r)));
+            out.row_mut(r).copy_from_slice(&self.encode_row(x.row(r)));
         }
-        Matrix::from_rows(&rows).expect("encoded rows share the encoder dimension")
+        out
+    }
+
+    /// [`Encode::encode_batch`] writing into a caller-owned matrix, reusing
+    /// its allocation — the hook streaming inference loops use to encode
+    /// micro-batch after micro-batch without allocator churn.
+    ///
+    /// `out` is reshaped to `x.rows() × self.dim()`; previous contents are
+    /// discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.cols() != self.input_len()`.
+    fn encode_batch_into(&self, x: &Matrix, out: &mut Matrix) {
+        *out = self.encode_batch(x);
     }
 }
 
@@ -130,8 +148,16 @@ pub trait Encode {
 pub struct SinusoidEncoder {
     /// `D × F` Gaussian projection (already divided by the bandwidth).
     projection: Matrix,
+    /// Cached `F × D` transpose: the GEMM-friendly orientation, where the
+    /// inner loops run contiguous AXPYs over `D`-length rows. Derived from
+    /// `projection` at construction; never persisted separately.
+    projection_t: Matrix,
     /// Per-dimension phase `b ~ U[0, 2π)`.
     bias: Vec<f32>,
+    /// Precomputed `½·sin(b_d)`: the constant term of the activation
+    /// identity (see [`sinusoid_phi`]), so encoding costs one transcendental
+    /// per dimension instead of two.
+    half_sin_bias: Vec<f32>,
 }
 
 impl SinusoidEncoder {
@@ -189,7 +215,22 @@ impl SinusoidEncoder {
         let bias = (0..dim)
             .map(|_| rng.uniform_in(0.0, std::f32::consts::TAU))
             .collect();
-        Ok(Self { projection, bias })
+        Ok(Self::assemble(projection, bias))
+    }
+
+    /// Builds the encoder from its stored parts, deriving the cached
+    /// transpose and activation constants — the single construction path
+    /// every constructor, slice, and persistence load funnels through.
+    fn assemble(projection: Matrix, bias: Vec<f32>) -> Self {
+        let projection_t = projection.transposed();
+        // Same sine as the hot loop, so φ(0) = ½sin(b) − ½sin(b) = 0 exactly.
+        let half_sin_bias = bias.iter().map(|&b| 0.5 * fast_sin(b)).collect();
+        Self {
+            projection,
+            projection_t,
+            bias,
+            half_sin_bias,
+        }
     }
 
     /// Borrows the Gaussian projection matrix (`D × F`).
@@ -223,7 +264,7 @@ impl SinusoidEncoder {
                 actual: bias.len(),
             });
         }
-        Ok(Self { projection, bias })
+        Ok(Self::assemble(projection, bias))
     }
 
     /// Extracts the sub-encoder covering hyperspace dimensions
@@ -244,10 +285,10 @@ impl SinusoidEncoder {
             self.dim()
         );
         let rows: Vec<usize> = (start..end).collect();
-        SinusoidEncoder {
-            projection: self.projection.select_rows(&rows),
-            bias: self.bias[start..end].to_vec(),
-        }
+        SinusoidEncoder::assemble(
+            self.projection.select_rows(&rows),
+            self.bias[start..end].to_vec(),
+        )
     }
 }
 
@@ -268,40 +309,22 @@ impl Encode for SinusoidEncoder {
             x.len(),
             self.input_len()
         );
-        let z = self.projection.matvec(x);
-        z.iter()
-            .zip(self.bias.iter())
-            .map(|(&zd, &bd)| sinusoid_phi(zd, bd))
-            .collect()
-    }
-
-    fn encode_row_packed(&self, x: &[f32]) -> PackedHv {
-        assert_eq!(
-            x.len(),
-            self.input_len(),
-            "feature length {} does not match encoder input {}",
-            x.len(),
-            self.input_len()
-        );
-        // Packs sign(φ(x)) as each dimension is computed — no intermediate
-        // D-length f32 buffer, which keeps the working set at ⌈D/64⌉ words
-        // for memory-starved (wearable-sized) encode paths.
-        let dim = self.dim();
-        let mut words = vec![0u64; ops::packed_words(dim)];
-        for d in 0..dim {
-            let zd = linalg::matrix::dot(self.projection.row(d), x);
-            let phi = sinusoid_phi(zd, self.bias[d]);
-            // Same tie rule as ops::pack_signs / ops::to_bipolar.
-            if phi >= 0.0 || phi.is_nan() {
-                words[d / 64] |= 1u64 << (d % 64);
+        // The single-row case of the batch kernel: features accumulate one
+        // at a time in ascending order over the cached transpose, mirroring
+        // the blocked GEMM's per-element order, so a row encoded alone is
+        // bit-identical to the same row inside a batch.
+        let mut z = vec![0.0f32; self.dim()];
+        for (f, &xf) in x.iter().enumerate() {
+            for (o, &p) in z.iter_mut().zip(self.projection_t.row(f)) {
+                *o += xf * p;
             }
         }
-        PackedHv::from_words(words, dim).expect("freshly packed words are consistent")
+        self.activate(&mut z);
+        z
     }
 
     fn encode_batch_packed(&self, x: &Matrix) -> Vec<PackedHv> {
-        // Batches favor the fused GEMM (amortized across rows) over the
-        // buffer-free row path: encode densely once, then pack each row.
+        // One fused GEMM for the whole batch, then pack each row's signs.
         let z = self.encode_batch(x);
         (0..z.rows())
             .map(|r| PackedHv::from_signs(z.row(r)))
@@ -309,6 +332,12 @@ impl Encode for SinusoidEncoder {
     }
 
     fn encode_batch(&self, x: &Matrix) -> Matrix {
+        let mut z = Matrix::zeros(0, 0);
+        self.encode_batch_into(x, &mut z);
+        z
+    }
+
+    fn encode_batch_into(&self, x: &Matrix, out: &mut Matrix) {
         assert_eq!(
             x.cols(),
             self.input_len(),
@@ -316,19 +345,28 @@ impl Encode for SinusoidEncoder {
             x.cols(),
             self.input_len()
         );
-        // One fused GEMM (X · Pᵀ) then the activation — much faster than
-        // row-at-a-time matvec for experiment-scale batches. The transpose
-        // is materialized so the product runs through the blocked i-k-j
-        // kernel (contiguous AXPY over D-length rows), which is several
-        // times faster than row-dot form when F ≪ D.
-        let mut z = x.matmul(&self.projection.transposed());
-        for r in 0..z.rows() {
-            let row = z.row_mut(r);
-            for (v, &b) in row.iter_mut().zip(self.bias.iter()) {
-                *v = sinusoid_phi(*v, b);
-            }
+        // One fused GEMM (X · Pᵀ, via the cached transpose) then the
+        // activation. The blocked kernel streams each projection chunk once
+        // per row *block* instead of once per row — the memory-traffic win
+        // that makes batched encode outpace the row-at-a-time loop.
+        x.matmul_into(&self.projection_t, out);
+        for r in 0..out.rows() {
+            self.activate(out.row_mut(r));
         }
-        z
+    }
+}
+
+impl SinusoidEncoder {
+    /// Applies the activation in place over one encoded row (`z` holds the
+    /// projected phases `P·x` on input, `φ(x)` on output).
+    fn activate(&self, z: &mut [f32]) {
+        for ((v, &b), &hsb) in z
+            .iter_mut()
+            .zip(self.bias.iter())
+            .zip(self.half_sin_bias.iter())
+        {
+            *v = sinusoid_phi(*v, b, hsb);
+        }
     }
 }
 
@@ -336,8 +374,61 @@ impl Encode for SinusoidEncoder {
 /// definition every encode path (dense row, packed row, fused batch)
 /// shares, so the f32 training path and the packed inference path can
 /// never diverge.
+///
+/// Computed through the product-to-sum identity
+/// `cos(z + b) · sin(z) = ½·(sin(2z + b) − sin(b))` with `½·sin(b)`
+/// precomputed per dimension (`half_sin_bd`), so the hot loop pays one
+/// transcendental per dimension instead of two — and that one is the
+/// branch-free polynomial [`fast_sin`], which auto-vectorizes where libm's
+/// scalar `sinf` cannot. The reference form is kept in
+/// [`sinusoid_phi_reference`] and pinned by a unit test.
 #[inline]
-fn sinusoid_phi(zd: f32, bd: f32) -> f32 {
+fn sinusoid_phi(zd: f32, bd: f32, half_sin_bd: f32) -> f32 {
+    0.5 * fast_sin(2.0 * zd + bd) - half_sin_bd
+}
+
+/// Branch-free `sin(x)` for the activation hot loop: Cody–Waite range
+/// reduction to `[-π, π]` followed by a degree-13 odd minimax polynomial.
+///
+/// Absolute error stays below `2e-6` for `|x| ≲ 10³` (pinned by a test
+/// against libm over the encoder's working range), which is under one part
+/// in 10⁷ of the activation's `[-1, 1]` output range — far below the
+/// sign-quantization and f32 rounding noise the HDC pipeline already
+/// absorbs. Every operation is lane-wise IEEE f32 arithmetic, so results
+/// are deterministic and identical between scalar and auto-vectorized
+/// call sites.
+#[inline]
+fn fast_sin(x: f32) -> f32 {
+    const INV_TAU: f32 = 1.0 / std::f32::consts::TAU;
+    // 2π split into three parts (Cody–Waite): the 9-significand-bit high
+    // part keeps `n·TAU_HI` exact for |n| < 2¹⁵, so `x − n·2π` stays
+    // accurate to ~1e-7 across the encoder's whole working range.
+    const TAU_HI: f32 = 6.281_25;
+    const TAU_MID: f32 = 1.935_307_2e-3;
+    const TAU_LO: f32 = 1.025_313_2e-11;
+    // Round-to-nearest via the 1.5·2²³ magic constant (valid |x·INV_TAU| <
+    // 2²², far beyond the encoder's working range) — branch-free and
+    // vectorizable, unlike `f32::round`.
+    const MAGIC: f32 = 12_582_912.0;
+    let n = (x * INV_TAU + MAGIC) - MAGIC;
+    let r = x - n * TAU_HI - n * TAU_MID - n * TAU_LO; // r ∈ [-π, π]
+                                                       // Degree-13 odd minimax polynomial for sin on [-π, π] (equi-ripple
+                                                       // refit; ~1.2e-9 max error in f64, f32 rounding dominates in practice).
+    let r2 = r * r;
+    let mut p = 1.345_518_5e-10;
+    p = p * r2 + -2.467_816_3e-8;
+    p = p * r2 + 2.752_960_2e-6;
+    p = p * r2 + -1.984_016_4e-4;
+    p = p * r2 + 8.333_310_7e-3;
+    p = p * r2 + -1.666_666_5e-1;
+    p = p * r2 + 1.0; // fitted x¹ coefficient (0.999999995) rounds to 1.0 in f32
+    r * p
+}
+
+/// The textbook form of the activation, used only as a test oracle for
+/// [`sinusoid_phi`]'s identity rewrite.
+#[cfg(test)]
+fn sinusoid_phi_reference(zd: f32, bd: f32) -> f32 {
     (zd + bd).cos() * zd.sin()
 }
 
@@ -531,16 +622,76 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_rowwise() {
+    fn batch_matches_rowwise_bit_for_bit() {
+        // The blocked GEMM and the single-row kernel share one per-element
+        // accumulation order, so equality is exact — not approximate.
         let enc = encoder(128, 5);
         let mut rng = Rng64::seed_from(7);
         let x = Matrix::random_uniform(9, 5, -1.0, 1.0, &mut rng);
         let batch = enc.encode_batch(&x);
         for r in 0..x.rows() {
-            let row = enc.encode_row(x.row(r));
-            for (a, b) in batch.row(r).iter().zip(row.iter()) {
-                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
-            }
+            assert_eq!(batch.row(r), enc.encode_row(x.row(r)).as_slice());
+        }
+    }
+
+    #[test]
+    fn batch_matches_rowwise_with_zero_features() {
+        // Exact zeros are the degenerate inputs most likely to expose an
+        // ordering difference; rows must still agree bit-for-bit.
+        let enc = encoder(96, 4);
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.0, -1.5, 0.0, 2.0],
+            vec![1.0, 0.0, -0.5, 0.0],
+        ])
+        .unwrap();
+        let batch = enc.encode_batch(&x);
+        for r in 0..x.rows() {
+            assert_eq!(batch.row(r), enc.encode_row(x.row(r)).as_slice());
+        }
+    }
+
+    #[test]
+    fn encode_batch_into_reuses_buffer() {
+        let enc = encoder(64, 3);
+        let mut rng = Rng64::seed_from(23);
+        let a = Matrix::random_uniform(5, 3, -1.0, 1.0, &mut rng);
+        let b = Matrix::random_uniform(2, 3, -1.0, 1.0, &mut rng);
+        let mut buf = Matrix::zeros(0, 0);
+        enc.encode_batch_into(&a, &mut buf);
+        assert_eq!(buf, enc.encode_batch(&a));
+        enc.encode_batch_into(&b, &mut buf);
+        assert_eq!(buf, enc.encode_batch(&b));
+    }
+
+    #[test]
+    fn fast_sin_tracks_libm_over_working_range() {
+        let mut rng = Rng64::seed_from(31);
+        let mut max_err = 0.0f32;
+        for _ in 0..20_000 {
+            let x = rng.uniform_in(-1000.0, 1000.0);
+            max_err = max_err.max((fast_sin(x) - x.sin()).abs());
+        }
+        // Dense sweep around the reduction boundaries too.
+        for i in -3000..3000 {
+            let x = i as f32 * 1e-2;
+            max_err = max_err.max((fast_sin(x) - x.sin()).abs());
+        }
+        assert!(max_err < 2e-6, "fast_sin max abs error {max_err}");
+    }
+
+    #[test]
+    fn phi_identity_matches_reference_form() {
+        let mut rng = Rng64::seed_from(29);
+        for _ in 0..2000 {
+            let z = rng.uniform_in(-8.0, 8.0);
+            let b = rng.uniform_in(0.0, std::f32::consts::TAU);
+            let fused = sinusoid_phi(z, b, 0.5 * b.sin());
+            let reference = sinusoid_phi_reference(z, b);
+            assert!(
+                (fused - reference).abs() < 1e-5,
+                "phi({z}, {b}): {fused} vs {reference}"
+            );
         }
     }
 
@@ -596,9 +747,8 @@ mod tests {
         let batch = enc.encode_batch_packed(&x);
         assert_eq!(batch.len(), 7);
         for (r, packed) in batch.iter().enumerate() {
-            // GEMM and row-dot differ by float rounding; components landing
-            // exactly on a sign boundary are astronomically unlikely with
-            // random inputs, so the packs agree bit-for-bit.
+            // Batch and row paths share one kernel, so the dense encodings —
+            // and therefore the packed signs — agree bit-for-bit.
             assert_eq!(packed, &enc.encode_row_packed(x.row(r)), "row {r}");
         }
     }

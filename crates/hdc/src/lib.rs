@@ -11,9 +11,9 @@
 //! * [`ops`] — bundling, binding, permutation, cosine similarity, plus the
 //!   packed sign-bit primitives (XOR + popcount similarity, majority vote);
 //! * [`backend`] — pluggable hypervector representations:
-//!   [`DenseF32`](backend::DenseF32) (reference `Vec<f32>` + cosine) and
-//!   [`BitpackedSign`](backend::BitpackedSign) (1 bit/dimension in `u64`
-//!   words + popcount), behind the [`VectorBackend`](backend::VectorBackend)
+//!   [`DenseF32`] (reference `Vec<f32>` + cosine) and
+//!   [`BitpackedSign`] (1 bit/dimension in `u64`
+//!   words + popcount), behind the [`VectorBackend`]
 //!   trait;
 //! * [`Hypervector`] — an owned hypervector with the operations above;
 //! * [`encoder`] — the nonlinear random-projection encoder

@@ -218,4 +218,56 @@ proptest! {
             PackedHv::from_signs(&enc.encode_row(&x))
         );
     }
+
+    #[test]
+    fn batch_encode_equals_rowwise_encode_bit_for_bit(
+        seed in any::<u64>(),
+        rows in 1usize..10,
+        dim in 1usize..200,
+        features in 1usize..12,
+    ) {
+        // The tentpole exactness property: the fused batch GEMM and the
+        // single-row kernel share one accumulation order, so batched
+        // encoding is the row-by-row reference — not an approximation.
+        // Exact zero features are injected as the degenerate case most
+        // likely to expose an ordering difference.
+        let mut rng = Rng64::seed_from(seed);
+        let enc = SinusoidEncoder::new(dim, features, &mut rng);
+        let mut x = linalg::Matrix::random_uniform(rows, features, -2.0, 2.0, &mut rng);
+        for r in 0..rows {
+            if rng.chance(0.3) {
+                let f = rng.below(features);
+                x.set(r, f, 0.0);
+            }
+        }
+        let batch = enc.encode_batch(&x);
+        let packed_batch = enc.encode_batch_packed(&x);
+        prop_assert_eq!(batch.shape(), (rows, dim));
+        for (r, packed) in packed_batch.iter().enumerate() {
+            let row = enc.encode_row(x.row(r));
+            let batch_bits: Vec<u32> = batch.row(r).iter().map(|v| v.to_bits()).collect();
+            let row_bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(batch_bits, row_bits, "row {}", r);
+            prop_assert_eq!(packed, &enc.encode_row_packed(x.row(r)));
+        }
+    }
+
+    #[test]
+    fn batched_popcount_sweep_equals_per_query_scoring(
+        seed in any::<u64>(),
+        classes in 1usize..6,
+        queries in 0usize..6,
+        dim in 1usize..300,
+    ) {
+        let mut rng = Rng64::seed_from(seed);
+        let class_m = PackedMatrix::from_dense_rows(
+            &linalg::Matrix::random_normal(classes, dim, &mut rng));
+        let query_m = PackedMatrix::from_dense_rows(
+            &linalg::Matrix::random_normal(queries, dim, &mut rng));
+        let sims = class_m.batch_similarities(&query_m);
+        prop_assert_eq!(sims.shape(), (queries, classes));
+        for q in 0..queries {
+            prop_assert_eq!(sims.row(q), class_m.similarities(&query_m.row(q)).as_slice());
+        }
+    }
 }

@@ -27,8 +27,19 @@ pub struct Matrix {
     data: Vec<f32>,
 }
 
-/// Block edge used by the cache-blocked multiply. 64 keeps three f32 blocks
-/// (~48 KiB) inside a typical L1+L2 working set.
+/// Row-block edge of the cache-blocked multiply: the number of output rows
+/// that share one streamed pass over the right-hand operand. This is the
+/// batching lever — row-at-a-time callers stream all of `rhs` per row,
+/// while a blocked batch streams it once per `ROW_BLOCK` rows.
+const ROW_BLOCK: usize = 32;
+
+/// Column-block edge of the cache-blocked multiply. `ROW_BLOCK × COL_BLOCK`
+/// f32 output elements (32 KiB) plus one `COL_BLOCK` slice of `rhs` (1 KiB)
+/// stay L1-resident across the whole `k` sweep.
+const COL_BLOCK: usize = 256;
+
+/// Block edge used by the transposed multiply's 2-D tiling (both operands
+/// are walked row-wise, so square tiles keep `rhs` rows hot).
 const BLOCK: usize = 64;
 
 impl Matrix {
@@ -240,6 +251,25 @@ impl Matrix {
         out
     }
 
+    /// Returns a new matrix holding the half-open row range `[start, end)` —
+    /// one contiguous memcpy, the cheap way to walk a batch in row chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(
+            start <= end && end <= self.rows,
+            "invalid row range {start}..{end} for {} rows",
+            self.rows
+        );
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
     /// Returns a new matrix holding the half-open column range `[start, end)`.
     ///
     /// Used by BoostHD to slice a learner's `D/n` sub-dimensions out of the
@@ -288,39 +318,100 @@ impl Matrix {
             .expect("matmul shape mismatch; see try_matmul")
     }
 
+    /// [`Matrix::matmul`] writing into a caller-owned output matrix, reusing
+    /// its allocation — the buffer-reuse hook for streaming encode loops
+    /// that multiply batch after batch without churning the allocator.
+    ///
+    /// `out` is reshaped (and zeroed) to `self.rows() × rhs.cols()`; any
+    /// previous contents are discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols,
+            rhs.rows,
+            "matmul_into shape mismatch: {:?} · {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        out.reset(self.rows, rhs.cols);
+        self.matmul_kernel(rhs, out);
+    }
+
     fn matmul_unchecked(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_kernel(rhs, &mut out);
+        out
+    }
+
+    /// The blocked/tiled product kernel. For every output element the `k`
+    /// contributions accumulate one at a time in ascending order, so the
+    /// result is bit-identical however the tiles are traversed — which is
+    /// what lets a one-row product serve as the exact per-row reference for
+    /// a batched call.
+    ///
+    /// Tiling: a `ROW_BLOCK × COL_BLOCK` output tile stays cache-resident
+    /// across the whole `k` sweep, and each `COL_BLOCK` slice of `rhs` is
+    /// streamed once per row *block* instead of once per row. For a wide
+    /// `rhs` that outgrows L2 (an HDC projection at `D = 4000`), this is
+    /// where batched encode beats row-at-a-time encode on memory traffic.
+    /// Four `k` planes advance per pass so each output lane is loaded and
+    /// stored once per four accumulations; the adds within a pass stay
+    /// sequential (`rustc` emits no FMA contraction or reassociation), so
+    /// the unroll is invisible in the results.
+    fn matmul_kernel(&self, rhs: &Matrix, out: &mut Matrix) {
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(m, n);
-        // i-k-j loop order with blocking: the inner j loop is a contiguous
-        // AXPY over the output row, which the compiler auto-vectorizes.
-        for ib in (0..m).step_by(BLOCK) {
-            let imax = (ib + BLOCK).min(m);
-            for kb in (0..k).step_by(BLOCK) {
-                let kmax = (kb + BLOCK).min(k);
-                for i in ib..imax {
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
-                    for (dk, &a) in a_row[kb..kmax].iter().enumerate() {
-                        if a == 0.0 {
-                            continue;
+        for ib in (0..m).step_by(ROW_BLOCK) {
+            let imax = (ib + ROW_BLOCK).min(m);
+            for jb in (0..n).step_by(COL_BLOCK) {
+                let jmax = (jb + COL_BLOCK).min(n);
+                let width = jmax - jb;
+                let mut kk = 0;
+                while kk + 4 <= k {
+                    let b0 = &rhs.data[kk * n + jb..kk * n + jmax];
+                    let b1 = &rhs.data[(kk + 1) * n + jb..(kk + 1) * n + jmax];
+                    let b2 = &rhs.data[(kk + 2) * n + jb..(kk + 2) * n + jmax];
+                    let b3 = &rhs.data[(kk + 3) * n + jb..(kk + 3) * n + jmax];
+                    for i in ib..imax {
+                        let a_row = &self.data[i * k + kk..i * k + kk + 4];
+                        let (a0, a1, a2, a3) = (a_row[0], a_row[1], a_row[2], a_row[3]);
+                        let out_chunk = &mut out.data[i * n + jb..i * n + jmax];
+                        for j in 0..width {
+                            let mut o = out_chunk[j];
+                            o += a0 * b0[j];
+                            o += a1 * b1[j];
+                            o += a2 * b2[j];
+                            o += a3 * b3[j];
+                            out_chunk[j] = o;
                         }
-                        let kk = kb + dk;
-                        let b_row = &rhs.data[kk * n..(kk + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    }
+                    kk += 4;
+                }
+                while kk < k {
+                    let b_chunk = &rhs.data[kk * n + jb..kk * n + jmax];
+                    for i in ib..imax {
+                        let a = self.data[i * k + kk];
+                        let out_chunk = &mut out.data[i * n + jb..i * n + jmax];
+                        for (o, &b) in out_chunk.iter_mut().zip(b_chunk.iter()) {
                             *o += a * b;
                         }
                     }
+                    kk += 1;
                 }
             }
         }
-        out
     }
 
     /// Computes `self · rhsᵀ` without materializing the transpose.
     ///
     /// Both operands are walked row-wise (dot products of contiguous rows),
-    /// which is the cache-friendly orientation for HDC encoding where the
-    /// projection is stored as `dimensions × features`.
+    /// which is the cache-friendly orientation for scoring encoded batches
+    /// against class-hypervector stacks. The traversal is 2-D tiled so a
+    /// block of `rhs` rows stays hot across a block of `self` rows; each
+    /// output element is still one [`dot`], so values match the untiled
+    /// form exactly.
     ///
     /// # Panics
     ///
@@ -331,14 +422,30 @@ impl Matrix {
             "matmul_transposed requires equal column counts"
         );
         let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a = self.row(i);
-            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = dot(a, rhs.row(j));
+        let n = rhs.rows;
+        for ib in (0..self.rows).step_by(BLOCK) {
+            let imax = (ib + BLOCK).min(self.rows);
+            for jb in (0..n).step_by(BLOCK) {
+                let jmax = (jb + BLOCK).min(n);
+                for i in ib..imax {
+                    let a = self.row(i);
+                    let out_row = &mut out.data[i * n + jb..i * n + jmax];
+                    for (j, o) in (jb..jmax).zip(out_row.iter_mut()) {
+                        *o = dot(a, rhs.row(j));
+                    }
+                }
             }
         }
         out
+    }
+
+    /// Reshapes to `rows × cols` and zero-fills, reusing the existing
+    /// allocation when capacity allows.
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Matrix–vector product `self · v`.
@@ -558,6 +665,35 @@ mod tests {
     }
 
     #[test]
+    fn matmul_into_reuses_buffer_and_matches() {
+        let mut rng = Rng64::seed_from(3);
+        let a = Matrix::random_normal(33, 17, &mut rng);
+        let b = Matrix::random_normal(17, 70, &mut rng);
+        let mut out = Matrix::zeros(1, 1);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Stale contents from a previous product must not leak into the next.
+        let c = Matrix::random_normal(9, 17, &mut rng);
+        c.matmul_into(&b, &mut out);
+        assert_eq!(out, c.matmul(&b));
+    }
+
+    #[test]
+    fn matmul_rows_are_batch_independent() {
+        // The blocked kernel must give every row the same bits whether it is
+        // multiplied alone or inside a batch — the property batched encoding
+        // relies on.
+        let mut rng = Rng64::seed_from(4);
+        let a = Matrix::random_normal(67, 13, &mut rng);
+        let b = Matrix::random_normal(13, 300, &mut rng);
+        let batch = a.matmul(&b);
+        for r in 0..a.rows() {
+            let single = a.select_rows(&[r]).matmul(&b);
+            assert_eq!(single.row(0), batch.row(r), "row {r}");
+        }
+    }
+
+    #[test]
     fn try_matmul_shape_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
@@ -594,6 +730,14 @@ mod tests {
         let s = a.slice_columns(1, 3);
         assert_eq!(s.row(0), &[2.0, 3.0]);
         assert_eq!(s.row(1), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn slice_rows_takes_contiguous_range() {
+        let a = small();
+        assert_eq!(a.slice_rows(1, 2).row(0), a.row(1));
+        assert_eq!(a.slice_rows(0, 2), a);
+        assert_eq!(a.slice_rows(1, 1).rows(), 0);
     }
 
     #[test]

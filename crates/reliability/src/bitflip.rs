@@ -106,7 +106,7 @@ fn for_each_flip(total_bits: u64, p_b: f64, rng: &mut Rng64, mut flip: impl FnMu
 }
 
 /// Flips each bit of each word in `params` independently with probability
-/// `p_b`, in place. See [`for_each_flip`] for the sampling scheme.
+/// `p_b`, in place. See `for_each_flip` for the sampling scheme.
 pub fn flip_bits_in(params: &mut [f32], p_b: f64, rng: &mut Rng64) -> BitflipReport {
     let words = params.len();
     let total_bits = (words as u64) * 32;

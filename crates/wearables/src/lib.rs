@@ -24,7 +24,11 @@
 //!   Nurse-like, high-60s for Stress-Predict-like);
 //! * [`dataset`] — the labeled feature table with subject metadata and
 //!   subject-wise train/test splitting (the paper organizes test data "by
-//!   subject units").
+//!   subject units");
+//! * [`streaming`] — the serving-side view: a lazy iterator of sliding,
+//!   preprocessed windows per subject (`subjects × signals → preprocess →
+//!   window`) in the same feature space the dataset path produces, feeding
+//!   the continuous-monitoring inference engine.
 //!
 //! # Example
 //!
@@ -48,10 +52,12 @@ pub mod error;
 pub mod preprocess;
 pub mod profiles;
 pub mod signals;
+pub mod streaming;
 pub mod subject;
 
 pub use affect::AffectState;
 pub use dataset::Dataset;
 pub use error::{Result, WearableError};
 pub use profiles::{generate, DatasetProfile};
+pub use streaming::{StreamedWindow, WindowStream};
 pub use subject::{Handedness, Sex, Subject, SubjectGroup};

@@ -109,8 +109,9 @@ pub fn paper_profiles() -> [DatasetProfile; 3] {
 }
 
 /// Per-window physiological wander: no two windows of the same subject and
-/// state are identical.
-fn window_jitter(mut p: PhysioParams, rng: &mut Rng64) -> PhysioParams {
+/// state are identical. Shared with the [`crate::streaming`] generator so
+/// streamed windows wander the same way dataset windows do.
+pub(crate) fn window_jitter(mut p: PhysioParams, rng: &mut Rng64) -> PhysioParams {
     p.heart_rate += rng.normal_with(0.0, 2.5);
     p.hrv += rng.normal_with(0.0, 0.004);
     p.eda_tonic += rng.normal_with(0.0, 0.15);

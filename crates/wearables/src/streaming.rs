@@ -1,0 +1,369 @@
+//! Continuous-monitoring window stream: the serving-side view of the
+//! wearable substrate.
+//!
+//! [`crate::profiles::generate`] materializes a whole labeled dataset up
+//! front — the *training* view. A deployed monitor instead sees an endless
+//! sequence of sliding windows per wearer: raw multichannel signal arrives,
+//! is filtered, featurized, and handed to the classifier one window at a
+//! time. [`WindowStream`] reproduces that view over the same generative
+//! models, subjects, preprocessing, and feature layout as the dataset path,
+//! so a model trained on [`crate::Dataset`] features can serve the stream
+//! without any adapter.
+//!
+//! Each subject cycles through the affective states; within a
+//! (subject, state) episode one continuous multichannel record is
+//! synthesized and windows slide across it with a configurable hop — the
+//! `subjects × signals → preprocess → window` pipeline, lazily.
+//!
+//! # Example
+//!
+//! ```
+//! use wearables::profiles::{self, DatasetProfile};
+//! use wearables::streaming::WindowStream;
+//!
+//! let profile = DatasetProfile { subjects: 2, windows_per_state: 3, ..profiles::wesad_like() };
+//! let stream = WindowStream::new(&profile, profile.window_samples / 2, 7)?;
+//! let windows: Vec<_> = stream.collect();
+//! assert_eq!(windows.len(), 2 * 3 * 3); // subjects × states × windows
+//! assert!(windows.iter().all(|w| w.features.len() == 32));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::affect::AffectState;
+use crate::error::{Result, WearableError};
+use crate::preprocess::{moving_average, window_features, STATS_PER_SEGMENT};
+use crate::profiles::{window_jitter, DatasetProfile};
+use crate::signals::{self, Channel};
+use crate::subject::Subject;
+use linalg::Rng64;
+
+/// One preprocessed sliding window pulled off the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamedWindow {
+    /// The wearer this window came from.
+    pub subject_id: usize,
+    /// The (possibly noise-corrupted) label, matching the dataset path's
+    /// label-noise semantics.
+    pub label: usize,
+    /// The ground-truth affective state the episode was generated under.
+    pub state: AffectState,
+    /// Un-normalized features in the dataset layout
+    /// (`channels × segments × [min, max, mean, std]`). Apply the training
+    /// split's [`crate::preprocess::Normalizer`] before classifying.
+    pub features: Vec<f32>,
+}
+
+/// Lazy iterator over sliding windows for a whole cohort; see the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub struct WindowStream {
+    profile: DatasetProfile,
+    hop: usize,
+    subjects: Vec<Subject>,
+    rng: Rng64,
+    /// Cursor: (subject index, state index, window index within episode).
+    subject_idx: usize,
+    state_idx: usize,
+    window_idx: usize,
+    /// The current episode's continuous record, one `Vec` per channel.
+    record: Vec<Vec<f32>>,
+}
+
+impl WindowStream {
+    /// Creates a stream over `profile`'s cohort with windows sliding by
+    /// `hop_samples`. Each (subject, state) episode is one continuous
+    /// record of `window_samples + (windows_per_state − 1) · hop_samples`
+    /// raw samples, yielding exactly `windows_per_state` windows, so the
+    /// stream ends after `subjects × states × windows_per_state` items.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WearableError::InvalidConfig`] for zero subjects, windows,
+    /// hop, or segments, or a window too short for the segment count.
+    pub fn new(profile: &DatasetProfile, hop_samples: usize, seed: u64) -> Result<Self> {
+        if profile.subjects == 0 || profile.windows_per_state == 0 {
+            return Err(WearableError::InvalidConfig {
+                reason: "stream needs at least one subject and one window per state".into(),
+            });
+        }
+        if hop_samples == 0 {
+            return Err(WearableError::InvalidConfig {
+                reason: "window hop must be positive".into(),
+            });
+        }
+        if profile.segments == 0 || profile.window_samples < profile.segments {
+            return Err(WearableError::InvalidConfig {
+                reason: format!(
+                    "{} samples cannot form {} segments",
+                    profile.window_samples, profile.segments
+                ),
+            });
+        }
+        if profile.ma_window == 0 {
+            return Err(WearableError::InvalidConfig {
+                reason: "moving-average window must be positive".into(),
+            });
+        }
+        let mut rng = Rng64::seed_from(seed);
+        let subjects: Vec<Subject> = (0..profile.subjects)
+            .map(|i| Subject::sample(i, profile.subject_variability, &mut rng))
+            .collect();
+        let mut stream = Self {
+            profile: profile.clone(),
+            hop: hop_samples,
+            subjects,
+            rng,
+            subject_idx: 0,
+            state_idx: 0,
+            window_idx: 0,
+            record: Vec::new(),
+        };
+        stream.generate_episode();
+        Ok(stream)
+    }
+
+    /// Number of features every streamed window carries (the dataset
+    /// layout: channels × segments × stats).
+    pub fn num_features(&self) -> usize {
+        Channel::ALL.len() * self.profile.segments * STATS_PER_SEGMENT
+    }
+
+    /// Windows remaining in the stream (it is finite: one pass over the
+    /// cohort's episodes).
+    pub fn remaining(&self) -> usize {
+        let per_episode = self.profile.windows_per_state;
+        let states = AffectState::ALL.len();
+        let done_episodes = self.subject_idx * states + self.state_idx;
+        let total_episodes = self.profile.subjects * states;
+        (total_episodes - done_episodes) * per_episode - self.window_idx
+    }
+
+    /// Raw samples in one episode's record.
+    fn episode_samples(&self) -> usize {
+        self.profile.window_samples + (self.profile.windows_per_state - 1) * self.hop
+    }
+
+    /// Synthesizes the continuous record for the current (subject, state)
+    /// episode.
+    fn generate_episode(&mut self) {
+        let subject = &self.subjects[self.subject_idx];
+        let state = AffectState::ALL[self.state_idx];
+        let params = subject.baseline.with_state(
+            state,
+            self.profile.state_separation,
+            subject.response_gain,
+        );
+        let params = window_jitter(params, &mut self.rng);
+        self.record = signals::generate_window(
+            &params,
+            self.episode_samples(),
+            self.profile.sensor_noise,
+            &mut self.rng,
+        );
+    }
+
+    /// Advances the cursor past the just-emitted window, regenerating the
+    /// record on episode boundaries.
+    fn advance(&mut self) {
+        self.window_idx += 1;
+        if self.window_idx < self.profile.windows_per_state {
+            return;
+        }
+        self.window_idx = 0;
+        self.state_idx += 1;
+        if self.state_idx == AffectState::ALL.len() {
+            self.state_idx = 0;
+            self.subject_idx += 1;
+        }
+        if self.subject_idx < self.subjects.len() {
+            self.generate_episode();
+        }
+    }
+}
+
+impl Iterator for WindowStream {
+    type Item = StreamedWindow;
+
+    fn next(&mut self) -> Option<StreamedWindow> {
+        if self.subject_idx >= self.subjects.len() {
+            return None;
+        }
+        let state = AffectState::ALL[self.state_idx];
+        let start = self.window_idx * self.hop;
+        let end = start + self.profile.window_samples;
+        // Preprocess exactly like the dataset path: moving-average filter
+        // over the window, then per-segment [min, max, mean, std].
+        let mut features = Vec::with_capacity(self.num_features());
+        for channel in &self.record {
+            let filtered = moving_average(&channel[start..end], self.profile.ma_window);
+            features.extend(window_features(&filtered, self.profile.segments));
+        }
+        let label = if self.rng.chance(self.profile.label_noise) {
+            let mut other = self.rng.below(AffectState::ALL.len() - 1);
+            if other >= state.label() {
+                other += 1;
+            }
+            other
+        } else {
+            state.label()
+        };
+        let window = StreamedWindow {
+            subject_id: self.subjects[self.subject_idx].id,
+            label,
+            state,
+            features,
+        };
+        self.advance();
+        Some(window)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining();
+        (n, Some(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn tiny() -> DatasetProfile {
+        DatasetProfile {
+            subjects: 3,
+            windows_per_state: 4,
+            window_samples: 160,
+            ..profiles::wesad_like()
+        }
+    }
+
+    #[test]
+    fn stream_yields_cohort_times_states_times_windows() {
+        let stream = WindowStream::new(&tiny(), 80, 1).unwrap();
+        assert_eq!(stream.remaining(), 3 * 3 * 4);
+        let windows: Vec<_> = stream.collect();
+        assert_eq!(windows.len(), 3 * 3 * 4);
+        for w in &windows {
+            assert_eq!(w.features.len(), 8 * STATS_PER_SEGMENT);
+            assert!(w.features.iter().all(|v| v.is_finite()));
+            assert!(w.label < 3);
+        }
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let a: Vec<_> = WindowStream::new(&tiny(), 80, 9).unwrap().collect();
+        let b: Vec<_> = WindowStream::new(&tiny(), 80, 9).unwrap().collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = WindowStream::new(&tiny(), 80, 10).unwrap().collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn overlapping_windows_share_signal() {
+        // With hop < window, consecutive windows of one episode overlap, so
+        // their features should correlate far more than across states.
+        let profile = DatasetProfile {
+            subjects: 1,
+            windows_per_state: 2,
+            window_samples: 160,
+            sensor_noise: 0.0,
+            ..profiles::wesad_like()
+        };
+        let windows: Vec<_> = WindowStream::new(&profile, 16, 3).unwrap().collect();
+        assert_eq!(windows.len(), 6);
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
+        let within = dist(&windows[0].features, &windows[1].features);
+        let across = dist(&windows[0].features, &windows[4].features);
+        assert!(within < across, "within {within} !< across {across}");
+    }
+
+    #[test]
+    fn size_hint_tracks_iteration() {
+        let mut stream = WindowStream::new(&tiny(), 80, 5).unwrap();
+        let total = stream.remaining();
+        stream.next();
+        stream.next();
+        assert_eq!(stream.remaining(), total - 2);
+        assert_eq!(stream.size_hint(), (total - 2, Some(total - 2)));
+        assert_eq!(stream.count(), total - 2);
+    }
+
+    #[test]
+    fn every_subject_and_state_appears() {
+        let windows: Vec<_> = WindowStream::new(&tiny(), 160, 6).unwrap().collect();
+        for sid in 0..3 {
+            assert!(windows.iter().any(|w| w.subject_id == sid));
+        }
+        for state in AffectState::ALL {
+            assert!(windows.iter().any(|w| w.state == state));
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut p = tiny();
+        p.subjects = 0;
+        assert!(WindowStream::new(&p, 80, 0).is_err());
+        assert!(WindowStream::new(&tiny(), 0, 0).is_err(), "zero hop");
+        let mut p = tiny();
+        p.segments = 0;
+        assert!(WindowStream::new(&p, 80, 0).is_err());
+        let mut p = tiny();
+        p.ma_window = 0;
+        assert!(WindowStream::new(&p, 80, 0).is_err());
+    }
+
+    #[test]
+    fn streamed_features_live_in_dataset_feature_space() {
+        // A nearest-centroid rule fitted on the dataset path must beat
+        // chance on streamed windows — the two views share one feature
+        // space (layout and distribution).
+        let profile = DatasetProfile {
+            subjects: 5,
+            windows_per_state: 10,
+            window_samples: 240,
+            ..profiles::wesad_like()
+        };
+        let data = profiles::generate(&profile, 11).unwrap();
+        let k = data.num_classes();
+        let f = data.num_features();
+        let mut centroids = vec![vec![0.0f64; f]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &label) in data.labels().iter().enumerate() {
+            for (c, &v) in centroids[label].iter_mut().zip(data.features().row(i)) {
+                *c += v as f64;
+            }
+            counts[label] += 1;
+        }
+        for (c, n) in centroids.iter_mut().zip(&counts) {
+            for v in c.iter_mut() {
+                *v /= (*n).max(1) as f64;
+            }
+        }
+        let windows: Vec<_> = WindowStream::new(&profile, 240, 12).unwrap().collect();
+        let mut correct = 0usize;
+        for w in &windows {
+            let mut best = 0;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                let d: f64 = w
+                    .features
+                    .iter()
+                    .zip(c.iter())
+                    .map(|(&a, &b)| (a as f64 - b) * (a as f64 - b))
+                    .sum();
+                if d < best_d {
+                    best_d = d;
+                    best = ci;
+                }
+            }
+            if best == w.state.label() {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / windows.len() as f64;
+        assert!(acc > 0.5, "cross-view nearest-centroid accuracy {acc}");
+    }
+}

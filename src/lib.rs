@@ -14,6 +14,9 @@
 //!   paper's preprocessing pipeline and subject-wise splits;
 //! * [`reliability`] — bit-flip fault injection, imbalance crafting, noise;
 //! * [`eval_harness`] — metrics, repeated-run statistics, timing, tables;
+//! * [`serve`] — the batched streaming inference engine (micro-batching,
+//!   thread fan-out, p50/p95/p99 latency accounting) over the wearables
+//!   window stream;
 //! * [`linalg`] — the dense linear algebra underneath it all.
 //!
 //! # Quickstart
@@ -47,6 +50,7 @@
 
 pub use baselines;
 pub use boosthd;
+pub use boosthd_serve as serve;
 pub use eval_harness;
 pub use hdc;
 pub use linalg;
@@ -63,6 +67,7 @@ pub mod prelude {
         BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd, OnlineHdConfig,
         Voting,
     };
+    pub use boosthd_serve::{EngineConfig, InferenceEngine};
     pub use eval_harness;
     pub use hdc::{DimensionPartition, Hypervector, SinusoidEncoder};
     pub use linalg::{Matrix, Rng64};

@@ -258,3 +258,61 @@ fn hdc_theory_consistency_with_trained_models() {
     assert!(sp_boost.rank > sp_online.rank);
     assert!(sp_boost.sp > sp_online.sp);
 }
+
+#[test]
+fn continuous_monitoring_pipeline_serves_streamed_windows() {
+    // The serving tentpole end to end: train on the dataset view, fit the
+    // normalizer on the training split, then serve the streaming view
+    // (subjects × signals → preprocess → window) through the micro-batching
+    // engine and check the answers are both accurate and identical to
+    // row-at-a-time prediction.
+    use boosthd_repro::serve;
+    use wearables::preprocess::Normalizer;
+    use wearables::streaming::WindowStream;
+
+    let profile = small_profile();
+    let data = wearables::generate(&profile, 41).expect("generation");
+    let normalizer = Normalizer::fit(data.features()).expect("normalizer");
+    let model = OnlineHd::fit(
+        &OnlineHdConfig {
+            dim: 1000,
+            ..Default::default()
+        },
+        &normalizer.apply(data.features()),
+        data.labels(),
+    )
+    .unwrap();
+
+    let stream = WindowStream::new(&profile, profile.window_samples / 2, 42).expect("stream");
+    let engine = serve::InferenceEngine::with_config(
+        &model,
+        serve::EngineConfig {
+            max_batch: 32,
+            ..Default::default()
+        },
+    );
+    let (windows, outcome) = engine.serve_windows(stream, |w| {
+        let row = Matrix::from_rows(std::slice::from_ref(&w.features)).unwrap();
+        normalizer.apply(&row).row(0).to_vec()
+    });
+    assert_eq!(outcome.predictions.len(), windows.len());
+    assert!(outcome.stats.batches >= windows.len() / 32);
+    assert_eq!(outcome.stats.latency.count, windows.len());
+
+    // Accuracy well above the 3-class chance floor.
+    let correct = outcome
+        .predictions
+        .iter()
+        .zip(&windows)
+        .filter(|(p, w)| **p == w.state.label())
+        .count();
+    let acc = correct as f64 / windows.len() as f64;
+    assert!(acc > 0.55, "served accuracy {acc}");
+
+    // Engine answers == row-at-a-time answers, window for window.
+    for (w, &p) in windows.iter().zip(&outcome.predictions) {
+        let row = Matrix::from_rows(std::slice::from_ref(&w.features)).unwrap();
+        let x = normalizer.apply(&row);
+        assert_eq!(model.predict(x.row(0)), p);
+    }
+}

@@ -25,7 +25,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Length distribution for [`vec`]; mirrors proptest's `SizeRange`.
+    /// Length distribution for [`vec()`]; mirrors proptest's `SizeRange`.
     ///
     /// Only `usize`-based conversions exist, so bare integer literals in
     /// `vec(elem, 0..50)` infer `usize` the way they do with the real crate.
