@@ -7,10 +7,11 @@
 //!
 //! Usage: `fig6 [--runs N] [--quick]` (default 8 runs per point).
 
+use boosthd::parallel::default_threads;
 use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
 use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_N_LEARNERS};
 use eval_harness::metrics::accuracy;
-use eval_harness::repeat::repeat_runs;
+use eval_harness::repeat::repeat_runs_parallel;
 use eval_harness::table::Series;
 use linalg::stats;
 use wearables::profiles;
@@ -39,9 +40,15 @@ fn main() {
     // Each run draws a fresh cohort, split, and model seed — the paper's
     // "10 runs" protocol. The σ measured here is therefore end-to-end
     // run-to-run variability (data + projection randomness), which is what
-    // a deployment re-training on new cohorts experiences.
+    // a deployment re-training on new cohorts experiences. Runs are
+    // seed-independent, so they fan out over worker threads with results
+    // identical to the sequential sweep; the per-fit inner parallelism is
+    // pinned to 1 so outer × inner stays at the core count (results are
+    // thread-count invariant either way).
+    let threads = default_threads();
+    boosthd::parallel::set_default_threads(1);
     for &dim in &dims {
-        let online = repeat_runs(runs, 42, |_, seed| {
+        let online = repeat_runs_parallel(runs, 42, threads, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
             let config = OnlineHdConfig {
                 dim,
@@ -51,7 +58,7 @@ fn main() {
             let m = OnlineHd::fit(&config, train.features(), train.labels()).expect("fit");
             accuracy(&m.predict_batch(test.features()), test.labels()) * 100.0
         });
-        let boost = repeat_runs(runs, 42, |_, seed| {
+        let boost = repeat_runs_parallel(runs, 42, threads, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
             let config = BoostHdConfig {
                 dim_total: dim,

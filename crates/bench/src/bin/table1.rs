@@ -7,15 +7,21 @@
 //!
 //! Usage: `table1 [--runs N] [--quick]` (default 5 runs; the paper uses 10).
 
+use boosthd::parallel::default_threads;
 use boosthd::Classifier;
 use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, ModelKind};
 use eval_harness::metrics::accuracy;
-use eval_harness::repeat::repeat_runs;
+use eval_harness::repeat::repeat_runs_parallel;
 use eval_harness::table::Table;
 use wearables::profiles;
 
 fn main() {
     let (runs, quick) = parse_common_args(5);
+    // Give the whole thread budget to the run-level sweep and pin the
+    // per-fit inner parallelism to 1 so outer × inner stays at the core
+    // count (results are thread-count invariant either way).
+    let threads = default_threads();
+    boosthd::parallel::set_default_threads(1);
     let columns: Vec<String> = ModelKind::TABLE_ORDER
         .iter()
         .map(|k| k.name().to_string())
@@ -35,7 +41,9 @@ fn main() {
         eprintln!("[table1] {} ...", profile.name);
         let mut cells = Vec::new();
         for kind in ModelKind::TABLE_ORDER {
-            let stats = repeat_runs(runs, 42, |_, seed| {
+            // Runs derive everything from their seed, so they fan out over
+            // the worker pool with results identical to the serial sweep.
+            let stats = repeat_runs_parallel(runs, 42, threads, |_, seed| {
                 let (train, test) = prepare_split(&profile, seed);
                 let model = train_model(kind, train.features(), train.labels(), seed);
                 accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0

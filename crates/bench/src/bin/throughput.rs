@@ -190,6 +190,8 @@ fn main() {
 
     if quick {
         eprintln!("[throughput] quick mode: skipping BENCH_throughput.json snapshot");
+        // Training samples/sec summary (no snapshot in quick mode).
+        boosthd_bench::training::run_training_bench(true);
         return;
     }
 
@@ -217,4 +219,8 @@ fn main() {
     ));
     std::fs::write("BENCH_throughput.json", json).expect("write BENCH_throughput.json");
     eprintln!("[throughput] wrote BENCH_throughput.json");
+
+    // Training samples/sec (scalar vs SIMD kernels) alongside the serving
+    // numbers, snapshotted to BENCH_training.json by the shared harness.
+    boosthd_bench::training::run_training_bench(false);
 }

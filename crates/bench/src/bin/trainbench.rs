@@ -1,0 +1,16 @@
+//! Training-throughput benchmark: OnlineHD / BoostHD fit samples/sec with
+//! the scalar vs AVX2+FMA kernel levels, plus `repeat_runs_parallel`
+//! thread scaling — snapshotted to `BENCH_training.json`.
+//!
+//! The heavy lifting lives in [`boosthd_bench::training`] (shared with the
+//! `throughput` binary's training section).
+//!
+//! Usage: `trainbench [--quick]` — `--quick` shrinks the workload for a CI
+//! smoke run and skips the JSON snapshot.
+
+use boosthd_bench::{parse_common_args, training};
+
+fn main() {
+    let (_runs, quick) = parse_common_args(1);
+    training::run_training_bench(quick);
+}

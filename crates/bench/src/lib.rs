@@ -23,6 +23,8 @@
 
 #![deny(missing_docs)]
 
+pub mod training;
+
 use baselines::{
     AdaBoost, AdaBoostConfig, GradientBoostedTrees, GradientBoostingConfig, LinearSvm,
     LinearSvmConfig, Mlp, MlpConfig, RandomForest, RandomForestConfig,

@@ -1,0 +1,266 @@
+//! Training-throughput benchmark: OnlineHD / BoostHD fit samples/sec under
+//! the scalar vs SIMD kernel levels, plus `repeat_runs_parallel` thread
+//! scaling — snapshotted to `BENCH_training.json`.
+//!
+//! Shared by the dedicated `trainbench` binary and the `throughput`
+//! binary's training section so both emit the same snapshot. The workload
+//! is the paper's WESAD-like profile at `D = 4000`: the OnlineHD
+//! refinement loop (and BoostHD's weak-learner rounds over it) is the
+//! dot/axpy-bound hot path the `linalg::kernels` layer accelerates, so the
+//! scalar row is the pre-kernel baseline and the SIMD row is the
+//! dispatched production path. Accuracy is recorded per row to document
+//! that the kernel swap moves throughput, not predictions (float rounding
+//! aside).
+
+use std::time::Instant;
+
+use crate::prepare_split;
+use boosthd::parallel::default_threads;
+use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use eval_harness::metrics::accuracy;
+use eval_harness::repeat::repeat_runs_parallel;
+use linalg::kernels::{self, KernelLevel};
+use wearables::profiles;
+
+/// Where the snapshot lands (repo root when run via `cargo run`).
+pub const SNAPSHOT_PATH: &str = "BENCH_training.json";
+
+/// One measured fit configuration.
+pub struct FitRow {
+    /// Model name (`OnlineHD` / `BoostHD`).
+    pub model: &'static str,
+    /// Kernel level name (`scalar` / `avx2+fma`).
+    pub kernel: &'static str,
+    /// Best-of-reps wall-clock fit time in seconds.
+    pub fit_secs: f64,
+    /// Training rows per second (`train_rows / fit_secs`).
+    pub samples_per_sec: f64,
+    /// Held-out accuracy (%) of the trained model.
+    pub accuracy_pct: f64,
+}
+
+/// One `repeat_runs_parallel` scaling measurement.
+pub struct ScalingRow {
+    /// Worker-thread count handed to `repeat_runs_parallel`.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole repeat sweep.
+    pub secs: f64,
+    /// Completed runs per second.
+    pub runs_per_sec: f64,
+}
+
+/// Best-of-`reps` wall-clock seconds of `run` after one warm-up call.
+fn measure(reps: usize, mut run: impl FnMut()) -> f64 {
+    run();
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        run();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Runs the training benchmark, prints the summary, and (unless `quick`)
+/// writes [`SNAPSHOT_PATH`]. Temporarily overrides the process-wide kernel
+/// level to measure both paths; restores automatic dispatch before
+/// returning.
+pub fn run_training_bench(quick: bool) {
+    let dim = if quick { 512 } else { 4000 };
+    let mut profile = profiles::wesad_like();
+    if quick {
+        profile.subjects = 8;
+        profile.windows_per_state = 8;
+    }
+    let (train, test) = prepare_split(&profile, 42);
+    let reps = if quick { 1 } else { 3 };
+    eprintln!(
+        "[trainbench] {}: D={dim} F={} train={} test={} (simd {})",
+        profile.name,
+        train.num_features(),
+        train.len(),
+        test.len(),
+        if kernels::simd_available() {
+            "available"
+        } else {
+            "unavailable"
+        }
+    );
+
+    let mut levels = vec![KernelLevel::Scalar];
+    if kernels::simd_available() {
+        levels.push(KernelLevel::Avx2Fma);
+    }
+
+    let mut fit_rows: Vec<FitRow> = Vec::new();
+    for &level in &levels {
+        kernels::set_kernel_level(Some(level));
+        let kernel = level.name();
+
+        let online_config = OnlineHdConfig {
+            dim,
+            seed: 42,
+            ..Default::default()
+        };
+        let mut model = None;
+        let secs = measure(reps, || {
+            model = Some(
+                OnlineHd::fit(&online_config, train.features(), train.labels())
+                    .expect("onlinehd training"),
+            );
+        });
+        let acc = accuracy(
+            &model.expect("fit ran").predict_batch(test.features()),
+            test.labels(),
+        ) * 100.0;
+        fit_rows.push(FitRow {
+            model: "OnlineHD",
+            kernel,
+            fit_secs: secs,
+            samples_per_sec: train.len() as f64 / secs,
+            accuracy_pct: acc,
+        });
+
+        let boost_config = BoostHdConfig {
+            dim_total: dim,
+            seed: 42,
+            ..Default::default()
+        };
+        let mut model = None;
+        let secs = measure(reps, || {
+            model = Some(
+                BoostHd::fit(&boost_config, train.features(), train.labels())
+                    .expect("boosthd training"),
+            );
+        });
+        let acc = accuracy(
+            &model.expect("fit ran").predict_batch(test.features()),
+            test.labels(),
+        ) * 100.0;
+        fit_rows.push(FitRow {
+            model: "BoostHD",
+            kernel,
+            fit_secs: secs,
+            samples_per_sec: train.len() as f64 / secs,
+            accuracy_pct: acc,
+        });
+    }
+    kernels::set_kernel_level(None);
+
+    println!("model     kernel     fit_secs   samples/sec   accuracy%");
+    for r in &fit_rows {
+        println!(
+            "{:<9} {:<10} {:<10.3} {:<13.1} {:.2}",
+            r.model, r.kernel, r.fit_secs, r.samples_per_sec, r.accuracy_pct
+        );
+    }
+    let rate = |model: &str, kernel: &str| {
+        fit_rows
+            .iter()
+            .find(|r| r.model == model && r.kernel == kernel)
+            .map(|r| r.samples_per_sec)
+    };
+    let speedup = |model: &str| match (rate(model, "avx2+fma"), rate(model, "scalar")) {
+        (Some(simd), Some(scalar)) if scalar > 0.0 => Some(simd / scalar),
+        _ => None,
+    };
+    let online_speedup = speedup("OnlineHD");
+    let boost_speedup = speedup("BoostHD");
+    if let (Some(o), Some(b)) = (online_speedup, boost_speedup) {
+        println!("simd fit speedup over scalar: OnlineHD {o:.2}x, BoostHD {b:.2}x");
+    }
+
+    // `repeat_runs_parallel` scaling: seeded end-to-end OnlineHD runs
+    // (cohort + split + fit + eval per seed) fanned out over 1..N worker
+    // threads. Results are pinned identical across thread counts.
+    let scaling_runs = if quick { 2 } else { 4 };
+    let experiment = |_: usize, seed: u64| {
+        let (tr, te) = prepare_split(&profile, seed);
+        let config = OnlineHdConfig {
+            dim,
+            seed,
+            ..Default::default()
+        };
+        let m = OnlineHd::fit(&config, tr.features(), tr.labels()).expect("onlinehd training");
+        accuracy(&m.predict_batch(te.features()), te.labels()) * 100.0
+    };
+    let mut scaling_rows: Vec<ScalingRow> = Vec::new();
+    let mut reference: Option<eval_harness::RunStats> = None;
+    let mut results_identical = true;
+    for threads in [1usize, 2, 4, 8] {
+        let start = Instant::now();
+        let stats = repeat_runs_parallel(scaling_runs, 42, threads, experiment);
+        let secs = start.elapsed().as_secs_f64();
+        match &reference {
+            None => reference = Some(stats),
+            Some(reference) => results_identical &= reference == &stats,
+        }
+        scaling_rows.push(ScalingRow {
+            threads,
+            secs,
+            runs_per_sec: scaling_runs as f64 / secs,
+        });
+    }
+    assert!(
+        results_identical,
+        "repeat_runs_parallel must be thread-count invariant"
+    );
+    println!("repeat_runs_parallel ({scaling_runs} OnlineHD runs): threads -> runs/sec");
+    let base = scaling_rows[0].runs_per_sec;
+    for r in &scaling_rows {
+        println!(
+            "  {:>2} threads: {:>6.2} runs/sec ({:.2}x)",
+            r.threads,
+            r.runs_per_sec,
+            r.runs_per_sec / base
+        );
+    }
+
+    if quick {
+        eprintln!("[trainbench] quick mode: skipping {SNAPSHOT_PATH} snapshot");
+        return;
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"config\": {{\"profile\": \"{}\", \"dim\": {dim}, \"train_rows\": {}, \"machine_threads\": {}, \"simd\": \"{}\"}},\n",
+        profile.name,
+        train.len(),
+        default_threads(),
+        if kernels::simd_available() { "avx2+fma" } else { "unavailable" },
+    ));
+    json.push_str("  \"fit\": [\n");
+    for (i, r) in fit_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"model\": \"{}\", \"kernel\": \"{}\", \"fit_secs\": {:.4}, \"samples_per_sec\": {:.1}, \"accuracy_pct\": {:.2}}}{}\n",
+            r.model,
+            r.kernel,
+            r.fit_secs,
+            r.samples_per_sec,
+            r.accuracy_pct,
+            if i + 1 == fit_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"speedup_simd_over_scalar\": {{\"OnlineHD\": {}, \"BoostHD\": {}}},\n",
+        online_speedup.map_or("null".into(), |s| format!("{s:.2}")),
+        boost_speedup.map_or("null".into(), |s| format!("{s:.2}")),
+    ));
+    json.push_str(&format!(
+        "  \"repeat_runs_parallel\": {{\"runs\": {scaling_runs}, \"results_identical\": {results_identical}, \"rows\": [\n"
+    ));
+    for (i, r) in scaling_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {}, \"secs\": {:.3}, \"runs_per_sec\": {:.3}, \"speedup_vs_1\": {:.2}}}{}\n",
+            r.threads,
+            r.secs,
+            r.runs_per_sec,
+            r.runs_per_sec / base,
+            if i + 1 == scaling_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]}\n}\n");
+    std::fs::write(SNAPSHOT_PATH, json).expect("write BENCH_training.json");
+    eprintln!("[trainbench] wrote {SNAPSHOT_PATH}");
+}

@@ -201,6 +201,27 @@ impl BoostHd {
     ///   disagreement, or fewer than two classes (boosting weights are
     ///   undefined for `K < 2`).
     pub fn fit(config: &BoostHdConfig, x: &Matrix, y: &[usize]) -> Result<Self> {
+        Self::fit_with_threads(config, x, y, crate::parallel::default_threads())
+    }
+
+    /// [`BoostHd::fit`] with an explicit worker count for the
+    /// embarrassingly-parallel per-learner encodes of the
+    /// [`EnsembleMode::FullDimension`] ablation (the boosting rounds stay
+    /// sequential regardless). The trained ensemble is bit-identical for
+    /// every `threads` value; `fit` passes
+    /// [`crate::parallel::default_threads`].
+    ///
+    /// Peak memory in `FullDimension` mode scales with the wave: each wave
+    /// holds up to `threads` private encoders plus full-batch encodings
+    /// (`threads × n × D` f32) in flight at once, versus one at a time for
+    /// `threads = 1` — size `threads` accordingly for large cohorts.
+    /// `Partitioned` mode is unaffected (nothing is encoded per learner).
+    pub(crate) fn fit_with_threads(
+        config: &BoostHdConfig,
+        x: &Matrix,
+        y: &[usize],
+        threads: usize,
+    ) -> Result<Self> {
         validate_training_inputs(x, y, None)?;
         if config.lr <= 0.0 {
             return Err(BoostHdError::InvalidConfig {
@@ -231,6 +252,24 @@ impl BoostHd {
             EnsembleMode::FullDimension => None,
         };
 
+        // Pre-draw every per-learner RNG fork in the exact order the
+        // sequential loop used to consume them — per learner, the private-
+        // encoder fork (FullDimension only) precedes the resample fork
+        // (Resample only) — so restructuring the loop into waves below
+        // cannot shift any stream: models stay bit-identical.
+        let mut enc_rngs: Vec<Option<Rng64>> = Vec::with_capacity(config.n_learners);
+        let mut resample_rngs: Vec<Option<Rng64>> = Vec::with_capacity(config.n_learners);
+        for i in 0..config.n_learners {
+            enc_rngs.push(match config.mode {
+                EnsembleMode::FullDimension => Some(rng.fork(i as u64)),
+                EnsembleMode::Partitioned => None,
+            });
+            resample_rngs.push(match config.sample_mode {
+                SampleMode::Resample => Some(rng.fork(0x4E5A + i as u64)),
+                SampleMode::Reweight => None,
+            });
+        }
+
         let n = y.len();
         let mut weights = if config.class_balanced_init {
             let mut counts = vec![0usize; num_classes];
@@ -250,103 +289,148 @@ impl BoostHd {
         let mut learners = Vec::with_capacity(config.n_learners);
         let mut train_errors = Vec::with_capacity(config.n_learners);
 
-        for i in 0..config.n_learners {
-            let seg = partition.segment(i);
-            let (zi, own_encoder) = match config.mode {
-                EnsembleMode::Partitioned => (
-                    z.as_ref()
-                        .expect("encoded batch exists in partitioned mode")
-                        .slice_columns(seg.start, seg.end),
-                    None,
-                ),
+        // FullDimension ablation learners each own a private full-`D`
+        // encoder, so the expensive part of their round — projection
+        // sampling plus the full-batch encode GEMM — is independent across
+        // learners. Process learners in waves of `threads`, encoding each
+        // wave in parallel while the SAMME boosting rounds below stay
+        // strictly sequential (the paper's re-weighting chain). Partitioned
+        // mode encodes nothing per learner and runs as one wave.
+        let wave = match config.mode {
+            EnsembleMode::Partitioned => config.n_learners.max(1),
+            EnsembleMode::FullDimension => threads.max(1),
+        };
+        let mut wave_start = 0usize;
+        while wave_start < config.n_learners {
+            let wave_end = (wave_start + wave).min(config.n_learners);
+            let mut wave_encodings: Vec<Option<(SinusoidEncoder, Matrix)>> = match config.mode {
+                EnsembleMode::Partitioned => Vec::new(),
                 EnsembleMode::FullDimension => {
-                    let mut child = rng.fork(i as u64);
-                    let enc = SinusoidEncoder::try_new(config.dim_total, x.cols(), &mut child)
-                        .map_err(BoostHdError::from)?;
-                    (enc.encode_batch(x), Some(enc))
+                    let enc_rngs = &enc_rngs;
+                    crate::parallel::parallel_map_indices(
+                        wave_end - wave_start,
+                        wave_end - wave_start,
+                        |k| {
+                            let mut child = enc_rngs[wave_start + k]
+                                .clone()
+                                .expect("encoder fork pre-drawn");
+                            let enc =
+                                SinusoidEncoder::try_new(config.dim_total, x.cols(), &mut child)
+                                    .map_err(BoostHdError::from)?;
+                            let zi = enc.encode_batch(x);
+                            Ok((enc, zi))
+                        },
+                    )
+                    .into_iter()
+                    .map(|r: Result<(SinusoidEncoder, Matrix)>| r.map(Some))
+                    .collect::<Result<_>>()?
                 }
             };
 
-            let mut class_hvs = match config.sample_mode {
-                SampleMode::Reweight => {
-                    let scale = normalize_weights(Some(&weights), n);
-                    train_class_hvs(
-                        &zi,
-                        y,
-                        &scale,
-                        num_classes,
-                        config.lr,
-                        config.epochs,
-                        config.bootstrap,
-                    )
-                }
-                SampleMode::Resample => {
-                    let mut round_rng = rng.fork(0x4E5A + i as u64);
-                    let picks = weighted_bootstrap(&weights, n, &mut round_rng);
-                    let zb = zi.select_rows(&picks);
-                    let yb: Vec<usize> = picks.iter().map(|&p| y[p]).collect();
-                    train_class_hvs(
-                        &zb,
-                        &yb,
-                        &vec![1.0; n],
-                        num_classes,
-                        config.lr,
-                        config.epochs,
-                        config.bootstrap,
-                    )
-                }
-            };
-            normalize_rows(&mut class_hvs);
+            for i in wave_start..wave_end {
+                let seg = partition.segment(i);
+                let (zi, own_encoder) = match config.mode {
+                    EnsembleMode::Partitioned => (
+                        z.as_ref()
+                            .expect("encoded batch exists in partitioned mode")
+                            .slice_columns(seg.start, seg.end),
+                        None,
+                    ),
+                    EnsembleMode::FullDimension => {
+                        let (enc, zi) = wave_encodings[i - wave_start]
+                            .take()
+                            .expect("wave encoding present");
+                        (zi, Some(enc))
+                    }
+                };
 
-            // Weighted training error of this weak learner.
-            let mut err = 0.0f64;
-            let mut wrong = vec![false; n];
-            for r in 0..n {
-                let pred = argmax(&scores_unit_classes(&class_hvs, zi.row(r)));
-                if pred != y[r] {
-                    err += weights[r];
-                    wrong[r] = true;
+                let mut class_hvs = match config.sample_mode {
+                    SampleMode::Reweight => {
+                        let scale = normalize_weights(Some(&weights), n);
+                        train_class_hvs(
+                            &zi,
+                            y,
+                            &scale,
+                            num_classes,
+                            config.lr,
+                            config.epochs,
+                            config.bootstrap,
+                        )
+                    }
+                    SampleMode::Resample => {
+                        let mut round_rng =
+                            resample_rngs[i].take().expect("resample fork pre-drawn");
+                        let picks = weighted_bootstrap(&weights, n, &mut round_rng);
+                        let zb = zi.select_rows(&picks);
+                        let yb: Vec<usize> = picks.iter().map(|&p| y[p]).collect();
+                        train_class_hvs(
+                            &zb,
+                            &yb,
+                            &vec![1.0; n],
+                            num_classes,
+                            config.lr,
+                            config.epochs,
+                            config.bootstrap,
+                        )
+                    }
+                };
+                normalize_rows(&mut class_hvs);
+
+                // Weighted training error of this weak learner, via one
+                // batched scoring sweep over the encoded slice — each entry
+                // is the same dispatched dot kernel the per-row path runs,
+                // so the predictions match the row loop bit for bit.
+                let sims = scores_unit_classes_batch(&class_hvs, &zi);
+                let mut err = 0.0f64;
+                let mut wrong = vec![false; n];
+                for r in 0..n {
+                    let pred = argmax(sims.row(r));
+                    if pred != y[r] {
+                        err += weights[r];
+                        wrong[r] = true;
+                    }
                 }
+                train_errors.push(err);
+
+                // SAMME learner weight. Clamp the error into (0, 1 − 1/K) so a
+                // perfect learner keeps a finite α and a worse-than-random one
+                // contributes (approximately) nothing instead of voting
+                // negatively.
+                let k = num_classes as f64;
+                let eps = 1e-10;
+                let clamped = err.clamp(eps, 1.0 - 1.0 / k - eps);
+                let alpha = (((1.0 - clamped) / clamped).ln() + (k - 1.0).ln()).max(0.0) as f32;
+
+                // Re-weight samples: misclassified gain exp(trust · shrinkage · α),
+                // bounded by the clamp so mislabeled points cannot monopolize
+                // subsequent learners. `trust` scales the emphasis by how far
+                // the weak learner beats chance: on clean data (ε ≈ 0) this is
+                // textbook SAMME; when ε approaches the chance error the round
+                // carries no signal worth amplifying — mostly annotation noise
+                // in the healthcare setting — and re-weighting fades out.
+                let chance_err = 1.0 - 1.0 / k;
+                let trust = ((chance_err - err) / chance_err).clamp(0.0, 1.0).powi(2);
+                let boost = (config.boost_shrinkage * trust * alpha as f64).exp();
+                let mut total = 0.0f64;
+                for r in 0..n {
+                    if wrong[r] {
+                        weights[r] = (weights[r] * boost).min(weight_caps[r]);
+                    }
+                    total += weights[r];
+                }
+                for w in &mut weights {
+                    *w /= total;
+                }
+
+                learners.push(WeakLearner {
+                    class_hvs,
+                    alpha,
+                    seg_start: seg.start,
+                    seg_end: seg.end,
+                    own_encoder,
+                });
             }
-            train_errors.push(err);
-
-            // SAMME learner weight. Clamp the error into (0, 1 − 1/K) so a
-            // perfect learner keeps a finite α and a worse-than-random one
-            // contributes (approximately) nothing instead of voting
-            // negatively.
-            let k = num_classes as f64;
-            let eps = 1e-10;
-            let clamped = err.clamp(eps, 1.0 - 1.0 / k - eps);
-            let alpha = (((1.0 - clamped) / clamped).ln() + (k - 1.0).ln()).max(0.0) as f32;
-
-            // Re-weight samples: misclassified gain exp(trust · shrinkage · α),
-            // bounded by the clamp so mislabeled points cannot monopolize
-            // subsequent learners. `trust` scales the emphasis by how far
-            // the weak learner beats chance: on clean data (ε ≈ 0) this is
-            // textbook SAMME; when ε approaches the chance error the round
-            // carries no signal worth amplifying — mostly annotation noise
-            // in the healthcare setting — and re-weighting fades out.
-            let chance_err = 1.0 - 1.0 / k;
-            let trust = ((chance_err - err) / chance_err).clamp(0.0, 1.0).powi(2);
-            let boost = (config.boost_shrinkage * trust * alpha as f64).exp();
-            let mut total = 0.0f64;
-            for r in 0..n {
-                if wrong[r] {
-                    weights[r] = (weights[r] * boost).min(weight_caps[r]);
-                }
-                total += weights[r];
-            }
-            for w in &mut weights {
-                *w /= total;
-            }
-
-            learners.push(WeakLearner {
-                class_hvs,
-                alpha,
-                seg_start: seg.start,
-                seg_end: seg.end,
-                own_encoder,
-            });
+            wave_start = wave_end;
         }
 
         Ok(Self {
@@ -751,6 +835,30 @@ mod tests {
             let rowwise: Vec<usize> = (0..x.rows()).map(|r| model.predict(x.row(r))).collect();
             rowwise
         });
+    }
+
+    #[test]
+    fn full_dimension_training_is_thread_invariant() {
+        // The ablation's wave-parallel private-encoder encode must leave
+        // the trained ensemble bit-identical for any worker count.
+        let (x, y) = blobs(90, 21, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 192,
+            n_learners: 6,
+            epochs: 4,
+            mode: EnsembleMode::FullDimension,
+            ..BoostHdConfig::default()
+        };
+        let serial = BoostHd::fit_with_threads(&config, &x, &y, 1).unwrap();
+        let parallel = BoostHd::fit_with_threads(&config, &x, &y, 4).unwrap();
+        assert_eq!(serial.alphas(), parallel.alphas());
+        for i in 0..serial.num_learners() {
+            assert_eq!(
+                serial.learner_class_hypervectors(i),
+                parallel.learner_class_hypervectors(i),
+                "learner {i}"
+            );
+        }
     }
 
     #[test]

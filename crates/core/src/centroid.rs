@@ -98,9 +98,15 @@ impl CentroidHd {
         let z = encoder.encode_batch(x);
         let scale = normalize_weights(weights, y.len());
         let mut class_hvs = Matrix::zeros(num_classes, config.dim);
-        for i in 0..z.rows() {
-            hdc::ops::bundle_into(class_hvs.row_mut(y[i]), z.row(i), scale[i]);
-        }
+        // Kernel-dispatched per-class bundling, class-parallel on large
+        // workloads (bit-identical to the serial sample loop).
+        crate::online::bundle_classes(
+            &mut class_hvs,
+            &z,
+            y,
+            &scale,
+            crate::online::bundling_threads(z.rows(), config.dim, num_classes),
+        );
         normalize_rows(&mut class_hvs);
         Ok(Self {
             encoder,

@@ -350,22 +350,23 @@ pub(crate) fn normalize_weights(weights: Option<&[f64]>, n: usize) -> Vec<f32> {
 /// untouched). Trained models store unit class hypervectors so inference
 /// pays one dot product per class instead of a dot plus a norm.
 pub(crate) fn normalize_rows(m: &mut Matrix) {
-    for r in 0..m.rows() {
-        hdc::ops::normalize_inplace(m.row_mut(r));
-    }
+    linalg::kernels::normalize_rows(m);
 }
 
 /// Cosine similarities of `h` against *unit-norm* class hypervector rows:
 /// `dot(c, h)/‖h‖`. Identical to [`scores_against`] when the rows have been
 /// passed through [`normalize_rows`], at roughly half the cost.
 pub(crate) fn scores_unit_classes(class_hvs: &Matrix, h: &[f32]) -> Vec<f32> {
-    let hn = norm(h);
-    if hn == 0.0 {
-        return vec![0.0; class_hvs.rows()];
-    }
-    (0..class_hvs.rows())
-        .map(|l| (dot(class_hvs.row(l), h) / hn).clamp(-1.0, 1.0))
-        .collect()
+    let mut out = vec![0.0f32; class_hvs.rows()];
+    scores_unit_classes_into(class_hvs, h, &mut out);
+    out
+}
+
+/// [`scores_unit_classes`] writing into a caller-owned buffer — one fused
+/// kernel pass over the `K` class rows, no per-query allocation. The hot
+/// form the training loops call.
+pub(crate) fn scores_unit_classes_into(class_hvs: &Matrix, h: &[f32], out: &mut [f32]) {
+    linalg::kernels::cosine_scores_into(class_hvs, h, norm(h), out);
 }
 
 /// Row-chunk width shared by every batched scoring path: large enough to
@@ -446,6 +447,14 @@ pub(crate) fn scores_against(class_hvs: &Matrix, h: &[f32]) -> Vec<f32> {
 /// The OnlineHD training loop over *pre-encoded* samples. Shared by
 /// [`OnlineHd`] (full hyperspace) and the BoostHD weak learners (dimension
 /// slices).
+///
+/// The hot loop runs entirely on the dispatched SIMD kernels
+/// ([`linalg::kernels`]): per-class bootstrap bundling (`axpy`, class-
+/// parallel when the workload warrants it), a fused *K class rows vs one
+/// sample* dot pass per refinement step, `axpy` pull/push updates, and
+/// `norm2` refreshes for the two touched classes. All score and norm
+/// scratch buffers are allocated once per fit and reused across every
+/// sample and epoch.
 pub(crate) fn train_class_hvs(
     z: &Matrix,
     y: &[usize],
@@ -455,20 +464,30 @@ pub(crate) fn train_class_hvs(
     epochs: usize,
     bootstrap: bool,
 ) -> Matrix {
+    use linalg::kernels;
+
     let n = z.rows();
     let d = z.cols();
     let mut class_hvs = Matrix::zeros(num_classes, d);
 
     if bootstrap {
-        for i in 0..n {
-            hdc::ops::bundle_into(class_hvs.row_mut(y[i]), z.row(i), sample_scale[i]);
-        }
+        bundle_classes(
+            &mut class_hvs,
+            z,
+            y,
+            sample_scale,
+            bundling_threads(n, d, num_classes),
+        );
     }
 
     // Cache class norms and sample norms: the inner loop is O(k·D) dots per
     // sample; norms would double that if recomputed every time.
-    let mut class_norms: Vec<f32> = (0..num_classes).map(|l| norm(class_hvs.row(l))).collect();
-    let sample_norms: Vec<f32> = (0..n).map(|i| norm(z.row(i))).collect();
+    let mut class_norms: Vec<f32> = (0..num_classes)
+        .map(|l| kernels::norm(class_hvs.row(l)))
+        .collect();
+    let sample_norms: Vec<f32> = (0..n).map(|i| kernels::norm(z.row(i))).collect();
+    // One scores buffer for the whole fit instead of per-sample temporaries.
+    let mut raw_dots = vec![0.0f32; num_classes];
 
     for _epoch in 0..epochs {
         for i in 0..n {
@@ -477,14 +496,15 @@ pub(crate) fn train_class_hvs(
             if hn == 0.0 {
                 continue;
             }
+            kernels::row_dots_into(&class_hvs, h, &mut raw_dots);
             let mut best = 0usize;
             let mut best_sim = f32::NEG_INFINITY;
             let mut true_sim = 0.0f32;
-            for (l, &cn) in class_norms.iter().enumerate() {
+            for (l, (&raw, &cn)) in raw_dots.iter().zip(class_norms.iter()).enumerate() {
                 let sim = if cn == 0.0 {
                     0.0
                 } else {
-                    (dot(class_hvs.row(l), h) / (cn * hn)).clamp(-1.0, 1.0)
+                    (raw / (cn * hn)).clamp(-1.0, 1.0)
                 };
                 if sim > best_sim {
                     best_sim = sim;
@@ -496,14 +516,89 @@ pub(crate) fn train_class_hvs(
             }
             if best != y[i] {
                 let w = sample_scale[i];
-                hdc::ops::bundle_into(class_hvs.row_mut(y[i]), h, lr * (1.0 - true_sim) * w);
-                hdc::ops::bundle_into(class_hvs.row_mut(best), h, -lr * (1.0 - best_sim) * w);
-                class_norms[y[i]] = norm(class_hvs.row(y[i]));
-                class_norms[best] = norm(class_hvs.row(best));
+                kernels::axpy(class_hvs.row_mut(y[i]), h, lr * (1.0 - true_sim) * w);
+                kernels::axpy(class_hvs.row_mut(best), h, -lr * (1.0 - best_sim) * w);
+                class_norms[y[i]] = kernels::norm(class_hvs.row(y[i]));
+                class_norms[best] = kernels::norm(class_hvs.row(best));
             }
         }
     }
     class_hvs
+}
+
+/// Per-class bootstrap bundling: `class_hvs[y[i]] += scale[i] · z[i]` for
+/// every sample, with the class rows split across `threads` workers.
+///
+/// Each worker owns a disjoint contiguous block of class rows and walks the
+/// sample list, bundling only the samples of its classes — every class
+/// still accumulates its samples in ascending order, so the result is
+/// **bit-identical** to the serial loop for any thread count.
+///
+/// # Panics
+///
+/// Panics if `y`/`scale` lengths disagree with `z`, or any label is out of
+/// range.
+pub(crate) fn bundle_classes(
+    class_hvs: &mut Matrix,
+    z: &Matrix,
+    y: &[usize],
+    scale: &[f32],
+    threads: usize,
+) {
+    assert_eq!(z.rows(), y.len(), "bundle label count mismatch");
+    assert_eq!(z.rows(), scale.len(), "bundle scale count mismatch");
+    let d = class_hvs.cols();
+    let num_classes = class_hvs.rows();
+    // Validate labels up front so the serial and class-parallel paths fail
+    // identically (the parallel workers skip labels they don't own and
+    // would otherwise drop an out-of-range sample silently).
+    if let Some(&bad) = y.iter().find(|&&yi| yi >= num_classes) {
+        panic!("bundle label {bad} outside the {num_classes} classes");
+    }
+    if threads <= 1 || num_classes <= 1 || d == 0 {
+        for (i, &yi) in y.iter().enumerate() {
+            linalg::kernels::axpy(class_hvs.row_mut(yi), z.row(i), scale[i]);
+        }
+        return;
+    }
+    let workers = threads.min(num_classes);
+    let chunk = num_classes.div_ceil(workers);
+    let mut rows: Vec<&mut [f32]> = class_hvs.as_mut_slice().chunks_mut(d).collect();
+    std::thread::scope(|scope| {
+        let mut rest = &mut rows[..];
+        let mut class_base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let base = class_base;
+            class_base += take;
+            scope.spawn(move || {
+                // One pass over the samples per worker: each owned class
+                // still sees its samples in ascending order, so this is
+                // bit-identical to the serial loop.
+                let end = base + head.len();
+                for (i, &yi) in y.iter().enumerate() {
+                    if yi >= base && yi < end {
+                        linalg::kernels::axpy(head[yi - base], z.row(i), scale[i]);
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Worker count for [`bundle_classes`]: parallel only when the bundling
+/// traffic is large enough to amortize thread spawn (results are
+/// bit-identical either way, so the threshold is purely a performance
+/// knob).
+pub(crate) fn bundling_threads(n: usize, d: usize, num_classes: usize) -> usize {
+    const MIN_PARALLEL_ELEMENTS: usize = 1 << 21;
+    if num_classes < 2 || n.saturating_mul(d) < MIN_PARALLEL_ELEMENTS {
+        1
+    } else {
+        crate::parallel::default_threads().min(num_classes)
+    }
 }
 
 #[cfg(test)]
@@ -840,6 +935,21 @@ mod tests {
         assert_eq!(w, vec![1.0; 4]);
         let w = normalize_weights(Some(&[0.25, 0.25, 0.25, 0.25]), 4);
         assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn parallel_class_bundling_is_bit_identical_to_serial() {
+        let mut rng = Rng64::seed_from(40);
+        let z = Matrix::random_normal(120, 96, &mut rng);
+        let y: Vec<usize> = (0..120).map(|i| i % 5).collect();
+        let scale: Vec<f32> = (0..120).map(|i| 0.5 + (i % 7) as f32 * 0.25).collect();
+        let mut serial = Matrix::zeros(5, 96);
+        bundle_classes(&mut serial, &z, &y, &scale, 1);
+        for threads in [2usize, 3, 5, 8] {
+            let mut parallel = Matrix::zeros(5, 96);
+            bundle_classes(&mut parallel, &z, &y, &scale, threads);
+            assert_eq!(serial, parallel, "threads {threads}");
+        }
     }
 
     #[test]

@@ -55,11 +55,15 @@ fn refit_packed_classes(
     epochs: usize,
 ) -> PackedMatrix {
     let mut bits = PackedMatrix::from_dense_rows(shadow);
+    // Scratch reused across every sample and epoch: the packed query words
+    // and the per-class similarity buffer (kernel-backed popcount sweep).
+    let mut query_words: Vec<u64> = Vec::new();
+    let mut sims = vec![0.0f32; shadow.rows()];
     for _epoch in 0..epochs {
         for (r, &truth) in y.iter().enumerate() {
             let h = z.row(r);
-            let query = PackedHv::from_signs(h);
-            let sims = bits.similarities(&query);
+            hdc::ops::pack_signs_into(h, &mut query_words);
+            bits.similarities_into(&query_words, &mut sims);
             let pred = argmax(&sims);
             if pred == truth {
                 continue;

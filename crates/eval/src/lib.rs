@@ -31,6 +31,6 @@ pub mod table;
 pub mod timing;
 
 pub use metrics::{accuracy, confusion_matrix, macro_accuracy, per_class_recall};
-pub use repeat::{repeat_runs, RunStats};
+pub use repeat::{repeat_runs, repeat_runs_parallel, RunStats};
 pub use table::{Heatmap, Series, Table};
 pub use timing::{percentile, time_per_query_secs, LatencySummary, Timed};

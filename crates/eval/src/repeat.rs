@@ -75,6 +75,57 @@ pub fn repeat_runs(runs: usize, seed_base: u64, mut f: impl FnMut(usize, u64) ->
     RunStats::from_runs(values)
 }
 
+/// Parallel [`repeat_runs`]: the runs are split into contiguous chunks
+/// executed on `threads` scoped worker threads.
+///
+/// Each run still receives the same `(run_index, seed_base + run_index)`
+/// pair and writes its metric into the same slot, so for a closure that
+/// derives everything from its seed (the [`repeat_runs`] contract) the
+/// returned [`RunStats`] is **identical to the sequential version for every
+/// thread count** — run order within the stats never changes. With
+/// `threads <= 1` the work runs inline.
+///
+/// Up to `threads` runs execute concurrently, so peak memory scales with
+/// whatever one run holds (dataset, model, buffers) times `threads`, and a
+/// closure that spawns its own workers multiplies the two thread counts —
+/// size `threads` so outer × inner stays near the core count.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn repeat_runs_parallel(
+    runs: usize,
+    seed_base: u64,
+    threads: usize,
+    f: impl Fn(usize, u64) -> f64 + Sync,
+) -> RunStats {
+    if threads <= 1 || runs <= 1 {
+        return repeat_runs(runs, seed_base, f);
+    }
+    let workers = threads.min(runs);
+    let chunk = runs.div_ceil(workers);
+    let mut values = vec![0.0f64; runs];
+    std::thread::scope(|scope| {
+        let mut rest = &mut values[..];
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = std::mem::take(&mut rest).split_at_mut(take);
+            rest = tail;
+            let start = base;
+            base += take;
+            let f = &f;
+            scope.spawn(move || {
+                for (offset, slot) in head.iter_mut().enumerate() {
+                    let i = start + offset;
+                    *slot = f(i, seed_base.wrapping_add(i as u64));
+                }
+            });
+        }
+    });
+    RunStats::from_runs(values)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +160,23 @@ mod tests {
         let stats = RunStats::from_runs(vec![3.0, 1.0, 2.0]);
         assert_eq!(stats.min_max(), (1.0, 3.0));
         assert_eq!(RunStats::from_runs(vec![]).min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn parallel_runs_match_sequential_for_all_thread_counts() {
+        // A seed-derived metric with distinguishable per-run values.
+        let metric = |i: usize, seed: u64| (seed as f64) * 1.5 - i as f64;
+        let sequential = repeat_runs(9, 1000, metric);
+        for threads in 0..=12 {
+            let parallel = repeat_runs_parallel(9, 1000, threads, metric);
+            assert_eq!(sequential, parallel, "threads {threads}");
+        }
+        // Degenerate run counts behave too.
+        assert_eq!(repeat_runs_parallel(0, 5, 4, metric).len(), 0);
+        assert_eq!(
+            repeat_runs_parallel(1, 5, 4, metric).runs,
+            repeat_runs(1, 5, metric).runs
+        );
     }
 
     #[test]

@@ -422,10 +422,38 @@ impl PackedMatrix {
     /// Panics if `query` has a different dimensionality.
     pub fn similarities(&self, query: &PackedHv) -> Vec<f32> {
         assert_eq!(self.dim, query.dim(), "query dimension mismatch");
-        let q = query.words();
-        (0..self.rows)
-            .map(|r| ops::packed_similarity(self.row_words(r), q, self.dim))
-            .collect()
+        let mut out = vec![0.0f32; self.rows];
+        self.similarities_into(query.words(), &mut out);
+        out
+    }
+
+    /// [`PackedMatrix::similarities`] over raw query words, writing into a
+    /// caller-owned buffer — the allocation-free form the quantized refit
+    /// and serving loops call per sample. Each entry is one Harley–Seal
+    /// XOR + popcount sweep ([`linalg::kernels::hamming_words`]) rescaled
+    /// to the cosine scale, bit-identical to
+    /// [`ops::packed_similarity`] on the same rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query_words` has the wrong word count for this
+    /// dimensionality or `out.len() != self.rows()`.
+    pub fn similarities_into(&self, query_words: &[u64], out: &mut [f32]) {
+        assert_eq!(
+            query_words.len(),
+            self.words_per_row,
+            "query word count disagrees with dim"
+        );
+        assert_eq!(out.len(), self.rows, "similarity output length mismatch");
+        if self.rows > 0 {
+            assert!(self.dim > 0, "packed similarity of empty vectors");
+        }
+        for (r, o) in out.iter_mut().enumerate() {
+            // Exactly `ops::packed_similarity`'s arithmetic, so packed
+            // scores agree bit-for-bit wherever they are computed.
+            let hamming = linalg::kernels::hamming_words(self.row_words(r), query_words);
+            *o = 1.0 - 2.0 * hamming as f32 / self.dim as f32;
+        }
     }
 
     /// Total number of valid (non-padding) stored bits.
@@ -450,11 +478,7 @@ impl PackedMatrix {
         assert_eq!(self.dim, queries.dim(), "query batch dimension mismatch");
         let mut out = linalg::Matrix::zeros(queries.rows(), self.rows);
         for q in 0..queries.rows() {
-            let qw = queries.row_words(q);
-            let out_row = out.row_mut(q);
-            for (r, o) in out_row.iter_mut().enumerate() {
-                *o = ops::packed_similarity(self.row_words(r), qw, self.dim);
-            }
+            self.similarities_into(queries.row_words(q), out.row_mut(q));
         }
         out
     }

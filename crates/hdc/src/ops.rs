@@ -41,14 +41,15 @@ pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
 
 /// Bundling: accumulates `src` into `acc` with weight `w` (`acc += w · src`).
 ///
+/// This is the training-path `axpy` — it dispatches to the runtime-selected
+/// SIMD kernel (see [`linalg::kernels`]).
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn bundle_into(acc: &mut [f32], src: &[f32], w: f32) {
     assert_eq!(acc.len(), src.len(), "bundle length mismatch");
-    for (a, &s) in acc.iter_mut().zip(src.iter()) {
-        *a += w * s;
-    }
+    linalg::kernels::axpy(acc, src, w);
 }
 
 /// Binding: element-wise product of two hypervectors.
@@ -76,14 +77,9 @@ pub fn permute(v: &[f32], shift: usize) -> Vec<f32> {
 }
 
 /// Normalizes `v` to unit Euclidean norm in place; leaves a zero vector
-/// untouched.
+/// untouched. Dispatches to the runtime-selected SIMD kernel.
 pub fn normalize_inplace(v: &mut [f32]) {
-    let n = norm(v);
-    if n > 0.0 {
-        for x in v {
-            *x /= n;
-        }
-    }
+    linalg::kernels::normalize_inplace(v);
 }
 
 /// Quantizes a real hypervector to bipolar `{-1, +1}` (`sign`, with ties to +1).
@@ -112,7 +108,18 @@ pub const fn last_word_mask(dim: usize) -> u64 {
 /// output is set iff `v[d] >= 0` (ties to +1, matching [`to_bipolar`]).
 /// Padding bits past `v.len()` are zero.
 pub fn pack_signs(v: &[f32]) -> Vec<u64> {
-    let mut words = vec![0u64; packed_words(v.len())];
+    let mut words = Vec::new();
+    pack_signs_into(v, &mut words);
+    words
+}
+
+/// [`pack_signs`] writing into a caller-owned word buffer, reusing its
+/// allocation — the hook refit/streaming loops use to pack sample after
+/// sample without allocator churn. The buffer is resized to
+/// `⌈v.len()/64⌉` words; previous contents are discarded.
+pub fn pack_signs_into(v: &[f32], words: &mut Vec<u64>) {
+    words.clear();
+    words.resize(packed_words(v.len()), 0);
     for (d, &x) in v.iter().enumerate() {
         // Identical tie handling to `to_bipolar`: everything not strictly
         // negative (including -0.0 and NaN) quantizes to +1.
@@ -120,21 +127,19 @@ pub fn pack_signs(v: &[f32]) -> Vec<u64> {
             words[d / 64] |= 1u64 << (d % 64);
         }
     }
-    words
 }
 
 /// Hamming distance (number of differing sign bits) between two packed
-/// hypervectors — one XOR + popcount per word.
+/// hypervectors — the XOR + popcount word sweep, dispatched to the
+/// runtime-selected kernel (AVX2 Harley–Seal or word-unrolled scalar
+/// POPCNT; bit-exact either way, see [`linalg::kernels::hamming_words`]).
 ///
 /// # Panics
 ///
 /// Panics if the word slices have different lengths.
 pub fn hamming_packed(a: &[u64], b: &[u64]) -> u32 {
     assert_eq!(a.len(), b.len(), "packed hamming word-count mismatch");
-    a.iter()
-        .zip(b.iter())
-        .map(|(x, y)| (x ^ y).count_ones())
-        .sum()
+    linalg::kernels::hamming_words(a, b)
 }
 
 /// Similarity of two `dim`-bit packed sign hypervectors, on the cosine

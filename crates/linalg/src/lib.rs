@@ -28,11 +28,13 @@
 
 pub mod eig;
 pub mod error;
+pub mod kernels;
 pub mod matrix;
 pub mod rng;
 pub mod stats;
 
 pub use eig::{numerical_rank, singular_values, symmetric_eigenvalues};
 pub use error::{LinalgError, Result};
+pub use kernels::KernelLevel;
 pub use matrix::Matrix;
 pub use rng::Rng64;

@@ -577,29 +577,17 @@ impl Matrix {
     }
 }
 
-/// Dot product of two equal-length slices.
+/// Dot product of two equal-length slices, dispatched to the process-wide
+/// SIMD kernel level (see [`crate::kernels`]). Every consumer — row scoring,
+/// `matmul_transposed` entries, norms — funnels through this one kernel, so
+/// batched and row-at-a-time paths always agree bit-for-bit.
 ///
 /// # Panics
 ///
 /// Panics if lengths differ.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch");
-    // 4-lane manual unroll; LLVM turns this into SIMD adds.
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
-    for j in chunks * 4..a.len() {
-        total += a[j] * b[j];
-    }
-    total
+    crate::kernels::dot(a, b)
 }
 
 /// Euclidean norm of a slice.

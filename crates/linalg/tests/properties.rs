@@ -1,6 +1,6 @@
 //! Property-based tests for the linear algebra substrate.
 
-use linalg::{matrix::dot, singular_values, symmetric_eigenvalues, Matrix, Rng64};
+use linalg::{kernels, matrix::dot, singular_values, symmetric_eigenvalues, Matrix, Rng64};
 use proptest::prelude::*;
 
 /// Strategy producing a small random matrix with bounded entries.
@@ -89,6 +89,80 @@ proptest! {
     fn select_rows_preserves_content(m in matrix_strategy(10)) {
         let all: Vec<usize> = (0..m.rows()).collect();
         prop_assert_eq!(m.select_rows(&all), m.clone());
+    }
+
+    #[test]
+    fn simd_dot_matches_scalar_within_ulps(seed in any::<u64>(), n in 0usize..600) {
+        // SIMD and scalar dots differ only by summation order and FMA
+        // contraction; on bounded inputs the gap stays a few ULPs of the
+        // accumulated magnitude. (On hosts without AVX2+FMA the SIMD entry
+        // point falls back to scalar and the bound is trivially exact.)
+        let mut rng = Rng64::seed_from(seed);
+        let a: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let b: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let scalar = kernels::dot_scalar(&a, &b);
+        let simd = kernels::dot_simd(&a, &b);
+        let tol = 1e-4 * scalar.abs().max(n as f32).max(1.0);
+        prop_assert!((scalar - simd).abs() <= tol, "scalar {} vs simd {}", scalar, simd);
+        // The dispatched kernel is one of the two.
+        let dispatched = kernels::dot(&a, &b);
+        prop_assert!(dispatched == scalar || dispatched == simd);
+    }
+
+    #[test]
+    fn simd_axpy_matches_scalar_within_ulps(seed in any::<u64>(), n in 0usize..400, w in -2.0f32..2.0) {
+        let mut rng = Rng64::seed_from(seed);
+        let x: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let y0: Vec<f32> = (0..n).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let mut ys = y0.clone();
+        let mut yv = y0;
+        kernels::axpy_scalar(&mut ys, &x, w);
+        kernels::axpy_simd(&mut yv, &x, w);
+        for (s, v) in ys.iter().zip(&yv) {
+            // Element-wise: a single mul+add vs a single FMA — sub-ULP-of-
+            // the-result differences only.
+            prop_assert!((s - v).abs() <= 1e-5 * s.abs().max(1.0), "{} vs {}", s, v);
+        }
+    }
+
+    #[test]
+    fn simd_hamming_is_bit_exact(words in proptest::collection::vec(any::<u64>(), 0..200), seed in any::<u64>()) {
+        // Integer kernels must agree exactly, padding patterns included.
+        let mut rng = Rng64::seed_from(seed);
+        let other: Vec<u64> = words
+            .iter()
+            .map(|&w| w ^ ((rng.below(1 << 30) as u64) << 17))
+            .collect();
+        prop_assert_eq!(
+            kernels::hamming_words_scalar(&words, &other),
+            kernels::hamming_words_simd(&words, &other)
+        );
+        prop_assert_eq!(
+            kernels::hamming_words(&words, &other),
+            kernels::hamming_words_scalar(&words, &other)
+        );
+    }
+
+    #[test]
+    fn fused_cosine_pass_equals_per_row_dots(seed in any::<u64>(), rows in 1usize..8, cols in 1usize..200) {
+        // The fused K-rows-vs-one-query kernel must reproduce standalone
+        // dispatched dots bit for bit — the property that keeps batch and
+        // row inference identical.
+        let mut rng = Rng64::seed_from(seed);
+        let m = Matrix::random_uniform(rows, cols, -2.0, 2.0, &mut rng);
+        let q: Vec<f32> = (0..cols).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let mut fused = vec![0.0f32; rows];
+        kernels::row_dots_into(&m, &q, &mut fused);
+        for (l, &o) in fused.iter().enumerate() {
+            prop_assert_eq!(o, dot(m.row(l), &q), "row {}", l);
+        }
+        let qn = kernels::norm(&q);
+        let mut cosines = vec![0.0f32; rows];
+        kernels::cosine_scores_into(&m, &q, qn, &mut cosines);
+        for (l, &o) in cosines.iter().enumerate() {
+            let expect = if qn == 0.0 { 0.0 } else { (dot(m.row(l), &q) / qn).clamp(-1.0, 1.0) };
+            prop_assert_eq!(o, expect, "row {}", l);
+        }
     }
 
     #[test]
