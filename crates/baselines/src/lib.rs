@@ -43,6 +43,7 @@ pub mod error;
 pub mod forest;
 pub mod gbt;
 pub mod mlp;
+pub mod spec;
 pub mod svm;
 pub mod tree;
 

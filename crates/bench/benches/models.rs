@@ -1,7 +1,7 @@
 //! Criterion micro-benchmarks over the model zoo: training and per-query
 //! inference on a compact WESAD-like workload (supporting Tables I/II).
 
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{BoostHd, BoostHdConfig, Classifier, ModelSpec, OnlineHd, OnlineHdConfig, Pipeline};
 use criterion::{criterion_group, criterion_main, Criterion};
 use linalg::{Matrix, Rng64};
 use reliability::flip_bits;
@@ -26,48 +26,54 @@ fn bench_train(c: &mut Criterion) {
     let mut group = c.benchmark_group("train");
     group.sample_size(10);
     group.bench_function("onlinehd_d1000", |b| {
-        let config = OnlineHdConfig {
+        let spec = ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 1000,
             epochs: 10,
             ..Default::default()
-        };
-        b.iter(|| std::hint::black_box(OnlineHd::fit(&config, &x, &y).expect("fit")));
+        });
+        b.iter(|| std::hint::black_box(Pipeline::fit(&spec, &x, &y).expect("fit")));
     });
     group.bench_function("boosthd_d1000_nl10", |b| {
-        let config = BoostHdConfig {
+        let spec = ModelSpec::BoostHd(BoostHdConfig {
             dim_total: 1000,
             n_learners: 10,
             epochs: 10,
             ..Default::default()
-        };
-        b.iter(|| std::hint::black_box(BoostHd::fit(&config, &x, &y).expect("fit")));
+        });
+        b.iter(|| std::hint::black_box(Pipeline::fit(&spec, &x, &y).expect("fit")));
     });
     group.finish();
 }
 
 fn bench_infer(c: &mut Criterion) {
     let (x, y, queries) = workload();
-    let online = OnlineHd::fit(
-        &OnlineHdConfig {
+    let online = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 4000,
             epochs: 10,
             ..Default::default()
-        },
+        }),
         &x,
         &y,
     )
-    .expect("fit");
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
+    .expect("fit")
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
+    let boost = Pipeline::fit(
+        &ModelSpec::BoostHd(BoostHdConfig {
             dim_total: 4000,
             n_learners: 10,
             epochs: 10,
             ..Default::default()
-        },
+        }),
         &x,
         &y,
     )
-    .expect("fit");
+    .expect("fit")
+    .downcast_ref::<BoostHd>()
+    .expect("spec-built BoostHD")
+    .clone();
     let mut group = c.benchmark_group("infer_32_queries_d4000");
     group.bench_function("onlinehd", |b| {
         b.iter(|| std::hint::black_box(online.predict_batch(&queries)));
@@ -83,16 +89,19 @@ fn bench_infer(c: &mut Criterion) {
 
 fn bench_bitflip(c: &mut Criterion) {
     let (x, y, _) = workload();
-    let model = OnlineHd::fit(
-        &OnlineHdConfig {
+    let model = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 4000,
             epochs: 5,
             ..Default::default()
-        },
+        }),
         &x,
         &y,
     )
-    .expect("fit");
+    .expect("fit")
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
     c.bench_function("bitflip_injection_pb1e-5", |b| {
         let mut rng = Rng64::seed_from(5);
         b.iter(|| {

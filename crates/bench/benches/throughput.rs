@@ -7,7 +7,7 @@
 //! Run with `cargo bench --bench throughput`.
 
 use boosthd::classifier::predict_batch_chunked;
-use boosthd::{Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{Classifier, ModelSpec, OnlineHd, OnlineHdConfig, Pipeline};
 use criterion::Criterion;
 use linalg::{Matrix, Rng64};
 
@@ -30,16 +30,19 @@ fn blob_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
 
 fn bench_row_vs_batch(c: &mut Criterion) {
     let (x, y) = blob_data(ROWS, 1);
-    let model = OnlineHd::fit(
-        &OnlineHdConfig {
+    let model = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: DIM,
             epochs: 2,
             ..Default::default()
-        },
+        }),
         &x,
         &y,
     )
-    .unwrap();
+    .unwrap()
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
     let packed = model.quantize();
 
     let mut group = c.benchmark_group(format!("predict_{ROWS}rows_d{DIM}_f{FEATURES}"));

@@ -13,8 +13,8 @@
 //! Usage: `ablation [--runs N] [--quick]` (default 5 runs).
 
 use boosthd::boost::{EnsembleMode, SampleMode};
-use boosthd::{BoostHd, BoostHdConfig, Classifier, Voting};
-use boosthd_bench::{parse_common_args, prepare_split, quick_profile};
+use boosthd::{BoostHdConfig, ModelSpec, Voting};
+use boosthd_bench::{fit_spec, parse_common_args, prepare_split, quick_profile};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs;
 use eval_harness::table::Table;
@@ -83,10 +83,8 @@ fn main() {
             let mut train_secs = 0.0;
             let stats = repeat_runs(runs, 42, |_, seed| {
                 let (train, test) = prepare_split(&profile, seed);
-                let config = BoostHdConfig { seed, ..*base };
-                let fitted = Timed::run(|| {
-                    BoostHd::fit(&config, train.features(), train.labels()).expect("fit")
-                });
+                let spec = ModelSpec::BoostHd(BoostHdConfig { seed, ..*base });
+                let fitted = Timed::run(|| fit_spec(&spec, train.features(), train.labels()));
                 train_secs += fitted.seconds;
                 accuracy(&fitted.value.predict_batch(test.features()), test.labels()) * 100.0
             });

@@ -7,9 +7,10 @@
 //! `--hd-variants` (extra BoostHD voting/sampling configurations).
 
 use boosthd::boost::SampleMode;
-use boosthd::{BoostHd, BoostHdConfig, Classifier, Voting};
+use boosthd::{BoostHdConfig, ModelSpec, Voting};
 use boosthd_bench::{
-    parse_common_args, prepare_split, quick_profile, train_model, ModelKind, DEFAULT_DIM_TOTAL,
+    fit_spec, parse_common_args, prepare_split, quick_profile, train_model, ModelKind,
+    DEFAULT_DIM_TOTAL,
 };
 use eval_harness::metrics::accuracy;
 use eval_harness::timing::Timed;
@@ -100,12 +101,12 @@ fn main() {
                     ),
                 ];
                 for (tag, base) in variants {
-                    let config = BoostHdConfig {
+                    let spec = ModelSpec::BoostHd(BoostHdConfig {
                         dim_total: DEFAULT_DIM_TOTAL,
                         seed: 1000 + run,
                         ..base
-                    };
-                    let model = BoostHd::fit(&config, train.features(), train.labels()).unwrap();
+                    });
+                    let model = fit_spec(&spec, train.features(), train.labels());
                     let acc = accuracy(&model.predict_batch(test.features()), test.labels());
                     println!("    {:<15} acc={:6.2}%", tag, acc * 100.0);
                 }

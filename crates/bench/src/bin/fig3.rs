@@ -16,7 +16,7 @@
 //! Usage: `fig3 [--runs N] [--quick]`.
 
 use boosthd::boost::EnsembleMode;
-use boosthd::{BoostHd, BoostHdConfig, Classifier};
+use boosthd::{BoostHdConfig, ModelSpec, Pipeline};
 use boosthd_bench::{parse_common_args, prepare_split};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs;
@@ -75,7 +75,11 @@ fn main() {
                         seed,
                         ..BoostHdConfig::default()
                     };
-                    match BoostHd::fit(&config, train.features(), train.labels()) {
+                    match Pipeline::fit(
+                        &ModelSpec::BoostHd(config),
+                        train.features(),
+                        train.labels(),
+                    ) {
                         Ok(model) => {
                             accuracy(&model.predict_batch(test.features()), test.labels()) * 100.0
                         }

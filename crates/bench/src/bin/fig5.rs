@@ -10,8 +10,10 @@
 //!
 //! Usage: `fig5 [--quick]`.
 
-use boosthd::{BoostHd, BoostHdConfig, OnlineHd, OnlineHdConfig};
-use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS};
+use boosthd::{BoostHd, OnlineHd};
+use boosthd_bench::{
+    fit_spec, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS,
+};
 use hdc::span_utilization;
 use wearables::profiles;
 
@@ -23,25 +25,22 @@ fn main() {
     }
     let (train, _test) = prepare_split(&profile, 42);
 
-    let online = OnlineHd::fit(
-        &OnlineHdConfig {
-            dim: DEFAULT_DIM_TOTAL,
-            ..OnlineHdConfig::default()
-        },
+    let online_pipeline = fit_spec(
+        &ModelKind::OnlineHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
         train.features(),
         train.labels(),
-    )
-    .expect("onlinehd training");
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
-            dim_total: DEFAULT_DIM_TOTAL,
-            n_learners: DEFAULT_N_LEARNERS,
-            ..BoostHdConfig::default()
-        },
+    );
+    let online = online_pipeline
+        .downcast_ref::<OnlineHd>()
+        .expect("spec-built OnlineHD");
+    let boost_pipeline = fit_spec(
+        &ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
         train.features(),
         train.labels(),
-    )
-    .expect("boosthd training");
+    );
+    let boost = boost_pipeline
+        .downcast_ref::<BoostHd>()
+        .expect("spec-built BoostHD");
 
     let sp_online = span_utilization(online.class_hypervectors()).expect("span");
     let stacked = boost.stacked_class_hypervectors();

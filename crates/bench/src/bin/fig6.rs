@@ -8,7 +8,7 @@
 //! Usage: `fig6 [--runs N] [--quick]` (default 8 runs per point).
 
 use boosthd::parallel::default_threads;
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{BoostHdConfig, ModelSpec, OnlineHdConfig, Pipeline};
 use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_N_LEARNERS};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs_parallel;
@@ -50,23 +50,23 @@ fn main() {
     for &dim in &dims {
         let online = repeat_runs_parallel(runs, 42, threads, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
-            let config = OnlineHdConfig {
+            let spec = ModelSpec::OnlineHd(OnlineHdConfig {
                 dim,
                 seed,
                 ..OnlineHdConfig::default()
-            };
-            let m = OnlineHd::fit(&config, train.features(), train.labels()).expect("fit");
+            });
+            let m = Pipeline::fit(&spec, train.features(), train.labels()).expect("fit");
             accuracy(&m.predict_batch(test.features()), test.labels()) * 100.0
         });
         let boost = repeat_runs_parallel(runs, 42, threads, |_, seed| {
             let (train, test) = prepare_split(&profile, seed);
-            let config = BoostHdConfig {
+            let spec = ModelSpec::BoostHd(BoostHdConfig {
                 dim_total: dim,
                 n_learners: DEFAULT_N_LEARNERS,
                 seed,
                 ..BoostHdConfig::default()
-            };
-            let m = BoostHd::fit(&config, train.features(), train.labels()).expect("fit");
+            });
+            let m = Pipeline::fit(&spec, train.features(), train.labels()).expect("fit");
             accuracy(&m.predict_batch(test.features()), test.labels()) * 100.0
         });
         acc_online.push(dim as f64, online.mean());

@@ -10,7 +10,7 @@
 //!
 //! Usage: `fig7 [--runs N] [--quick]` (default 5 runs per point).
 
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{BoostHdConfig, ModelSpec, OnlineHdConfig, Pipeline};
 use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_N_LEARNERS};
 use eval_harness::metrics::macro_accuracy;
 use eval_harness::table::Series;
@@ -49,23 +49,23 @@ fn main() {
                             &mut rng,
                         );
                         let sub = train.select(&keep);
-                        let online = OnlineHd::fit(
-                            &OnlineHdConfig {
+                        let online = Pipeline::fit(
+                            &ModelSpec::OnlineHd(OnlineHdConfig {
                                 dim: dim_total,
                                 seed,
                                 ..Default::default()
-                            },
+                            }),
                             sub.features(),
                             sub.labels(),
                         )
                         .expect("onlinehd fit");
-                        let boost = BoostHd::fit(
-                            &BoostHdConfig {
+                        let boost = Pipeline::fit(
+                            &ModelSpec::BoostHd(BoostHdConfig {
                                 dim_total,
                                 n_learners: DEFAULT_N_LEARNERS,
                                 seed,
                                 ..Default::default()
-                            },
+                            }),
                             sub.features(),
                             sub.labels(),
                         )

@@ -11,9 +11,9 @@
 //! Usage: `fig8 [--runs N] [--quick]` (`--runs` = trials per point;
 //! default 30, paper 100).
 
-use baselines::{Mlp, MlpConfig};
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
-use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS};
+use baselines::Mlp;
+use boosthd::{BaselineKind, BaselineSpec, BoostHd, Classifier, ModelSpec, OnlineHd};
+use boosthd_bench::{fit_spec, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::RunStats;
 use eval_harness::table::Series;
@@ -59,34 +59,35 @@ fn main() {
     let test = test.select(&idx);
 
     eprintln!("[fig8] training the three models ...");
-    let online = OnlineHd::fit(
-        &OnlineHdConfig {
-            dim: DEFAULT_DIM_TOTAL,
-            ..Default::default()
-        },
+    // The sweep clones and bit-flips concrete models, so the spec-built
+    // pipelines hand back their typed views.
+    let online = fit_spec(
+        &ModelKind::OnlineHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
         train.features(),
         train.labels(),
     )
-    .expect("onlinehd fit");
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
-            dim_total: DEFAULT_DIM_TOTAL,
-            n_learners: DEFAULT_N_LEARNERS,
-            ..Default::default()
-        },
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
+    let boost = fit_spec(
+        &ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
         train.features(),
         train.labels(),
     )
-    .expect("boosthd fit");
-    let dnn = Mlp::fit(
-        &MlpConfig {
-            epochs: if quick { 3 } else { 6 },
-            ..MlpConfig::default()
-        },
+    .downcast_ref::<BoostHd>()
+    .expect("spec-built BoostHD")
+    .clone();
+    let dnn = fit_spec(
+        &ModelSpec::Baseline(BaselineSpec {
+            epochs: Some(if quick { 3 } else { 6 }),
+            ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
+        }),
         train.features(),
         train.labels(),
     )
-    .expect("mlp fit");
+    .downcast_ref::<Mlp>()
+    .expect("spec-built DNN")
+    .clone();
 
     for (panel, scale) in [('a', 1e-6f64), ('b', 1e-5)] {
         let steps: Vec<f64> = if quick {

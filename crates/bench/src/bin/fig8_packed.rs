@@ -13,8 +13,8 @@
 //! Usage: `fig8_packed [--runs N] [--quick]` (trials per point; default 30).
 
 use boosthd::parallel::default_threads;
-use boosthd::{BoostHd, BoostHdConfig, QuantizedBoostHd};
-use boosthd_bench::{parse_common_args, prepare_split, DEFAULT_DIM_TOTAL, DEFAULT_N_LEARNERS};
+use boosthd::{BoostHd, QuantizedBoostHd};
+use boosthd_bench::{fit_spec, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::RunStats;
 use eval_harness::table::Series;
@@ -56,16 +56,17 @@ fn main() {
     let test = test.select(&idx);
 
     eprintln!("[fig8_packed] training f32 ensemble and quantizing ...");
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
-            dim_total: DEFAULT_DIM_TOTAL,
-            n_learners: DEFAULT_N_LEARNERS,
-            ..Default::default()
-        },
+    // The sweep needs both views of one trained ensemble — the f32 model
+    // and its bitpacked freeze — so it fits once through the facade and
+    // quantizes the typed view rather than fitting two specs.
+    let boost = fit_spec(
+        &ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
         train.features(),
         train.labels(),
     )
-    .expect("boosthd fit");
+    .downcast_ref::<BoostHd>()
+    .expect("spec-built BoostHD")
+    .clone();
     let packed: QuantizedBoostHd = boost
         .quantize_with_refit(train.features(), train.labels(), 5)
         .expect("quantization-aware refit");

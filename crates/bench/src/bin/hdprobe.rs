@@ -2,8 +2,8 @@
 
 use boosthd::boost::SampleMode;
 use boosthd::parallel::default_threads;
-use boosthd::{BoostHd, BoostHdConfig, OnlineHd, OnlineHdConfig};
-use boosthd_bench::{parse_common_args, prepare_split};
+use boosthd::{BoostHdConfig, ModelSpec, OnlineHdConfig};
+use boosthd_bench::{fit_spec, parse_common_args, prepare_split};
 use eval_harness::metrics::macro_accuracy;
 use eval_harness::repeat::repeat_runs;
 use linalg::Rng64;
@@ -26,17 +26,16 @@ fn main() {
                 &mut rng,
             );
             let sub = train.select(&keep);
-            let m = OnlineHd::fit(
-                &OnlineHdConfig {
+            let m = fit_spec(
+                &ModelSpec::OnlineHd(OnlineHdConfig {
                     dim: 1000,
                     epochs: EPOCHS,
                     seed,
                     ..Default::default()
-                },
+                }),
                 sub.features(),
                 sub.labels(),
-            )
-            .unwrap();
+            );
             let preds = m.predict_batch_parallel(test.features(), default_threads());
             macro_accuracy(&preds, test.labels(), 3) * 100.0
         });
@@ -76,17 +75,16 @@ fn main() {
                     &mut rng,
                 );
                 let sub = train.select(&keep);
-                let m = BoostHd::fit(
-                    &BoostHdConfig {
+                let m = fit_spec(
+                    &ModelSpec::BoostHd(BoostHdConfig {
                         dim_total: 1000,
                         epochs: EPOCHS,
                         seed,
                         ..base
-                    },
+                    }),
                     sub.features(),
                     sub.labels(),
-                )
-                .unwrap();
+                );
                 let preds = m.predict_batch_parallel(test.features(), default_threads());
                 macro_accuracy(&preds, test.labels(), 3) * 100.0
             });

@@ -8,7 +8,6 @@
 //! Usage: `table1 [--runs N] [--quick]` (default 5 runs; the paper uses 10).
 
 use boosthd::parallel::default_threads;
-use boosthd::Classifier;
 use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, ModelKind};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs_parallel;

@@ -13,10 +13,8 @@
 //! Usage: `table2 [--quick]`.
 
 use boosthd::parallel::default_threads;
-use boosthd::Classifier;
-use boosthd_bench::{
-    parse_common_args, prepare_split, quick_profile, train_model, AnyModel, ModelKind,
-};
+use boosthd::{BoostHd, Pipeline};
+use boosthd_bench::{parse_common_args, prepare_split, quick_profile, train_model, ModelKind};
 use boosthd_serve::{EngineConfig, InferenceEngine};
 use eval_harness::table::Table;
 use eval_harness::timing::{time_per_query_secs, to_tenth_millis};
@@ -46,7 +44,7 @@ fn main() {
         let (train, test) = prepare_split(&profile, 42);
         let queries = test.len();
         let mut cells = Vec::new();
-        let mut boosthd_model: Option<AnyModel> = None;
+        let mut boosthd_model: Option<Pipeline> = None;
         for kind in ModelKind::TABLE_ORDER {
             let model = train_model(kind, train.features(), train.labels(), 42);
             let secs = time_per_query_secs(queries, 3, || {
@@ -62,10 +60,13 @@ fn main() {
         // vote sweep fanned out over the scoped-thread pool (identical
         // predictions to the serial path; see the equivalence property
         // tests).
-        let parallel_cell = match boosthd_model {
-            Some(AnyModel::BoostHd(model)) => {
+        let parallel_cell = match boosthd_model
+            .as_ref()
+            .filter(|m| m.downcast_ref::<BoostHd>().is_some())
+        {
+            Some(model) => {
                 let engine = InferenceEngine::with_config(
-                    &model,
+                    model,
                     EngineConfig {
                         threads: Some(threads),
                         ..Default::default()
@@ -76,7 +77,7 @@ fn main() {
                 });
                 format!("{:.2}", to_tenth_millis(secs))
             }
-            _ => "-".to_string(),
+            None => "-".to_string(),
         };
         cells.push(parallel_cell);
         table.push_row(profile.name.clone(), cells);

@@ -8,7 +8,6 @@
 //!
 //! Usage: `table3 [--runs N] [--quick]` (default 3 runs per cell).
 
-use boosthd::Classifier;
 use boosthd_bench::{parse_common_args, train_model, ModelKind};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs;

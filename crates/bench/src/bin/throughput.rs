@@ -18,8 +18,8 @@
 use std::time::Instant;
 
 use boosthd::parallel::default_threads;
-use boosthd::{Classifier, OnlineHd, OnlineHdConfig};
-use boosthd_bench::{parse_common_args, prepare_split};
+use boosthd::{Classifier, ModelSpec, OnlineHd, OnlineHdConfig};
+use boosthd_bench::{fit_spec, parse_common_args, prepare_split};
 use boosthd_serve::{EngineConfig, InferenceEngine};
 use linalg::Matrix;
 use wearables::profiles::{self, DatasetProfile};
@@ -62,16 +62,20 @@ fn run_config(
         train.len(),
         test.len()
     );
-    let model = OnlineHd::fit(
-        &OnlineHdConfig {
+    // The row-loop arms call the concrete models directly, so take the
+    // typed view out of the spec-built pipeline.
+    let model = fit_spec(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim,
             seed: 42,
             ..Default::default()
-        },
+        }),
         train.features(),
         train.labels(),
     )
-    .expect("onlinehd training");
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
     let packed = model.quantize();
 
     // Replicate the test split into a serving-sized query batch.

@@ -5,6 +5,11 @@
 //! and normalized subject-wise splits. They live here so each binary is a
 //! thin orchestration script.
 //!
+//! Model construction is **config-driven**: [`ModelKind::spec`] maps each
+//! zoo column onto a [`boosthd::ModelSpec`], and [`train_model`] feeds it
+//! through the unified [`boosthd::Pipeline`] facade (registering the
+//! baseline builders on first use). No binary wires a model by hand.
+//!
 //! Binaries (one per paper artifact — see DESIGN.md §4):
 //!
 //! | binary | regenerates |
@@ -25,11 +30,7 @@
 
 pub mod training;
 
-use baselines::{
-    AdaBoost, AdaBoostConfig, GradientBoostedTrees, GradientBoostingConfig, LinearSvm,
-    LinearSvmConfig, Mlp, MlpConfig, RandomForest, RandomForestConfig,
-};
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{BaselineKind, BaselineSpec, BoostHdConfig, ModelSpec, OnlineHdConfig, Pipeline};
 use linalg::Matrix;
 use wearables::dataset::normalize_pair;
 use wearables::{Dataset, DatasetProfile};
@@ -77,60 +78,35 @@ impl ModelKind {
             ModelKind::BoostHd => "BoostHD",
         }
     }
-}
 
-/// A trained model of any kind, dispatching [`Classifier`] calls.
-pub enum AnyModel {
-    /// Trained AdaBoost.
-    AdaBoost(AdaBoost),
-    /// Trained random forest.
-    RandomForest(RandomForest),
-    /// Trained gradient-boosted trees.
-    XgBoost(GradientBoostedTrees),
-    /// Trained linear SVM.
-    Svm(LinearSvm),
-    /// Trained MLP.
-    Dnn(Mlp),
-    /// Trained OnlineHD.
-    OnlineHd(OnlineHd),
-    /// Trained BoostHD ensemble.
-    BoostHd(BoostHd),
-}
-
-impl Classifier for AnyModel {
-    fn num_classes(&self) -> usize {
+    /// The declarative spec for this zoo column with the paper's
+    /// hyperparameters, the given seed, and (for the HDC family) the given
+    /// `D_total`.
+    pub fn spec(self, seed: u64, dim_total: usize) -> ModelSpec {
         match self {
-            AnyModel::AdaBoost(m) => m.num_classes(),
-            AnyModel::RandomForest(m) => m.num_classes(),
-            AnyModel::XgBoost(m) => m.num_classes(),
-            AnyModel::Svm(m) => m.num_classes(),
-            AnyModel::Dnn(m) => m.num_classes(),
-            AnyModel::OnlineHd(m) => m.num_classes(),
-            AnyModel::BoostHd(m) => m.num_classes(),
-        }
-    }
-
-    fn scores(&self, x: &[f32]) -> Vec<f32> {
-        match self {
-            AnyModel::AdaBoost(m) => m.scores(x),
-            AnyModel::RandomForest(m) => m.scores(x),
-            AnyModel::XgBoost(m) => m.scores(x),
-            AnyModel::Svm(m) => m.scores(x),
-            AnyModel::Dnn(m) => m.scores(x),
-            AnyModel::OnlineHd(m) => m.scores(x),
-            AnyModel::BoostHd(m) => m.scores(x),
-        }
-    }
-
-    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        match self {
-            AnyModel::AdaBoost(m) => m.predict_batch(x),
-            AnyModel::RandomForest(m) => m.predict_batch(x),
-            AnyModel::XgBoost(m) => m.predict_batch(x),
-            AnyModel::Svm(m) => m.predict_batch(x),
-            AnyModel::Dnn(m) => m.predict_batch(x),
-            AnyModel::OnlineHd(m) => m.predict_batch(x),
-            AnyModel::BoostHd(m) => m.predict_batch(x),
+            ModelKind::AdaBoost => {
+                ModelSpec::Baseline(BaselineSpec::new(BaselineKind::AdaBoost, seed))
+            }
+            ModelKind::RandomForest => {
+                ModelSpec::Baseline(BaselineSpec::new(BaselineKind::RandomForest, seed))
+            }
+            ModelKind::XgBoost => ModelSpec::Baseline(BaselineSpec::new(BaselineKind::Gbt, seed)),
+            ModelKind::Svm => ModelSpec::Baseline(BaselineSpec::new(BaselineKind::Svm, seed)),
+            ModelKind::Dnn => ModelSpec::Baseline(BaselineSpec {
+                epochs: Some(8),
+                ..BaselineSpec::new(BaselineKind::Mlp, seed)
+            }),
+            ModelKind::OnlineHd => ModelSpec::OnlineHd(OnlineHdConfig {
+                dim: dim_total,
+                seed,
+                ..OnlineHdConfig::default()
+            }),
+            ModelKind::BoostHd => ModelSpec::BoostHd(BoostHdConfig {
+                dim_total,
+                n_learners: DEFAULT_N_LEARNERS,
+                seed,
+                ..BoostHdConfig::default()
+            }),
         }
     }
 }
@@ -142,101 +118,48 @@ pub const DEFAULT_DIM_TOTAL: usize = 4000;
 /// Number of weak learners in the default BoostHD setup.
 pub const DEFAULT_N_LEARNERS: usize = 10;
 
-/// Trains `kind` on `(x, y)` with the paper's hyperparameters and the given
-/// seed.
+/// Registers the baseline builders with the [`Pipeline`] facade
+/// (idempotent; called by [`fit_spec`] so binaries don't have to).
+pub fn ensure_registry() {
+    baselines::spec::install();
+}
+
+/// Fits any [`ModelSpec`] through the unified facade with the baseline
+/// registry installed — the single construction path every binary uses.
 ///
 /// # Panics
 ///
 /// Panics if training fails (the harness treats that as a bug in the
 /// experiment setup, not a recoverable condition).
-pub fn train_model(kind: ModelKind, x: &Matrix, y: &[usize], seed: u64) -> AnyModel {
+pub fn fit_spec(spec: &ModelSpec, x: &Matrix, y: &[usize]) -> Pipeline {
+    ensure_registry();
+    Pipeline::fit(spec, x, y)
+        .unwrap_or_else(|e| panic!("{} training failed: {e}", spec.display_name()))
+}
+
+/// Trains `kind` on `(x, y)` with the paper's hyperparameters and the given
+/// seed.
+///
+/// # Panics
+///
+/// As [`fit_spec`].
+pub fn train_model(kind: ModelKind, x: &Matrix, y: &[usize], seed: u64) -> Pipeline {
     train_model_with_dim(kind, x, y, seed, DEFAULT_DIM_TOTAL)
 }
 
 /// [`train_model`] with an explicit HDC dimensionality (for `D` sweeps).
+///
+/// # Panics
+///
+/// As [`fit_spec`].
 pub fn train_model_with_dim(
     kind: ModelKind,
     x: &Matrix,
     y: &[usize],
     seed: u64,
     dim_total: usize,
-) -> AnyModel {
-    match kind {
-        ModelKind::AdaBoost => AnyModel::AdaBoost(
-            AdaBoost::fit(
-                &AdaBoostConfig {
-                    seed,
-                    ..AdaBoostConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("adaboost training"),
-        ),
-        ModelKind::RandomForest => AnyModel::RandomForest(
-            RandomForest::fit(
-                &RandomForestConfig {
-                    seed,
-                    ..RandomForestConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("random forest training"),
-        ),
-        ModelKind::XgBoost => AnyModel::XgBoost(
-            GradientBoostedTrees::fit(&GradientBoostingConfig::default(), x, y)
-                .expect("gradient boosting training"),
-        ),
-        ModelKind::Svm => AnyModel::Svm(
-            LinearSvm::fit(
-                &LinearSvmConfig {
-                    seed,
-                    ..LinearSvmConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("svm training"),
-        ),
-        ModelKind::Dnn => AnyModel::Dnn(
-            Mlp::fit(
-                &MlpConfig {
-                    seed,
-                    epochs: 8,
-                    ..MlpConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("mlp training"),
-        ),
-        ModelKind::OnlineHd => AnyModel::OnlineHd(
-            OnlineHd::fit(
-                &OnlineHdConfig {
-                    dim: dim_total,
-                    seed,
-                    ..OnlineHdConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("onlinehd training"),
-        ),
-        ModelKind::BoostHd => AnyModel::BoostHd(
-            BoostHd::fit(
-                &BoostHdConfig {
-                    dim_total,
-                    n_learners: DEFAULT_N_LEARNERS,
-                    seed,
-                    ..BoostHdConfig::default()
-                },
-                x,
-                y,
-            )
-            .expect("boosthd training"),
-        ),
-    }
+) -> Pipeline {
+    fit_spec(&kind.spec(seed, dim_total), x, y)
 }
 
 /// Fraction of subjects held out for testing throughout the benchmarks.
@@ -306,16 +229,36 @@ mod tests {
         let (train, test) = tiny_split();
         for kind in ModelKind::TABLE_ORDER {
             // Keep the DNN tiny in unit tests.
-            let model = if kind == ModelKind::Dnn {
-                AnyModel::Dnn(
-                    Mlp::fit(&MlpConfig::small(), train.features(), train.labels()).unwrap(),
-                )
+            let spec = if kind == ModelKind::Dnn {
+                ModelSpec::Baseline(BaselineSpec {
+                    hidden: Some(vec![32, 16]),
+                    epochs: Some(60),
+                    ..BaselineSpec::new(BaselineKind::Mlp, 1)
+                })
             } else {
-                train_model_with_dim(kind, train.features(), train.labels(), 1, 256)
+                kind.spec(1, 256)
             };
+            let model = fit_spec(&spec, train.features(), train.labels());
             let preds = model.predict_batch(test.features());
             assert_eq!(preds.len(), test.len(), "{}", kind.name());
             assert!(preds.iter().all(|&p| p < 3), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn zoo_specs_round_trip_through_toml() {
+        for kind in ModelKind::TABLE_ORDER {
+            let spec = kind.spec(42, DEFAULT_DIM_TOTAL);
+            let back = ModelSpec::from_toml_str(&spec.to_toml())
+                .unwrap_or_else(|e| panic!("{}: {e}", kind.name()));
+            assert_eq!(back, spec, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn spec_display_names_match_table_headers() {
+        for kind in ModelKind::TABLE_ORDER {
+            assert_eq!(kind.spec(0, 100).display_name(), kind.name());
         }
     }
 

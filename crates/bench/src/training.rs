@@ -14,9 +14,9 @@
 
 use std::time::Instant;
 
-use crate::prepare_split;
+use crate::{fit_spec, prepare_split};
 use boosthd::parallel::default_threads;
-use boosthd::{BoostHd, BoostHdConfig, Classifier, OnlineHd, OnlineHdConfig};
+use boosthd::{BoostHdConfig, ModelSpec, OnlineHdConfig, Pipeline};
 use eval_harness::metrics::accuracy;
 use eval_harness::repeat::repeat_runs_parallel;
 use linalg::kernels::{self, KernelLevel};
@@ -97,17 +97,14 @@ pub fn run_training_bench(quick: bool) {
         kernels::set_kernel_level(Some(level));
         let kernel = level.name();
 
-        let online_config = OnlineHdConfig {
+        let online_spec = ModelSpec::OnlineHd(OnlineHdConfig {
             dim,
             seed: 42,
             ..Default::default()
-        };
-        let mut model = None;
+        });
+        let mut model: Option<Pipeline> = None;
         let secs = measure(reps, || {
-            model = Some(
-                OnlineHd::fit(&online_config, train.features(), train.labels())
-                    .expect("onlinehd training"),
-            );
+            model = Some(fit_spec(&online_spec, train.features(), train.labels()));
         });
         let acc = accuracy(
             &model.expect("fit ran").predict_batch(test.features()),
@@ -121,17 +118,14 @@ pub fn run_training_bench(quick: bool) {
             accuracy_pct: acc,
         });
 
-        let boost_config = BoostHdConfig {
+        let boost_spec = ModelSpec::BoostHd(BoostHdConfig {
             dim_total: dim,
             seed: 42,
             ..Default::default()
-        };
-        let mut model = None;
+        });
+        let mut model: Option<Pipeline> = None;
         let secs = measure(reps, || {
-            model = Some(
-                BoostHd::fit(&boost_config, train.features(), train.labels())
-                    .expect("boosthd training"),
-            );
+            model = Some(fit_spec(&boost_spec, train.features(), train.labels()));
         });
         let acc = accuracy(
             &model.expect("fit ran").predict_batch(test.features()),
@@ -176,12 +170,12 @@ pub fn run_training_bench(quick: bool) {
     let scaling_runs = if quick { 2 } else { 4 };
     let experiment = |_: usize, seed: u64| {
         let (tr, te) = prepare_split(&profile, seed);
-        let config = OnlineHdConfig {
+        let spec = ModelSpec::OnlineHd(OnlineHdConfig {
             dim,
             seed,
             ..Default::default()
-        };
-        let m = OnlineHd::fit(&config, tr.features(), tr.labels()).expect("onlinehd training");
+        });
+        let m = fit_spec(&spec, tr.features(), tr.labels());
         accuracy(&m.predict_batch(te.features()), te.labels()) * 100.0
     };
     let mut scaling_rows: Vec<ScalingRow> = Vec::new();

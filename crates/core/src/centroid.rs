@@ -129,6 +129,33 @@ impl CentroidHd {
     pub fn dim(&self) -> usize {
         self.class_hvs.cols()
     }
+
+    /// Reassembles a model from its stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for inconsistent shapes.
+    pub(crate) fn from_parts(
+        encoder: SinusoidEncoder,
+        class_hvs: Matrix,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if class_hvs.rows() != num_classes {
+            return Err(BoostHdError::DataMismatch {
+                reason: "class hypervector count disagrees with header".into(),
+            });
+        }
+        if class_hvs.cols() != encoder.dim() {
+            return Err(BoostHdError::DataMismatch {
+                reason: "class hypervector width disagrees with encoder".into(),
+            });
+        }
+        Ok(Self {
+            encoder,
+            class_hvs,
+            num_classes,
+        })
+    }
 }
 
 impl Classifier for CentroidHd {

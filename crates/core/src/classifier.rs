@@ -6,11 +6,20 @@ use linalg::Matrix;
 /// Index of the largest value in `xs`; 0 for an empty slice. Ties resolve to
 /// the earliest index, matching `argmax` conventions in the reference
 /// implementations.
+///
+/// `NaN` entries lose to every non-`NaN` value, including `-∞` — a
+/// corrupted score must never win just because comparisons against it are
+/// vacuously false. A row of only `NaN`s returns 0 (and the confidence
+/// layer reports zero confidence for it, so gated deployments abstain
+/// rather than trust the fallback index).
 pub fn argmax(xs: &[f32]) -> usize {
     let mut best = 0;
-    let mut best_val = f32::NEG_INFINITY;
+    let mut best_val = f32::NAN;
     for (i, &x) in xs.iter().enumerate() {
-        if x > best_val {
+        if x.is_nan() {
+            continue;
+        }
+        if best_val.is_nan() || x > best_val {
             best_val = x;
             best = i;
         }
@@ -124,6 +133,20 @@ mod tests {
         assert_eq!(argmax(&[]), 0);
         assert_eq!(argmax(&[2.0, 2.0]), 0, "ties resolve to earliest");
         assert_eq!(argmax(&[f32::NEG_INFINITY, -1.0]), 1);
+    }
+
+    #[test]
+    fn argmax_nan_loses_to_any_non_nan_value() {
+        // Regression: NaN in slot 0 used to survive because `x > NaN` and
+        // `NaN > x` are both false — with user-facing confidences a
+        // corrupted score must never be reported as the winner.
+        assert_eq!(argmax(&[f32::NAN, -5.0]), 1);
+        assert_eq!(argmax(&[f32::NAN, f32::NEG_INFINITY]), 1);
+        assert_eq!(argmax(&[1.0, f32::NAN, 2.0]), 2);
+        assert_eq!(argmax(&[f32::NAN, f32::NAN, 0.5, f32::NAN]), 2);
+        assert_eq!(argmax(&[f32::NEG_INFINITY, f32::NAN]), 0);
+        // All-NaN rows fall back to 0 by documented convention.
+        assert_eq!(argmax(&[f32::NAN, f32::NAN]), 0);
     }
 
     #[test]

@@ -26,6 +26,14 @@
 //! and quantized models [`reliability::PerturbablePacked`] for bit-flip
 //! fault injection.
 //!
+//! The recommended front door is the **unified facade** ([`pipeline`]):
+//! describe any model (HDC or classical baseline) as a serializable
+//! [`ModelSpec`], train it with [`Pipeline::fit`], ask for
+//! confidence-gated predictions
+//! ([`Pipeline::predict_with_confidence`]), and persist it through one
+//! versioned envelope ([`Pipeline::save`]/[`Pipeline::load`]) that wraps
+//! the per-model codecs in [`persist`].
+//!
 //! # Quickstart
 //!
 //! ```
@@ -65,11 +73,16 @@ pub mod error;
 pub mod online;
 pub mod parallel;
 pub mod persist;
+pub mod pipeline;
 pub mod quantized;
+pub mod spec;
+pub mod toml;
 
 pub use boost::{BoostHd, BoostHdConfig, Voting};
 pub use centroid::{CentroidHd, CentroidHdConfig};
 pub use classifier::{argmax, Classifier};
 pub use error::{BoostHdError, Result};
 pub use online::{OnlineHd, OnlineHdConfig};
+pub use pipeline::{Model, Pipeline, Prediction};
 pub use quantized::{QuantizedBoostHd, QuantizedHd};
+pub use spec::{BaselineKind, BaselineSpec, ModelSpec};

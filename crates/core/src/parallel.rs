@@ -57,28 +57,87 @@ pub fn set_default_threads(threads: usize) {
     THREAD_OVERRIDE.store(threads, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// Parses one `HDC_THREADS` value: a positive integer worker count. The
+/// empty string resolves to `None` (unset). Anything else — zero,
+/// negatives, non-numeric text — is rejected so a typo like
+/// `HDC_THREADS=max` cannot silently fall back to hardware detection.
+///
+/// # Errors
+///
+/// Returns [`crate::BoostHdError::InvalidConfig`] naming the variable and
+/// the offending value.
+pub fn parse_threads_value(value: &str) -> crate::error::Result<Option<usize>> {
+    let v = value.trim();
+    if v.is_empty() {
+        return Ok(None);
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(crate::BoostHdError::InvalidConfig {
+            reason: format!(
+                "environment variable {THREADS_ENV_VAR} holds unparseable value `{value}` \
+                 (expected a positive integer)"
+            ),
+        }),
+    }
+}
+
+/// [`default_threads`] with validated environment parsing: garbage
+/// `HDC_THREADS` values surface as an error instead of a silent hardware
+/// fallback. The facade ([`crate::Pipeline::fit`]) and the `hdrun` CLI go
+/// through this form.
+///
+/// # Errors
+///
+/// As [`parse_threads_value`].
+pub fn try_default_threads() -> crate::error::Result<usize> {
+    let forced = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+    if forced > 0 {
+        return Ok(forced);
+    }
+    let from_env = match std::env::var(THREADS_ENV_VAR) {
+        Ok(v) => parse_threads_value(&v)?,
+        Err(_) => None,
+    };
+    Ok(from_env.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }))
+}
+
+/// Validates every runtime-tuning environment variable the stack consults
+/// (`HDC_THREADS` here, `HDC_FORCE_SCALAR` in `linalg::kernels`), mapping
+/// each failure to a clear [`crate::BoostHdError::InvalidConfig`]. Called
+/// once per [`crate::Pipeline::fit`] so config-driven deployments reject
+/// garbage before any work starts.
+///
+/// # Errors
+///
+/// Returns the first invalid variable found.
+pub fn validate_runtime_env() -> crate::error::Result<()> {
+    try_default_threads()?;
+    linalg::kernels::force_scalar_from_env().map_err(|e| crate::BoostHdError::InvalidConfig {
+        reason: e.to_string(),
+    })?;
+    Ok(())
+}
+
 /// Number of worker threads to use by default, resolved in priority order:
 ///
 /// 1. a programmatic [`set_default_threads`] override;
 /// 2. the `HDC_THREADS` environment variable (positive integer);
 /// 3. the machine's available parallelism, capped at 8 (the experiment
 ///    binaries never benefit beyond that at our batch sizes).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when `HDC_THREADS` holds a value
+/// [`parse_threads_value`] rejects (use [`try_default_threads`] to surface
+/// the same condition as an error).
 pub fn default_threads() -> usize {
-    let forced = THREAD_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
-    if forced > 0 {
-        return forced;
-    }
-    if let Some(n) = std::env::var(THREADS_ENV_VAR)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
+    try_default_threads().unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -113,6 +172,45 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_value_parsing_accepts_positives_and_rejects_garbage() {
+        // String-level tests: mutating the process environment would race
+        // the other tests in this binary.
+        assert_eq!(parse_threads_value("4").unwrap(), Some(4));
+        assert_eq!(parse_threads_value(" 12 ").unwrap(), Some(12));
+        assert_eq!(parse_threads_value("").unwrap(), None);
+        for garbage in ["0", "-3", "max", "4.5", "eight", "1e2"] {
+            let err = parse_threads_value(garbage).unwrap_err();
+            assert!(err.to_string().contains("HDC_THREADS"), "{garbage}: {err}");
+            assert!(err.to_string().contains(garbage), "{garbage}: {err}");
+        }
+    }
+
+    #[test]
+    fn force_scalar_parsing_rejects_garbage() {
+        use linalg::kernels::parse_force_scalar_value;
+        assert!(parse_force_scalar_value("1").unwrap());
+        assert!(parse_force_scalar_value("TRUE").unwrap());
+        assert!(!parse_force_scalar_value("0").unwrap());
+        assert!(!parse_force_scalar_value("").unwrap());
+        for garbage in ["yes", "2", "scalar", "on"] {
+            let err = parse_force_scalar_value(garbage).unwrap_err();
+            assert!(
+                err.to_string().contains("HDC_FORCE_SCALAR"),
+                "{garbage}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn validate_runtime_env_passes_in_clean_environments() {
+        // CI never exports garbage values; locally this doubles as a guard
+        // that the validation path stays wired.
+        if std::env::var(THREADS_ENV_VAR).is_err() {
+            assert!(validate_runtime_env().is_ok());
+        }
     }
 
     #[test]

@@ -51,7 +51,7 @@ use linalg::Matrix;
 const MAGIC: u32 = 0x3144_4842;
 /// Bump on any incompatible layout change; readers accept every version
 /// back to [`MIN_VERSION`] whose layout for the requested kind is known.
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
 /// Oldest readable blob version.
 const MIN_VERSION: u8 = 1;
 const KIND_ONLINE: u8 = 1;
@@ -60,6 +60,8 @@ const KIND_BOOST: u8 = 2;
 const KIND_QUANT_ONLINE: u8 = 3;
 /// Bitpacked boosted ensemble ([`QuantizedBoostHd`]); requires v2.
 const KIND_QUANT_BOOST: u8 = 4;
+/// Single-pass centroid model ([`crate::CentroidHd`]); requires v3.
+const KIND_CENTROID: u8 = 5;
 
 fn persist_err(reason: impl Into<String>) -> BoostHdError {
     BoostHdError::DataMismatch {
@@ -313,6 +315,11 @@ fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<()> {
             "model kind {kind} requires blob version 2, got {version}"
         )));
     }
+    if version < 3 && kind == KIND_CENTROID {
+        return Err(persist_err(format!(
+            "model kind {kind} requires blob version 3, got {version}"
+        )));
+    }
     let got = r.get_u8()?;
     if got != kind {
         return Err(persist_err(format!(
@@ -392,6 +399,55 @@ impl OnlineHd {
     /// # Errors
     ///
     /// As [`OnlineHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl crate::CentroidHd {
+    /// Serializes the trained model to the compact binary format (v3).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_CENTROID);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_matrix(self.class_hypervectors());
+        w.into_bytes()
+    }
+
+    /// Deserializes a model written by [`crate::CentroidHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        check_header(&mut r, KIND_CENTROID)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r)?;
+        let class_hvs = r.get_matrix()?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, class_hvs, num_classes)
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads a model written by [`crate::CentroidHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`crate::CentroidHd::from_bytes`], plus I/O failures.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
         Self::from_bytes(&bytes)
@@ -892,10 +948,38 @@ mod tests {
         };
         let model = OnlineHd::fit(&config, &x, &y).unwrap();
         let mut bytes = model.to_bytes();
-        assert_eq!(bytes[4], 2, "current writer stamps v2");
+        assert_eq!(bytes[4], 3, "current writer stamps v3");
         bytes[4] = 1;
         let restored = OnlineHd::from_bytes(&bytes).unwrap();
         assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+    }
+
+    #[test]
+    fn centroid_round_trip_preserves_predictions() {
+        let (x, y) = toy();
+        let config = crate::CentroidHdConfig {
+            dim: 96,
+            ..Default::default()
+        };
+        let model = crate::CentroidHd::fit(&config, &x, &y).unwrap();
+        let restored = crate::CentroidHd::from_bytes(&model.to_bytes()).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+        assert_eq!(model.class_hypervectors(), restored.class_hypervectors());
+    }
+
+    #[test]
+    fn centroid_blob_requires_v3_and_rejects_other_kinds() {
+        let (x, y) = toy();
+        let config = crate::CentroidHdConfig {
+            dim: 64,
+            ..Default::default()
+        };
+        let model = crate::CentroidHd::fit(&config, &x, &y).unwrap();
+        let mut bytes = model.to_bytes();
+        assert!(OnlineHd::from_bytes(&bytes).is_err(), "kind is disjoint");
+        bytes[4] = 2; // pretend the blob predates the centroid kind
+        let err = crate::CentroidHd::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("requires blob version 3"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,789 @@
+//! The [`Pipeline`] facade: config-driven training, confidence-aware
+//! prediction, and one persistence envelope for every model family.
+//!
+//! The reproduction used to expose one bespoke config struct and ad-hoc
+//! `fit`/`to_bytes` pair per model; a caller wiring a healthcare
+//! deployment had to know five APIs and two blob formats. This module is
+//! the single front door the ROADMAP's "architecture that enables all
+//! three" step asks for:
+//!
+//! * [`Pipeline::fit`] turns a declarative [`ModelSpec`] into a trained
+//!   model ([`Box<dyn Model>`] under the hood) — every family in the
+//!   evaluation, HDC and classical, through one call;
+//! * [`Pipeline::predict_with_confidence`] returns normalized per-class
+//!   probabilities, the top-two margin, and an abstention flag driven by a
+//!   configurable threshold — the "how sure are we?" signal an
+//!   abstain/escalate clinical workflow gates on (the paper's reliability
+//!   argument made operational);
+//! * [`Pipeline::save`]/[`Pipeline::load`] wrap the per-model binary
+//!   codecs in one versioned envelope that also records the spec, so a
+//!   deployed artifact knows how to rebuild and re-evaluate itself.
+//!
+//! # Example
+//!
+//! ```
+//! use boosthd::{ModelSpec, OnlineHdConfig, Pipeline};
+//! use linalg::{Matrix, Rng64};
+//!
+//! let mut rng = Rng64::seed_from(9);
+//! let x = Matrix::random_normal(60, 3, &mut rng);
+//! let y: Vec<usize> = (0..60).map(|i| i % 2).collect();
+//!
+//! let spec = ModelSpec::OnlineHd(OnlineHdConfig { dim: 128, epochs: 3, ..Default::default() });
+//! let pipeline = Pipeline::fit(&spec, &x, &y)?.with_abstain_threshold(0.55);
+//!
+//! let p = pipeline.predict_with_confidence(x.row(0));
+//! assert!((0.0..=1.0).contains(&p.confidence));
+//! assert_eq!(p.probabilities.len(), 2);
+//!
+//! // One envelope for every family: save, load, identical predictions.
+//! let bytes = pipeline.to_bytes()?;
+//! let restored = Pipeline::from_bytes(&bytes)?;
+//! assert_eq!(pipeline.predict_batch(&x), restored.predict_batch(&x));
+//! assert_eq!(restored.spec(), pipeline.spec());
+//! # Ok::<(), boosthd::BoostHdError>(())
+//! ```
+
+use std::any::Any;
+use std::sync::Mutex;
+
+use crate::boost::BoostHd;
+use crate::centroid::CentroidHd;
+use crate::classifier::{argmax, predict_batch_chunked, Classifier};
+use crate::error::{BoostHdError, Result};
+use crate::online::OnlineHd;
+use crate::persist::{Reader, Writer};
+use crate::quantized::{QuantizedBoostHd, QuantizedHd};
+use crate::spec::{BaselineSpec, ModelSpec};
+use linalg::Matrix;
+
+fn pipeline_err(reason: impl Into<String>) -> BoostHdError {
+    BoostHdError::DataMismatch {
+        reason: reason.into(),
+    }
+}
+
+/// Which binary payload codec a [`Model`] serializes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PayloadKind {
+    /// Dense-f32 OnlineHD ([`OnlineHd::to_bytes`]).
+    OnlineHd,
+    /// Dense-f32 centroid model ([`CentroidHd::to_bytes`]).
+    CentroidHd,
+    /// Dense-f32 boosted ensemble ([`BoostHd::to_bytes`]).
+    BoostHd,
+    /// Bitpacked single-learner model ([`QuantizedHd::to_bytes`]).
+    QuantizedHd,
+    /// Bitpacked boosted ensemble ([`QuantizedBoostHd::to_bytes`]).
+    QuantizedBoostHd,
+    /// No binary codec (the classical baselines); saving reports a clear
+    /// error instead of writing an unreadable blob.
+    Unsupported,
+}
+
+impl PayloadKind {
+    fn tag(self) -> u8 {
+        match self {
+            PayloadKind::Unsupported => 0,
+            PayloadKind::OnlineHd => 1,
+            PayloadKind::CentroidHd => 2,
+            PayloadKind::BoostHd => 3,
+            PayloadKind::QuantizedHd => 4,
+            PayloadKind::QuantizedBoostHd => 5,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Result<Self> {
+        Ok(match tag {
+            0 => PayloadKind::Unsupported,
+            1 => PayloadKind::OnlineHd,
+            2 => PayloadKind::CentroidHd,
+            3 => PayloadKind::BoostHd,
+            4 => PayloadKind::QuantizedHd,
+            5 => PayloadKind::QuantizedBoostHd,
+            other => return Err(pipeline_err(format!("unknown payload kind {other}"))),
+        })
+    }
+}
+
+/// A trained model behind the [`Pipeline`] facade: classification plus the
+/// persistence hooks the envelope needs, object-safe so heterogeneous
+/// model zoos are `Vec<Pipeline>` instead of bespoke enums.
+///
+/// Implemented by the five HDC models here and by the classical baselines
+/// in the `baselines` crate.
+pub trait Model: Classifier + Send + Sync {
+    /// Which binary codec [`Model::to_payload`] writes.
+    fn payload_kind(&self) -> PayloadKind;
+
+    /// Serializes the model through its binary codec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families without a
+    /// codec ([`PayloadKind::Unsupported`]).
+    fn to_payload(&self) -> Result<Vec<u8>>;
+
+    /// Upcast for concrete-type escape hatches ([`Pipeline::downcast_ref`]).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast ([`Pipeline::downcast_mut`]).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+macro_rules! impl_hdc_model {
+    ($ty:ty, $kind:expr) => {
+        impl Model for $ty {
+            fn payload_kind(&self) -> PayloadKind {
+                $kind
+            }
+            fn to_payload(&self) -> Result<Vec<u8>> {
+                Ok(self.to_bytes())
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+    };
+}
+
+impl_hdc_model!(OnlineHd, PayloadKind::OnlineHd);
+impl_hdc_model!(CentroidHd, PayloadKind::CentroidHd);
+impl_hdc_model!(BoostHd, PayloadKind::BoostHd);
+impl_hdc_model!(QuantizedHd, PayloadKind::QuantizedHd);
+impl_hdc_model!(QuantizedBoostHd, PayloadKind::QuantizedBoostHd);
+
+/// Builder the `baselines` crate registers so [`Pipeline::fit`] can
+/// construct [`ModelSpec::Baseline`] models without a dependency cycle
+/// (`baselines` depends on this crate for the [`Classifier`] trait).
+pub type BaselineBuilder = fn(&BaselineSpec, &Matrix, &[usize]) -> Result<Box<dyn Model>>;
+
+static BASELINE_BUILDER: Mutex<Option<BaselineBuilder>> = Mutex::new(None);
+
+/// Registers the process-wide baseline builder (idempotent; the last
+/// registration wins). Call `baselines::spec::install()` rather than this
+/// directly.
+pub fn register_baseline_builder(builder: BaselineBuilder) {
+    *BASELINE_BUILDER
+        .lock()
+        .expect("baseline builder lock poisoned") = Some(builder);
+}
+
+fn baseline_builder() -> Result<BaselineBuilder> {
+    BASELINE_BUILDER
+        .lock()
+        .expect("baseline builder lock poisoned")
+        .ok_or_else(|| BoostHdError::InvalidConfig {
+            reason: "no baseline builder registered — call baselines::spec::install() \
+                     before fitting ModelSpec::Baseline"
+                .into(),
+        })
+}
+
+/// Softmax-normalized per-class probabilities for one score row.
+///
+/// Model score scales differ (cosine similarities, `α`-weighted votes,
+/// margins, log-odds); the softmax puts them all on one `[0, 1]`,
+/// sums-to-one scale whose argmax agrees with the raw scores. Non-finite
+/// scores carry no evidence and map to probability 0; a row with no finite
+/// score at all returns all zeros (so downstream confidence gating
+/// abstains instead of trusting garbage).
+pub fn normalized_probabilities(scores: &[f32]) -> Vec<f32> {
+    let max = scores
+        .iter()
+        .copied()
+        .filter(|s| s.is_finite())
+        .fold(f32::NEG_INFINITY, f32::max);
+    if !max.is_finite() {
+        return vec![0.0; scores.len()];
+    }
+    let exps: Vec<f32> = scores
+        .iter()
+        .map(|&s| if s.is_finite() { (s - max).exp() } else { 0.0 })
+        .collect();
+    let sum: f32 = exps.iter().sum();
+    if sum <= 0.0 || !sum.is_finite() {
+        return vec![0.0; scores.len()];
+    }
+    exps.iter().map(|e| (e / sum).clamp(0.0, 1.0)).collect()
+}
+
+/// One confidence-aware prediction; see
+/// [`Pipeline::predict_with_confidence`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// The predicted class (argmax of the raw scores).
+    pub class: usize,
+    /// Probability of the predicted class, in `[0, 1]` (0 when the score
+    /// row carried no finite evidence).
+    pub confidence: f32,
+    /// Top-1 minus top-2 probability, in `[0, 1]` — the separation signal
+    /// the reliability literature gates on.
+    pub margin: f32,
+    /// Softmax-normalized per-class probabilities
+    /// ([`normalized_probabilities`]).
+    pub probabilities: Vec<f32>,
+    /// Whether the confidence fell below the pipeline's abstention
+    /// threshold.
+    pub abstained: bool,
+}
+
+impl Prediction {
+    /// The gated decision: `Some(class)` when confident enough, `None`
+    /// when the pipeline abstained (escalate to a clinician / stronger
+    /// model).
+    pub fn decision(&self) -> Option<usize> {
+        if self.abstained {
+            None
+        } else {
+            Some(self.class)
+        }
+    }
+}
+
+/// `"BHDP"` little-endian — the envelope magic (distinct from the inner
+/// model-blob magic so the two layers cannot be confused).
+const ENVELOPE_MAGIC: u32 = 0x5044_4842;
+const ENVELOPE_VERSION: u8 = 1;
+
+/// The unified model facade; see the [module docs](self).
+pub struct Pipeline {
+    spec: ModelSpec,
+    model: Box<dyn Model>,
+    abstain_threshold: f32,
+}
+
+impl std::fmt::Debug for Pipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("spec", &self.spec)
+            .field("abstain_threshold", &self.abstain_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Pipeline {
+    /// Trains the model `spec` describes on feature rows `x` with labels
+    /// `y` — the one construction path every experiment binary, example,
+    /// and deployment goes through.
+    ///
+    /// # Errors
+    ///
+    /// * [`BoostHdError::InvalidConfig`] for invalid hyperparameters, a
+    ///   garbage `HDC_THREADS`/`HDC_FORCE_SCALAR` environment value, or an
+    ///   unregistered baseline builder;
+    /// * [`BoostHdError::DataMismatch`] for inconsistent training data.
+    pub fn fit(spec: &ModelSpec, x: &Matrix, y: &[usize]) -> Result<Self> {
+        crate::parallel::validate_runtime_env()?;
+        let model: Box<dyn Model> = match spec {
+            ModelSpec::OnlineHd(c) => Box::new(OnlineHd::fit(c, x, y)?),
+            ModelSpec::CentroidHd(c) => Box::new(CentroidHd::fit(c, x, y)?),
+            ModelSpec::BoostHd(c) => Box::new(BoostHd::fit(c, x, y)?),
+            ModelSpec::QuantizedOnlineHd { base, refit_epochs } => {
+                let dense = OnlineHd::fit(base, x, y)?;
+                Box::new(if *refit_epochs == 0 {
+                    dense.quantize()
+                } else {
+                    dense.quantize_with_refit(x, y, *refit_epochs)?
+                })
+            }
+            ModelSpec::QuantizedBoostHd { base, refit_epochs } => {
+                let dense = BoostHd::fit(base, x, y)?;
+                Box::new(if *refit_epochs == 0 {
+                    dense.quantize()
+                } else {
+                    dense.quantize_with_refit(x, y, *refit_epochs)?
+                })
+            }
+            ModelSpec::Baseline(b) => baseline_builder()?(b, x, y)?,
+        };
+        Ok(Self {
+            spec: spec.clone(),
+            model,
+            abstain_threshold: 0.0,
+        })
+    }
+
+    /// Wraps an already-trained model with its spec (the load path, and
+    /// the escape hatch for models trained outside the facade).
+    pub fn from_model(spec: ModelSpec, model: Box<dyn Model>) -> Self {
+        Self {
+            spec,
+            model,
+            abstain_threshold: 0.0,
+        }
+    }
+
+    /// The spec the model was built from.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The trained model behind the facade.
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// Concrete-type view of the trained model, when the caller knows the
+    /// family (fault-injection sweeps cloning the model, streaming updates
+    /// on [`OnlineHd`], ...).
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.model.as_any().downcast_ref::<T>()
+    }
+
+    /// Mutable concrete-type view ([`Pipeline::downcast_ref`]).
+    pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
+        self.model.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Sets the abstention threshold: predictions whose confidence falls
+    /// below it report `abstained = true`. `0.0` (the default) never
+    /// abstains. Returns `self` for chaining.
+    pub fn with_abstain_threshold(mut self, threshold: f32) -> Self {
+        self.set_abstain_threshold(threshold);
+        self
+    }
+
+    /// In-place [`Pipeline::with_abstain_threshold`].
+    pub fn set_abstain_threshold(&mut self, threshold: f32) {
+        self.abstain_threshold = threshold.clamp(0.0, 1.0);
+    }
+
+    /// The active abstention threshold.
+    pub fn abstain_threshold(&self) -> f32 {
+        self.abstain_threshold
+    }
+
+    /// Predicted class for one feature vector (ungated; see
+    /// [`Pipeline::predict_with_confidence`] for the reliability-aware
+    /// form).
+    pub fn predict(&self, x: &[f32]) -> usize {
+        self.model.predict(x)
+    }
+
+    /// Predicted classes for every row of `x`, through the model's batched
+    /// path.
+    pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        self.model.predict_batch(x)
+    }
+
+    /// [`Pipeline::predict_batch`] fanned out over `threads` scoped worker
+    /// threads (identical results for any thread count).
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        predict_batch_chunked(self, x, threads)
+    }
+
+    fn prediction_from_scores(&self, scores: &[f32]) -> Prediction {
+        let probabilities = normalized_probabilities(scores);
+        let class = argmax(scores);
+        let mut top = 0.0f32;
+        let mut second = 0.0f32;
+        for &p in &probabilities {
+            if p > top {
+                second = top;
+                top = p;
+            } else if p > second {
+                second = p;
+            }
+        }
+        let confidence = probabilities.get(class).copied().unwrap_or(0.0);
+        Prediction {
+            class,
+            confidence,
+            margin: (top - second).clamp(0.0, 1.0),
+            probabilities,
+            abstained: self.abstain_threshold > 0.0 && confidence < self.abstain_threshold,
+        }
+    }
+
+    /// Confidence-aware prediction for one feature vector: normalized
+    /// per-class probabilities, top-two margin, and the abstention flag
+    /// (see [`Prediction`]).
+    pub fn predict_with_confidence(&self, x: &[f32]) -> Prediction {
+        self.prediction_from_scores(&self.model.scores(x))
+    }
+
+    /// Confidence-aware predictions for every row of `x`, through the
+    /// model's batched scoring path (row-identical to the single-sample
+    /// form).
+    pub fn predict_batch_with_confidence(&self, x: &Matrix) -> Vec<Prediction> {
+        let scores = self.model.scores_batch(x);
+        (0..scores.rows())
+            .map(|r| self.prediction_from_scores(scores.row(r)))
+            .collect()
+    }
+
+    /// Serializes the pipeline — spec, abstention threshold, and model
+    /// payload — into the versioned envelope.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families without a
+    /// binary codec (the classical baselines).
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let kind = self.model.payload_kind();
+        if kind == PayloadKind::Unsupported {
+            return Err(BoostHdError::InvalidConfig {
+                reason: format!(
+                    "model family `{}` has no binary codec; only the HDC models persist",
+                    self.spec.display_name()
+                ),
+            });
+        }
+        let payload = self.model.to_payload()?;
+        let spec_toml = self.spec.to_toml();
+        let mut w = Writer::new();
+        w.put_u32(ENVELOPE_MAGIC);
+        w.put_u8(ENVELOPE_VERSION);
+        w.put_u8(kind.tag());
+        w.put_f32(self.abstain_threshold);
+        w.put_u64(spec_toml.len() as u64);
+        for &b in spec_toml.as_bytes() {
+            w.put_u8(b);
+        }
+        w.put_u64(payload.len() as u64);
+        for &b in &payload {
+            w.put_u8(b);
+        }
+        Ok(w.into_bytes())
+    }
+
+    /// Deserializes an envelope written by [`Pipeline::to_bytes`],
+    /// restoring the spec, abstention threshold, and model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated or corrupt
+    /// envelopes, and [`BoostHdError::InvalidConfig`] when the embedded
+    /// spec disagrees with the payload kind.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        if r.get_u32()? != ENVELOPE_MAGIC {
+            return Err(pipeline_err("not a pipeline envelope (bad magic)"));
+        }
+        let version = r.get_u8()?;
+        if version != ENVELOPE_VERSION {
+            return Err(pipeline_err(format!(
+                "unsupported envelope version {version} (supported {ENVELOPE_VERSION})"
+            )));
+        }
+        let kind = PayloadKind::from_tag(r.get_u8()?)?;
+        let abstain_threshold = r.get_f32()?;
+        let spec_len = r.get_len()?;
+        let mut spec_bytes = Vec::with_capacity(spec_len.min(1 << 20));
+        for _ in 0..spec_len {
+            spec_bytes.push(r.get_u8()?);
+        }
+        let spec_toml = String::from_utf8(spec_bytes)
+            .map_err(|_| pipeline_err("envelope spec is not valid UTF-8"))?;
+        let spec = ModelSpec::from_toml_str(&spec_toml)?;
+        if expected_payload_kind(&spec) != kind {
+            return Err(BoostHdError::InvalidConfig {
+                reason: format!(
+                    "envelope payload kind disagrees with its spec (`{}`)",
+                    spec.kind_tag()
+                ),
+            });
+        }
+        let payload_len = r.get_len()?;
+        let mut payload = Vec::with_capacity(payload_len.min(1 << 24));
+        for _ in 0..payload_len {
+            payload.push(r.get_u8()?);
+        }
+        if !r.is_exhausted() {
+            return Err(pipeline_err("trailing bytes after pipeline envelope"));
+        }
+        let model: Box<dyn Model> = match kind {
+            PayloadKind::OnlineHd => Box::new(OnlineHd::from_bytes(&payload)?),
+            PayloadKind::CentroidHd => Box::new(CentroidHd::from_bytes(&payload)?),
+            PayloadKind::BoostHd => Box::new(BoostHd::from_bytes(&payload)?),
+            PayloadKind::QuantizedHd => Box::new(QuantizedHd::from_bytes(&payload)?),
+            PayloadKind::QuantizedBoostHd => Box::new(QuantizedBoostHd::from_bytes(&payload)?),
+            PayloadKind::Unsupported => {
+                return Err(pipeline_err("envelope holds no loadable payload"));
+            }
+        };
+        let mut pipeline = Self::from_model(spec, model);
+        pipeline.set_abstain_threshold(abstain_threshold);
+        Ok(pipeline)
+    }
+
+    /// Writes the envelope to a file.
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::to_bytes`], plus I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes).map_err(|e| pipeline_err(e.to_string()))
+    }
+
+    /// Reads an envelope written by [`Pipeline::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Pipeline::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| pipeline_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+/// The payload kind a spec's trained model serializes through.
+fn expected_payload_kind(spec: &ModelSpec) -> PayloadKind {
+    match spec {
+        ModelSpec::OnlineHd(_) => PayloadKind::OnlineHd,
+        ModelSpec::CentroidHd(_) => PayloadKind::CentroidHd,
+        ModelSpec::BoostHd(_) => PayloadKind::BoostHd,
+        ModelSpec::QuantizedOnlineHd { .. } => PayloadKind::QuantizedHd,
+        ModelSpec::QuantizedBoostHd { .. } => PayloadKind::QuantizedBoostHd,
+        ModelSpec::Baseline(_) => PayloadKind::Unsupported,
+    }
+}
+
+impl Classifier for Pipeline {
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        self.model.scores(x)
+    }
+
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        self.model.scores_batch(x)
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        self.model.predict_batch(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::OnlineHdConfig;
+    use crate::spec::default_specs;
+    use crate::{BoostHdConfig, CentroidHdConfig};
+    use linalg::Rng64;
+
+    fn toy() -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::seed_from(12);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..90 {
+            let class = i % 3;
+            rows.push(vec![class as f32 + 0.2 * rng.normal(), 0.2 * rng.normal()]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn hdc_specs() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::OnlineHd(OnlineHdConfig {
+                dim: 96,
+                epochs: 3,
+                ..Default::default()
+            }),
+            ModelSpec::CentroidHd(CentroidHdConfig {
+                dim: 96,
+                ..Default::default()
+            }),
+            ModelSpec::BoostHd(BoostHdConfig {
+                dim_total: 120,
+                n_learners: 4,
+                epochs: 2,
+                ..Default::default()
+            }),
+            ModelSpec::QuantizedOnlineHd {
+                base: OnlineHdConfig {
+                    dim: 96,
+                    epochs: 3,
+                    ..Default::default()
+                },
+                refit_epochs: 2,
+            },
+            ModelSpec::QuantizedBoostHd {
+                base: BoostHdConfig {
+                    dim_total: 120,
+                    n_learners: 4,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                refit_epochs: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_hdc_spec_fits_and_round_trips_the_envelope() {
+        let (x, y) = toy();
+        for spec in hdc_specs() {
+            let pipeline = Pipeline::fit(&spec, &x, &y)
+                .unwrap_or_else(|e| panic!("{} failed to fit: {e}", spec.kind_tag()));
+            let restored = Pipeline::from_bytes(&pipeline.to_bytes().unwrap())
+                .unwrap_or_else(|e| panic!("{} failed to reload: {e}", spec.kind_tag()));
+            assert_eq!(
+                pipeline.predict_batch(&x),
+                restored.predict_batch(&x),
+                "{} predictions drifted through the envelope",
+                spec.kind_tag()
+            );
+            assert_eq!(restored.spec(), &spec, "{}", spec.kind_tag());
+        }
+    }
+
+    #[test]
+    fn envelope_preserves_abstain_threshold() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .with_abstain_threshold(0.61);
+        let restored = Pipeline::from_bytes(&pipeline.to_bytes().unwrap()).unwrap();
+        assert!((restored.abstain_threshold() - 0.61).abs() < 1e-6);
+    }
+
+    #[test]
+    fn corrupt_envelopes_fail_loudly() {
+        let (x, y) = toy();
+        let bytes = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(Pipeline::from_bytes(&bad_magic).is_err());
+        assert!(Pipeline::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(Pipeline::from_bytes(&trailing).is_err());
+        let mut wrong_version = bytes;
+        wrong_version[4] = 9;
+        assert!(Pipeline::from_bytes(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn confidence_is_normalized_and_margin_bounded() {
+        let (x, y) = toy();
+        for spec in hdc_specs() {
+            let pipeline = Pipeline::fit(&spec, &x, &y).unwrap();
+            for p in pipeline.predict_batch_with_confidence(&x) {
+                assert!(
+                    (0.0..=1.0).contains(&p.confidence),
+                    "{}: confidence {}",
+                    spec.kind_tag(),
+                    p.confidence
+                );
+                assert!((0.0..=1.0).contains(&p.margin));
+                let sum: f32 = p.probabilities.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-4, "probabilities sum {sum}");
+                assert!(!p.abstained, "threshold 0 never abstains");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_confidence_matches_rowwise() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[2], &x, &y).unwrap();
+        let batch = pipeline.predict_batch_with_confidence(&x);
+        for (r, batched) in batch.iter().enumerate() {
+            let single = pipeline.predict_with_confidence(x.row(r));
+            assert_eq!(single.class, batched.class);
+            assert!((single.confidence - batched.confidence).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn abstention_threshold_gates_monotonically() {
+        let (x, y) = toy();
+        let mut pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y).unwrap();
+        let mut previous = 0usize;
+        for threshold in [0.0f32, 0.34, 0.6, 0.9, 1.0] {
+            pipeline.set_abstain_threshold(threshold);
+            let abstained = pipeline
+                .predict_batch_with_confidence(&x)
+                .iter()
+                .filter(|p| p.abstained)
+                .count();
+            assert!(
+                abstained >= previous,
+                "raising the threshold to {threshold} reduced abstentions"
+            );
+            previous = abstained;
+        }
+        // At threshold 1.0 + ε-free softmax, every 3-class prediction with
+        // confidence < 1 abstains; decision() mirrors the flag.
+        pipeline.set_abstain_threshold(0.5);
+        for p in pipeline.predict_batch_with_confidence(&x) {
+            assert_eq!(p.decision().is_none(), p.abstained);
+        }
+    }
+
+    #[test]
+    fn nan_scores_yield_zero_confidence_and_abstain() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .with_abstain_threshold(0.1);
+        let p = pipeline.prediction_from_scores(&[f32::NAN, f32::NAN, f32::NAN]);
+        assert_eq!(p.confidence, 0.0);
+        assert!(p.abstained);
+        assert_eq!(p.decision(), None);
+        let p = pipeline.prediction_from_scores(&[f32::NAN, 0.4, 0.1]);
+        assert_eq!(p.class, 1, "NaN loses to finite scores");
+        assert_eq!(p.probabilities[0], 0.0);
+    }
+
+    #[test]
+    fn unregistered_baseline_reports_clear_error() {
+        // Nothing in this crate's test binary ever registers a baseline
+        // builder (the registration lives in the `baselines` crate), so
+        // the registry is guaranteed empty here.
+        let ModelSpec::Baseline(_) = &default_specs(1)[5] else {
+            panic!("spec order changed");
+        };
+        let (x, y) = toy();
+        let err = Pipeline::fit(&default_specs(1)[5], &x, &y).unwrap_err();
+        assert!(
+            err.to_string().contains("no baseline builder registered"),
+            "{err}"
+        );
+        assert!(
+            err.to_string().contains("baselines::spec::install"),
+            "error must tell the caller the fix: {err}"
+        );
+    }
+
+    #[test]
+    fn downcasts_reach_the_concrete_model() {
+        let (x, y) = toy();
+        let mut pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y).unwrap();
+        assert!(pipeline.downcast_ref::<OnlineHd>().is_some());
+        assert!(pipeline.downcast_ref::<BoostHd>().is_none());
+        let before = pipeline.predict(x.row(0));
+        // The mutable downcast reaches OnlineHd's streaming update hook.
+        pipeline
+            .downcast_mut::<OnlineHd>()
+            .unwrap()
+            .update(x.row(0), y[0])
+            .unwrap();
+        let _ = before;
+    }
+
+    #[test]
+    fn pipeline_is_a_classifier_for_the_serving_engine() {
+        fn takes_classifier<C: Classifier + Sync>(_c: &C) {}
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[1], &x, &y).unwrap();
+        takes_classifier(&pipeline);
+        assert_eq!(
+            pipeline.predict_batch_parallel(&x, 3),
+            pipeline.predict_batch(&x)
+        );
+    }
+}

@@ -249,3 +249,135 @@ mod batch_row_equivalence {
         assert_eq!(online.quantize().packed_bit_count(), 3 * 64);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Unified ModelSpec → Pipeline facade
+// ---------------------------------------------------------------------------
+
+/// The five HDC spec variants at small, property-test-friendly sizes.
+fn small_hdc_specs(seed: u64) -> Vec<boosthd::ModelSpec> {
+    use boosthd::ModelSpec;
+    vec![
+        ModelSpec::OnlineHd(OnlineHdConfig {
+            dim: 72,
+            epochs: 2,
+            seed,
+            ..Default::default()
+        }),
+        ModelSpec::CentroidHd(CentroidHdConfig { dim: 72, seed }),
+        ModelSpec::BoostHd(BoostHdConfig {
+            dim_total: 96,
+            n_learners: 4,
+            epochs: 2,
+            seed,
+            ..Default::default()
+        }),
+        ModelSpec::QuantizedOnlineHd {
+            base: OnlineHdConfig {
+                dim: 72,
+                epochs: 2,
+                seed,
+                ..Default::default()
+            },
+            refit_epochs: 1,
+        },
+        ModelSpec::QuantizedBoostHd {
+            base: BoostHdConfig {
+                dim_total: 96,
+                n_learners: 4,
+                epochs: 2,
+                seed,
+                ..Default::default()
+            },
+            refit_epochs: 1,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The acceptance property of the persistence redesign: for every HDC
+    /// model family and any seed, save → load through the single envelope
+    /// reproduces batch predictions bit for bit, along with the spec.
+    #[test]
+    fn every_hdc_model_round_trips_the_envelope_bit_identically(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 42, 3);
+        for spec in small_hdc_specs(seed) {
+            let pipeline = boosthd::Pipeline::fit(&spec, &x, &y).unwrap();
+            let restored = boosthd::Pipeline::from_bytes(&pipeline.to_bytes().unwrap()).unwrap();
+            prop_assert_eq!(
+                pipeline.predict_batch(&x),
+                restored.predict_batch(&x),
+                "{} drifted",
+                spec.kind_tag()
+            );
+            prop_assert_eq!(restored.spec(), &spec);
+        }
+    }
+
+    /// Spec serialization is lossless for arbitrary hyperparameters, not
+    /// just the defaults.
+    #[test]
+    fn arbitrary_specs_round_trip_through_toml(
+        seed in any::<u64>(),
+        dim in 1usize..10_000,
+        n_learners in 1usize..64,
+        epochs in 0usize..50,
+        lr in 0.001f64..0.5,
+        bootstrap in any::<bool>(),
+    ) {
+        use boosthd::ModelSpec;
+        let spec = ModelSpec::BoostHd(BoostHdConfig {
+            dim_total: dim,
+            n_learners,
+            epochs,
+            lr: lr as f32,
+            bootstrap,
+            seed,
+            ..Default::default()
+        });
+        prop_assert_eq!(ModelSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+        let spec = ModelSpec::OnlineHd(OnlineHdConfig {
+            dim,
+            epochs,
+            lr: lr as f32,
+            bootstrap,
+            seed,
+        });
+        prop_assert_eq!(ModelSpec::from_toml_str(&spec.to_toml()).unwrap(), spec);
+    }
+
+    /// Confidences are probabilities: every prediction of every family
+    /// reports confidence and margin in [0, 1] with class probabilities
+    /// summing to one, and the abstention count is monotone in the
+    /// threshold.
+    #[test]
+    fn confidence_and_abstention_invariants(seed in any::<u64>()) {
+        let (x, y) = blob_data(seed, 36, 3);
+        for spec in small_hdc_specs(seed) {
+            let mut pipeline = boosthd::Pipeline::fit(&spec, &x, &y).unwrap();
+            let mut previous = 0usize;
+            for threshold in [0.0f32, 0.4, 0.7, 1.0] {
+                pipeline.set_abstain_threshold(threshold);
+                let mut abstained = 0usize;
+                for p in pipeline.predict_batch_with_confidence(&x) {
+                    prop_assert!((0.0..=1.0).contains(&p.confidence), "{}", spec.kind_tag());
+                    prop_assert!((0.0..=1.0).contains(&p.margin));
+                    let sum: f32 = p.probabilities.iter().sum();
+                    prop_assert!((sum - 1.0).abs() < 1e-4);
+                    prop_assert!(p.confidence >= p.probabilities.iter().copied().fold(0.0, f32::max) - 1e-6);
+                    if p.abstained {
+                        abstained += 1;
+                        prop_assert!(p.decision().is_none());
+                        prop_assert!(p.confidence < threshold);
+                    } else {
+                        prop_assert_eq!(p.decision(), Some(p.class));
+                    }
+                }
+                prop_assert!(abstained >= previous, "abstention not monotone in threshold");
+                previous = abstained;
+            }
+        }
+    }
+}

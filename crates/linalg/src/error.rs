@@ -47,6 +47,16 @@ pub enum LinalgError {
         /// Operation name for diagnostics.
         op: &'static str,
     },
+    /// An environment variable consulted by the runtime kernel dispatch
+    /// held an unparseable value.
+    InvalidEnv {
+        /// The environment variable name.
+        var: &'static str,
+        /// The offending value.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -64,6 +74,14 @@ impl fmt::Display for LinalgError {
                 write!(f, "{solver} did not converge after {iterations} iterations")
             }
             LinalgError::Empty { op } => write!(f, "empty matrix passed to {op}"),
+            LinalgError::InvalidEnv {
+                var,
+                value,
+                expected,
+            } => write!(
+                f,
+                "environment variable {var} holds unparseable value `{value}` (expected {expected})"
+            ),
         }
     }
 }

@@ -75,15 +75,51 @@ pub fn simd_available() -> bool {
     }
 }
 
+/// Parses one `HDC_FORCE_SCALAR` value: `1`/`true` force the scalar path,
+/// `0`/`false` (case-insensitive) and the empty string leave dispatch
+/// automatic. Anything else is rejected — a typo like `HDC_FORCE_SCALAR=yes`
+/// must not silently run the SIMD path it was trying to disable.
+///
+/// # Errors
+///
+/// Returns [`crate::LinalgError::InvalidEnv`] for unrecognized values.
+pub fn parse_force_scalar_value(value: &str) -> crate::Result<bool> {
+    let v = value.trim();
+    if v == "1" || v.eq_ignore_ascii_case("true") {
+        Ok(true)
+    } else if v.is_empty() || v == "0" || v.eq_ignore_ascii_case("false") {
+        Ok(false)
+    } else {
+        Err(crate::LinalgError::InvalidEnv {
+            var: FORCE_SCALAR_ENV_VAR,
+            value: value.to_string(),
+            expected: "1, 0, true, or false",
+        })
+    }
+}
+
+/// Reads and validates `HDC_FORCE_SCALAR` from the environment.
+///
+/// # Errors
+///
+/// As [`parse_force_scalar_value`]; unset resolves to `false`.
+pub fn force_scalar_from_env() -> crate::Result<bool> {
+    match std::env::var(FORCE_SCALAR_ENV_VAR) {
+        Ok(v) => parse_force_scalar_value(&v),
+        Err(_) => Ok(false),
+    }
+}
+
 /// Resolves the level from the environment and CPU features (ignores any
 /// programmatic override).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when `HDC_FORCE_SCALAR` holds a value
+/// [`parse_force_scalar_value`] rejects (facade callers validate earlier
+/// and surface the same condition as an error instead).
 fn detect() -> KernelLevel {
-    let forced = std::env::var(FORCE_SCALAR_ENV_VAR)
-        .map(|v| {
-            let v = v.trim();
-            v == "1" || v.eq_ignore_ascii_case("true")
-        })
-        .unwrap_or(false);
+    let forced = force_scalar_from_env().unwrap_or_else(|e| panic!("{e}"));
     if !forced && simd_available() {
         KernelLevel::Avx2Fma
     } else {

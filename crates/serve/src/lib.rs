@@ -28,6 +28,13 @@
 //! the predictions `model.predict` would have produced one window at a
 //! time — only faster.
 //!
+//! The engine is generic over [`boosthd::Classifier`], so it serves any
+//! [`boosthd::Pipeline`]-built model directly — one spec file away from
+//! swapping the deployed family (see the `hdrun` CLI). For
+//! reliability-gated serving, pair the engine's predictions with
+//! [`boosthd::Pipeline::predict_batch_with_confidence`] and an abstention
+//! threshold.
+//!
 //! # Example
 //!
 //! ```
@@ -384,6 +391,33 @@ mod tests {
             },
         );
         assert_eq!(pinned.threads(), 7);
+    }
+
+    #[test]
+    fn engine_serves_pipeline_built_models() {
+        use boosthd::{ModelSpec, Pipeline, QuantizedHd};
+
+        let (x, y) = blobs(48, 7);
+        let spec = ModelSpec::QuantizedOnlineHd {
+            base: OnlineHdConfig {
+                dim: 256,
+                epochs: 4,
+                ..Default::default()
+            },
+            refit_epochs: 1,
+        };
+        let pipeline = Pipeline::fit(&spec, &x, &y).unwrap();
+        let engine = InferenceEngine::with_config(
+            &pipeline,
+            EngineConfig {
+                max_batch: 11,
+                threads: Some(2),
+                ..Default::default()
+            },
+        );
+        let outcome = engine.serve((0..x.rows()).map(|r| x.row(r).to_vec()));
+        assert_eq!(outcome.predictions, pipeline.predict_batch(&x));
+        assert!(pipeline.downcast_ref::<QuantizedHd>().is_some());
     }
 
     #[test]

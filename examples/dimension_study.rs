@@ -35,13 +35,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 print!(" {:>10}", "-");
                 continue;
             }
-            let config = BoostHdConfig {
+            let spec = ModelSpec::BoostHd(BoostHdConfig {
                 dim_total: dim,
                 n_learners: nl,
                 epochs: 10,
                 ..Default::default()
-            };
-            let model = BoostHd::fit(&config, train.features(), train.labels())?;
+            });
+            let model = Pipeline::fit(&spec, train.features(), train.labels())?;
             let acc = eval_harness::metrics::accuracy(
                 &model.predict_batch(test.features()),
                 test.labels(),
@@ -58,24 +58,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("   collapses — the paper's minimum-dimensionality condition (Fig. 3b);");
     println!(" * span utilization is what the extra learners buy (see `fig5`).");
 
-    // Show the span-utilization angle on the same trained budget.
-    let online = OnlineHd::fit(
-        &OnlineHdConfig {
+    // Show the span-utilization angle on the same trained budget. The
+    // span metrics need the typed class-hypervector views, so downcast
+    // the spec-built pipelines.
+    let online = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 4000,
             ..Default::default()
-        },
+        }),
         train.features(),
         train.labels(),
     )?;
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
+    let boost = Pipeline::fit(
+        &ModelSpec::BoostHd(BoostHdConfig {
             dim_total: 4000,
             n_learners: 10,
             ..Default::default()
-        },
+        }),
         train.features(),
         train.labels(),
     )?;
+    let online = online.downcast_ref::<OnlineHd>().expect("OnlineHD");
+    let boost = boost.downcast_ref::<BoostHd>().expect("BoostHD");
     let sp_online = hdc::span_utilization(online.class_hypervectors())?;
     let sp_boost = hdc::span_utilization(&boost.stacked_class_hypervectors())?;
     println!(

@@ -37,31 +37,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
 
     println!("training the three models ...");
-    let online = OnlineHd::fit(
-        &OnlineHdConfig {
+    // The injection loop clones and corrupts concrete models, so each
+    // spec-built pipeline hands back its typed view.
+    baselines::spec::install();
+    let online = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 4000,
             ..Default::default()
-        },
+        }),
         train.features(),
         train.labels(),
-    )?;
-    let boost = BoostHd::fit(
-        &BoostHdConfig {
+    )?
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
+    let boost = Pipeline::fit(
+        &ModelSpec::BoostHd(BoostHdConfig {
             dim_total: 4000,
             n_learners: 10,
             ..Default::default()
-        },
+        }),
         train.features(),
         train.labels(),
-    )?;
-    let dnn = Mlp::fit(
-        &MlpConfig {
-            epochs: 4,
-            ..MlpConfig::default()
-        },
+    )?
+    .downcast_ref::<BoostHd>()
+    .expect("spec-built BoostHD")
+    .clone();
+    let dnn = Pipeline::fit(
+        &ModelSpec::Baseline(BaselineSpec {
+            epochs: Some(4),
+            ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
+        }),
         train.features(),
         train.labels(),
-    )?;
+    )?
+    .downcast_ref::<Mlp>()
+    .expect("spec-built DNN")
+    .clone();
 
     let trials = 10;
     println!(

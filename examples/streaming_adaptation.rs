@@ -25,14 +25,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (population, wearer) = data.split_by_subjects(&[new_wearer])?;
     let (population, wearer) = wearables::dataset::normalize_pair(&population, &wearer)?;
 
-    let mut model = OnlineHd::fit(
-        &OnlineHdConfig {
+    // Fit through the facade; streaming personalization needs OnlineHD's
+    // typed `update` hook, so take the concrete view out of the pipeline.
+    let mut model = Pipeline::fit(
+        &ModelSpec::OnlineHd(OnlineHdConfig {
             dim: 2000,
             ..Default::default()
-        },
+        }),
         population.features(),
         population.labels(),
-    )?;
+    )?
+    .downcast_ref::<OnlineHd>()
+    .expect("spec-built OnlineHD")
+    .clone();
     let frozen = model.clone();
 
     let cold_acc =

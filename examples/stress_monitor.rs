@@ -23,11 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!();
 
-    let config = BoostHdConfig {
+    let spec = ModelSpec::BoostHd(BoostHdConfig {
         dim_total: 4000,
         n_learners: 10,
         ..Default::default()
-    };
+    });
     let mut worst: Option<(String, f64)> = None;
 
     for group in SubjectGroup::table3_groups() {
@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         };
         let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
-        let model = BoostHd::fit(&config, train.features(), train.labels())?;
+        let model = Pipeline::fit(&spec, train.features(), train.labels())?;
         let acc =
             eval_harness::metrics::accuracy(&model.predict_batch(test.features()), test.labels())
                 * 100.0;

@@ -1,0 +1,391 @@
+//! `hdrun` — train, evaluate, and serve any model of the reproduction from
+//! one declarative TOML spec file.
+//!
+//! The spec file has up to three tables:
+//!
+//! * `[model]` — a [`boosthd::ModelSpec`] (see `specs/wesad_boosthd.toml`
+//!   for the full key set);
+//! * `[dataset]` — which synthetic wearable profile to generate and how to
+//!   split it (`profile`, `subjects`, `windows_per_state`,
+//!   `window_samples`, `segments`, `seed`, `test_fraction`);
+//! * `[serve]` — micro-batching and reliability gating for the serving
+//!   engine (`max_batch`, `max_wait_ms`, `threads`, `abstain_threshold`,
+//!   `windows`, `hop_samples`).
+//!
+//! Subcommands:
+//!
+//! ```text
+//! hdrun train --spec <file> [--out <model.bhde>]   # fit + evaluate (+ save envelope)
+//! hdrun eval  --spec <file> --model <model.bhde>   # load + evaluate + confidence report
+//! hdrun serve --spec <file> --model <model.bhde>   # load + stream windows through the engine
+//! ```
+//!
+//! `eval` and `serve` regenerate the dataset from the `[dataset]` seed, so
+//! the normalization fitted on the training split is reproduced exactly and
+//! a loaded envelope scores bit-identically to the model that was saved.
+
+use std::error::Error;
+use std::process::ExitCode;
+use std::time::Duration;
+
+use boosthd::toml::TomlDoc;
+use boosthd::{BoostHdError, ModelSpec, Pipeline};
+use boosthd_repro::serve::{EngineConfig, InferenceEngine};
+use eval_harness::metrics::accuracy;
+use linalg::Matrix;
+use wearables::dataset::normalize_pair;
+use wearables::preprocess::Normalizer;
+use wearables::streaming::WindowStream;
+use wearables::{Dataset, DatasetProfile};
+
+fn usage() -> &'static str {
+    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde>"
+}
+
+struct Args {
+    command: String,
+    spec: Option<String>,
+    model: Option<String>,
+    out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let command = argv.get(1).cloned().ok_or_else(|| usage().to_string())?;
+    let mut args = Args {
+        command,
+        spec: None,
+        model: None,
+        out: None,
+    };
+    let mut i = 2;
+    while i < argv.len() {
+        let take = |i: usize| -> Result<String, String> {
+            argv.get(i + 1)
+                .cloned()
+                .ok_or_else(|| format!("{} needs a value\n{}", argv[i], usage()))
+        };
+        match argv[i].as_str() {
+            "--spec" => args.spec = Some(take(i)?),
+            "--model" => args.model = Some(take(i)?),
+            "--out" => args.out = Some(take(i)?),
+            other => return Err(format!("unknown argument {other}\n{}", usage())),
+        }
+        i += 2;
+    }
+    Ok(args)
+}
+
+/// The `[dataset]` table resolved against the named base profile.
+struct DatasetSpec {
+    profile: DatasetProfile,
+    seed: u64,
+    test_fraction: f64,
+}
+
+fn dataset_spec(doc: &TomlDoc) -> Result<DatasetSpec, BoostHdError> {
+    let invalid = |reason: String| BoostHdError::InvalidConfig { reason };
+    let table = doc.table("dataset");
+    let name = match table {
+        Some(t) if t.get("profile").is_some() => t.get_str("profile")?.to_string(),
+        _ => "wesad_like".to_string(),
+    };
+    let mut profile = match name.as_str() {
+        "wesad_like" => wearables::profiles::wesad_like(),
+        "nurse_like" => wearables::profiles::nurse_like(),
+        "stress_predict_like" => wearables::profiles::stress_predict_like(),
+        other => return Err(invalid(format!("unknown dataset profile `{other}`"))),
+    };
+    let mut seed = 42u64;
+    let mut test_fraction = 0.3f64;
+    if let Some(t) = table {
+        for key in t.keys() {
+            if !matches!(
+                key,
+                "profile"
+                    | "subjects"
+                    | "windows_per_state"
+                    | "window_samples"
+                    | "segments"
+                    | "seed"
+                    | "test_fraction"
+            ) {
+                return Err(invalid(format!("unknown key `{key}` in [dataset]")));
+            }
+        }
+        if t.get("subjects").is_some() {
+            profile.subjects = t.get_usize("subjects")?;
+        }
+        if t.get("windows_per_state").is_some() {
+            profile.windows_per_state = t.get_usize("windows_per_state")?;
+        }
+        if t.get("window_samples").is_some() {
+            profile.window_samples = t.get_usize("window_samples")?;
+        }
+        if t.get("segments").is_some() {
+            profile.segments = t.get_usize("segments")?;
+        }
+        if t.get("seed").is_some() {
+            seed = t.get_u64("seed")?;
+        }
+        if t.get("test_fraction").is_some() {
+            test_fraction = t.get_float("test_fraction")?;
+            if !(0.0..1.0).contains(&test_fraction) {
+                return Err(invalid(format!(
+                    "test_fraction must be in [0, 1), got {test_fraction}"
+                )));
+            }
+        }
+    }
+    Ok(DatasetSpec {
+        profile,
+        seed,
+        test_fraction,
+    })
+}
+
+/// The `[serve]` table.
+struct ServeSpec {
+    max_batch: usize,
+    max_wait: Duration,
+    threads: Option<usize>,
+    abstain_threshold: f32,
+    windows: usize,
+    hop_samples: usize,
+}
+
+fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdError> {
+    let mut spec = ServeSpec {
+        max_batch: EngineConfig::default().max_batch,
+        max_wait: EngineConfig::default().max_wait,
+        threads: None,
+        abstain_threshold: 0.0,
+        windows: 200,
+        hop_samples: default_hop,
+    };
+    let Some(t) = doc.table("serve") else {
+        return Ok(spec);
+    };
+    for key in t.keys() {
+        if !matches!(
+            key,
+            "max_batch"
+                | "max_wait_ms"
+                | "threads"
+                | "abstain_threshold"
+                | "windows"
+                | "hop_samples"
+        ) {
+            return Err(BoostHdError::InvalidConfig {
+                reason: format!("unknown key `{key}` in [serve]"),
+            });
+        }
+    }
+    if t.get("max_batch").is_some() {
+        spec.max_batch = t.get_usize("max_batch")?;
+    }
+    if t.get("max_wait_ms").is_some() {
+        spec.max_wait = Duration::from_millis(t.get_u64("max_wait_ms")?);
+    }
+    if t.get("threads").is_some() {
+        spec.threads = Some(t.get_usize("threads")?);
+    }
+    if t.get("abstain_threshold").is_some() {
+        spec.abstain_threshold = t.get_float("abstain_threshold")? as f32;
+    }
+    if t.get("windows").is_some() {
+        spec.windows = t.get_usize("windows")?;
+    }
+    if t.get("hop_samples").is_some() {
+        spec.hop_samples = t.get_usize("hop_samples")?;
+    }
+    Ok(spec)
+}
+
+fn load_doc(path: &str) -> Result<TomlDoc, Box<dyn Error>> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read spec file {path}: {e}"))?;
+    Ok(TomlDoc::parse(&text)?)
+}
+
+/// Regenerates the `[dataset]` cohort and its normalized subject-wise
+/// split (deterministic in the spec, so `eval`/`serve` see exactly the
+/// training-time feature space).
+fn prepare(ds: &DatasetSpec) -> Result<(Dataset, Dataset), Box<dyn Error>> {
+    let data = wearables::generate(&ds.profile, ds.seed)?;
+    let (train, test) = data.split_by_subject_fraction(ds.test_fraction, ds.seed ^ 0x5117)?;
+    Ok(normalize_pair(&train, &test)?)
+}
+
+fn confidence_report(pipeline: &Pipeline, x: &Matrix, y: &[usize]) -> String {
+    let predictions = pipeline.predict_batch_with_confidence(x);
+    let n = predictions.len().max(1);
+    let mean_conf: f32 = predictions.iter().map(|p| p.confidence).sum::<f32>() / n as f32;
+    let abstained = predictions.iter().filter(|p| p.abstained).count();
+    let kept: Vec<(usize, usize)> = predictions
+        .iter()
+        .zip(y)
+        .filter(|(p, _)| !p.abstained)
+        .map(|(p, &t)| (p.class, t))
+        .collect();
+    let kept_acc = if kept.is_empty() {
+        f64::NAN
+    } else {
+        kept.iter().filter(|(p, t)| p == t).count() as f64 / kept.len() as f64 * 100.0
+    };
+    format!(
+        "mean confidence {mean_conf:.3} | abstained {abstained}/{} (threshold {:.2}) | accuracy on kept {kept_acc:.2}%",
+        predictions.len(),
+        pipeline.abstain_threshold()
+    )
+}
+
+fn cmd_train(spec_path: &str, out: Option<&str>) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let model_table = doc
+        .table("model")
+        .ok_or_else(|| format!("spec file {spec_path} has no [model] table"))?;
+    let model_spec = ModelSpec::from_toml_table(model_table)?;
+    let ds = dataset_spec(&doc)?;
+    let sv = serve_spec(&doc, ds.profile.window_samples)?;
+    let (train, test) = prepare(&ds)?;
+    eprintln!(
+        "[hdrun] {}: train {} x {} features, test {}, model {}",
+        ds.profile.name,
+        train.len(),
+        train.num_features(),
+        test.len(),
+        model_spec.display_name()
+    );
+    let started = std::time::Instant::now();
+    let pipeline = Pipeline::fit(&model_spec, train.features(), train.labels())?
+        .with_abstain_threshold(sv.abstain_threshold);
+    let fit_secs = started.elapsed().as_secs_f64();
+    let train_acc = accuracy(&pipeline.predict_batch(train.features()), train.labels()) * 100.0;
+    let test_acc = accuracy(&pipeline.predict_batch(test.features()), test.labels()) * 100.0;
+    println!(
+        "train: {} fitted in {fit_secs:.2}s | train acc {train_acc:.2}% | test acc {test_acc:.2}%",
+        model_spec.display_name()
+    );
+    println!(
+        "confidence: {}",
+        confidence_report(&pipeline, test.features(), test.labels())
+    );
+    if let Some(out) = out {
+        pipeline.save(out)?;
+        println!(
+            "saved envelope to {out} ({} bytes)",
+            std::fs::metadata(out)?.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_eval(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let ds = dataset_spec(&doc)?;
+    let (train, test) = prepare(&ds)?;
+    let pipeline = Pipeline::load(model_path)?;
+    eprintln!(
+        "[hdrun] loaded {} from {model_path}",
+        pipeline.spec().display_name()
+    );
+    let train_acc = accuracy(&pipeline.predict_batch(train.features()), train.labels()) * 100.0;
+    let test_acc = accuracy(&pipeline.predict_batch(test.features()), test.labels()) * 100.0;
+    println!(
+        "eval: {} | train acc {train_acc:.2}% | test acc {test_acc:.2}%",
+        pipeline.spec().display_name()
+    );
+    println!(
+        "confidence: {}",
+        confidence_report(&pipeline, test.features(), test.labels())
+    );
+    Ok(())
+}
+
+fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let ds = dataset_spec(&doc)?;
+    let sv = serve_spec(&doc, ds.profile.window_samples)?;
+    let pipeline = Pipeline::load(model_path)?;
+    eprintln!(
+        "[hdrun] serving {} from {model_path}",
+        pipeline.spec().display_name()
+    );
+    // The serving-side normalizer is fitted on the training split the
+    // model saw, reproduced from the [dataset] seed.
+    let (train, _test) = prepare(&ds)?;
+    let normalizer = Normalizer::fit(train.features())?;
+
+    let stream = WindowStream::new(&ds.profile, sv.hop_samples, ds.seed ^ 0x57EA)?;
+    let engine = InferenceEngine::with_config(
+        &pipeline,
+        EngineConfig {
+            max_batch: sv.max_batch,
+            max_wait: sv.max_wait,
+            threads: sv.threads,
+        },
+    );
+    // Normalize each window once; the engine and the confidence report
+    // below must see the exact same rows.
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let (windows, outcome) = engine.serve_windows(stream.take(sv.windows), |w| {
+        let row = Matrix::from_rows(std::slice::from_ref(&w.features)).expect("window row");
+        let normalized = normalizer.apply(&row).row(0).to_vec();
+        rows.push(normalized.clone());
+        normalized
+    });
+    let correct = outcome
+        .predictions
+        .iter()
+        .zip(&windows)
+        .filter(|(p, w)| **p == w.state.label())
+        .count();
+    println!("serve: {}", outcome.stats.report());
+    println!(
+        "accuracy over {} streamed windows: {:.2}%",
+        windows.len(),
+        correct as f64 / windows.len().max(1) as f64 * 100.0
+    );
+    // Reliability gate on the same served windows, through the pipeline's
+    // confidence path.
+    let x = Matrix::from_rows(&rows)?;
+    let labels: Vec<usize> = windows.iter().map(|w| w.state.label()).collect();
+    println!("confidence: {}", confidence_report(&pipeline, &x, &labels));
+    Ok(())
+}
+
+fn run() -> Result<(), Box<dyn Error>> {
+    baselines::spec::install();
+    let args = parse_args().map_err(|e| -> Box<dyn Error> { e.into() })?;
+    let spec = args
+        .spec
+        .as_deref()
+        .ok_or_else(|| format!("--spec is required\n{}", usage()))?;
+    match args.command.as_str() {
+        "train" => cmd_train(spec, args.out.as_deref()),
+        "eval" => cmd_eval(
+            spec,
+            args.model
+                .as_deref()
+                .ok_or_else(|| format!("eval needs --model\n{}", usage()))?,
+        ),
+        "serve" => cmd_serve(
+            spec,
+            args.model
+                .as_deref()
+                .ok_or_else(|| format!("serve needs --model\n{}", usage()))?,
+        ),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("hdrun: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

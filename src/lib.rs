@@ -34,12 +34,18 @@
 //! let (train, test) = data.split_by_subject_fraction(0.3, 1)?;
 //! let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
 //!
-//! // Train BoostHD and evaluate.
-//! let config = BoostHdConfig { dim_total: 1000, n_learners: 10, ..Default::default() };
-//! let model = BoostHd::fit(&config, train.features(), train.labels())?;
+//! // Declare BoostHD as a spec, train through the unified facade, evaluate.
+//! let spec = ModelSpec::BoostHd(BoostHdConfig {
+//!     dim_total: 1000, n_learners: 10, ..Default::default()
+//! });
+//! let model = Pipeline::fit(&spec, train.features(), train.labels())?;
 //! let preds = model.predict_batch(test.features());
 //! let acc = eval_harness::metrics::accuracy(&preds, test.labels());
 //! assert!(acc > 0.5);
+//!
+//! // Confidence-aware prediction for reliability-gated serving.
+//! let p = model.predict_with_confidence(test.features().row(0));
+//! assert!((0.0..=1.0).contains(&p.confidence));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
@@ -64,8 +70,9 @@ pub mod prelude {
         LinearSvmConfig, Mlp, MlpConfig, RandomForest, RandomForestConfig,
     };
     pub use boosthd::{
-        BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd, OnlineHdConfig,
-        Voting,
+        BaselineKind, BaselineSpec, BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig,
+        Classifier, Model, ModelSpec, OnlineHd, OnlineHdConfig, Pipeline, Prediction,
+        QuantizedBoostHd, QuantizedHd, Voting,
     };
     pub use boosthd_serve::{EngineConfig, InferenceEngine};
     pub use eval_harness;
