@@ -15,7 +15,7 @@
 //!
 //! All models implement [`boosthd::Classifier`], so the benchmark harness
 //! sweeps them interchangeably with the HDC family, and the differentiable
-//! ones ([`Mlp`], [`LinearSvm`]) implement [`reliability::Perturbable`] for
+//! ones ([`Mlp`], [`LinearSvm`]) implement [`faults::Perturbable`] for
 //! the bit-flip robustness experiment (Figure 8).
 //!
 //! # Example

@@ -39,11 +39,40 @@ fn unsupported_persistence(name: &str) -> BoostHdError {
 }
 
 macro_rules! impl_baseline_model {
-    ($ty:ty, $name:literal) => {
+    // Families with exposed f32 parameter buffers take IEEE-754 word
+    // flips; the tree-based families report a clear error instead.
+    (@inject perturbable $name:literal) => {
+        fn inject_bitflips(
+            &mut self,
+            p_b: f64,
+            rng: &mut linalg::Rng64,
+        ) -> boosthd::Result<faults::BitflipReport> {
+            Ok(faults::flip_bits(self, p_b, rng))
+        }
+    };
+    (@inject opaque $name:literal) => {
+        fn inject_bitflips(
+            &mut self,
+            _p_b: f64,
+            _rng: &mut linalg::Rng64,
+        ) -> boosthd::Result<faults::BitflipReport> {
+            Err(BoostHdError::InvalidConfig {
+                reason: format!(
+                    "baseline `{}` exposes no parameter storage for bit-flip injection",
+                    $name
+                ),
+            })
+        }
+    };
+    ($ty:ty, $name:literal, $storage:ident) => {
         impl Model for $ty {
             fn payload_kind(&self) -> PayloadKind {
                 PayloadKind::Unsupported
             }
+            fn clone_box(&self) -> Box<dyn Model> {
+                Box::new(self.clone())
+            }
+            impl_baseline_model!(@inject $storage $name);
             fn to_payload(&self) -> boosthd::Result<Vec<u8>> {
                 Err(unsupported_persistence($name))
             }
@@ -57,11 +86,11 @@ macro_rules! impl_baseline_model {
     };
 }
 
-impl_baseline_model!(AdaBoost, "adaboost");
-impl_baseline_model!(RandomForest, "random_forest");
-impl_baseline_model!(GradientBoostedTrees, "gbt");
-impl_baseline_model!(LinearSvm, "svm");
-impl_baseline_model!(Mlp, "mlp");
+impl_baseline_model!(AdaBoost, "adaboost", opaque);
+impl_baseline_model!(RandomForest, "random_forest", opaque);
+impl_baseline_model!(GradientBoostedTrees, "gbt", opaque);
+impl_baseline_model!(LinearSvm, "svm", perturbable);
+impl_baseline_model!(Mlp, "mlp", perturbable);
 
 fn convert_err(e: crate::BaselineError) -> BoostHdError {
     BoostHdError::DataMismatch {

@@ -9,8 +9,8 @@
 
 use crate::error::{validate_inputs, BaselineError, Result};
 use boosthd::{argmax, Classifier};
+use faults::Perturbable;
 use linalg::{Matrix, Rng64};
-use reliability::Perturbable;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`LinearSvm`].

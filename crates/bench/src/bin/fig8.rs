@@ -1,51 +1,25 @@
 //! Regenerates **Figure 8**: accuracy under hardware bit-flip noise at
 //! per-bit probability `p_b`, for BoostHD / OnlineHD / DNN.
 //!
-//! Each trial clones the trained model, flips each parameter bit with
-//! probability `p_b` (IEEE-754 words), and measures test accuracy. The
-//! paper sweeps two ranges — around `10⁻⁶` (panel a) and `10⁻⁵`
-//! (panel b) — with 100 trials per point and reports the Median Absolute
-//! Deviation as the robustness statistic: MAD(BoostHD) ≪ MAD(OnlineHD) <
-//! MAD(DNN).
+//! A thin client of [`reliability::campaign`]: the two panels are two
+//! bit-flip scenarios sharing the historical seed `0xF11A`, so every
+//! trial's corruption stream — and therefore every accuracy — is
+//! bit-identical to the pre-campaign hand-rolled sweep. The paper sweeps
+//! two ranges — around `10⁻⁶` (panel a) and `10⁻⁵` (panel b) — with 100
+//! trials per point and reports the Median Absolute Deviation as the
+//! robustness statistic: MAD(BoostHD) ≪ MAD(OnlineHD) < MAD(DNN).
 //!
 //! Usage: `fig8 [--runs N] [--quick]` (`--runs` = trials per point;
 //! default 30, paper 100).
 
-use baselines::Mlp;
-use boosthd::{BaselineKind, BaselineSpec, BoostHd, Classifier, ModelSpec, OnlineHd};
-use boosthd_bench::{fit_spec, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL};
-use eval_harness::metrics::accuracy;
-use eval_harness::repeat::RunStats;
+use boosthd::parallel::default_threads;
+use boosthd::{BaselineKind, BaselineSpec, ModelSpec};
+use boosthd_bench::{
+    ensure_registry, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL,
+};
 use eval_harness::table::Series;
-use linalg::Rng64;
-use reliability::{flip_bits, Perturbable};
+use reliability::campaign::{Campaign, CampaignData, CampaignSpec, FaultModel, ScenarioSpec};
 use wearables::profiles;
-
-fn sweep<M: Classifier + Perturbable + Clone>(
-    name: &str,
-    model: &M,
-    test_x: &linalg::Matrix,
-    test_y: &[usize],
-    pbs: &[f64],
-    trials: usize,
-) -> (Series, Vec<RunStats>) {
-    let mut series = Series::new(name);
-    let mut all_stats = Vec::new();
-    for (i, &pb) in pbs.iter().enumerate() {
-        let runs: Vec<f64> = (0..trials)
-            .map(|t| {
-                let mut corrupted = model.clone();
-                let mut rng = Rng64::seed_from(0xF11A ^ ((i as u64) << 16) ^ t as u64);
-                flip_bits(&mut corrupted, pb, &mut rng);
-                accuracy(&corrupted.predict_batch(test_x), test_y) * 100.0
-            })
-            .collect();
-        let stats = RunStats::from_runs(runs);
-        series.push(pb, stats.mean());
-        all_stats.push(stats);
-    }
-    (series, all_stats)
-}
 
 fn main() {
     let (trials, quick) = parse_common_args(30);
@@ -58,81 +32,89 @@ fn main() {
     let idx: Vec<usize> = (0..n_test).collect();
     let test = test.select(&idx);
 
-    eprintln!("[fig8] training the three models ...");
-    // The sweep clones and bit-flips concrete models, so the spec-built
-    // pipelines hand back their typed views.
-    let online = fit_spec(
-        &ModelKind::OnlineHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
-        train.features(),
-        train.labels(),
-    )
-    .downcast_ref::<OnlineHd>()
-    .expect("spec-built OnlineHD")
-    .clone();
-    let boost = fit_spec(
-        &ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
-        train.features(),
-        train.labels(),
-    )
-    .downcast_ref::<BoostHd>()
-    .expect("spec-built BoostHD")
-    .clone();
-    let dnn = fit_spec(
-        &ModelSpec::Baseline(BaselineSpec {
-            epochs: Some(if quick { 3 } else { 6 }),
-            ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
-        }),
-        train.features(),
-        train.labels(),
-    )
-    .downcast_ref::<Mlp>()
-    .expect("spec-built DNN")
-    .clone();
+    let steps: Vec<f64> = if quick {
+        vec![0.0, 5.0, 15.0]
+    } else {
+        vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0]
+    };
+    let panels = [('a', 1e-6f64), ('b', 1e-5)];
+    let spec = CampaignSpec {
+        name: "fig8".into(),
+        seed: 0xF11A,
+        trials,
+        abstain_threshold: 0.0,
+        models: vec![
+            ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
+            ModelKind::OnlineHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
+            ModelSpec::Baseline(BaselineSpec {
+                epochs: Some(if quick { 3 } else { 6 }),
+                ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
+            }),
+        ],
+        // Both panels share the historical seed, exactly as the
+        // hand-rolled sweep did.
+        scenarios: panels
+            .iter()
+            .map(|&(_, scale)| {
+                ScenarioSpec::new(
+                    FaultModel::BitFlip,
+                    steps.iter().map(|k| k * scale).collect(),
+                )
+                .with_seed(0xF11A)
+            })
+            .collect(),
+    };
 
-    for (panel, scale) in [('a', 1e-6f64), ('b', 1e-5)] {
-        let steps: Vec<f64> = if quick {
-            vec![0.0, 5.0, 15.0]
-        } else {
-            vec![0.0, 1.0, 2.0, 5.0, 10.0, 15.0]
-        };
-        let pbs: Vec<f64> = steps.iter().map(|k| k * scale).collect();
-        eprintln!("[fig8] panel ({panel}) p_b in {:?} ...", pbs);
-        let (s_boost, st_boost) = sweep(
-            "BoostHD",
-            &boost,
-            test.features(),
-            test.labels(),
-            &pbs,
-            trials,
-        );
-        let (s_online, st_online) = sweep(
-            "OnlineHD",
-            &online,
-            test.features(),
-            test.labels(),
-            &pbs,
-            trials,
-        );
-        let (s_dnn, st_dnn) = sweep("DNN", &dnn, test.features(), test.labels(), &pbs, trials);
+    eprintln!("[fig8] training the three models ...");
+    ensure_registry();
+    let data = CampaignData::new(
+        train.features(),
+        train.labels(),
+        test.features(),
+        test.labels(),
+    )
+    .expect("campaign data");
+    let campaign = Campaign::new(&spec, data).expect("campaign fit");
+    eprintln!(
+        "[fig8] sweeping {} cells x {trials} trials through the campaign engine ...",
+        2 * spec.models.len() * steps.len()
+    );
+    let report = campaign.run(default_threads()).expect("campaign run");
+
+    for (panel_idx, (panel, scale)) in panels.into_iter().enumerate() {
+        let series: Vec<Series> = (0..spec.models.len())
+            .map(|m| {
+                let cells = report.model_cells(panel_idx, m);
+                let mut s = Series::new(&report.models[m].1);
+                for cell in cells {
+                    s.push(cell.severity, cell.mean_accuracy_pct);
+                }
+                s
+            })
+            .collect();
         println!(
             "{}",
             Series::render_aligned(
                 &format!("Figure 8({panel}) — accuracy (%) vs p_b (x{scale:.0e})"),
                 "p_b",
-                &[s_boost, s_online, s_dnn]
+                &series
             )
         );
         // MAD across the sweep (pooling per-point runs as the paper does
         // across its p_b axis).
-        let pooled = |stats: &[RunStats]| {
-            let all: Vec<f64> = stats.iter().flat_map(|s| s.runs.iter().copied()).collect();
+        let pooled = |m: usize| {
+            let all: Vec<f64> = report
+                .model_cells(panel_idx, m)
+                .iter()
+                .flat_map(|c| c.accuracy_runs_pct.iter().copied())
+                .collect();
             linalg::stats::median_abs_deviation(&all) / 100.0
         };
         println!(
             "MAD({panel}): BoostHD {:.4}, OnlineHD {:.4}, DNN {:.4}",
-            pooled(&st_boost),
-            pooled(&st_online),
-            pooled(&st_dnn)
+            pooled(0),
+            pooled(1),
+            pooled(2)
         );
         println!();
     }

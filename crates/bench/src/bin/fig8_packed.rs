@@ -1,49 +1,28 @@
 //! Figure-8-style scenario for the bitpacked backend: accuracy under
 //! memory bit flips, f32 vs binary storage.
 //!
-//! The f32 ensemble takes IEEE-754 word flips ([`reliability::flip_bits`]):
-//! a hit on an exponent bit can swing one parameter by orders of
-//! magnitude. The bitpacked ensemble stores one sign bit per dimension, so
-//! a single-event upset ([`reliability::flip_sign_bits`]) perturbs exactly
-//! one similarity by `2/D_wl` — the faithful SEU model for 1-bit
-//! associative memories. The sweep shows the binary model's degradation is
-//! both smaller and flatter across `p_b`, *while* storing the class
-//! memory 32× smaller.
+//! A thin client of [`reliability::campaign`]: one bit-flip scenario at
+//! the historical seed `0xB17F` over two model specs — the dense-f32
+//! BoostHD ensemble and its quantization-aware bitpacked freeze (same
+//! base seed, so the dense fit is shared bit-for-bit). The f32 model
+//! takes IEEE-754 word flips: a hit on an exponent bit can swing one
+//! parameter by orders of magnitude. The bitpacked model stores one sign
+//! bit per dimension, so a single-event upset perturbs exactly one
+//! similarity by `2/D_wl` — the faithful SEU model for 1-bit associative
+//! memories. The sweep shows the binary model's degradation is both
+//! smaller and flatter across `p_b`, *while* storing the class memory
+//! 32× smaller.
 //!
 //! Usage: `fig8_packed [--runs N] [--quick]` (trials per point; default 30).
 
 use boosthd::parallel::default_threads;
-use boosthd::{BoostHd, QuantizedBoostHd};
-use boosthd_bench::{fit_spec, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL};
-use eval_harness::metrics::accuracy;
-use eval_harness::repeat::RunStats;
+use boosthd::{BoostHd, ModelSpec, QuantizedBoostHd};
+use boosthd_bench::{
+    ensure_registry, parse_common_args, prepare_split, ModelKind, DEFAULT_DIM_TOTAL,
+};
 use eval_harness::table::Series;
-use linalg::Rng64;
-use reliability::{flip_bits, flip_sign_bits};
+use reliability::campaign::{Campaign, CampaignData, CampaignSpec, FaultModel, ScenarioSpec};
 use wearables::profiles;
-
-fn sweep(
-    name: &str,
-    corrupt: &dyn Fn(f64, u64) -> Vec<usize>,
-    test_y: &[usize],
-    pbs: &[f64],
-    trials: usize,
-) -> (Series, Vec<RunStats>) {
-    let mut series = Series::new(name);
-    let mut all_stats = Vec::new();
-    for (i, &pb) in pbs.iter().enumerate() {
-        let runs: Vec<f64> = (0..trials)
-            .map(|t| {
-                let seed = 0xB17F ^ ((i as u64) << 16) ^ t as u64;
-                accuracy(&corrupt(pb, seed), test_y) * 100.0
-            })
-            .collect();
-        let stats = RunStats::from_runs(runs);
-        series.push(pb, stats.mean());
-        all_stats.push(stats);
-    }
-    (series, all_stats)
-}
 
 fn main() {
     let (trials, quick) = parse_common_args(30);
@@ -55,22 +34,49 @@ fn main() {
     let idx: Vec<usize> = (0..n_test).collect();
     let test = test.select(&idx);
 
+    let steps: Vec<f64> = if quick {
+        vec![0.0, 1e-5, 1e-3]
+    } else {
+        vec![0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
+    };
+    let dense_spec = ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL);
+    let ModelSpec::BoostHd(base_config) = dense_spec.clone() else {
+        unreachable!("ModelKind::BoostHd builds a BoostHd spec");
+    };
+    let spec = CampaignSpec {
+        name: "fig8_packed".into(),
+        seed: 0xB17F,
+        trials,
+        abstain_threshold: 0.0,
+        models: vec![
+            dense_spec,
+            // Same base config and seed: the dense fit is bit-identical,
+            // then frozen with 5 quantization-aware refit epochs.
+            ModelSpec::QuantizedBoostHd {
+                base: base_config,
+                refit_epochs: 5,
+            },
+        ],
+        scenarios: vec![ScenarioSpec::new(FaultModel::BitFlip, steps.clone()).with_seed(0xB17F)],
+    };
+
     eprintln!("[fig8_packed] training f32 ensemble and quantizing ...");
-    // The sweep needs both views of one trained ensemble — the f32 model
-    // and its bitpacked freeze — so it fits once through the facade and
-    // quantizes the typed view rather than fitting two specs.
-    let boost = fit_spec(
-        &ModelKind::BoostHd.spec(0x5EED, DEFAULT_DIM_TOTAL),
+    ensure_registry();
+    let data = CampaignData::new(
         train.features(),
         train.labels(),
+        test.features(),
+        test.labels(),
     )
-    .downcast_ref::<BoostHd>()
-    .expect("spec-built BoostHD")
-    .clone();
-    let packed: QuantizedBoostHd = boost
-        .quantize_with_refit(train.features(), train.labels(), 5)
-        .expect("quantization-aware refit");
+    .expect("campaign data");
+    let campaign = Campaign::new(&spec, data).expect("campaign fit");
 
+    let boost = campaign.base_models()[0]
+        .downcast_ref::<BoostHd>()
+        .expect("dense ensemble");
+    let packed = campaign.base_models()[1]
+        .downcast_ref::<QuantizedBoostHd>()
+        .expect("bitpacked ensemble");
     let f32_bytes: usize = (0..boost.num_learners())
         .map(|i| boost.learner_class_hypervectors(i).as_slice().len() * 4)
         .sum();
@@ -80,55 +86,37 @@ fn main() {
         f32_bytes / packed.class_storage_bytes().max(1)
     );
 
-    let steps: Vec<f64> = if quick {
-        vec![0.0, 1e-5, 1e-3]
-    } else {
-        vec![0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2]
-    };
     // Each trial predicts the whole test set through the batched pipeline
     // (encode GEMM + per-learner sweeps) fanned out over the thread pool —
     // the equivalence property tests pin this to the per-sample path, so
     // the sweep measures exactly what a row-at-a-time deployment would see.
-    let threads = default_threads();
-    let (s_f32, st_f32) = sweep(
-        "BoostHD-f32",
-        &|pb, seed| {
-            let mut m = boost.clone();
-            let mut rng = Rng64::seed_from(seed);
-            flip_bits(&mut m, pb, &mut rng);
-            m.predict_batch_parallel(test.features(), threads)
-        },
-        test.labels(),
-        &steps,
-        trials,
-    );
-    let (s_packed, st_packed) = sweep(
-        "BoostHD-bitpacked",
-        &|pb, seed| {
-            let mut m = packed.clone();
-            let mut rng = Rng64::seed_from(seed);
-            flip_sign_bits(&mut m, pb, &mut rng);
-            m.predict_batch_parallel(test.features(), threads)
-        },
-        test.labels(),
-        &steps,
-        trials,
-    );
+    let report = campaign.run(default_threads()).expect("campaign run");
+
+    let names = ["BoostHD-f32", "BoostHD-bitpacked"];
+    let series: Vec<Series> = (0..2)
+        .map(|m| {
+            let mut s = Series::new(names[m]);
+            for cell in report.model_cells(0, m) {
+                s.push(cell.severity, cell.mean_accuracy_pct);
+            }
+            s
+        })
+        .collect();
     println!(
         "{}",
         Series::render_aligned(
             "Figure 8 (backend variant) — accuracy (%) vs per-bit flip rate p_b",
             "p_b",
-            &[s_f32, s_packed]
+            &series
         )
     );
-    let pooled = |stats: &[RunStats]| {
-        let all: Vec<f64> = stats.iter().flat_map(|s| s.runs.iter().copied()).collect();
+    let pooled = |m: usize| {
+        let all: Vec<f64> = report
+            .model_cells(0, m)
+            .iter()
+            .flat_map(|c| c.accuracy_runs_pct.iter().copied())
+            .collect();
         linalg::stats::median_abs_deviation(&all) / 100.0
     };
-    println!(
-        "MAD: f32 {:.4}, bitpacked {:.4}",
-        pooled(&st_f32),
-        pooled(&st_packed)
-    );
+    println!("MAD: f32 {:.4}, bitpacked {:.4}", pooled(0), pooled(1));
 }

@@ -36,10 +36,10 @@ use crate::online::{
     normalize_rows, normalize_weights, scores_unit_classes, scores_unit_classes_batch,
     train_class_hvs, validate_training_inputs,
 };
+use faults::Perturbable;
 use hdc::encoder::{Encode, SinusoidEncoder};
 use hdc::DimensionPartition;
 use linalg::{Matrix, Rng64};
-use reliability::Perturbable;
 use serde::{Deserialize, Serialize};
 
 /// How weak-learner votes are aggregated at inference time.

@@ -12,9 +12,9 @@ use crate::online::{
     chunked_unit_scores, normalize_rows, normalize_weights, scores_unit_classes,
     validate_training_inputs,
 };
+use faults::Perturbable;
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::{Matrix, Rng64};
-use reliability::Perturbable;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`CentroidHd`].
@@ -288,7 +288,7 @@ mod tests {
         .unwrap();
         let before = model.predict_batch(&x);
         let mut rng = Rng64::seed_from(0);
-        reliability::flip_bits(&mut model, 0.05, &mut rng);
+        faults::flip_bits(&mut model, 0.05, &mut rng);
         let after = model.predict_batch(&x);
         // At 5% per-bit flip rate the model is thoroughly scrambled; at least
         // the parameters must have changed (predictions usually too).

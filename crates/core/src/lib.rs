@@ -22,8 +22,8 @@
 //! path at the paper's `D = 4000`.
 //!
 //! All models implement the [`Classifier`] trait (shared with the
-//! `baselines` crate); f32 models implement [`reliability::Perturbable`]
-//! and quantized models [`reliability::PerturbablePacked`] for bit-flip
+//! `baselines` crate); f32 models implement [`faults::Perturbable`]
+//! and quantized models [`faults::PerturbablePacked`] for bit-flip
 //! fault injection.
 //!
 //! The recommended front door is the **unified facade** ([`pipeline`]):

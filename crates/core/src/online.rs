@@ -28,10 +28,10 @@
 
 use crate::classifier::{argmax, argmax_rows, Classifier};
 use crate::error::{BoostHdError, Result};
+use faults::Perturbable;
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::matrix::{dot, norm};
 use linalg::{Matrix, Rng64};
-use reliability::Perturbable;
 use serde::{Deserialize, Serialize};
 
 /// Configuration for [`OnlineHd`].

@@ -55,7 +55,8 @@ use crate::online::OnlineHd;
 use crate::persist::{Reader, Writer};
 use crate::quantized::{QuantizedBoostHd, QuantizedHd};
 use crate::spec::{BaselineSpec, ModelSpec};
-use linalg::Matrix;
+use faults::BitflipReport;
+use linalg::{Matrix, Rng64};
 
 fn pipeline_err(reason: impl Into<String>) -> BoostHdError {
     BoostHdError::DataMismatch {
@@ -116,6 +117,23 @@ pub trait Model: Classifier + Send + Sync {
     /// Which binary codec [`Model::to_payload`] writes.
     fn payload_kind(&self) -> PayloadKind;
 
+    /// Clones the trained model behind the trait object (fault-injection
+    /// campaigns corrupt a fresh clone per trial; `Box<dyn Model>` cannot
+    /// derive `Clone`).
+    fn clone_box(&self) -> Box<dyn Model>;
+
+    /// Flips each stored parameter bit independently with probability
+    /// `p_b`, drawing flip positions from `rng` — the memory-fault model
+    /// of the paper's Section IV-D. Dense-f32 families take IEEE-754 word
+    /// flips ([`faults::flip_bits`]); bitpacked families take sign-bit
+    /// flips ([`faults::flip_sign_bits`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families that expose no
+    /// parameter storage (the tree-based baselines).
+    fn inject_bitflips(&mut self, p_b: f64, rng: &mut Rng64) -> Result<BitflipReport>;
+
     /// Serializes the model through its binary codec.
     ///
     /// # Errors
@@ -132,10 +150,16 @@ pub trait Model: Classifier + Send + Sync {
 }
 
 macro_rules! impl_hdc_model {
-    ($ty:ty, $kind:expr) => {
+    ($ty:ty, $kind:expr, $inject:path) => {
         impl Model for $ty {
             fn payload_kind(&self) -> PayloadKind {
                 $kind
+            }
+            fn clone_box(&self) -> Box<dyn Model> {
+                Box::new(self.clone())
+            }
+            fn inject_bitflips(&mut self, p_b: f64, rng: &mut Rng64) -> Result<BitflipReport> {
+                Ok($inject(self, p_b, rng))
             }
             fn to_payload(&self) -> Result<Vec<u8>> {
                 Ok(self.to_bytes())
@@ -150,11 +174,19 @@ macro_rules! impl_hdc_model {
     };
 }
 
-impl_hdc_model!(OnlineHd, PayloadKind::OnlineHd);
-impl_hdc_model!(CentroidHd, PayloadKind::CentroidHd);
-impl_hdc_model!(BoostHd, PayloadKind::BoostHd);
-impl_hdc_model!(QuantizedHd, PayloadKind::QuantizedHd);
-impl_hdc_model!(QuantizedBoostHd, PayloadKind::QuantizedBoostHd);
+impl_hdc_model!(OnlineHd, PayloadKind::OnlineHd, faults::flip_bits);
+impl_hdc_model!(CentroidHd, PayloadKind::CentroidHd, faults::flip_bits);
+impl_hdc_model!(BoostHd, PayloadKind::BoostHd, faults::flip_bits);
+impl_hdc_model!(
+    QuantizedHd,
+    PayloadKind::QuantizedHd,
+    faults::flip_sign_bits
+);
+impl_hdc_model!(
+    QuantizedBoostHd,
+    PayloadKind::QuantizedBoostHd,
+    faults::flip_sign_bits
+);
 
 /// Builder the `baselines` crate registers so [`Pipeline::fit`] can
 /// construct [`ModelSpec::Baseline`] models without a dependency cycle
@@ -256,6 +288,16 @@ pub struct Pipeline {
     abstain_threshold: f32,
 }
 
+impl Clone for Pipeline {
+    fn clone(&self) -> Self {
+        Self {
+            spec: self.spec.clone(),
+            model: self.model.clone_box(),
+            abstain_threshold: self.abstain_threshold,
+        }
+    }
+}
+
 impl std::fmt::Debug for Pipeline {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Pipeline")
@@ -337,6 +379,20 @@ impl Pipeline {
     /// Mutable concrete-type view ([`Pipeline::downcast_ref`]).
     pub fn downcast_mut<T: Any>(&mut self) -> Option<&mut T> {
         self.model.as_any_mut().downcast_mut::<T>()
+    }
+
+    /// Flips stored parameter bits of the model behind the facade with
+    /// per-bit probability `p_b` — memory-fault injection without
+    /// downcasting to the concrete family (see
+    /// [`Model::inject_bitflips`]). The campaign engine clones a pipeline
+    /// and corrupts the clone, one trial at a time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families that expose no
+    /// parameter storage.
+    pub fn inject_bitflips(&mut self, p_b: f64, rng: &mut Rng64) -> Result<BitflipReport> {
+        self.model.inject_bitflips(p_b, rng)
     }
 
     /// Sets the abstention threshold: predictions whose confidence falls
@@ -737,6 +793,155 @@ mod tests {
         let p = pipeline.prediction_from_scores(&[f32::NAN, 0.4, 0.1]);
         assert_eq!(p.class, 1, "NaN loses to finite scores");
         assert_eq!(p.probabilities[0], 0.0);
+    }
+
+    #[test]
+    fn abstention_threshold_zero_and_one_edges() {
+        let (x, y) = toy();
+        let mut pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y).unwrap();
+        // Threshold 0.0 (the default) never abstains, even on a row with
+        // zero confidence (no finite evidence at all).
+        pipeline.set_abstain_threshold(0.0);
+        let p = pipeline.prediction_from_scores(&[f32::NAN, f32::NAN, f32::NAN]);
+        assert_eq!(p.confidence, 0.0);
+        assert!(!p.abstained, "threshold 0 must never abstain");
+        assert_eq!(p.decision(), Some(0), "documented all-NaN fallback class");
+        // Threshold 1.0 abstains on everything except full certainty.
+        pipeline.set_abstain_threshold(1.0);
+        for p in pipeline.predict_batch_with_confidence(&x) {
+            assert_eq!(p.abstained, p.confidence < 1.0);
+        }
+        let certain = pipeline.prediction_from_scores(&[1.0e4, -1.0e4, -1.0e4]);
+        assert_eq!(certain.confidence, 1.0, "softmax saturates");
+        assert!(!certain.abstained, "full certainty survives threshold 1.0");
+        // Out-of-range thresholds clamp instead of misbehaving.
+        pipeline.set_abstain_threshold(7.5);
+        assert_eq!(pipeline.abstain_threshold(), 1.0);
+        pipeline.set_abstain_threshold(-0.5);
+        assert_eq!(pipeline.abstain_threshold(), 0.0);
+    }
+
+    #[test]
+    fn two_way_ties_pick_the_earliest_class_with_zero_margin() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .with_abstain_threshold(0.6);
+        let p = pipeline.prediction_from_scores(&[0.5, 0.5]);
+        assert_eq!(p.class, 0, "ties resolve to the earliest index");
+        assert_eq!(p.margin, 0.0, "a perfect tie has no separation");
+        assert!((p.confidence - 0.5).abs() < 1e-6);
+        assert!(p.abstained, "tied 0.5 confidence sits below 0.6");
+        // Three-way tie: uniform probabilities, still index 0.
+        let p = pipeline.prediction_from_scores(&[2.0, 2.0, 2.0]);
+        assert_eq!(p.class, 0);
+        assert!((p.confidence - 1.0 / 3.0).abs() < 1e-6);
+        assert_eq!(p.margin, 0.0);
+    }
+
+    #[test]
+    fn single_class_models_are_always_certain() {
+        let (x, _) = toy();
+        let y = vec![0usize; x.rows()];
+        for spec in [hdc_specs()[0].clone(), hdc_specs()[1].clone()] {
+            let pipeline = Pipeline::fit(&spec, &x, &y)
+                .unwrap()
+                .with_abstain_threshold(1.0);
+            assert_eq!(pipeline.num_classes(), 1, "{}", spec.kind_tag());
+            for p in pipeline.predict_batch_with_confidence(&x) {
+                assert_eq!(p.class, 0);
+                assert_eq!(p.probabilities, vec![1.0]);
+                assert_eq!(p.confidence, 1.0);
+                assert_eq!(p.margin, 1.0, "top-1 minus a nonexistent top-2");
+                assert!(
+                    !p.abstained,
+                    "a one-class model is certain even at threshold 1.0"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_nan_and_mixed_nan_rows_pin_the_argmax_fix() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .with_abstain_threshold(0.1);
+        // All-NaN row: fallback class 0, zero everything, abstains.
+        let p = pipeline.prediction_from_scores(&[f32::NAN; 3]);
+        assert_eq!((p.class, p.confidence, p.margin), (0, 0.0, 0.0));
+        assert_eq!(p.probabilities, vec![0.0; 3]);
+        assert!(p.abstained && p.decision().is_none());
+        // The PR-4 argmax regression: NaN must lose to every finite score,
+        // including -inf and negatives in later positions.
+        let p = pipeline.prediction_from_scores(&[f32::NAN, -5.0, -7.0]);
+        assert_eq!(p.class, 1);
+        assert_eq!(p.probabilities[0], 0.0, "NaN carries no probability");
+        let p = pipeline.prediction_from_scores(&[f32::NEG_INFINITY, f32::NAN]);
+        assert_eq!(p.class, 0, "-inf is still finite evidence ordering-wise");
+        // +inf saturates the softmax instead of poisoning it: the max
+        // filter treats it as non-finite, so the remaining mass wins.
+        let p = pipeline.prediction_from_scores(&[f32::INFINITY, 1.0, 0.0]);
+        assert!(p.probabilities.iter().all(|q| q.is_finite()));
+    }
+
+    #[test]
+    fn envelope_with_bumped_unknown_version_fails_with_expected_variant() {
+        let (x, y) = toy();
+        let bytes = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
+        // Byte 4 is the envelope version (after the u32 magic).
+        for future_version in [2u8, 9, 250] {
+            let mut bumped = bytes.clone();
+            bumped[4] = future_version;
+            let err = Pipeline::from_bytes(&bumped).unwrap_err();
+            assert!(
+                matches!(err, BoostHdError::DataMismatch { .. }),
+                "version {future_version}: wrong variant {err:?}"
+            );
+            let msg = err.to_string();
+            assert!(
+                msg.contains(&format!("unsupported envelope version {future_version}")),
+                "{msg}"
+            );
+            assert!(
+                msg.contains(&format!("supported {ENVELOPE_VERSION}")),
+                "the error must name the supported version: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn envelope_with_unknown_model_kind_fails_with_expected_variant() {
+        let (x, y) = toy();
+        let bytes = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .to_bytes()
+            .unwrap();
+        // Byte 5 is the payload-kind tag; 6..255 are unassigned futures.
+        for future_kind in [6u8, 42, 255] {
+            let mut unknown = bytes.clone();
+            unknown[5] = future_kind;
+            let err = Pipeline::from_bytes(&unknown).unwrap_err();
+            assert!(
+                matches!(err, BoostHdError::DataMismatch { .. }),
+                "kind {future_kind}: wrong variant {err:?}"
+            );
+            assert!(
+                err.to_string()
+                    .contains(&format!("unknown payload kind {future_kind}")),
+                "{err}"
+            );
+        }
+        // A *known* kind that disagrees with the embedded spec is a
+        // config-level mismatch, also loud, also not a panic.
+        let mut mismatched = bytes.clone();
+        mismatched[5] = PayloadKind::CentroidHd.tag();
+        let err = Pipeline::from_bytes(&mismatched).unwrap_err();
+        assert!(matches!(err, BoostHdError::InvalidConfig { .. }), "{err:?}");
+        assert!(err.to_string().contains("disagrees"), "{err}");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! `hdc::ops::packed_similarity`).
 //!
 //! For fault-injection studies the packed models implement
-//! [`reliability::PerturbablePacked`]: bit flips land directly on the
+//! [`faults::PerturbablePacked`]: bit flips land directly on the
 //! stored `u64` words, a more faithful single-event-upset model for 1-bit
 //! memories than f32 mantissa flips.
 //!
@@ -36,11 +36,11 @@ use crate::classifier::{argmax, argmax_rows, predict_batch_chunked, Classifier};
 use crate::error::{BoostHdError, Result};
 use crate::online::OnlineHd;
 use crate::CentroidHd;
+use faults::PerturbablePacked;
 use hdc::backend::{PackedHv, PackedMatrix};
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::matrix::norm;
 use linalg::Matrix;
-use reliability::PerturbablePacked;
 use serde::{Deserialize, Serialize};
 
 /// Straight-through refinement of one class matrix: score queries against
@@ -628,8 +628,8 @@ mod tests {
     use super::*;
     use crate::boost::BoostHdConfig;
     use crate::online::OnlineHdConfig;
+    use faults::flip_sign_bits;
     use linalg::Rng64;
-    use reliability::flip_sign_bits;
 
     fn blobs(n: usize, seed: u64, sep: f32, noise: f32) -> (Matrix, Vec<usize>) {
         let mut rng = Rng64::seed_from(seed);

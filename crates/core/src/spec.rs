@@ -196,21 +196,29 @@ impl ModelSpec {
     /// documentation of the paper defaults).
     pub fn to_toml(&self) -> String {
         let mut w = TomlWriter::new();
-        w.table("model");
+        self.write_toml_table(&mut w, "model");
+        w.into_string()
+    }
+
+    /// Writes the spec as a named `[table]` into an ongoing document —
+    /// campaign spec files hold several model tables (`[model-1]`,
+    /// `[model-2]`, ...), all sharing the `[model]` key vocabulary.
+    pub fn write_toml_table(&self, w: &mut TomlWriter, table: &str) {
+        w.table(table);
         w.str("kind", self.kind_tag());
         match self {
-            ModelSpec::OnlineHd(c) => write_online(&mut w, c),
+            ModelSpec::OnlineHd(c) => write_online(w, c),
             ModelSpec::CentroidHd(c) => {
                 w.int("dim", c.dim as i64);
                 w.u64("seed", c.seed);
             }
-            ModelSpec::BoostHd(c) => write_boost(&mut w, c),
+            ModelSpec::BoostHd(c) => write_boost(w, c),
             ModelSpec::QuantizedOnlineHd { base, refit_epochs } => {
-                write_online(&mut w, base);
+                write_online(w, base);
                 w.int("refit_epochs", *refit_epochs as i64);
             }
             ModelSpec::QuantizedBoostHd { base, refit_epochs } => {
-                write_boost(&mut w, base);
+                write_boost(w, base);
                 w.int("refit_epochs", *refit_epochs as i64);
             }
             ModelSpec::Baseline(b) => {
@@ -229,7 +237,6 @@ impl ModelSpec {
                 }
             }
         }
-        w.into_string()
     }
 
     /// Parses a spec from a document containing a `[model]` table (inverse

@@ -52,6 +52,9 @@ pub enum TomlValue {
     Bool(bool),
     /// A flat `[1, 2, 3]` integer array.
     IntArray(Vec<i64>),
+    /// A flat `[0.0, 1e-5, 0.5]` float array (any element with a `.` or
+    /// exponent promotes the whole array; severity grids go through this).
+    FloatArray(Vec<f64>),
 }
 
 impl TomlValue {
@@ -62,6 +65,7 @@ impl TomlValue {
             TomlValue::Float(_) => "float",
             TomlValue::Bool(_) => "boolean",
             TomlValue::IntArray(_) => "integer array",
+            TomlValue::FloatArray(_) => "float array",
         }
     }
 }
@@ -197,6 +201,20 @@ impl TomlTable {
         }
     }
 
+    /// Float-array value of `key` (integer arrays are accepted and
+    /// widened).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the key is missing or not a numeric array.
+    pub fn get_float_array(&self, key: &str) -> Result<Vec<f64>> {
+        match self.require(key)? {
+            TomlValue::FloatArray(vs) => Ok(vs.clone()),
+            TomlValue::IntArray(vs) => Ok(vs.iter().map(|&v| v as f64).collect()),
+            other => Err(self.wrong_type(key, "float array", other)),
+        }
+    }
+
     /// Integer-array value of `key` as `usize`s.
     ///
     /// # Errors
@@ -321,6 +339,12 @@ fn strip_comment(line: &str) -> &str {
     line
 }
 
+/// One parsed numeric array element, before the array commits to a type.
+enum ArrayItem {
+    Int(i64),
+    Float(f64),
+}
+
 fn parse_value(s: &str) -> std::result::Result<TomlValue, String> {
     if s.is_empty() {
         return Err("missing value".into());
@@ -353,12 +377,38 @@ fn parse_value(s: &str) -> std::result::Result<TomlValue, String> {
         let items = inner
             .split(',')
             .map(|item| {
-                let item = item.trim();
-                item.parse::<i64>()
-                    .map_err(|_| format!("array element `{item}` is not an integer"))
+                parse_value(item.trim()).and_then(|v| match v {
+                    TomlValue::Int(i) => Ok(ArrayItem::Int(i)),
+                    TomlValue::U64(u) => Ok(ArrayItem::Float(u as f64)),
+                    TomlValue::Float(f) => Ok(ArrayItem::Float(f)),
+                    other => Err(format!(
+                        "array element `{}` must be a number, got a {}",
+                        item.trim(),
+                        other.type_name()
+                    )),
+                })
             })
-            .collect::<std::result::Result<Vec<i64>, String>>()?;
-        return Ok(TomlValue::IntArray(items));
+            .collect::<std::result::Result<Vec<ArrayItem>, String>>()?;
+        if items.iter().all(|i| matches!(i, ArrayItem::Int(_))) {
+            return Ok(TomlValue::IntArray(
+                items
+                    .into_iter()
+                    .map(|i| match i {
+                        ArrayItem::Int(v) => v,
+                        ArrayItem::Float(_) => unreachable!(),
+                    })
+                    .collect(),
+            ));
+        }
+        return Ok(TomlValue::FloatArray(
+            items
+                .into_iter()
+                .map(|i| match i {
+                    ArrayItem::Int(v) => v as f64,
+                    ArrayItem::Float(v) => v,
+                })
+                .collect(),
+        ));
     }
     // Underscore separators are accepted in numbers, as in real TOML.
     let cleaned: String = s.chars().filter(|&c| c != '_').collect();
@@ -387,6 +437,16 @@ fn parse_value(s: &str) -> std::result::Result<TomlValue, String> {
         }
     }
     Err(format!("unparseable value `{s}`"))
+}
+
+/// Formats a float so it re-parses as a float (whole values keep a
+/// trailing `.0`).
+fn format_float(value: f64) -> String {
+    if value.is_finite() && value.fract() == 0.0 && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
 }
 
 /// Ordered writer emitting the same subset [`TomlDoc::parse`] reads.
@@ -428,11 +488,14 @@ impl TomlWriter {
     /// Writes a float entry (always with a decimal point or exponent so it
     /// re-parses as a float).
     pub fn float(&mut self, key: &str, value: f64) {
-        if value.is_finite() && value.fract() == 0.0 && value.abs() < 1e15 {
-            let _ = writeln!(self.out, "{key} = {value:.1}");
-        } else {
-            let _ = writeln!(self.out, "{key} = {value}");
-        }
+        let _ = writeln!(self.out, "{key} = {}", format_float(value));
+    }
+
+    /// Writes a float-array entry (each element formatted as
+    /// [`TomlWriter::float`] does, so the array re-parses as floats).
+    pub fn float_array(&mut self, key: &str, values: &[f64]) {
+        let items: Vec<String> = values.iter().map(|&v| format_float(v)).collect();
+        let _ = writeln!(self.out, "{key} = [{}]", items.join(", "));
     }
 
     /// Writes a boolean entry.
@@ -528,6 +591,42 @@ mod tests {
     fn comments_inside_strings_survive() {
         let doc = TomlDoc::parse("[t]\nname = \"a # b\"\n").unwrap();
         assert_eq!(doc.table("t").unwrap().get_str("name").unwrap(), "a # b");
+    }
+
+    #[test]
+    fn float_arrays_parse_and_widen() {
+        let doc = TomlDoc::parse("[s]\nsev = [0.0, 1e-5, 0.5]\nmixed = [0, 0.25, 3]\n").unwrap();
+        let t = doc.table("s").unwrap();
+        assert_eq!(t.get_float_array("sev").unwrap(), vec![0.0, 1e-5, 0.5]);
+        assert_eq!(t.get_float_array("mixed").unwrap(), vec![0.0, 0.25, 3.0]);
+        // All-integer arrays stay integer arrays but widen on demand.
+        let doc = TomlDoc::parse("[s]\nints = [1, 2]\n").unwrap();
+        let t = doc.table("s").unwrap();
+        assert_eq!(t.get_float_array("ints").unwrap(), vec![1.0, 2.0]);
+        assert_eq!(t.get_usize_array("ints").unwrap(), vec![1, 2]);
+        // ... while float arrays are rejected where integers are required.
+        let doc = TomlDoc::parse("[s]\nsev = [0.5]\n").unwrap();
+        let err = doc.table("s").unwrap().get_usize_array("sev").unwrap_err();
+        assert!(err.to_string().contains("float array"), "{err}");
+        // Garbage elements still fail loudly.
+        assert!(TomlDoc::parse("sev = [0.5, true]\n").is_err());
+        assert!(TomlDoc::parse("sev = [0.5, nan]\n").is_err());
+    }
+
+    #[test]
+    fn float_array_writer_round_trips() {
+        let mut w = TomlWriter::new();
+        w.table("scenario");
+        w.float_array("severities", &[0.0, 1e-6, 2.0]);
+        let text = w.into_string();
+        let doc = TomlDoc::parse(&text).unwrap();
+        assert_eq!(
+            doc.table("scenario")
+                .unwrap()
+                .get_float_array("severities")
+                .unwrap(),
+            vec![0.0, 1e-6, 2.0]
+        );
     }
 
     #[test]

@@ -5,9 +5,9 @@ use boosthd::boost::EnsembleMode;
 use boosthd::{
     BoostHd, BoostHdConfig, CentroidHd, CentroidHdConfig, Classifier, OnlineHd, OnlineHdConfig,
 };
+use faults::{flip_bits, flip_sign_bits, Perturbable, PerturbablePacked};
 use linalg::{Matrix, Rng64};
 use proptest::prelude::*;
-use reliability::{flip_bits, flip_sign_bits, Perturbable, PerturbablePacked};
 
 /// A small random but learnable dataset: class-dependent Gaussian blobs.
 fn blob_data(seed: u64, n: usize, classes: usize) -> (Matrix, Vec<usize>) {

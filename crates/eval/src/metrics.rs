@@ -67,6 +67,48 @@ pub fn macro_accuracy(preds: &[usize], truth: &[usize], num_classes: usize) -> f
     }
 }
 
+/// Macro-F1: the unweighted mean of per-class F1 scores
+/// (`2·precision·recall / (precision + recall)`), over the classes that
+/// actually appear in `truth`. A class with no predicted and no true
+/// positives scores F1 = 0 — the campaign engine's headline skew-fairness
+/// metric, stricter than [`macro_accuracy`] because it also punishes
+/// false positives.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a label exceeds
+/// `num_classes`.
+pub fn macro_f1(preds: &[usize], truth: &[usize], num_classes: usize) -> f64 {
+    assert_eq!(preds.len(), truth.len(), "prediction/label length mismatch");
+    let mut tp = vec![0usize; num_classes];
+    let mut pred_count = vec![0usize; num_classes];
+    let mut true_count = vec![0usize; num_classes];
+    for (&p, &t) in preds.iter().zip(truth) {
+        assert!(p < num_classes && t < num_classes, "label out of range");
+        pred_count[p] += 1;
+        true_count[t] += 1;
+        if p == t {
+            tp[t] += 1;
+        }
+    }
+    let (mut sum, mut present) = (0.0f64, 0usize);
+    for c in 0..num_classes {
+        if true_count[c] == 0 {
+            continue;
+        }
+        present += 1;
+        let denom = (pred_count[c] + true_count[c]) as f64;
+        if denom > 0.0 {
+            sum += 2.0 * tp[c] as f64 / denom;
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        sum / present as f64
+    }
+}
+
 /// Confusion matrix with `truth` on rows and `preds` on columns.
 ///
 /// # Panics
@@ -122,6 +164,25 @@ mod tests {
         let preds = [0, 1, 1, 1, 0];
         let r = per_class_recall(&preds, &truth, 3);
         assert_eq!(r, vec![0.5, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn macro_f1_basics() {
+        // Perfect predictions: F1 = 1 per class.
+        assert_eq!(macro_f1(&[0, 1, 2], &[0, 1, 2], 3), 1.0);
+        // All-majority predictions: class 0 has precision 0.9 / recall 1
+        // (F1 ≈ 0.947), class 1 has F1 = 0 → macro ≈ 0.474.
+        let mut truth = vec![0usize; 90];
+        truth.extend(vec![1usize; 10]);
+        let preds = vec![0usize; 100];
+        let f1 = macro_f1(&preds, &truth, 2);
+        assert!((f1 - (2.0 * 90.0 / 190.0) / 2.0).abs() < 1e-12, "{f1}");
+        // Absent classes are skipped, and F1 is stricter than macro
+        // accuracy under false positives.
+        assert_eq!(macro_f1(&[0, 0], &[0, 0], 3), 1.0);
+        let preds = [0, 0, 0, 1];
+        let truth = [0, 0, 1, 1];
+        assert!(macro_f1(&preds, &truth, 2) < macro_accuracy(&preds, &truth, 2) + 1e-12);
     }
 
     #[test]

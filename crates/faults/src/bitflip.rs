@@ -18,6 +18,12 @@
 //!   faithful SEU model for 1-bit associative memories: there is no
 //!   exponent to corrupt, and a single upset perturbs one similarity by
 //!   exactly `2/D`.
+//!
+//! **Determinism contract.** Flip positions are a pure function of
+//! `(total_bits, p_b, rng seed)`: the geometric-gap walk consumes one
+//! uniform draw per flip from the caller's [`Rng64`] and nothing else, so
+//! re-running an injection with the same seed corrupts the same bits in
+//! the same order, regardless of thread count or kernel dispatch level.
 
 use linalg::Rng64;
 use serde::{Deserialize, Serialize};

@@ -12,6 +12,11 @@
 //! As `r` shrinks (note the paper's Figure 7 sweeps the *reduction* — here
 //! `keep_fraction` is the fraction retained), the non-target classes starve
 //! and a model that overfits the majority class collapses in macro accuracy.
+//!
+//! **Determinism contract.** [`imbalanced_indices`] samples survivors with
+//! the caller's [`Rng64`] walking classes in ascending label order, and
+//! returns them sorted — the retained subset is a pure function of
+//! `(labels, spec, seed)`, independent of thread count.
 
 use linalg::Rng64;
 use serde::{Deserialize, Serialize};

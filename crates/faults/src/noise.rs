@@ -3,7 +3,15 @@
 //! The paper's main robustness axis is hardware bit-flips ([`crate::bitflip`]);
 //! these software-level corruptions (sensor noise on features, annotation
 //! noise on labels) round out the reliability story and power the
-//! noise-ablation benchmark.
+//! noise-ablation benchmark. The in-memory HDC literature (Karunaratne et
+//! al.) characterizes robustness across *analog* noise levels too — the
+//! Gaussian and spike models here are the software analogue of that axis.
+//!
+//! **Determinism contract.** Every injector consumes randomness only from
+//! the caller's [`Rng64`], visiting elements in a fixed order (row-major
+//! for features, index order for labels, column order for channels), so a
+//! fixed `(input, parameters, seed)` triple yields the same corruption
+//! byte-for-byte on every run and thread count.
 
 use linalg::{Matrix, Rng64};
 
@@ -15,6 +23,29 @@ pub fn add_gaussian_noise(x: &mut Matrix, std: f32, rng: &mut Rng64) {
     for v in x.as_mut_slice() {
         *v += rng.normal_with(0.0, std);
     }
+}
+
+/// Replaces each feature independently with probability `p` by an additive
+/// spike of magnitude `amplitude` (sign chosen uniformly), in place —
+/// impulsive sensor noise: electrode pops, motion artifacts, ADC glitches.
+/// Returns the number of features hit.
+///
+/// Spikes *add* `±amplitude` rather than overwrite, so a severity sweep at
+/// fixed amplitude degrades smoothly from clean (`p = 0`) to fully
+/// impulsive (`p = 1`).
+pub fn add_spike_noise(x: &mut Matrix, p: f64, amplitude: f32, rng: &mut Rng64) -> usize {
+    if p <= 0.0 {
+        return 0;
+    }
+    let mut hit = 0;
+    for v in x.as_mut_slice() {
+        if rng.chance(p) {
+            let sign = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            *v += sign * amplitude;
+            hit += 1;
+        }
+    }
+    hit
 }
 
 /// Flips each label to a uniformly random *different* class with probability
@@ -80,6 +111,37 @@ mod tests {
         add_gaussian_noise(&mut x, 0.5, &mut rng);
         let moved = x.as_slice().iter().filter(|&&v| v != 1.0).count();
         assert!(moved > 90);
+    }
+
+    #[test]
+    fn spike_noise_zero_probability_is_noop() {
+        let mut x = Matrix::filled(4, 4, 1.0);
+        let mut rng = Rng64::seed_from(7);
+        assert_eq!(add_spike_noise(&mut x, 0.0, 5.0, &mut rng), 0);
+        assert!(x.as_slice().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn spike_noise_hits_every_feature_at_p_one() {
+        let mut x = Matrix::filled(5, 5, 0.0);
+        let mut rng = Rng64::seed_from(8);
+        let hit = add_spike_noise(&mut x, 1.0, 3.0, &mut rng);
+        assert_eq!(hit, 25);
+        assert!(x.as_slice().iter().all(|&v| v == 3.0 || v == -3.0));
+        let pos = x.as_slice().iter().filter(|&&v| v > 0.0).count();
+        assert!(pos > 0 && pos < 25, "both spike signs occur");
+    }
+
+    #[test]
+    fn spike_noise_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut x = Matrix::filled(8, 8, 1.0);
+            let mut rng = Rng64::seed_from(seed);
+            add_spike_noise(&mut x, 0.3, 2.0, &mut rng);
+            x.as_slice().to_vec()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

@@ -2,18 +2,22 @@
 //!
 //! The paper stresses that healthcare deployments need more than accuracy:
 //! models must stay dependable under *hardware faults* and *skewed data*.
-//! This crate provides the fault and skew machinery behind Sections IV-C/IV-D:
+//! This crate is the reliability front door of the stack, in two layers:
 //!
-//! * [`bitflip`] — bit-flip injection on trained model parameters with
-//!   per-bit probability `p_b`, modelling memory faults in wearable
-//!   hardware (Figure 8). f32 models opt in via [`Perturbable`] (IEEE-754
-//!   word flips); bitpacked binary-HDC models opt in via
-//!   [`PerturbablePacked`] (flips land directly on stored sign bits).
-//! * [`imbalance`] — class-imbalance dataset crafting per the paper's
-//!   Equation 8: keep every sample of the target class, subsample each other
-//!   class to a fraction `r` (Figure 7).
-//! * [`noise`] — additive Gaussian feature noise and label flipping, used in
-//!   robustness ablations.
+//! * the raw fault primitives, re-exported from the foundational [`faults`]
+//!   crate so existing `reliability::...` paths keep working —
+//!   [`bitflip`] (parameter bit flips on f32 and packed storage, Figure 8),
+//!   [`noise`] (Gaussian sensor noise, impulsive spikes, channel dropout,
+//!   label flipping), and [`imbalance`] (Equation-8 class-imbalance
+//!   crafting, Figure 7);
+//! * [`campaign`] — the deterministic scenario engine that applies those
+//!   fault models to any [`boosthd::Pipeline`], sweeps severity grids in
+//!   parallel with pre-forked per-cell RNGs, and emits a versioned JSON
+//!   report. Every figure-8-style sweep in the repository runs through it.
+//!
+//! Each fault-model module documents its determinism contract; the
+//! campaign engine composes them into reports that are byte-identical for
+//! any thread count.
 //!
 //! # Example: flipping bits in a parameter buffer
 //!
@@ -30,11 +34,15 @@
 
 #![deny(missing_docs)]
 
-pub mod bitflip;
-pub mod imbalance;
-pub mod noise;
+pub use faults::{bitflip, imbalance, noise};
+
+pub mod campaign;
 
 pub use bitflip::{
     flip_bits, flip_bits_in, flip_sign_bits, BitflipReport, Perturbable, PerturbablePacked,
+};
+pub use campaign::{
+    Campaign, CampaignData, CampaignReport, CampaignSpec, CellResult, FaultModel, ScenarioResult,
+    ScenarioSpec,
 };
 pub use imbalance::{imbalanced_indices, ImbalanceSpec};

@@ -195,6 +195,30 @@ impl<'m, C: Classifier + Sync + ?Sized> InferenceEngine<'m, C> {
     /// Panics if a yielded row's length disagrees with the model's expected
     /// feature count (surfaced by the underlying encoder).
     pub fn serve(&self, source: impl IntoIterator<Item = Vec<f32>>) -> ServeOutcome {
+        self.serve_with_hook(source, &mut |_, _| {})
+    }
+
+    /// [`InferenceEngine::serve`] with a fault-injection hook: before each
+    /// flushed batch is predicted, `hook(batch_index, features)` may mutate
+    /// the materialized feature matrix in place — the seam the reliability
+    /// campaign uses to corrupt live micro-batched traffic (sensor noise,
+    /// spikes, dropped channels) and measure degradation mid-stream.
+    ///
+    /// Batch indices count flushes from 0 in arrival order, so a hook that
+    /// derives its RNG from the batch index stays deterministic whenever
+    /// batch composition is (pin `max_batch` and set a generous `max_wait`
+    /// so flushes are size-triggered). The hook runs on the caller's
+    /// thread, before the fan-out — worker count never affects what it
+    /// sees.
+    ///
+    /// # Panics
+    ///
+    /// As [`InferenceEngine::serve`].
+    pub fn serve_with_hook(
+        &self,
+        source: impl IntoIterator<Item = Vec<f32>>,
+        hook: &mut dyn FnMut(usize, &mut Matrix),
+    ) -> ServeOutcome {
         let started = Instant::now();
         let mut predictions = Vec::new();
         let mut latencies = Vec::new();
@@ -206,7 +230,8 @@ impl<'m, C: Classifier + Sync + ?Sized> InferenceEngine<'m, C> {
             if pending.is_empty() {
                 return;
             }
-            let x = Matrix::from_rows(pending).expect("pending rows share one feature width");
+            let mut x = Matrix::from_rows(pending).expect("pending rows share one feature width");
+            hook(batches, &mut x);
             predictions.extend(predict_batch_chunked(self.model, &x, self.threads));
             let done = Instant::now();
             latencies.extend(
@@ -364,6 +389,50 @@ mod tests {
         let outcome = engine.serve((0..10).map(|r| x.row(r).to_vec()));
         assert_eq!(outcome.stats.batches, 10, "deadline 0 → no batching");
         assert_eq!(outcome.stats.mean_batch, 1.0);
+    }
+
+    #[test]
+    fn serve_hook_sees_each_flush_and_can_corrupt_it() {
+        let (m, x) = model();
+        let engine = InferenceEngine::with_config(
+            &m,
+            EngineConfig {
+                max_batch: 10,
+                max_wait: Duration::from_secs(3600),
+                threads: Some(2),
+            },
+        );
+        let mut seen: Vec<(usize, usize)> = Vec::new();
+        let outcome =
+            engine.serve_with_hook((0..30).map(|r| x.row(r).to_vec()), &mut |b, batch| {
+                seen.push((b, batch.rows()));
+            });
+        assert_eq!(seen, vec![(0, 10), (1, 10), (2, 10)]);
+        assert_eq!(
+            outcome.predictions,
+            m.predict_batch(&x.slice_rows(0, 30)),
+            "a non-mutating hook must not change predictions"
+        );
+
+        // A hook that wipes one mid-stream batch corrupts exactly those
+        // rows, leaving the surrounding batches untouched.
+        let clean = outcome.predictions;
+        let corrupted =
+            engine.serve_with_hook((0..30).map(|r| x.row(r).to_vec()), &mut |b, batch| {
+                if b == 1 {
+                    for v in batch.as_mut_slice() {
+                        *v = 0.0;
+                    }
+                }
+            });
+        assert_eq!(corrupted.predictions[..10], clean[..10]);
+        assert_eq!(corrupted.predictions[20..], clean[20..]);
+        let zero_row = vec![0.0f32; x.cols()];
+        let wiped = m.predict(&zero_row);
+        assert!(
+            corrupted.predictions[10..20].iter().all(|&p| p == wiped),
+            "wiped batch must predict as the all-zero row does"
+        );
     }
 
     #[test]

@@ -2,31 +2,16 @@
 //! model's memory (the paper's Section IV-D scenario).
 //!
 //! Wearables keep trained parameters in small, often unprotected memories;
-//! radiation and voltage droop flip bits. This example trains BoostHD,
-//! OnlineHD, and the DNN baseline, then corrupts each model's stored
-//! parameters at increasing per-bit flip probabilities and reports the
-//! surviving accuracy.
+//! radiation and voltage droop flip bits. This example declares one
+//! bit-flip scenario over BoostHD, OnlineHD, and the DNN baseline and
+//! hands it to [`reliability::campaign`] — the same deterministic engine
+//! behind `fig8` and `hdrun campaign` — then reports the surviving
+//! accuracy per flip probability.
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
 use boosthd_repro::prelude::*;
-
-fn degradation<M: Classifier + Perturbable + Clone>(
-    model: &M,
-    x: &Matrix,
-    y: &[usize],
-    pb: f64,
-    trials: usize,
-) -> f64 {
-    let mut total = 0.0;
-    for t in 0..trials {
-        let mut corrupted = model.clone();
-        let mut rng = Rng64::seed_from(0xBAD + t as u64);
-        flip_bits(&mut corrupted, pb, &mut rng);
-        total += eval_harness::metrics::accuracy(&corrupted.predict_batch(x), y);
-    }
-    total / trials as f64 * 100.0
-}
+use reliability::campaign::{self, CampaignData, CampaignSpec, FaultModel, ScenarioSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut profile = wearables::profiles::wesad_like();
@@ -36,57 +21,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = data.split_by_subject_fraction(0.3, 3)?;
     let (train, test) = wearables::dataset::normalize_pair(&train, &test)?;
 
-    println!("training the three models ...");
-    // The injection loop clones and corrupts concrete models, so each
-    // spec-built pipeline hands back its typed view.
-    baselines::spec::install();
-    let online = Pipeline::fit(
-        &ModelSpec::OnlineHd(OnlineHdConfig {
-            dim: 4000,
-            ..Default::default()
-        }),
-        train.features(),
-        train.labels(),
-    )?
-    .downcast_ref::<OnlineHd>()
-    .expect("spec-built OnlineHD")
-    .clone();
-    let boost = Pipeline::fit(
-        &ModelSpec::BoostHd(BoostHdConfig {
-            dim_total: 4000,
-            n_learners: 10,
-            ..Default::default()
-        }),
-        train.features(),
-        train.labels(),
-    )?
-    .downcast_ref::<BoostHd>()
-    .expect("spec-built BoostHD")
-    .clone();
-    let dnn = Pipeline::fit(
-        &ModelSpec::Baseline(BaselineSpec {
-            epochs: Some(4),
-            ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
-        }),
-        train.features(),
-        train.labels(),
-    )?
-    .downcast_ref::<Mlp>()
-    .expect("spec-built DNN")
-    .clone();
-
     let trials = 10;
+    let spec = CampaignSpec {
+        name: "fault_injection".into(),
+        seed: 0xBAD,
+        trials,
+        abstain_threshold: 0.0,
+        models: vec![
+            ModelSpec::BoostHd(BoostHdConfig {
+                dim_total: 4000,
+                n_learners: 10,
+                ..Default::default()
+            }),
+            ModelSpec::OnlineHd(OnlineHdConfig {
+                dim: 4000,
+                ..Default::default()
+            }),
+            ModelSpec::Baseline(BaselineSpec {
+                epochs: Some(4),
+                ..BaselineSpec::new(BaselineKind::Mlp, 0xD22)
+            }),
+        ],
+        scenarios: vec![ScenarioSpec::new(
+            FaultModel::BitFlip,
+            vec![0.0, 1e-6, 5e-6, 1e-5, 5e-5],
+        )],
+    };
+
+    println!("training the three models ...");
+    baselines::spec::install();
+    let campaign_data = CampaignData::new(
+        train.features(),
+        train.labels(),
+        test.features(),
+        test.labels(),
+    )?;
+    let report = campaign::run(&spec, campaign_data, 4)?;
+
     println!(
         "\n{:>10} {:>10} {:>10} {:>10}   (accuracy %, {} trials/point)",
         "p_b", "BoostHD", "OnlineHD", "DNN", trials
     );
-    for pb in [0.0, 1e-6, 5e-6, 1e-5, 5e-5] {
+    let scenario = &report.scenarios[0];
+    for (v, &pb) in scenario.severities.iter().enumerate() {
         println!(
             "{:>10.0e} {:>10.2} {:>10.2} {:>10.2}",
             pb,
-            degradation(&boost, test.features(), test.labels(), pb, trials),
-            degradation(&online, test.features(), test.labels(), pb, trials),
-            degradation(&dnn, test.features(), test.labels(), pb, trials),
+            report.model_cells(0, 0)[v].mean_accuracy_pct,
+            report.model_cells(0, 1)[v].mean_accuracy_pct,
+            report.model_cells(0, 2)[v].mean_accuracy_pct,
         );
     }
     println!("\nlower rows: the ensemble's redundant sub-spaces absorb corrupted learners;\nthe DNN's deep multiplicative path amplifies a single flipped exponent bit.");

@@ -12,17 +12,29 @@
 //!   engine (`max_batch`, `max_wait_ms`, `threads`, `abstain_threshold`,
 //!   `windows`, `hop_samples`).
 //!
+//! Campaign spec files (`hdrun campaign`) additionally hold one or more
+//! model tables (`[model]`, `[model-1]`, ...), one or more `[scenario]` /
+//! `[scenario-N]` tables (see [`reliability::campaign`]), an optional
+//! `[campaign]` header (`name`, `seed`, `trials`, `abstain_threshold`),
+//! and an optional `[stream]` table that measures live micro-batched
+//! degradation (`windows`, `hop_samples`, `max_batch`, `model`, `seed`,
+//! plus a sensor `fault` + `severity`).
+//!
 //! Subcommands:
 //!
 //! ```text
-//! hdrun train --spec <file> [--out <model.bhde>]   # fit + evaluate (+ save envelope)
-//! hdrun eval  --spec <file> --model <model.bhde>   # load + evaluate + confidence report
-//! hdrun serve --spec <file> --model <model.bhde>   # load + stream windows through the engine
+//! hdrun train    --spec <file> [--out <model.bhde>]   # fit + evaluate (+ save envelope)
+//! hdrun eval     --spec <file> --model <model.bhde>   # load + evaluate + confidence report
+//! hdrun serve    --spec <file> --model <model.bhde>   # load + stream windows through the engine
+//! hdrun campaign <spec.toml> [--out <report.json>] [--threads N]
+//!                                                     # deterministic reliability sweep
 //! ```
 //!
 //! `eval` and `serve` regenerate the dataset from the `[dataset]` seed, so
 //! the normalization fitted on the training split is reproduced exactly and
 //! a loaded envelope scores bit-identically to the model that was saved.
+//! `campaign` reports are byte-identical for any `--threads` value (the
+//! engine pre-forks every cell's RNG from the spec).
 
 use std::error::Error;
 use std::process::ExitCode;
@@ -33,13 +45,14 @@ use boosthd::{BoostHdError, ModelSpec, Pipeline};
 use boosthd_repro::serve::{EngineConfig, InferenceEngine};
 use eval_harness::metrics::accuracy;
 use linalg::Matrix;
+use reliability::campaign::{Campaign, CampaignData, CampaignSpec};
 use wearables::dataset::normalize_pair;
 use wearables::preprocess::Normalizer;
 use wearables::streaming::WindowStream;
 use wearables::{Dataset, DatasetProfile};
 
 fn usage() -> &'static str {
-    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde>"
+    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde>\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]"
 }
 
 struct Args {
@@ -47,6 +60,7 @@ struct Args {
     spec: Option<String>,
     model: Option<String>,
     out: Option<String>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
         spec: None,
         model: None,
         out: None,
+        threads: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -69,6 +84,18 @@ fn parse_args() -> Result<Args, String> {
             "--spec" => args.spec = Some(take(i)?),
             "--model" => args.model = Some(take(i)?),
             "--out" => args.out = Some(take(i)?),
+            "--threads" => {
+                let v = take(i)?;
+                args.threads =
+                    Some(v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
+                        format!("--threads needs a positive integer, got `{v}`\n{}", usage())
+                    })?);
+            }
+            positional if !positional.starts_with('-') && args.spec.is_none() => {
+                // `hdrun campaign specs/foo.toml` reads naturally.
+                args.spec = Some(positional.to_string());
+                i -= 1;
+            }
             other => return Err(format!("unknown argument {other}\n{}", usage())),
         }
         i += 2;
@@ -355,6 +382,174 @@ fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
+/// The optional `[stream]` table: live micro-batched degradation
+/// measurement appended to the campaign report.
+fn run_stream(
+    table: &boosthd::toml::TomlTable,
+    ds: &DatasetSpec,
+    base_models: &[Pipeline],
+    train: &Dataset,
+) -> Result<reliability::campaign::StreamingResult, Box<dyn Error>> {
+    const STREAM_KEYS: [&str; 9] = [
+        "windows",
+        "hop_samples",
+        "max_batch",
+        "model",
+        "seed",
+        "fault",
+        "severity",
+        "amplitude",
+        "target_class",
+    ];
+    if let Some(bad) = table.keys().find(|k| !STREAM_KEYS.contains(k)) {
+        return Err(format!(
+            "unknown key `{bad}` in [stream] (allowed: {})",
+            STREAM_KEYS.join(", ")
+        )
+        .into());
+    }
+    let get_or = |key: &str, default: usize| -> Result<usize, BoostHdError> {
+        match table.get(key) {
+            Some(_) => table.get_usize(key),
+            None => Ok(default),
+        }
+    };
+    let windows = get_or("windows", 200)?;
+    let hop = get_or("hop_samples", ds.profile.window_samples)?;
+    let max_batch = get_or("max_batch", 32)?.max(1);
+    let model_index = get_or("model", 1)?;
+    let seed = match table.get("seed") {
+        Some(_) => table.get_u64("seed")?,
+        None => ds.seed ^ 0x57A1,
+    };
+    let fault = reliability::campaign::parse_fault(table)?;
+    let severity = table.get_float("severity")?;
+    if !severity.is_finite() || severity < 0.0 {
+        return Err(
+            format!("[stream] severity {severity} is not a finite non-negative number").into(),
+        );
+    }
+    let pipeline = base_models
+        .get(model_index.wrapping_sub(1))
+        .ok_or_else(|| {
+            format!(
+                "[stream] model = {model_index} out of range (campaign has {} models, 1-based)",
+                base_models.len()
+            )
+        })?;
+
+    let normalizer = Normalizer::fit(train.features())?;
+    let mut rows: Vec<Vec<f32>> = Vec::with_capacity(windows);
+    let mut labels: Vec<usize> = Vec::with_capacity(windows);
+    for w in WindowStream::new(&ds.profile, hop, ds.seed ^ 0x57EA)?.take(windows) {
+        let row = Matrix::from_rows(std::slice::from_ref(&w.features))?;
+        rows.push(normalizer.apply(&row).row(0).to_vec());
+        labels.push(w.state.label());
+    }
+    // Size-triggered flushes keep batch composition (and therefore the
+    // per-batch fault streams) deterministic.
+    let engine = InferenceEngine::with_config(
+        pipeline,
+        EngineConfig {
+            max_batch,
+            max_wait: Duration::from_secs(3600),
+            threads: None,
+        },
+    );
+    Ok(reliability::campaign::measure_streaming_degradation(
+        &engine, &rows, &labels, &fault, severity, seed,
+    )?)
+}
+
+fn print_campaign_summary(report: &reliability::campaign::CampaignReport) {
+    for (s, scenario) in report.scenarios.iter().enumerate() {
+        eprintln!(
+            "scenario {}: {} ({} = {:?}, seed {})",
+            s + 1,
+            scenario.fault.tag(),
+            scenario.fault.severity_axis(),
+            scenario.severities,
+            scenario.seed
+        );
+        for m in 0..report.models.len() {
+            let cells = report.model_cells(s, m);
+            let points: Vec<String> = cells
+                .iter()
+                .map(|c| format!("{:.2}", c.mean_accuracy_pct))
+                .collect();
+            let abstain: f64 =
+                cells.iter().map(|c| c.abstention_rate).sum::<f64>() / cells.len().max(1) as f64;
+            eprintln!(
+                "  {:<20} acc% [{}]  abstain {:.3}",
+                report.models[m].1,
+                points.join(", "),
+                abstain
+            );
+        }
+    }
+    if let Some(s) = &report.streaming {
+        eprintln!(
+            "streaming: {} severity {} over {} windows in {} batches | clean {:.2}% -> faulted {:.2}%",
+            s.fault.tag(),
+            s.severity,
+            s.windows,
+            s.batches,
+            s.clean_accuracy_pct,
+            s.faulted_accuracy_pct
+        );
+    }
+}
+
+fn cmd_campaign(
+    spec_path: &str,
+    out: Option<&str>,
+    threads_override: Option<usize>,
+) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let campaign_spec = CampaignSpec::from_doc(&doc)?;
+    let ds = dataset_spec(&doc)?;
+    let (train, test) = prepare(&ds)?;
+    let threads = match threads_override {
+        Some(t) => t,
+        None => boosthd::parallel::try_default_threads()?,
+    };
+    eprintln!(
+        "[hdrun] campaign `{}` on {}: {} models x {} scenarios, {} trials/cell, {} threads",
+        campaign_spec.name,
+        ds.profile.name,
+        campaign_spec.models.len(),
+        campaign_spec.scenarios.len(),
+        campaign_spec.trials,
+        threads
+    );
+    let data = CampaignData::new(
+        train.features(),
+        train.labels(),
+        test.features(),
+        test.labels(),
+    )?;
+    let campaign = Campaign::new(&campaign_spec, data)?;
+    let mut report = campaign.run(threads)?;
+    if let Some(stream_table) = doc.table("stream") {
+        report.streaming = Some(run_stream(
+            stream_table,
+            &ds,
+            campaign.base_models(),
+            &train,
+        )?);
+    }
+    print_campaign_summary(&report);
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            println!("wrote report to {path} ({} bytes)", json.len());
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     baselines::spec::install();
     let args = parse_args().map_err(|e| -> Box<dyn Error> { e.into() })?;
@@ -376,6 +571,7 @@ fn run() -> Result<(), Box<dyn Error>> {
                 .as_deref()
                 .ok_or_else(|| format!("serve needs --model\n{}", usage()))?,
         ),
+        "campaign" => cmd_campaign(spec, args.out.as_deref(), args.threads),
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }

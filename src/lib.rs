@@ -12,7 +12,9 @@
 //!   linear SVM, and the dropout MLP, all from scratch;
 //! * [`wearables`] — synthetic multimodal physiological datasets with the
 //!   paper's preprocessing pipeline and subject-wise splits;
-//! * [`reliability`] — bit-flip fault injection, imbalance crafting, noise;
+//! * [`reliability`] — the deterministic reliability-campaign engine
+//!   ([`reliability::campaign`]) plus the underlying fault primitives
+//!   (bit-flip injection, sensor/label noise, imbalance crafting);
 //! * [`eval_harness`] — metrics, repeated-run statistics, timing, tables;
 //! * [`serve`] — the batched streaming inference engine (micro-batching,
 //!   thread fan-out, p50/p95/p99 latency accounting) over the wearables
