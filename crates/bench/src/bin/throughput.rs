@@ -31,7 +31,19 @@ struct Row {
     model: &'static str,
     path: &'static str,
     threads: usize,
+    /// The machine's `available_parallelism()` at measurement time, so a
+    /// snapshot row can be judged against the hardware that produced it.
+    hw_threads: usize,
     rows_per_sec: f64,
+}
+
+/// The machine's available parallelism (1 when undetectable). Thread
+/// counts above this are skipped: an oversubscribed row measures scheduler
+/// contention, not the serving path.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Rows/sec of `run` over `rows` queries, best of `reps` timed passes after
@@ -92,6 +104,7 @@ fn run_config(
     assert_eq!(packed.predict_batch(&queries), packed_row_preds);
 
     let features = train.num_features();
+    let hw = hardware_threads();
     let mut push = |model_name: &'static str, path: &'static str, threads: usize, rps: f64| {
         results.push(Row {
             config: label.to_string(),
@@ -99,10 +112,17 @@ fn run_config(
             model: model_name,
             path,
             threads,
+            hw_threads: hw,
             rows_per_sec: rps,
         });
     };
-    let thread_counts = [1usize, 4, 8];
+    let thread_counts: Vec<usize> = [1usize, 4, 8].into_iter().filter(|&t| t <= hw).collect();
+    if thread_counts.len() < 3 {
+        eprintln!(
+            "[throughput] {label}: machine has {hw} hardware threads; \
+             skipping oversubscribed thread counts"
+        );
+    }
 
     let dense_row = measure(rows, reps, || {
         for r in 0..rows {
@@ -207,12 +227,13 @@ fn main() {
     json.push_str("  \"rows\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"config\": \"{}\", \"features\": {}, \"model\": \"{}\", \"path\": \"{}\", \"threads\": {}, \"rows_per_sec\": {:.1}}}{}\n",
+            "    {{\"config\": \"{}\", \"features\": {}, \"model\": \"{}\", \"path\": \"{}\", \"threads\": {}, \"hw_threads\": {}, \"rows_per_sec\": {:.1}}}{}\n",
             r.config,
             r.features,
             r.model,
             r.path,
             r.threads,
+            r.hw_threads,
             r.rows_per_sec,
             if i + 1 == results.len() { "" } else { "," }
         ));

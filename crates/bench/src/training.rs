@@ -43,10 +43,21 @@ pub struct FitRow {
 pub struct ScalingRow {
     /// Worker-thread count handed to `repeat_runs_parallel`.
     pub threads: usize,
+    /// The machine's `available_parallelism()` at measurement time.
+    pub hw_threads: usize,
     /// Wall-clock seconds for the whole repeat sweep.
     pub secs: f64,
     /// Completed runs per second.
     pub runs_per_sec: f64,
+}
+
+/// The machine's available parallelism (1 when undetectable). The scaling
+/// sweep skips thread counts above it — oversubscribed rows measure
+/// scheduler contention, not the harness.
+pub fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Best-of-`reps` wall-clock seconds of `run` after one warm-up call.
@@ -181,7 +192,15 @@ pub fn run_training_bench(quick: bool) {
     let mut scaling_rows: Vec<ScalingRow> = Vec::new();
     let mut reference: Option<eval_harness::RunStats> = None;
     let mut results_identical = true;
-    for threads in [1usize, 2, 4, 8] {
+    let hw = hardware_threads();
+    let thread_counts: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&t| t <= hw).collect();
+    if thread_counts.len() < 4 {
+        eprintln!(
+            "[trainbench] machine has {hw} hardware threads; \
+             skipping oversubscribed scaling rows"
+        );
+    }
+    for threads in thread_counts {
         let start = Instant::now();
         let stats = repeat_runs_parallel(scaling_runs, 42, threads, experiment);
         let secs = start.elapsed().as_secs_f64();
@@ -191,6 +210,7 @@ pub fn run_training_bench(quick: bool) {
         }
         scaling_rows.push(ScalingRow {
             threads,
+            hw_threads: hw,
             secs,
             runs_per_sec: scaling_runs as f64 / secs,
         });
@@ -246,8 +266,9 @@ pub fn run_training_bench(quick: bool) {
     ));
     for (i, r) in scaling_rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"secs\": {:.3}, \"runs_per_sec\": {:.3}, \"speedup_vs_1\": {:.2}}}{}\n",
+            "    {{\"threads\": {}, \"hw_threads\": {}, \"secs\": {:.3}, \"runs_per_sec\": {:.3}, \"speedup_vs_1\": {:.2}}}{}\n",
             r.threads,
+            r.hw_threads,
             r.secs,
             r.runs_per_sec,
             r.runs_per_sec / base,

@@ -674,7 +674,7 @@ impl Classifier for BoostHd {
         let mut zbuf = Matrix::zeros(0, 0);
         let mut start = 0;
         while start < x.rows() {
-            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            let end = (start + crate::online::score_chunk()).min(x.rows());
             let xc = x.slice_rows(start, end);
             if needs_full {
                 self.encoder.encode_batch_into(&xc, &mut zbuf);

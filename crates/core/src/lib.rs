@@ -14,17 +14,19 @@
 //!   sequentially under AdaBoost/SAMME sample re-weighting. Inference is a
 //!   learner-weighted vote and parallelizes across queries.
 //!
-//! Every trained model can additionally be **frozen for deployment** via
-//! `quantize()` ([`quantized`] module): class hypervectors are
-//! sign-binarized into bitpacked `u64` words
-//! ([`hdc::backend::BitpackedSign`]) and inference scores via XOR +
-//! popcount — 32× smaller and several times faster than the f32 cosine
-//! path at the paper's `D = 4000`.
+//! Every trained model can additionally be **frozen for deployment** on
+//! a two-rung quantization ladder: `quantize_i8()` ([`quantized_i8`]
+//! module) stores one scaled signed byte per dimension and scores through
+//! the widening integer dot kernel (~4× smaller, cosine-faithful), and
+//! `quantize()` ([`quantized`] module) sign-binarizes class hypervectors
+//! into bitpacked `u64` words ([`hdc::backend::BitpackedSign`]) scored
+//! via XOR + popcount — 32× smaller and several times faster than the
+//! f32 cosine path at the paper's `D = 4000`.
 //!
 //! All models implement the [`Classifier`] trait (shared with the
-//! `baselines` crate); f32 models implement [`faults::Perturbable`]
-//! and quantized models [`faults::PerturbablePacked`] for bit-flip
-//! fault injection.
+//! `baselines` crate); f32 models implement [`faults::Perturbable`],
+//! int8 models [`faults::PerturbableI8`], and bitpacked models
+//! [`faults::PerturbablePacked`] for bit-flip fault injection.
 //!
 //! The recommended front door is the **unified facade** ([`pipeline`]):
 //! describe any model (HDC or classical baseline) as a serializable
@@ -75,6 +77,7 @@ pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod quantized;
+pub mod quantized_i8;
 pub mod spec;
 pub mod toml;
 
@@ -85,4 +88,5 @@ pub use error::{BoostHdError, Result};
 pub use online::{OnlineHd, OnlineHdConfig};
 pub use pipeline::{Model, Pipeline, Prediction};
 pub use quantized::{QuantizedBoostHd, QuantizedHd};
+pub use quantized_i8::{QuantizedI8BoostHd, QuantizedI8Hd, QuantizedI8Query};
 pub use spec::{BaselineKind, BaselineSpec, ModelSpec};

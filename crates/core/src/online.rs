@@ -265,6 +265,41 @@ impl OnlineHd {
             hdc::ops::normalize_inplace(row);
         }
     }
+
+    /// Swaps the stored-projection encoder for its seed-recipe equivalent:
+    /// the projection matrix is dropped and regenerated block-wise from
+    /// `config.seed` on every encode (see
+    /// [`SinusoidEncoder::try_new_remat`]). Encodings — and therefore
+    /// predictions and persisted scores — are **bit-identical** to the
+    /// stored path; what changes is the memory/persistence footprint
+    /// (`D × F` f32 become a ~32-byte recipe) against recompute time.
+    ///
+    /// Only models trained through [`OnlineHd::fit`] /
+    /// [`OnlineHd::fit_weighted`] qualify: their encoder draws are the
+    /// first use of `Rng64::seed_from(config.seed)`, which is exactly the
+    /// stream the recipe replays. The regenerated bias is compared
+    /// bitwise against the stored one as an integrity check.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] when the stored encoder was
+    /// not derived from `config.seed` (e.g. a hand-assembled model), and
+    /// [`BoostHdError::InvalidConfig`] for degenerate shapes.
+    pub fn rematerialize_encoder(&mut self) -> Result<()> {
+        if self.encoder.is_rematerialized() {
+            return Ok(());
+        }
+        let remat =
+            SinusoidEncoder::try_new_remat(self.dim(), self.encoder.input_len(), self.config.seed)
+                .map_err(BoostHdError::from)?;
+        if remat.bias() != self.encoder.bias() {
+            return Err(BoostHdError::DataMismatch {
+                reason: "stored encoder does not match the seed recipe (bias mismatch)".into(),
+            });
+        }
+        self.encoder = remat;
+        Ok(())
+    }
 }
 
 impl OnlineHd {
@@ -371,10 +406,13 @@ pub(crate) fn scores_unit_classes_into(class_hvs: &Matrix, h: &[f32], out: &mut 
 
 /// Row-chunk width shared by every batched scoring path: large enough to
 /// amortize the projection stream across a GEMM row block, small enough
-/// that the encoded chunk (`SCORE_CHUNK × D` f32) stays cache-resident
+/// that the encoded chunk (`score_chunk() × D` f32) stays cache-resident
 /// instead of round-tripping a whole-batch hypervector matrix through
-/// memory.
-pub(crate) const SCORE_CHUNK: usize = 256;
+/// memory. Delegates to the startup autotuner ([`linalg::autotune`]);
+/// pin with `HDC_NO_AUTOTUNE=1` for a fixed 256.
+pub(crate) fn score_chunk() -> usize {
+    linalg::autotune::score_chunk()
+}
 
 /// The fused batched scoring pipeline for single-matrix classifiers:
 /// encode `x` in row chunks through a reused buffer, score each chunk
@@ -389,7 +427,7 @@ pub(crate) fn chunked_unit_scores(
     let mut zbuf = Matrix::zeros(0, 0);
     let mut start = 0;
     while start < x.rows() {
-        let end = (start + SCORE_CHUNK).min(x.rows());
+        let end = (start + score_chunk()).min(x.rows());
         encoder.encode_batch_into(&x.slice_rows(start, end), &mut zbuf);
         let sims = scores_unit_classes_batch(class_hvs, &zbuf);
         for r in 0..sims.rows() {

@@ -11,12 +11,21 @@
 //! matrix   := rows:u64 cols:u64 f32[rows·cols]
 //! vec<f32> := len:u64 f32[len]
 //! vec<u64> := len:u64 u64[len]          (v2+)
+//! vec<i8>  := len:u64 i8[len]           (v4+)
 //! packed   := rows:u64 dim:u64 vec<u64> (v2+, bitpacked sign matrices)
+//! i8rows   := rows:u64 cols:u64 vec<f32> vec<i8>  (v4+, scaled int8 rows)
+//! encoder  := matrix vec<f32>           (stored projection + bias)
+//!           | remat:u64(=u64::MAX) dim:u64 input_len:u64 bandwidth:f32
+//!             seed:u64                  (v4+, rematerialized recipe)
 //! ```
 //!
 //! Version history: **v1** stored only the dense-f32 models (kinds 1–2);
-//! **v2** adds the bitpacked inference models (kinds 3–4) and keeps the v1
-//! layouts byte-identical, so v1 blobs remain readable.
+//! **v2** adds the bitpacked inference models (kinds 3–4); **v3** adds the
+//! centroid model (kind 5); **v4** adds the scaled-int8 inference models
+//! (kinds 6–7) and the rematerialized-encoder recipe (a `u64::MAX` row
+//! sentinel where a stored projection's row count would sit, so
+//! stored-encoder payloads stay byte-identical to v1). Every version keeps
+//! the earlier layouts unchanged, so old blobs remain readable.
 //!
 //! # Example
 //!
@@ -43,15 +52,16 @@ use crate::classifier::Classifier;
 use crate::error::{BoostHdError, Result};
 use crate::online::{OnlineHd, OnlineHdConfig};
 use crate::quantized::{QuantizedBoostHd, QuantizedHd, QuantizedWeakLearner};
+use crate::quantized_i8::{I8Rows, QuantizedI8BoostHd, QuantizedI8Hd, QuantizedI8WeakLearner};
 use hdc::backend::PackedMatrix;
-use hdc::encoder::SinusoidEncoder;
+use hdc::encoder::{RematSpec, SinusoidEncoder};
 use linalg::Matrix;
 
 /// `"BHD1"` little-endian.
 const MAGIC: u32 = 0x3144_4842;
 /// Bump on any incompatible layout change; readers accept every version
 /// back to [`MIN_VERSION`] whose layout for the requested kind is known.
-const VERSION: u8 = 3;
+const VERSION: u8 = 4;
 /// Oldest readable blob version.
 const MIN_VERSION: u8 = 1;
 const KIND_ONLINE: u8 = 1;
@@ -62,6 +72,15 @@ const KIND_QUANT_ONLINE: u8 = 3;
 const KIND_QUANT_BOOST: u8 = 4;
 /// Single-pass centroid model ([`crate::CentroidHd`]); requires v3.
 const KIND_CENTROID: u8 = 5;
+/// Scaled-int8 single-learner model ([`QuantizedI8Hd`]); requires v4.
+const KIND_QUANT_I8_ONLINE: u8 = 6;
+/// Scaled-int8 boosted ensemble ([`QuantizedI8BoostHd`]); requires v4.
+const KIND_QUANT_I8_BOOST: u8 = 7;
+
+/// Row-count sentinel marking a rematerialized-encoder recipe where a
+/// stored projection's `rows:u64` would sit (no real projection has
+/// `u64::MAX` rows, and v1–v3 readers fail loudly on it).
+const REMAT_SENTINEL: u64 = u64::MAX;
 
 fn persist_err(reason: impl Into<String>) -> BoostHdError {
     BoostHdError::DataMismatch {
@@ -116,6 +135,14 @@ impl Writer {
         self.put_u64(v.len() as u64);
         for &x in v {
             self.put_f32(x);
+        }
+    }
+
+    /// Appends a length-prefixed `i8` slice (v4+).
+    pub fn put_i8_slice(&mut self, v: &[i8]) {
+        self.put_u64(v.len() as u64);
+        for &x in v {
+            self.buf.push(x as u8);
         }
     }
 
@@ -244,6 +271,16 @@ impl<'a> Reader<'a> {
         Ok(out)
     }
 
+    /// Reads a length-prefixed `i8` vector (v4+).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input.
+    pub fn get_i8_vec(&mut self) -> Result<Vec<i8>> {
+        let len = self.get_len()?;
+        Ok(self.take(len)?.iter().map(|&b| b as i8).collect())
+    }
+
     /// Reads a length-prefixed `u64` vector.
     ///
     /// # Errors
@@ -300,7 +337,7 @@ fn put_header(w: &mut Writer, kind: u8) {
     w.put_u8(kind);
 }
 
-fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<()> {
+fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<u8> {
     if r.get_u32()? != MAGIC {
         return Err(persist_err("not a BoostHD model blob (bad magic)"));
     }
@@ -320,24 +357,84 @@ fn check_header(r: &mut Reader<'_>, kind: u8) -> Result<()> {
             "model kind {kind} requires blob version 3, got {version}"
         )));
     }
+    if version < 4 && kind >= KIND_QUANT_I8_ONLINE {
+        return Err(persist_err(format!(
+            "model kind {kind} requires blob version 4, got {version}"
+        )));
+    }
     let got = r.get_u8()?;
     if got != kind {
         return Err(persist_err(format!(
             "blob holds model kind {got}, expected {kind}"
         )));
     }
-    Ok(())
+    Ok(version)
 }
 
 fn put_encoder(w: &mut Writer, enc: &SinusoidEncoder) {
-    w.put_matrix(enc.projection());
-    w.put_f32_slice(enc.bias());
+    match enc.remat_spec() {
+        Some(spec) => {
+            w.put_u64(REMAT_SENTINEL);
+            w.put_u64(spec.dim as u64);
+            w.put_u64(spec.input_len as u64);
+            w.put_f32(spec.bandwidth);
+            w.put_u64(spec.seed);
+        }
+        None => {
+            w.put_matrix(&enc.projection_matrix());
+            w.put_f32_slice(enc.bias());
+        }
+    }
 }
 
-fn get_encoder(r: &mut Reader<'_>) -> Result<SinusoidEncoder> {
-    let projection = r.get_matrix()?;
+fn get_encoder(r: &mut Reader<'_>, version: u8) -> Result<SinusoidEncoder> {
+    let rows = r.get_u64()?;
+    if rows == REMAT_SENTINEL {
+        if version < 4 {
+            return Err(persist_err(format!(
+                "rematerialized encoder requires blob version 4, got {version}"
+            )));
+        }
+        let spec = RematSpec {
+            dim: r.get_len()?,
+            input_len: r.get_len()?,
+            bandwidth: r.get_f32()?,
+            seed: r.get_u64()?,
+        };
+        return SinusoidEncoder::from_remat_spec(spec).map_err(BoostHdError::from);
+    }
+    // Stored projection: `rows` was the matrix row count — finish reading
+    // the v1-layout matrix in place.
+    let rows = usize::try_from(rows).map_err(|_| persist_err("length overflows usize"))?;
+    let cols = r.get_len()?;
+    let n = rows
+        .checked_mul(cols)
+        .ok_or_else(|| persist_err("matrix shape overflows"))?;
+    let mut data = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        data.push(r.get_f32()?);
+    }
+    let projection = Matrix::from_vec(rows, cols, data).map_err(|e| persist_err(e.to_string()))?;
     let bias = r.get_f32_vec()?;
     SinusoidEncoder::from_parts(projection, bias).map_err(BoostHdError::from)
+}
+
+fn put_i8_rows(w: &mut Writer, rows: &I8Rows) {
+    w.put_u64(rows.rows() as u64);
+    w.put_u64(rows.cols() as u64);
+    w.put_f32_slice(rows.scales());
+    w.put_i8_slice(rows.data());
+}
+
+fn get_i8_rows(r: &mut Reader<'_>) -> Result<I8Rows> {
+    let rows = r.get_len()?;
+    let cols = r.get_len()?;
+    let scales = r.get_f32_vec()?;
+    let data = r.get_i8_vec()?;
+    if scales.len() != rows {
+        return Err(persist_err("int8 scale count disagrees with row count"));
+    }
+    I8Rows::from_parts(data, scales, cols)
 }
 
 impl OnlineHd {
@@ -365,7 +462,7 @@ impl OnlineHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        check_header(&mut r, KIND_ONLINE)?;
+        let version = check_header(&mut r, KIND_ONLINE)?;
         let config = OnlineHdConfig {
             dim: r.get_len()?,
             lr: r.get_f32()?,
@@ -374,7 +471,7 @@ impl OnlineHd {
             seed: r.get_u64()?,
         };
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r)?;
+        let encoder = get_encoder(&mut r, version)?;
         let class_hvs = r.get_matrix()?;
         if class_hvs.rows() != num_classes || class_hvs.cols() != config.dim {
             return Err(persist_err("class hypervector shape disagrees with header"));
@@ -424,9 +521,9 @@ impl crate::CentroidHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        check_header(&mut r, KIND_CENTROID)?;
+        let version = check_header(&mut r, KIND_CENTROID)?;
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r)?;
+        let encoder = get_encoder(&mut r, version)?;
         let class_hvs = r.get_matrix()?;
         if !r.is_exhausted() {
             return Err(persist_err("trailing bytes after model blob"));
@@ -549,7 +646,7 @@ impl BoostHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        check_header(&mut r, KIND_BOOST)?;
+        let version = check_header(&mut r, KIND_BOOST)?;
         let config = BoostHdConfig {
             dim_total: r.get_len()?,
             n_learners: r.get_len()?,
@@ -565,7 +662,7 @@ impl BoostHd {
             seed: r.get_u64()?,
         };
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r)?;
+        let encoder = get_encoder(&mut r, version)?;
         let n_errors = r.get_len()?;
         let mut train_errors = Vec::with_capacity(n_errors.min(1 << 16));
         for _ in 0..n_errors {
@@ -586,7 +683,7 @@ impl BoostHd {
             }
             let own_encoder = match r.get_u8()? {
                 0 => None,
-                1 => Some(get_encoder(&mut r)?),
+                1 => Some(get_encoder(&mut r, version)?),
                 other => return Err(persist_err(format!("unknown encoder tag {other}"))),
             };
             learners.push((alpha, start, end, class_hvs, own_encoder));
@@ -636,9 +733,9 @@ impl QuantizedHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        check_header(&mut r, KIND_QUANT_ONLINE)?;
+        let version = check_header(&mut r, KIND_QUANT_ONLINE)?;
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r)?;
+        let encoder = get_encoder(&mut r, version)?;
         let class_bits = r.get_packed_matrix()?;
         if !r.is_exhausted() {
             return Err(persist_err("trailing bytes after model blob"));
@@ -701,11 +798,11 @@ impl QuantizedBoostHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        check_header(&mut r, KIND_QUANT_BOOST)?;
+        let version = check_header(&mut r, KIND_QUANT_BOOST)?;
         let dim_total = r.get_len()?;
         let voting = voting_from(r.get_u8()?)?;
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r)?;
+        let encoder = get_encoder(&mut r, version)?;
         let n_learners = r.get_len()?;
         let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
         for _ in 0..n_learners {
@@ -715,7 +812,7 @@ impl QuantizedBoostHd {
             let class_bits = r.get_packed_matrix()?;
             let own_encoder = match r.get_u8()? {
                 0 => None,
-                1 => Some(get_encoder(&mut r)?),
+                1 => Some(get_encoder(&mut r, version)?),
                 other => return Err(persist_err(format!("unknown encoder tag {other}"))),
             };
             learners.push(QuantizedWeakLearner {
@@ -746,6 +843,142 @@ impl QuantizedBoostHd {
     /// # Errors
     ///
     /// As [`QuantizedBoostHd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl QuantizedI8Hd {
+    /// Serializes the scaled-int8 model to the compact binary format (v4).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_QUANT_I8_ONLINE);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        put_i8_rows(&mut w, self.classes());
+        w.into_bytes()
+    }
+
+    /// Deserializes a model written by [`QuantizedI8Hd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let version = check_header(&mut r, KIND_QUANT_I8_ONLINE)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r, version)?;
+        let classes = get_i8_rows(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, classes, num_classes)
+    }
+
+    /// Writes the model to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads a model written by [`QuantizedI8Hd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedI8Hd::from_bytes`], plus I/O failures.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+impl QuantizedI8BoostHd {
+    /// Serializes the scaled-int8 ensemble to the compact binary format
+    /// (v4).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        put_header(&mut w, KIND_QUANT_I8_BOOST);
+        w.put_u64(self.dim_total() as u64);
+        w.put_u8(voting_tag(self.voting()));
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(&mut w, self.encoder());
+        w.put_u64(self.num_learners() as u64);
+        for learner in self.learners() {
+            w.put_f32(learner.alpha);
+            w.put_u64(learner.seg_start as u64);
+            w.put_u64(learner.seg_end as u64);
+            put_i8_rows(&mut w, &learner.classes);
+            match &learner.own_encoder {
+                None => w.put_u8(0),
+                Some(enc) => {
+                    w.put_u8(1);
+                    put_encoder(&mut w, enc);
+                }
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes an ensemble written by
+    /// [`QuantizedI8BoostHd::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated, corrupt, or
+    /// wrong-kind blobs.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        let version = check_header(&mut r, KIND_QUANT_I8_BOOST)?;
+        let dim_total = r.get_len()?;
+        let voting = voting_from(r.get_u8()?)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(&mut r, version)?;
+        let n_learners = r.get_len()?;
+        let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
+        for _ in 0..n_learners {
+            let alpha = r.get_f32()?;
+            let seg_start = r.get_len()?;
+            let seg_end = r.get_len()?;
+            let classes = get_i8_rows(&mut r)?;
+            let own_encoder = match r.get_u8()? {
+                0 => None,
+                1 => Some(get_encoder(&mut r, version)?),
+                other => return Err(persist_err(format!("unknown encoder tag {other}"))),
+            };
+            learners.push(QuantizedI8WeakLearner {
+                classes,
+                alpha,
+                seg_start,
+                seg_end,
+                own_encoder,
+            });
+        }
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Self::from_parts(encoder, learners, num_classes, voting, dim_total)
+    }
+
+    /// Writes the ensemble to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+    }
+
+    /// Reads an ensemble written by [`QuantizedI8BoostHd::save`].
+    ///
+    /// # Errors
+    ///
+    /// As [`QuantizedI8BoostHd::from_bytes`], plus I/O failures.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| persist_err(e.to_string()))?;
         Self::from_bytes(&bytes)
@@ -938,8 +1171,9 @@ mod tests {
 
     #[test]
     fn v1_dense_blobs_remain_readable() {
-        // The v2 writer emits the same payload layout for kinds 1–2 as v1
-        // did; a blob re-stamped as v1 must still load.
+        // The writer emits the same payload layout for kinds 1–2 as v1 did
+        // (a stored encoder serializes byte-identically); a blob re-stamped
+        // as v1 must still load.
         let (x, y) = toy();
         let config = OnlineHdConfig {
             dim: 32,
@@ -948,10 +1182,133 @@ mod tests {
         };
         let model = OnlineHd::fit(&config, &x, &y).unwrap();
         let mut bytes = model.to_bytes();
-        assert_eq!(bytes[4], 3, "current writer stamps v3");
+        assert_eq!(bytes[4], 4, "current writer stamps v4");
         bytes[4] = 1;
         let restored = OnlineHd::from_bytes(&bytes).unwrap();
         assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+    }
+
+    #[test]
+    fn quantized_i8_onlinehd_round_trips_bit_identically() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let restored = QuantizedI8Hd::from_bytes(&quantized.to_bytes()).unwrap();
+        // Derived norms are recomputed from the stored bytes at load, so
+        // the full score surface must match bit-for-bit, not just argmaxes.
+        assert_eq!(quantized.scores_batch(&x), restored.scores_batch(&x));
+        assert_eq!(
+            quantized.class_storage_bytes(),
+            restored.class_storage_bytes()
+        );
+    }
+
+    #[test]
+    fn quantized_i8_boosthd_round_trips_bit_identically() {
+        let (x, y) = toy();
+        let config = BoostHdConfig {
+            dim_total: 120,
+            n_learners: 6,
+            epochs: 3,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let restored = QuantizedI8BoostHd::from_bytes(&quantized.to_bytes()).unwrap();
+        assert_eq!(quantized.scores_batch(&x), restored.scores_batch(&x));
+        assert_eq!(quantized.alphas(), restored.alphas());
+        assert_eq!(quantized.voting(), restored.voting());
+        assert_eq!(quantized.dim_total(), restored.dim_total());
+    }
+
+    #[test]
+    fn i8_kinds_require_v4() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let mut bytes = quantized.to_bytes();
+        bytes[4] = 3; // pretend the blob predates the int8 kinds
+        let err = QuantizedI8Hd::from_bytes(&bytes).unwrap_err();
+        assert!(err.to_string().contains("requires blob version 4"), "{err}");
+        // And the kinds stay disjoint from the packed tier.
+        assert!(QuantizedHd::from_bytes(&quantized.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn truncated_i8_blob_is_rejected() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 32,
+            epochs: 2,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let bytes = quantized.to_bytes();
+        for cut in (0..bytes.len()).step_by(bytes.len() / 7 + 1) {
+            assert!(QuantizedI8Hd::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(QuantizedI8Hd::from_bytes(&trailing).is_err());
+    }
+
+    #[test]
+    fn remat_encoder_round_trips_as_recipe() {
+        use hdc::encoder::{Encode, SinusoidEncoder};
+        // A rematerialized encoder persists as a ~32-byte recipe instead of
+        // the D×F projection, and reloads to bit-identical encodings.
+        let enc = SinusoidEncoder::try_new_remat(128, 6, 77).unwrap();
+        let mut rng = Rng64::seed_from(3);
+        let probe = Matrix::random_normal(5, 6, &mut rng);
+        let mut w = Writer::new();
+        super::put_encoder(&mut w, &enc);
+        let bytes = w.into_bytes();
+        assert!(
+            bytes.len() < 64,
+            "remat recipe should be tiny, got {} bytes",
+            bytes.len()
+        );
+        let mut r = Reader::new(&bytes);
+        let restored = super::get_encoder(&mut r, VERSION).unwrap();
+        assert!(restored.is_rematerialized());
+        assert_eq!(enc.encode_batch(&probe), restored.encode_batch(&probe));
+        // Pre-v4 readers must reject the sentinel loudly.
+        let mut r = Reader::new(&bytes);
+        let err = super::get_encoder(&mut r, 3).unwrap_err();
+        assert!(err.to_string().contains("requires blob version 4"), "{err}");
+    }
+
+    #[test]
+    fn i8_model_with_remat_encoder_round_trips() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
+        let mut model = OnlineHd::fit(&config, &x, &y).unwrap();
+        model.rematerialize_encoder().unwrap();
+        let quantized = model.quantize_i8();
+        let stored_bytes = OnlineHd::fit(&config, &x, &y)
+            .unwrap()
+            .quantize_i8()
+            .to_bytes();
+        let remat_bytes = quantized.to_bytes();
+        assert!(
+            remat_bytes.len() * 2 < stored_bytes.len(),
+            "remat blob ({}) should be far smaller than stored ({})",
+            remat_bytes.len(),
+            stored_bytes.len()
+        );
+        let restored = QuantizedI8Hd::from_bytes(&remat_bytes).unwrap();
+        assert_eq!(quantized.scores_batch(&x), restored.scores_batch(&x));
     }
 
     #[test]

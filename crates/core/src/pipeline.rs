@@ -54,8 +54,10 @@ use crate::error::{BoostHdError, Result};
 use crate::online::OnlineHd;
 use crate::persist::{Reader, Writer};
 use crate::quantized::{QuantizedBoostHd, QuantizedHd};
+use crate::quantized_i8::{QuantizedI8BoostHd, QuantizedI8Hd};
 use crate::spec::{BaselineSpec, ModelSpec};
 use faults::BitflipReport;
+use linalg::autotune::{Tuning, TuningSource};
 use linalg::{Matrix, Rng64};
 
 fn pipeline_err(reason: impl Into<String>) -> BoostHdError {
@@ -77,6 +79,10 @@ pub enum PayloadKind {
     QuantizedHd,
     /// Bitpacked boosted ensemble ([`QuantizedBoostHd::to_bytes`]).
     QuantizedBoostHd,
+    /// Int8 single-learner model ([`QuantizedI8Hd::to_bytes`]).
+    QuantizedI8Hd,
+    /// Int8 boosted ensemble ([`QuantizedI8BoostHd::to_bytes`]).
+    QuantizedI8BoostHd,
     /// No binary codec (the classical baselines); saving reports a clear
     /// error instead of writing an unreadable blob.
     Unsupported,
@@ -91,6 +97,8 @@ impl PayloadKind {
             PayloadKind::BoostHd => 3,
             PayloadKind::QuantizedHd => 4,
             PayloadKind::QuantizedBoostHd => 5,
+            PayloadKind::QuantizedI8Hd => 6,
+            PayloadKind::QuantizedI8BoostHd => 7,
         }
     }
 
@@ -102,6 +110,8 @@ impl PayloadKind {
             3 => PayloadKind::BoostHd,
             4 => PayloadKind::QuantizedHd,
             5 => PayloadKind::QuantizedBoostHd,
+            6 => PayloadKind::QuantizedI8Hd,
+            7 => PayloadKind::QuantizedI8BoostHd,
             other => return Err(pipeline_err(format!("unknown payload kind {other}"))),
         })
     }
@@ -186,6 +196,16 @@ impl_hdc_model!(
     QuantizedBoostHd,
     PayloadKind::QuantizedBoostHd,
     faults::flip_sign_bits
+);
+impl_hdc_model!(
+    QuantizedI8Hd,
+    PayloadKind::QuantizedI8Hd,
+    crate::quantized_i8::flip_hd_i8_bits
+);
+impl_hdc_model!(
+    QuantizedI8BoostHd,
+    PayloadKind::QuantizedI8BoostHd,
+    crate::quantized_i8::flip_boost_i8_bits
 );
 
 /// Builder the `baselines` crate registers so [`Pipeline::fit`] can
@@ -279,13 +299,23 @@ impl Prediction {
 /// `"BHDP"` little-endian — the envelope magic (distinct from the inner
 /// model-blob magic so the two layers cannot be confused).
 const ENVELOPE_MAGIC: u32 = 0x5044_4842;
-const ENVELOPE_VERSION: u8 = 1;
+/// Envelope version history:
+///
+/// * v1 — magic, version, kind, abstain threshold, spec TOML, payload.
+/// * v2 — inserts the save-time kernel-tuning record
+///   (`score_chunk: u32`, `threads: u32`, [`TuningSource`] tag) after the
+///   abstain threshold, and assigns payload kinds 6/7 to the int8 tier.
+///   Tuning is diagnostic provenance only — predictions never depend on
+///   it — so loading replays nothing; v1 blobs read back with no record.
+const ENVELOPE_VERSION: u8 = 2;
+const ENVELOPE_MIN_VERSION: u8 = 1;
 
 /// The unified model facade; see the [module docs](self).
 pub struct Pipeline {
     spec: ModelSpec,
     model: Box<dyn Model>,
     abstain_threshold: f32,
+    saved_tuning: Option<Tuning>,
 }
 
 impl Clone for Pipeline {
@@ -294,6 +324,7 @@ impl Clone for Pipeline {
             spec: self.spec.clone(),
             model: self.model.clone_box(),
             abstain_threshold: self.abstain_threshold,
+            saved_tuning: self.saved_tuning,
         }
     }
 }
@@ -340,12 +371,29 @@ impl Pipeline {
                     dense.quantize_with_refit(x, y, *refit_epochs)?
                 })
             }
+            ModelSpec::QuantizedI8OnlineHd { base, refit_epochs } => {
+                let dense = OnlineHd::fit(base, x, y)?;
+                Box::new(if *refit_epochs == 0 {
+                    dense.quantize_i8()
+                } else {
+                    dense.quantize_i8_with_refit(x, y, *refit_epochs)?
+                })
+            }
+            ModelSpec::QuantizedI8BoostHd { base, refit_epochs } => {
+                let dense = BoostHd::fit(base, x, y)?;
+                Box::new(if *refit_epochs == 0 {
+                    dense.quantize_i8()
+                } else {
+                    dense.quantize_i8_with_refit(x, y, *refit_epochs)?
+                })
+            }
             ModelSpec::Baseline(b) => baseline_builder()?(b, x, y)?,
         };
         Ok(Self {
             spec: spec.clone(),
             model,
             abstain_threshold: 0.0,
+            saved_tuning: None,
         })
     }
 
@@ -356,7 +404,16 @@ impl Pipeline {
             spec,
             model,
             abstain_threshold: 0.0,
+            saved_tuning: None,
         }
+    }
+
+    /// The kernel-tuning record the envelope this pipeline was loaded from
+    /// carried (the [`linalg::autotune`] result of the machine that saved
+    /// it) — provenance for performance triage, never an input to
+    /// prediction. `None` for freshly-fit pipelines and v1 envelopes.
+    pub fn saved_tuning(&self) -> Option<Tuning> {
+        self.saved_tuning
     }
 
     /// The spec the model was built from.
@@ -491,11 +548,15 @@ impl Pipeline {
         }
         let payload = self.model.to_payload()?;
         let spec_toml = self.spec.to_toml();
+        let tuning = linalg::autotune::tuning();
         let mut w = Writer::new();
         w.put_u32(ENVELOPE_MAGIC);
         w.put_u8(ENVELOPE_VERSION);
         w.put_u8(kind.tag());
         w.put_f32(self.abstain_threshold);
+        w.put_u32(tuning.score_chunk as u32);
+        w.put_u32(tuning.threads as u32);
+        w.put_u8(tuning.source.tag());
         w.put_u64(spec_toml.len() as u64);
         for &b in spec_toml.as_bytes() {
             w.put_u8(b);
@@ -521,13 +582,27 @@ impl Pipeline {
             return Err(pipeline_err("not a pipeline envelope (bad magic)"));
         }
         let version = r.get_u8()?;
-        if version != ENVELOPE_VERSION {
+        if !(ENVELOPE_MIN_VERSION..=ENVELOPE_VERSION).contains(&version) {
             return Err(pipeline_err(format!(
-                "unsupported envelope version {version} (supported {ENVELOPE_VERSION})"
+                "unsupported envelope version {version} (supported \
+                 {ENVELOPE_MIN_VERSION}..={ENVELOPE_VERSION})"
             )));
         }
         let kind = PayloadKind::from_tag(r.get_u8()?)?;
         let abstain_threshold = r.get_f32()?;
+        let saved_tuning = if version >= 2 {
+            let score_chunk = r.get_u32()? as usize;
+            let threads = r.get_u32()? as usize;
+            let source = TuningSource::from_tag(r.get_u8()?)
+                .ok_or_else(|| pipeline_err("unknown tuning-source tag in envelope"))?;
+            Some(Tuning {
+                score_chunk,
+                threads,
+                source,
+            })
+        } else {
+            None
+        };
         let spec_len = r.get_len()?;
         let mut spec_bytes = Vec::with_capacity(spec_len.min(1 << 20));
         for _ in 0..spec_len {
@@ -558,12 +633,15 @@ impl Pipeline {
             PayloadKind::BoostHd => Box::new(BoostHd::from_bytes(&payload)?),
             PayloadKind::QuantizedHd => Box::new(QuantizedHd::from_bytes(&payload)?),
             PayloadKind::QuantizedBoostHd => Box::new(QuantizedBoostHd::from_bytes(&payload)?),
+            PayloadKind::QuantizedI8Hd => Box::new(QuantizedI8Hd::from_bytes(&payload)?),
+            PayloadKind::QuantizedI8BoostHd => Box::new(QuantizedI8BoostHd::from_bytes(&payload)?),
             PayloadKind::Unsupported => {
                 return Err(pipeline_err("envelope holds no loadable payload"));
             }
         };
         let mut pipeline = Self::from_model(spec, model);
         pipeline.set_abstain_threshold(abstain_threshold);
+        pipeline.saved_tuning = saved_tuning;
         Ok(pipeline)
     }
 
@@ -596,6 +674,8 @@ fn expected_payload_kind(spec: &ModelSpec) -> PayloadKind {
         ModelSpec::BoostHd(_) => PayloadKind::BoostHd,
         ModelSpec::QuantizedOnlineHd { .. } => PayloadKind::QuantizedHd,
         ModelSpec::QuantizedBoostHd { .. } => PayloadKind::QuantizedBoostHd,
+        ModelSpec::QuantizedI8OnlineHd { .. } => PayloadKind::QuantizedI8Hd,
+        ModelSpec::QuantizedI8BoostHd { .. } => PayloadKind::QuantizedI8BoostHd,
         ModelSpec::Baseline(_) => PayloadKind::Unsupported,
     }
 }
@@ -664,6 +744,23 @@ mod tests {
                 refit_epochs: 2,
             },
             ModelSpec::QuantizedBoostHd {
+                base: BoostHdConfig {
+                    dim_total: 120,
+                    n_learners: 4,
+                    epochs: 2,
+                    ..Default::default()
+                },
+                refit_epochs: 0,
+            },
+            ModelSpec::QuantizedI8OnlineHd {
+                base: OnlineHdConfig {
+                    dim: 96,
+                    epochs: 3,
+                    ..Default::default()
+                },
+                refit_epochs: 2,
+            },
+            ModelSpec::QuantizedI8BoostHd {
                 base: BoostHdConfig {
                     dim_total: 120,
                     n_learners: 4,
@@ -893,7 +990,7 @@ mod tests {
             .to_bytes()
             .unwrap();
         // Byte 4 is the envelope version (after the u32 magic).
-        for future_version in [2u8, 9, 250] {
+        for future_version in [3u8, 9, 250] {
             let mut bumped = bytes.clone();
             bumped[4] = future_version;
             let err = Pipeline::from_bytes(&bumped).unwrap_err();
@@ -907,10 +1004,14 @@ mod tests {
                 "{msg}"
             );
             assert!(
-                msg.contains(&format!("supported {ENVELOPE_VERSION}")),
-                "the error must name the supported version: {msg}"
+                msg.contains(&format!("{ENVELOPE_MIN_VERSION}..={ENVELOPE_VERSION}")),
+                "the error must name the supported range: {msg}"
             );
         }
+        // Version 0 predates the format and is equally unreadable.
+        let mut ancient = bytes.clone();
+        ancient[4] = 0;
+        assert!(Pipeline::from_bytes(&ancient).is_err());
     }
 
     #[test]
@@ -920,8 +1021,9 @@ mod tests {
             .unwrap()
             .to_bytes()
             .unwrap();
-        // Byte 5 is the payload-kind tag; 6..255 are unassigned futures.
-        for future_kind in [6u8, 42, 255] {
+        // Byte 5 is the payload-kind tag; 8..255 are unassigned futures
+        // (6/7 became the int8 tier in envelope v2).
+        for future_kind in [8u8, 42, 255] {
             let mut unknown = bytes.clone();
             unknown[5] = future_kind;
             let err = Pipeline::from_bytes(&unknown).unwrap_err();
@@ -945,15 +1047,55 @@ mod tests {
     }
 
     #[test]
+    fn v1_envelopes_without_tuning_record_remain_readable() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y)
+            .unwrap()
+            .with_abstain_threshold(0.4);
+        let v2 = pipeline.to_bytes().unwrap();
+        // A v1 envelope is the v2 layout minus the 9-byte tuning record
+        // (u32 score_chunk + u32 threads + u8 source tag) that v2 inserts
+        // after the abstain threshold at offset 10.
+        let mut v1 = Vec::with_capacity(v2.len() - 9);
+        v1.extend_from_slice(&v2[..10]);
+        v1.extend_from_slice(&v2[19..]);
+        v1[4] = 1;
+        let restored = Pipeline::from_bytes(&v1).expect("v1 envelope must stay readable");
+        assert_eq!(restored.predict_batch(&x), pipeline.predict_batch(&x));
+        assert!((restored.abstain_threshold() - 0.4).abs() < 1e-6);
+        assert_eq!(restored.saved_tuning(), None, "v1 carries no tuning");
+    }
+
+    #[test]
+    fn envelope_records_and_restores_the_tuning_provenance() {
+        let (x, y) = toy();
+        let pipeline = Pipeline::fit(&hdc_specs()[0], &x, &y).unwrap();
+        assert_eq!(
+            pipeline.saved_tuning(),
+            None,
+            "a freshly-fit pipeline has no envelope provenance"
+        );
+        let restored = Pipeline::from_bytes(&pipeline.to_bytes().unwrap()).unwrap();
+        let tuning = restored.saved_tuning().expect("v2 always records tuning");
+        assert_eq!(tuning, linalg::autotune::tuning(), "same-process save/load");
+        assert!(tuning.score_chunk.is_power_of_two() && tuning.score_chunk >= 64);
+        assert!(tuning.threads >= 1);
+        // Provenance is diagnostic only: re-saving the restored pipeline
+        // stamps the *current* machine's tuning, not the recorded one.
+        let again = Pipeline::from_bytes(&restored.to_bytes().unwrap()).unwrap();
+        assert_eq!(again.saved_tuning(), restored.saved_tuning());
+    }
+
+    #[test]
     fn unregistered_baseline_reports_clear_error() {
         // Nothing in this crate's test binary ever registers a baseline
         // builder (the registration lives in the `baselines` crate), so
         // the registry is guaranteed empty here.
-        let ModelSpec::Baseline(_) = &default_specs(1)[5] else {
+        let ModelSpec::Baseline(_) = &default_specs(1)[7] else {
             panic!("spec order changed");
         };
         let (x, y) = toy();
-        let err = Pipeline::fit(&default_specs(1)[5], &x, &y).unwrap_err();
+        let err = Pipeline::fit(&default_specs(1)[7], &x, &y).unwrap_err();
         assert!(
             err.to_string().contains("no baseline builder registered"),
             "{err}"

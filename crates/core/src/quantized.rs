@@ -85,8 +85,9 @@ fn refit_packed_classes(
     bits
 }
 
-/// Validates refit inputs against a trained model's shape.
-fn validate_refit_inputs(
+/// Validates refit inputs against a trained model's shape (shared with the
+/// int8 tier in [`crate::quantized_i8`]).
+pub(crate) fn validate_refit_inputs(
     x: &Matrix,
     y: &[usize],
     input_len: usize,
@@ -214,7 +215,7 @@ impl Classifier for QuantizedHd {
         let mut zbuf = Matrix::zeros(0, 0);
         let mut start = 0;
         while start < x.rows() {
-            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            let end = (start + crate::online::score_chunk()).min(x.rows());
             self.encoder
                 .encode_batch_into(&x.slice_rows(start, end), &mut zbuf);
             let packed: Vec<PackedHv> = (0..zbuf.rows())
@@ -495,7 +496,7 @@ impl Classifier for QuantizedBoostHd {
         let mut zbuf = Matrix::zeros(0, 0);
         let mut start = 0;
         while start < x.rows() {
-            let end = (start + crate::online::SCORE_CHUNK).min(x.rows());
+            let end = (start + crate::online::score_chunk()).min(x.rows());
             let xc = x.slice_rows(start, end);
             if needs_full {
                 self.encoder.encode_batch_into(&xc, &mut zbuf);

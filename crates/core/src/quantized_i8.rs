@@ -1,0 +1,1163 @@
+//! Scaled-integer (int8) frozen inference models — the middle rung of the
+//! quantization ladder.
+//!
+//! The 1-bit tier in [`crate::quantized`] shrinks models 32× but pays for
+//! it in sign-rounding noise; the f32 tier keeps full fidelity at 4 bytes
+//! per dimension. This module adds the intermediate point the wearable
+//! accelerator literature actually ships: **symmetric per-row int8**. Each
+//! trained class hypervector row is scaled by `s = max|v| / 127` and
+//! rounded to `q = round(v / s) ∈ [-127, 127]`, so a model stores one
+//! signed byte per dimension plus one f32 scale per class row — a ~4×
+//! shrink with quantization error bounded by half a step per component.
+//!
+//! Scoring stays a faithful cosine approximation. With class row
+//! `c ≈ s_c · q_c` and encoded query `h ≈ s_h · q_h`,
+//!
+//! ```text
+//! cos(c, h) = (c · h) / (‖c‖ ‖h‖) ≈ dot_i8(q_c, q_h) · s_h / (‖q_c‖ ‖h‖)
+//! ```
+//!
+//! — the class scale `s_c` cancels, so the score is exact in the class
+//! row's magnitude and only approximate in its *direction* (and the
+//! query's). The integer dot runs through the runtime-dispatched
+//! [`linalg::kernels::dot_i8`] `maddubs` kernel, which is bit-exact across
+//! dispatch levels, so int8 predictions are identical on AVX2 and scalar
+//! hosts. The per-row inverse norms `1/‖q_c‖` are derived from the stored
+//! bytes (never persisted), so a save → load round trip reproduces scores
+//! bit-for-bit.
+//!
+//! For fault-injection studies the int8 models implement
+//! [`faults::PerturbableI8`]: flips land on the two's-complement byte
+//! encoding of stored components — the faithful single-event-upset model
+//! for int8 weight memories, where one upset perturbs one component by a
+//! power of two instead of an f32 exponent blow-up.
+//!
+//! # Quantization-aware refit
+//!
+//! As with the 1-bit tier, `quantize_i8_with_refit` runs straight-through
+//! refinement: queries are scored against the *int8* class rows (exactly
+//! what deployment will do) while OnlineHD updates accumulate in f32
+//! shadow weights, and every touched row is re-quantized immediately. At
+//! int8 the data-free rounding loss is already small, so refit is a
+//! polish rather than a rescue.
+
+use crate::boost::{BoostHd, Voting};
+use crate::classifier::{argmax, argmax_rows, predict_batch_chunked, Classifier};
+use crate::error::{BoostHdError, Result};
+use crate::online::OnlineHd;
+use crate::quantized::validate_refit_inputs;
+use crate::CentroidHd;
+use faults::{BitflipReport, PerturbableI8};
+use hdc::encoder::{Encode, SinusoidEncoder};
+use linalg::kernels::dot_i8;
+use linalg::matrix::norm;
+use linalg::{Matrix, Rng64};
+use serde::{Deserialize, Serialize};
+
+/// Symmetric per-row quantizer: fills `out` with
+/// `round(v · 127 / max|v|)` clamped to `[-127, 127]` and returns the
+/// dequantization scale `max|v| / 127`. An all-zero (or non-finite) row
+/// quantizes to all zeros with scale `0.0`.
+pub(crate) fn quantize_row_into(src: &[f32], out: &mut Vec<i8>) -> f32 {
+    out.clear();
+    out.resize(src.len(), 0);
+    // Two branch-free (vectorizable) passes: `f32::max` silently drops NaN
+    // operands, so finiteness is tracked separately instead of folded into
+    // the maximum.
+    let max_abs = src.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let all_finite = src.iter().fold(true, |ok, &v| ok & v.is_finite());
+    if !(max_abs > 0.0 && max_abs.is_finite() && all_finite) {
+        return 0.0;
+    }
+    let inv = 127.0 / max_abs;
+    linalg::kernels::quantize_scale_i8(src, inv, out);
+    max_abs / 127.0
+}
+
+/// A row-major block of int8-quantized rows: one signed byte per element,
+/// one dequantization scale per row, plus derived (never persisted)
+/// per-row inverse integer norms used by the cosine approximation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct I8Rows {
+    data: Vec<i8>,
+    scales: Vec<f32>,
+    inv_qnorms: Vec<f32>,
+    cols: usize,
+}
+
+impl I8Rows {
+    /// Quantizes every row of a dense f32 matrix.
+    pub(crate) fn from_dense(m: &Matrix) -> Self {
+        let mut data = Vec::with_capacity(m.rows() * m.cols());
+        let mut scales = Vec::with_capacity(m.rows());
+        let mut qbuf = Vec::new();
+        for r in 0..m.rows() {
+            scales.push(quantize_row_into(m.row(r), &mut qbuf));
+            data.extend_from_slice(&qbuf);
+        }
+        let mut rows = Self {
+            data,
+            scales,
+            inv_qnorms: Vec::new(),
+            cols: m.cols(),
+        };
+        rows.refresh_inv_qnorms();
+        rows
+    }
+
+    /// Reassembles from stored parts (the persistence path); inverse norms
+    /// are re-derived from the bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] when `data` is not
+    /// `scales.len() × cols` elements.
+    pub(crate) fn from_parts(data: Vec<i8>, scales: Vec<f32>, cols: usize) -> Result<Self> {
+        if cols == 0 || data.len() != scales.len() * cols {
+            return Err(BoostHdError::DataMismatch {
+                reason: format!(
+                    "int8 payload holds {} bytes, expected {} rows x {} cols",
+                    data.len(),
+                    scales.len(),
+                    cols
+                ),
+            });
+        }
+        let mut rows = Self {
+            data,
+            scales,
+            inv_qnorms: Vec::new(),
+            cols,
+        };
+        rows.refresh_inv_qnorms();
+        Ok(rows)
+    }
+
+    pub(crate) fn rows(&self) -> usize {
+        self.scales.len()
+    }
+
+    pub(crate) fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub(crate) fn row(&self, r: usize) -> &[i8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub(crate) fn data(&self) -> &[i8] {
+        &self.data
+    }
+
+    pub(crate) fn data_mut(&mut self) -> &mut [i8] {
+        &mut self.data
+    }
+
+    pub(crate) fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Bytes a deployed int8 memory would hold for these rows: the `i8`
+    /// grid plus one f32 scale per row (derived norms excluded — they are
+    /// recomputed at load).
+    pub(crate) fn storage_bytes(&self) -> usize {
+        self.data.len() + self.scales.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Recomputes the derived `1/‖q_r‖` cache from the stored bytes —
+    /// required after any in-place mutation of `data` (refit row updates,
+    /// fault injection).
+    pub(crate) fn refresh_inv_qnorms(&mut self) {
+        let cols = self.cols.max(1);
+        self.inv_qnorms = self
+            .data
+            .chunks(cols)
+            .map(|row| {
+                let n2: i64 = row.iter().map(|&q| (q as i64) * (q as i64)).sum();
+                if n2 == 0 {
+                    0.0
+                } else {
+                    (1.0 / (n2 as f64).sqrt()) as f32
+                }
+            })
+            .collect();
+    }
+
+    /// Re-quantizes row `r` from fresh f32 values (the refit path).
+    fn set_row_from(&mut self, r: usize, src: &[f32], qbuf: &mut Vec<i8>) {
+        self.scales[r] = quantize_row_into(src, qbuf);
+        let row = &mut self.data[r * self.cols..(r + 1) * self.cols];
+        row.copy_from_slice(qbuf);
+        let n2: i64 = row.iter().map(|&q| (q as i64) * (q as i64)).sum();
+        self.inv_qnorms[r] = if n2 == 0 {
+            0.0
+        } else {
+            (1.0 / (n2 as f64).sqrt()) as f32
+        };
+    }
+
+    /// Approximate per-row cosine scores of query `h` against every stored
+    /// row (see the [module docs](self) for the formula). `qbuf` is caller
+    /// scratch and holds the quantized query on return.
+    fn scores_into(&self, h: &[f32], qbuf: &mut Vec<i8>, out: &mut [f32]) {
+        debug_assert_eq!(h.len(), self.cols);
+        let f = query_factor(h, qbuf);
+        self.scores_quantized_into(qbuf, f, out);
+    }
+
+    /// The integer-dot sweep alone: scores an already-quantized query
+    /// (bytes `q`, combined cosine factor `f`) against every stored row.
+    /// Exactly the arithmetic [`I8Rows::scores_into`] performs after
+    /// quantizing, so pre-quantized and on-the-fly scoring agree
+    /// bit-for-bit.
+    fn scores_quantized_into(&self, q: &[i8], f: f32, out: &mut [f32]) {
+        debug_assert_eq!(q.len(), self.cols);
+        debug_assert_eq!(out.len(), self.rows());
+        if f == 0.0 {
+            out.fill(0.0);
+            return;
+        }
+        for (r, o) in out.iter_mut().enumerate() {
+            *o = dot_i8(self.row(r), q) as f32 * self.inv_qnorms[r] * f;
+        }
+    }
+}
+
+/// Quantizes encoded query `h` into `qbuf` and returns its combined cosine
+/// factor `s_h / ‖h‖` — `0.0` for degenerate (zero or non-finite) queries,
+/// in which case every score is defined as `0.0`.
+fn query_factor(h: &[f32], qbuf: &mut Vec<i8>) -> f32 {
+    let hn = norm(h);
+    let qscale = quantize_row_into(h, qbuf);
+    if hn == 0.0 || qscale == 0.0 || !hn.is_finite() {
+        0.0
+    } else {
+        qscale / hn
+    }
+}
+
+/// An encoded query pre-quantized for the int8 associative-memory sweep:
+/// the signed-byte vector plus its combined cosine factor `s_h / ‖h‖`.
+///
+/// Quantizing the query costs several f32 passes over `D` values; the
+/// integer-dot sweep it feeds costs one byte-pass per class row. When one
+/// query is scored against many int8 memories — BoostHD weak learners, a
+/// per-patient model fleet, or a throughput benchmark's class-memory sweep
+/// — preparing the query once and reusing it amortizes that cost away,
+/// exactly like [`hdc::backend::PackedHv`] does for the 1-bit tier.
+/// [`QuantizedI8Hd::scores_quantized_into`] consumes it; results are
+/// bit-identical to [`QuantizedI8Hd::scores_encoded`] on the same `h`.
+#[derive(Debug, Clone)]
+pub struct QuantizedI8Query {
+    q: Vec<i8>,
+    f: f32,
+}
+
+impl QuantizedI8Query {
+    /// Quantizes an already-encoded hypervector (degenerate inputs yield a
+    /// query that scores `0.0` everywhere, matching the dense paths).
+    pub fn from_encoded(h: &[f32]) -> Self {
+        let mut q = Vec::new();
+        let f = query_factor(h, &mut q);
+        Self { q, f }
+    }
+
+    /// Hyperspace dimensionality `D` of the quantized query.
+    pub fn dim(&self) -> usize {
+        self.q.len()
+    }
+}
+
+/// Straight-through refinement of one class matrix at int8: score queries
+/// against the quantized rows (the deployment arithmetic), update f32
+/// shadow weights with the OnlineHD rule on misclassification, and
+/// re-quantize the touched rows. Returns the final int8 rows.
+fn refit_i8_classes(
+    z: &Matrix,
+    y: &[usize],
+    shadow: &mut Matrix,
+    lr: f32,
+    epochs: usize,
+) -> I8Rows {
+    let mut classes = I8Rows::from_dense(shadow);
+    let mut qbuf: Vec<i8> = Vec::new();
+    let mut sims = vec![0.0f32; shadow.rows()];
+    for _epoch in 0..epochs {
+        for (r, &truth) in y.iter().enumerate() {
+            let h = z.row(r);
+            classes.scores_into(h, &mut qbuf, &mut sims);
+            let pred = argmax(&sims);
+            if pred == truth {
+                continue;
+            }
+            let hn = norm(h);
+            if hn == 0.0 {
+                continue;
+            }
+            // The int8 scores live on the cosine scale, so the (1 − δ)
+            // error weighting carries over from the f32 update rule.
+            hdc::ops::bundle_into(shadow.row_mut(truth), h, lr * (1.0 - sims[truth]) / hn);
+            hdc::ops::bundle_into(shadow.row_mut(pred), h, -lr * (1.0 - sims[pred]) / hn);
+            classes.set_row_from(truth, shadow.row(truth), &mut qbuf);
+            classes.set_row_from(pred, shadow.row(pred), &mut qbuf);
+        }
+    }
+    classes
+}
+
+/// A frozen single-learner HDC classifier with int8 class hypervectors
+/// (quantized [`OnlineHd`] or [`CentroidHd`]).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedI8Hd {
+    encoder: SinusoidEncoder,
+    classes: I8Rows,
+    num_classes: usize,
+}
+
+impl QuantizedI8Hd {
+    pub(crate) fn from_class_matrix(
+        encoder: SinusoidEncoder,
+        class_hvs: &Matrix,
+        num_classes: usize,
+    ) -> Self {
+        Self {
+            encoder,
+            classes: I8Rows::from_dense(class_hvs),
+            num_classes,
+        }
+    }
+
+    /// Reassembles a model from stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for inconsistent shapes.
+    pub(crate) fn from_parts(
+        encoder: SinusoidEncoder,
+        classes: I8Rows,
+        num_classes: usize,
+    ) -> Result<Self> {
+        if classes.rows() != num_classes {
+            return Err(BoostHdError::DataMismatch {
+                reason: "int8 class count disagrees with header".into(),
+            });
+        }
+        if classes.cols() != encoder.dim() {
+            return Err(BoostHdError::DataMismatch {
+                reason: "int8 class width disagrees with encoder".into(),
+            });
+        }
+        Ok(Self {
+            encoder,
+            classes,
+            num_classes,
+        })
+    }
+
+    /// Hyperspace dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.classes.cols()
+    }
+
+    /// The (f32) query encoder.
+    pub fn encoder(&self) -> &SinusoidEncoder {
+        &self.encoder
+    }
+
+    pub(crate) fn classes(&self) -> &I8Rows {
+        &self.classes
+    }
+
+    /// Bytes of class-hypervector storage a deployed int8 memory would
+    /// hold (bytes + per-row scales; excludes the shared projection).
+    pub fn class_storage_bytes(&self) -> usize {
+        self.classes.storage_bytes()
+    }
+
+    /// Per-class similarities for an already-encoded hypervector `h`
+    /// (quantize + integer-dot sweep, no encode) — the int8 analogue of
+    /// [`crate::OnlineHd::scores_encoded`] and
+    /// [`crate::QuantizedHd::scores_packed`], so scoring-tier comparisons
+    /// can time the associative-memory sweep in isolation.
+    pub fn scores_encoded(&self, h: &[f32]) -> Vec<f32> {
+        let mut qbuf = Vec::new();
+        let mut out = vec![0.0f32; self.num_classes];
+        self.scores_encoded_into(h, &mut qbuf, &mut out);
+        out
+    }
+
+    /// Allocation-free [`QuantizedI8Hd::scores_encoded`]: `qbuf` is
+    /// caller-owned scratch for the quantized query (reused across calls),
+    /// `out` must hold `num_classes` slots. The hot form a serving loop or
+    /// throughput benchmark should call.
+    pub fn scores_encoded_into(&self, h: &[f32], qbuf: &mut Vec<i8>, out: &mut [f32]) {
+        self.classes.scores_into(h, qbuf, out);
+    }
+
+    /// Per-class similarities for a pre-quantized query — the integer-dot
+    /// sweep alone, bit-identical to [`QuantizedI8Hd::scores_encoded`] on
+    /// the hypervector the query was built from. Use when one query is
+    /// scored against several int8 memories (see [`QuantizedI8Query`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when the query dimensionality disagrees with
+    /// the model's.
+    pub fn scores_quantized_into(&self, query: &QuantizedI8Query, out: &mut [f32]) {
+        self.classes.scores_quantized_into(&query.q, query.f, out);
+    }
+
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode + int8 dot sweep on a contiguous chunk.
+    /// Identical to [`Classifier::predict_batch`] for any thread count.
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        predict_batch_chunked(self, x, threads)
+    }
+}
+
+impl Classifier for QuantizedI8Hd {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let h = self.encoder.encode_row(x);
+        let mut qbuf = Vec::new();
+        let mut out = vec![0.0f32; self.num_classes];
+        self.classes.scores_into(&h, &mut qbuf, &mut out);
+        out
+    }
+
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        // Walk the batch in autotuned row chunks through a reused encode
+        // buffer; each encoded row quantizes into a reused scratch and one
+        // integer-dot sweep scores it against the class bytes. Chunking
+        // only batches the encode GEMM — every score is a per-row
+        // computation, so the chunk width cannot change results.
+        let mut out = Matrix::zeros(x.rows(), self.num_classes);
+        let mut zbuf = Matrix::zeros(0, 0);
+        let mut qbuf: Vec<i8> = Vec::new();
+        let chunk = linalg::autotune::score_chunk();
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + chunk).min(x.rows());
+            self.encoder
+                .encode_batch_into(&x.slice_rows(start, end), &mut zbuf);
+            for r in 0..zbuf.rows() {
+                self.classes
+                    .scores_into(zbuf.row(r), &mut qbuf, out.row_mut(start + r));
+            }
+            start = end;
+        }
+        out
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.scores_batch(x))
+    }
+}
+
+impl PerturbableI8 for QuantizedI8Hd {
+    fn i8_buffers_mut(&mut self) -> Vec<&mut [i8]> {
+        vec![self.classes.data_mut()]
+    }
+}
+
+/// [`faults::flip_i8_bits`] plus the derived-norm refresh the model needs
+/// afterwards — what a deployed loader would recompute from the corrupted
+/// bytes. This is the injection hook the pipeline layer dispatches to.
+pub(crate) fn flip_hd_i8_bits(
+    model: &mut QuantizedI8Hd,
+    p_b: f64,
+    rng: &mut Rng64,
+) -> BitflipReport {
+    let report = faults::flip_i8_bits(model, p_b, rng);
+    model.classes.refresh_inv_qnorms();
+    report
+}
+
+impl OnlineHd {
+    /// Freezes the trained model into a scaled-integer inference model:
+    /// class hypervectors quantized to symmetric per-row int8, scoring via
+    /// the widening integer dot kernel. See the [module docs](self).
+    pub fn quantize_i8(&self) -> QuantizedI8Hd {
+        QuantizedI8Hd::from_class_matrix(
+            self.encoder().clone(),
+            self.class_hypervectors(),
+            self.num_classes(),
+        )
+    }
+
+    /// [`OnlineHd::quantize_i8`] preceded by `epochs` of quantization-aware
+    /// refinement on `(x, y)` (see the [module docs](self)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for empty/inconsistent refit
+    /// data or out-of-range labels.
+    pub fn quantize_i8_with_refit(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+    ) -> Result<QuantizedI8Hd> {
+        validate_refit_inputs(x, y, self.encoder().input_len(), self.num_classes())?;
+        let z = self.encoder().encode_batch(x);
+        let mut shadow = self.class_hypervectors().clone();
+        let classes = refit_i8_classes(&z, y, &mut shadow, self.config().lr, epochs);
+        QuantizedI8Hd::from_parts(self.encoder().clone(), classes, self.num_classes())
+    }
+}
+
+impl CentroidHd {
+    /// Freezes the trained model into a scaled-integer inference model;
+    /// see [`OnlineHd::quantize_i8`].
+    pub fn quantize_i8(&self) -> QuantizedI8Hd {
+        QuantizedI8Hd::from_class_matrix(
+            self.encoder().clone(),
+            self.class_hypervectors(),
+            self.num_classes(),
+        )
+    }
+}
+
+/// One frozen weak learner: int8 class hypervectors plus its vote weight
+/// and hyperspace segment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct QuantizedI8WeakLearner {
+    pub(crate) classes: I8Rows,
+    pub(crate) alpha: f32,
+    pub(crate) seg_start: usize,
+    pub(crate) seg_end: usize,
+    /// Present only for full-dimension (ablation-mode) ensembles.
+    pub(crate) own_encoder: Option<SinusoidEncoder>,
+}
+
+/// A frozen BoostHD ensemble with int8 weak learners.
+///
+/// Inference encodes the query once at full `D` with the f32 projection,
+/// quantizes each weak learner's segment independently (each segment gets
+/// its own query scale), and aggregates `α`-weighted integer-dot cosine
+/// votes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedI8BoostHd {
+    encoder: SinusoidEncoder,
+    learners: Vec<QuantizedI8WeakLearner>,
+    num_classes: usize,
+    voting: Voting,
+    dim_total: usize,
+}
+
+impl QuantizedI8BoostHd {
+    pub(crate) fn from_model(model: &BoostHd) -> Self {
+        let learners = (0..model.num_learners())
+            .map(|i| {
+                let (alpha, seg_start, seg_end, own_encoder) = model.learner_parts(i);
+                QuantizedI8WeakLearner {
+                    classes: I8Rows::from_dense(model.learner_class_hypervectors(i)),
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder: own_encoder.cloned(),
+                }
+            })
+            .collect();
+        Self {
+            encoder: model.encoder().clone(),
+            learners,
+            num_classes: model.num_classes(),
+            voting: model.config().voting,
+            dim_total: model.dim_total(),
+        }
+    }
+
+    /// Reassembles an ensemble from stored parts (the persistence path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for inconsistent segments or
+    /// class shapes.
+    pub(crate) fn from_parts(
+        encoder: SinusoidEncoder,
+        learners: Vec<QuantizedI8WeakLearner>,
+        num_classes: usize,
+        voting: Voting,
+        dim_total: usize,
+    ) -> Result<Self> {
+        for l in &learners {
+            if l.seg_start > l.seg_end || l.seg_end > dim_total {
+                return Err(BoostHdError::DataMismatch {
+                    reason: format!("segment {}..{} out of bounds", l.seg_start, l.seg_end),
+                });
+            }
+            if l.classes.rows() != num_classes {
+                return Err(BoostHdError::DataMismatch {
+                    reason: "learner class count disagrees with header".into(),
+                });
+            }
+            match &l.own_encoder {
+                None if l.classes.cols() != l.seg_end - l.seg_start => {
+                    return Err(BoostHdError::DataMismatch {
+                        reason: "int8 class width disagrees with segment".into(),
+                    });
+                }
+                Some(enc) if l.classes.cols() != enc.dim() => {
+                    return Err(BoostHdError::DataMismatch {
+                        reason: "int8 class width disagrees with learner encoder".into(),
+                    });
+                }
+                _ => {}
+            }
+        }
+        Ok(Self {
+            encoder,
+            learners,
+            num_classes,
+            voting,
+            dim_total,
+        })
+    }
+
+    /// Number of weak learners `N_L`.
+    pub fn num_learners(&self) -> usize {
+        self.learners.len()
+    }
+
+    /// Total hyperspace dimensionality `D_total`.
+    pub fn dim_total(&self) -> usize {
+        self.dim_total
+    }
+
+    /// Vote aggregation rule inherited from the f32 ensemble.
+    pub fn voting(&self) -> Voting {
+        self.voting
+    }
+
+    /// The shared full-`D` (f32) query encoder.
+    pub fn encoder(&self) -> &SinusoidEncoder {
+        &self.encoder
+    }
+
+    /// Vote weights `α_i`, in training order.
+    pub fn alphas(&self) -> Vec<f32> {
+        self.learners.iter().map(|l| l.alpha).collect()
+    }
+
+    /// Bytes of int8 class-hypervector storage across all weak learners.
+    pub fn class_storage_bytes(&self) -> usize {
+        self.learners
+            .iter()
+            .map(|l| l.classes.storage_bytes())
+            .sum()
+    }
+
+    pub(crate) fn learners(&self) -> &[QuantizedI8WeakLearner] {
+        &self.learners
+    }
+
+    /// `α`-weighted int8 cosine votes for a query whose full-`D` dense
+    /// encoding is `full_h` (`x` is the raw feature row, needed only by
+    /// full-dimension ablation learners).
+    fn votes_for_encoded(&self, full_h: &[f32], x: &[f32]) -> Vec<f32> {
+        let mut votes = vec![0.0f32; self.num_classes];
+        let mut qbuf: Vec<i8> = Vec::new();
+        let mut sims = vec![0.0f32; self.num_classes];
+        for learner in &self.learners {
+            match &learner.own_encoder {
+                None => {
+                    let seg = &full_h[learner.seg_start..learner.seg_end];
+                    learner.classes.scores_into(seg, &mut qbuf, &mut sims);
+                }
+                Some(enc) => {
+                    let h = enc.encode_row(x);
+                    learner.classes.scores_into(&h, &mut qbuf, &mut sims);
+                }
+            }
+            match self.voting {
+                Voting::Hard => votes[argmax(&sims)] += learner.alpha,
+                Voting::Soft => {
+                    for (v, s) in votes.iter_mut().zip(sims.iter()) {
+                        *v += learner.alpha * s;
+                    }
+                }
+            }
+        }
+        votes
+    }
+
+    /// Predicts every row of `x` using `threads` worker threads, each
+    /// running the batched encode + per-learner integer-dot sweeps on a
+    /// contiguous chunk. Identical to [`Classifier::predict_batch`] for
+    /// any thread count.
+    pub fn predict_batch_parallel(&self, x: &Matrix, threads: usize) -> Vec<usize> {
+        predict_batch_chunked(self, x, threads)
+    }
+}
+
+impl Classifier for QuantizedI8BoostHd {
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn scores(&self, x: &[f32]) -> Vec<f32> {
+        let needs_full = self.learners.iter().any(|l| l.own_encoder.is_none());
+        let full_h = if needs_full {
+            self.encoder.encode_row(x)
+        } else {
+            Vec::new()
+        };
+        self.votes_for_encoded(&full_h, x)
+    }
+
+    fn scores_batch(&self, x: &Matrix) -> Matrix {
+        // Walk the batch in autotuned row chunks through a reused encode
+        // buffer; each chunk is encoded once at full `D`, then every weak
+        // learner quantizes its segment of each row and scores it with the
+        // integer-dot sweep — learners visited in training order so the
+        // `α`-weighted vote sums accumulate exactly like the row path.
+        let mut votes = Matrix::zeros(x.rows(), self.num_classes);
+        let needs_full = self.learners.iter().any(|l| l.own_encoder.is_none());
+        let mut zbuf = Matrix::zeros(0, 0);
+        let mut own_zbuf = Matrix::zeros(0, 0);
+        let mut qbuf: Vec<i8> = Vec::new();
+        let mut sims = vec![0.0f32; self.num_classes];
+        let chunk = linalg::autotune::score_chunk();
+        let mut start = 0;
+        while start < x.rows() {
+            let end = (start + chunk).min(x.rows());
+            let xc = x.slice_rows(start, end);
+            if needs_full {
+                self.encoder.encode_batch_into(&xc, &mut zbuf);
+            }
+            for learner in &self.learners {
+                let seg_rows: &Matrix = match &learner.own_encoder {
+                    None => &zbuf,
+                    Some(enc) => {
+                        enc.encode_batch_into(&xc, &mut own_zbuf);
+                        &own_zbuf
+                    }
+                };
+                for r in 0..xc.rows() {
+                    let seg = match &learner.own_encoder {
+                        None => &seg_rows.row(r)[learner.seg_start..learner.seg_end],
+                        Some(_) => seg_rows.row(r),
+                    };
+                    learner.classes.scores_into(seg, &mut qbuf, &mut sims);
+                    let vote_row = votes.row_mut(start + r);
+                    match self.voting {
+                        Voting::Hard => vote_row[argmax(&sims)] += learner.alpha,
+                        Voting::Soft => {
+                            for (v, s) in vote_row.iter_mut().zip(sims.iter()) {
+                                *v += learner.alpha * s;
+                            }
+                        }
+                    }
+                }
+            }
+            start = end;
+        }
+        votes
+    }
+
+    fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
+        argmax_rows(&self.scores_batch(x))
+    }
+}
+
+impl PerturbableI8 for QuantizedI8BoostHd {
+    fn i8_buffers_mut(&mut self) -> Vec<&mut [i8]> {
+        self.learners
+            .iter_mut()
+            .map(|l| l.classes.data_mut())
+            .collect()
+    }
+}
+
+/// [`faults::flip_i8_bits`] plus the per-learner derived-norm refresh; the
+/// pipeline layer's injection hook for int8 ensembles.
+pub(crate) fn flip_boost_i8_bits(
+    model: &mut QuantizedI8BoostHd,
+    p_b: f64,
+    rng: &mut Rng64,
+) -> BitflipReport {
+    let report = faults::flip_i8_bits(model, p_b, rng);
+    for l in &mut model.learners {
+        l.classes.refresh_inv_qnorms();
+    }
+    report
+}
+
+impl BoostHd {
+    /// Freezes the trained ensemble into a scaled-integer inference model:
+    /// every weak learner's class hypervectors quantized to symmetric
+    /// per-row int8, votes scored via the widening integer dot. See the
+    /// [module docs](self).
+    pub fn quantize_i8(&self) -> QuantizedI8BoostHd {
+        QuantizedI8BoostHd::from_model(self)
+    }
+
+    /// [`BoostHd::quantize_i8`] preceded by `epochs` of per-learner
+    /// quantization-aware refinement on `(x, y)`; the int8 counterpart of
+    /// [`BoostHd::quantize_with_refit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for empty/inconsistent refit
+    /// data or out-of-range labels.
+    pub fn quantize_i8_with_refit(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        epochs: usize,
+    ) -> Result<QuantizedI8BoostHd> {
+        validate_refit_inputs(x, y, self.encoder().input_len(), self.num_classes())?;
+        let z = self.encoder().encode_batch(x);
+        let learners = (0..self.num_learners())
+            .map(|i| {
+                let (alpha, seg_start, seg_end, own_encoder) = self.learner_parts(i);
+                let zi = match own_encoder {
+                    None => z.slice_columns(seg_start, seg_end),
+                    Some(enc) => enc.encode_batch(x),
+                };
+                let mut shadow = self.learner_class_hypervectors(i).clone();
+                let classes = refit_i8_classes(&zi, y, &mut shadow, self.config().lr, epochs);
+                QuantizedI8WeakLearner {
+                    classes,
+                    alpha,
+                    seg_start,
+                    seg_end,
+                    own_encoder: own_encoder.cloned(),
+                }
+            })
+            .collect();
+        QuantizedI8BoostHd::from_parts(
+            self.encoder().clone(),
+            learners,
+            self.num_classes(),
+            self.config().voting,
+            self.dim_total(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::boost::BoostHdConfig;
+    use crate::online::OnlineHdConfig;
+
+    fn blobs(n: usize, seed: u64, sep: f32, noise: f32) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng64::seed_from(seed);
+        let centers = [(-1.0f32, -1.0f32), (1.0, 1.0), (-1.0, 1.0)];
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let (cx, cy) = centers[class];
+            rows.push(vec![
+                cx * sep + noise * rng.normal(),
+                cy * sep + noise * rng.normal(),
+                noise * rng.normal(),
+            ]);
+            labels.push(class);
+        }
+        (Matrix::from_rows(&rows).unwrap(), labels)
+    }
+
+    fn accuracy(model: &impl Classifier, x: &Matrix, y: &[usize]) -> f64 {
+        model
+            .predict_batch(x)
+            .iter()
+            .zip(y)
+            .filter(|(p, t)| p == t)
+            .count() as f64
+            / y.len() as f64
+    }
+
+    #[test]
+    fn quantize_row_handles_degenerate_inputs() {
+        let mut q = Vec::new();
+        assert_eq!(quantize_row_into(&[0.0, 0.0, 0.0], &mut q), 0.0);
+        assert_eq!(q, vec![0, 0, 0]);
+        assert_eq!(quantize_row_into(&[f32::NAN, 1.0], &mut q), 0.0);
+        assert_eq!(q, vec![0, 0]);
+        let scale = quantize_row_into(&[-2.0, 1.0, 0.5], &mut q);
+        assert!((scale - 2.0 / 127.0).abs() < 1e-9);
+        assert_eq!(q, vec![-127, 64, 32]);
+    }
+
+    #[test]
+    fn quantize_row_error_is_within_half_step() {
+        let mut rng = Rng64::seed_from(5);
+        let src: Vec<f32> = (0..1000).map(|_| rng.normal()).collect();
+        let mut q = Vec::new();
+        let scale = quantize_row_into(&src, &mut q);
+        for (&v, &qi) in src.iter().zip(q.iter()) {
+            assert!(qi != i8::MIN);
+            let err = (v - scale * qi as f32).abs();
+            assert!(
+                err <= 0.5 * scale * (1.0 + 1e-4),
+                "err {err} exceeds half step {}",
+                0.5 * scale
+            );
+        }
+    }
+
+    #[test]
+    fn i8_scores_track_f32_scores() {
+        // Satellite property: the int8 cosine approximation must stay
+        // within a small absolute band of the f32 scores — quantization
+        // error is bounded by half a step per component in both operands.
+        let (x, y) = blobs(240, 1, 1.0, 0.35);
+        let config = OnlineHdConfig {
+            dim: 2048,
+            epochs: 10,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        let f32_scores = model.scores_batch(&x);
+        let i8_scores = quantized.scores_batch(&x);
+        let mut max_err = 0.0f32;
+        for r in 0..x.rows() {
+            for (a, b) in f32_scores.row(r).iter().zip(i8_scores.row(r)) {
+                max_err = max_err.max((a - b).abs());
+            }
+        }
+        assert!(
+            max_err < 0.05,
+            "int8 scores drifted {max_err} from f32 cosine"
+        );
+    }
+
+    #[test]
+    fn prequantized_queries_score_bit_identically() {
+        let (x, y) = blobs(120, 12, 1.0, 0.4);
+        let config = OnlineHdConfig {
+            dim: 512,
+            epochs: 4,
+            ..Default::default()
+        };
+        let quantized = OnlineHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let mut out = vec![0.0f32; quantized.num_classes()];
+        for r in 0..x.rows() {
+            let h = quantized.encoder().encode_row(x.row(r));
+            let query = QuantizedI8Query::from_encoded(&h);
+            assert_eq!(query.dim(), quantized.dim());
+            quantized.scores_quantized_into(&query, &mut out);
+            assert_eq!(out, quantized.scores_encoded(&h), "row {r}");
+        }
+        // Degenerate queries score 0.0 everywhere on both paths.
+        let zero = QuantizedI8Query::from_encoded(&vec![0.0f32; quantized.dim()]);
+        quantized.scores_quantized_into(&zero, &mut out);
+        assert_eq!(out, vec![0.0; quantized.num_classes()]);
+    }
+
+    #[test]
+    fn quantized_i8_onlinehd_tracks_f32_accuracy() {
+        let (x, y) = blobs(240, 1, 1.0, 0.35);
+        let config = OnlineHdConfig {
+            dim: 2048,
+            epochs: 10,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        let full = accuracy(&model, &x, &y);
+        let quant = accuracy(&quantized, &x, &y);
+        assert!(quant > full - 0.02, "int8 {quant} vs f32 {full}");
+        assert_eq!(quantized.num_classes(), 3);
+        assert_eq!(quantized.dim(), 2048);
+    }
+
+    #[test]
+    fn quantized_i8_boosthd_tracks_f32_accuracy() {
+        let (x, y) = blobs(240, 2, 1.0, 0.35);
+        let config = BoostHdConfig {
+            dim_total: 2048,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        let full = accuracy(&model, &x, &y);
+        let quant = accuracy(&quantized, &x, &y);
+        assert!(quant > full - 0.02, "int8 {quant} vs f32 {full}");
+        assert_eq!(quantized.num_learners(), 8);
+        assert_eq!(quantized.alphas(), model.alphas());
+    }
+
+    #[test]
+    fn i8_batch_matches_rowwise() {
+        let (x, y) = blobs(90, 3, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 8,
+            epochs: 6,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let batch = quantized.predict_batch(&x);
+        let rowwise: Vec<usize> = (0..x.rows()).map(|r| quantized.predict(x.row(r))).collect();
+        assert_eq!(batch, rowwise);
+        assert_eq!(batch, quantized.predict_batch_parallel(&x, 4));
+    }
+
+    #[test]
+    fn quantized_i8_centroid_works() {
+        let (x, y) = blobs(120, 4, 1.2, 0.3);
+        let config = crate::CentroidHdConfig {
+            dim: 1024,
+            ..Default::default()
+        };
+        let model = CentroidHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        assert!(accuracy(&quantized, &x, &y) > 0.9);
+    }
+
+    #[test]
+    fn quantized_i8_full_dimension_mode_works() {
+        use crate::boost::EnsembleMode;
+        let (x, y) = blobs(120, 5, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 256,
+            n_learners: 4,
+            epochs: 5,
+            mode: EnsembleMode::FullDimension,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        assert!(accuracy(&quantized, &x, &y) > 0.85);
+        assert_eq!(
+            quantized.predict_batch(&x),
+            quantized.predict_batch_parallel(&x, 3)
+        );
+    }
+
+    #[test]
+    fn storage_shrinks_about_4x_versus_f32_classes() {
+        let (x, y) = blobs(90, 6, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 5,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let quantized = model.quantize_i8();
+        let f32_bytes: usize = (0..model.num_learners())
+            .map(|i| model.learner_class_hypervectors(i).as_slice().len() * 4)
+            .sum();
+        let i8_bytes = quantized.class_storage_bytes();
+        // One byte per element plus one f32 scale per class row: just
+        // under 4× for any realistic D_wl.
+        assert!(i8_bytes * 3 < f32_bytes && f32_bytes < i8_bytes * 5);
+    }
+
+    #[test]
+    fn i8_refit_improves_or_matches_data_free_quantization() {
+        let (x, y) = blobs(300, 10, 0.7, 0.55);
+        let config = BoostHdConfig {
+            dim_total: 320,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let model = BoostHd::fit(&config, &x, &y).unwrap();
+        let plain = accuracy(&model.quantize_i8(), &x, &y);
+        let refit = accuracy(&model.quantize_i8_with_refit(&x, &y, 5).unwrap(), &x, &y);
+        assert!(
+            refit >= plain,
+            "refit {refit} should not trail data-free {plain}"
+        );
+        // Zero refit epochs degenerates to data-free quantization.
+        let zero = model.quantize_i8_with_refit(&x, &y, 0).unwrap();
+        assert_eq!(
+            zero.predict_batch(&x),
+            model.quantize_i8().predict_batch(&x)
+        );
+    }
+
+    #[test]
+    fn i8_refit_rejects_bad_inputs() {
+        let (x, y) = blobs(60, 11, 1.0, 0.4);
+        let config = OnlineHdConfig {
+            dim: 256,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let empty = Matrix::zeros(0, 3);
+        assert!(model.quantize_i8_with_refit(&empty, &[], 3).is_err());
+        assert!(model.quantize_i8_with_refit(&x, &y[..10], 3).is_err());
+        let bad_labels = vec![99usize; y.len()];
+        assert!(model.quantize_i8_with_refit(&x, &bad_labels, 3).is_err());
+    }
+
+    #[test]
+    fn i8_bitflips_land_on_stored_bytes() {
+        let (x, y) = blobs(120, 7, 1.0, 0.4);
+        let config = BoostHdConfig {
+            dim_total: 640,
+            n_learners: 8,
+            epochs: 6,
+            ..Default::default()
+        };
+        let mut quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let before = quantized.clone();
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_boost_i8_bits(&mut quantized, 0.01, &mut rng);
+        assert!(report.flipped > 0);
+        let changed = (0..quantized.num_learners())
+            .any(|i| quantized.learners()[i].classes.data() != before.learners()[i].classes.data());
+        assert!(changed);
+        // Scoring a corrupted model must not panic even if a flip produced
+        // -128 somewhere in the stored bytes.
+        let _ = quantized.predict_batch(&x);
+    }
+
+    #[test]
+    fn i8_ensemble_absorbs_moderate_bitflips() {
+        let (x, y) = blobs(240, 8, 1.0, 0.35);
+        let config = BoostHdConfig {
+            dim_total: 2048,
+            n_learners: 8,
+            epochs: 8,
+            ..Default::default()
+        };
+        let quantized = BoostHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let clean = accuracy(&quantized, &x, &y);
+        let mut corrupted = quantized.clone();
+        let mut rng = Rng64::seed_from(3);
+        flip_boost_i8_bits(&mut corrupted, 1e-4, &mut rng);
+        let faulty = accuracy(&corrupted, &x, &y);
+        assert!(
+            faulty > clean - 0.05,
+            "sparse int8 flips should be absorbed: {clean} -> {faulty}"
+        );
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let (x, y) = blobs(60, 9, 1.0, 0.4);
+        let config = OnlineHdConfig {
+            dim: 128,
+            epochs: 3,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let q = model.quantize_i8();
+        // Wrong class count must be rejected.
+        let rows = I8Rows::from_parts(
+            q.classes().data().to_vec(),
+            q.classes().scales().to_vec(),
+            128,
+        )
+        .unwrap();
+        assert!(QuantizedI8Hd::from_parts(q.encoder().clone(), rows, 7).is_err());
+        // Inconsistent byte payload must be rejected.
+        assert!(I8Rows::from_parts(vec![0i8; 10], vec![0.1; 3], 4).is_err());
+    }
+}

@@ -137,6 +137,24 @@ pub enum ModelSpec {
         /// sign binarization).
         refit_epochs: usize,
     },
+    /// OnlineHD trained in f32 then frozen to the int8 scaled-integer
+    /// backend (the middle rung of the quantization ladder).
+    QuantizedI8OnlineHd {
+        /// The f32 training configuration.
+        base: OnlineHdConfig,
+        /// Straight-through refinement epochs before freezing (0 = plain
+        /// data-free quantization).
+        refit_epochs: usize,
+    },
+    /// BoostHD trained in f32 then frozen to the int8 scaled-integer
+    /// backend.
+    QuantizedI8BoostHd {
+        /// The f32 training configuration.
+        base: BoostHdConfig,
+        /// Straight-through refinement epochs before freezing (0 = plain
+        /// data-free quantization).
+        refit_epochs: usize,
+    },
     /// A classical baseline from the Table I zoo (constructed through the
     /// registered builder; see [`crate::pipeline::register_baseline_builder`]).
     Baseline(BaselineSpec),
@@ -151,6 +169,8 @@ impl ModelSpec {
             ModelSpec::BoostHd(_) => "boost_hd",
             ModelSpec::QuantizedOnlineHd { .. } => "quantized_online_hd",
             ModelSpec::QuantizedBoostHd { .. } => "quantized_boost_hd",
+            ModelSpec::QuantizedI8OnlineHd { .. } => "quantized_i8_online_hd",
+            ModelSpec::QuantizedI8BoostHd { .. } => "quantized_i8_boost_hd",
             ModelSpec::Baseline(b) => b.kind.tag(),
         }
     }
@@ -163,6 +183,8 @@ impl ModelSpec {
             ModelSpec::BoostHd(_) => "BoostHD",
             ModelSpec::QuantizedOnlineHd { .. } => "OnlineHD(bitpacked)",
             ModelSpec::QuantizedBoostHd { .. } => "BoostHD(bitpacked)",
+            ModelSpec::QuantizedI8OnlineHd { .. } => "OnlineHD(int8)",
+            ModelSpec::QuantizedI8BoostHd { .. } => "BoostHD(int8)",
             ModelSpec::Baseline(b) => match b.kind {
                 BaselineKind::AdaBoost => "Adaboost",
                 BaselineKind::RandomForest => "RF",
@@ -177,9 +199,13 @@ impl ModelSpec {
     /// spec per run from a base spec).
     pub fn set_seed(&mut self, seed: u64) {
         match self {
-            ModelSpec::OnlineHd(c) | ModelSpec::QuantizedOnlineHd { base: c, .. } => c.seed = seed,
+            ModelSpec::OnlineHd(c)
+            | ModelSpec::QuantizedOnlineHd { base: c, .. }
+            | ModelSpec::QuantizedI8OnlineHd { base: c, .. } => c.seed = seed,
             ModelSpec::CentroidHd(c) => c.seed = seed,
-            ModelSpec::BoostHd(c) | ModelSpec::QuantizedBoostHd { base: c, .. } => c.seed = seed,
+            ModelSpec::BoostHd(c)
+            | ModelSpec::QuantizedBoostHd { base: c, .. }
+            | ModelSpec::QuantizedI8BoostHd { base: c, .. } => c.seed = seed,
             ModelSpec::Baseline(b) => b.seed = seed,
         }
     }
@@ -217,8 +243,13 @@ impl ModelSpec {
                 write_online(w, base);
                 w.int("refit_epochs", *refit_epochs as i64);
             }
-            ModelSpec::QuantizedBoostHd { base, refit_epochs } => {
+            ModelSpec::QuantizedBoostHd { base, refit_epochs }
+            | ModelSpec::QuantizedI8BoostHd { base, refit_epochs } => {
                 write_boost(w, base);
+                w.int("refit_epochs", *refit_epochs as i64);
+            }
+            ModelSpec::QuantizedI8OnlineHd { base, refit_epochs } => {
+                write_online(w, base);
                 w.int("refit_epochs", *refit_epochs as i64);
             }
             ModelSpec::Baseline(b) => {
@@ -270,8 +301,8 @@ impl ModelSpec {
             "online_hd" => &ONLINE_KEYS,
             "centroid_hd" => &["kind", "dim", "seed"],
             "boost_hd" => &BOOST_KEYS,
-            "quantized_online_hd" => &QUANT_ONLINE_KEYS,
-            "quantized_boost_hd" => &QUANT_BOOST_KEYS,
+            "quantized_online_hd" | "quantized_i8_online_hd" => &QUANT_ONLINE_KEYS,
+            "quantized_boost_hd" | "quantized_i8_boost_hd" => &QUANT_BOOST_KEYS,
             _ => &["kind", "seed", "n_estimators", "epochs", "lr", "hidden"],
         };
         if let Some(bad) = table.keys().find(|k| !allowed.contains(k)) {
@@ -298,6 +329,14 @@ impl ModelSpec {
                 refit_epochs: opt_usize(table, "refit_epochs")?.unwrap_or(0),
             },
             "quantized_boost_hd" => ModelSpec::QuantizedBoostHd {
+                base: read_boost(table)?,
+                refit_epochs: opt_usize(table, "refit_epochs")?.unwrap_or(0),
+            },
+            "quantized_i8_online_hd" => ModelSpec::QuantizedI8OnlineHd {
+                base: read_online(table)?,
+                refit_epochs: opt_usize(table, "refit_epochs")?.unwrap_or(0),
+            },
+            "quantized_i8_boost_hd" => ModelSpec::QuantizedI8BoostHd {
                 base: read_boost(table)?,
                 refit_epochs: opt_usize(table, "refit_epochs")?.unwrap_or(0),
             },
@@ -544,6 +583,20 @@ pub fn default_specs(seed: u64) -> Vec<ModelSpec> {
                 ..Default::default()
             },
             refit_epochs: 5,
+        },
+        ModelSpec::QuantizedI8OnlineHd {
+            base: OnlineHdConfig {
+                seed,
+                ..Default::default()
+            },
+            refit_epochs: 2,
+        },
+        ModelSpec::QuantizedI8BoostHd {
+            base: BoostHdConfig {
+                seed,
+                ..Default::default()
+            },
+            refit_epochs: 2,
         },
         ModelSpec::Baseline(BaselineSpec::new(BaselineKind::AdaBoost, seed)),
         ModelSpec::Baseline(BaselineSpec::new(BaselineKind::RandomForest, seed)),

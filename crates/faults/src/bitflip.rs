@@ -160,6 +160,50 @@ pub fn flip_sign_bits<M: PerturbablePacked + ?Sized>(
     }
 }
 
+/// Models whose trained parameters live as scaled `i8` words.
+///
+/// The storage model for integer-quantized HDC: every learned parameter is
+/// one signed byte (plus a handful of per-row f32 scales, which are
+/// metadata rather than per-dimension memory and are not exposed here).
+/// Injection flips bits of the two's-complement byte encoding, so a single
+/// upset perturbs one component by a power of two — including the sign bit
+/// at position 7.
+pub trait PerturbableI8 {
+    /// Mutable views over all learned `i8` parameter buffers.
+    fn i8_buffers_mut(&mut self) -> Vec<&mut [i8]>;
+}
+
+/// Flips each bit of each `i8` word in `params` independently with
+/// probability `p_b`, in place. The report's `words` field counts bytes.
+///
+/// Flips can produce `-128` (`0x80`), a value the quantizer itself never
+/// emits; the integer kernels accept it in stored class rows (see
+/// `linalg::kernels::dot_i8`), so corrupted models still score exactly.
+pub fn flip_i8_bits_in(params: &mut [i8], p_b: f64, rng: &mut Rng64) -> BitflipReport {
+    let words = params.len();
+    let total_bits = (words as u64) * 8;
+    let flipped = for_each_flip(total_bits, p_b, rng, |pos| {
+        let word = (pos / 8) as usize;
+        let bit = (pos % 8) as u32;
+        params[word] = (params[word] as u8 ^ (1u8 << bit)) as i8;
+    });
+    BitflipReport { words, flipped }
+}
+
+/// Applies [`flip_i8_bits_in`] to every parameter buffer of a
+/// [`PerturbableI8`] model, returning the merged report.
+pub fn flip_i8_bits<M: PerturbableI8 + ?Sized>(
+    model: &mut M,
+    p_b: f64,
+    rng: &mut Rng64,
+) -> BitflipReport {
+    let mut report = BitflipReport::default();
+    for buffer in model.i8_buffers_mut() {
+        report = report.merge(flip_i8_bits_in(buffer, p_b, rng));
+    }
+    report
+}
+
 /// Applies [`flip_bits_in`] to every parameter buffer of a [`Perturbable`]
 /// model, returning the merged report.
 pub fn flip_bits<M: Perturbable + ?Sized>(
@@ -361,6 +405,74 @@ mod tests {
         };
         assert_eq!(run(3), run(3));
         assert_ne!(run(3), run(4));
+    }
+
+    struct ToyI8 {
+        rows: Vec<i8>,
+    }
+
+    impl PerturbableI8 for ToyI8 {
+        fn i8_buffers_mut(&mut self) -> Vec<&mut [i8]> {
+            vec![&mut self.rows]
+        }
+    }
+
+    #[test]
+    fn i8_zero_probability_flips_nothing() {
+        let mut model = ToyI8 { rows: vec![7; 64] };
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_i8_bits(&mut model, 0.0, &mut rng);
+        assert_eq!(report.flipped, 0);
+        assert!(model.rows.iter().all(|&v| v == 7));
+    }
+
+    #[test]
+    fn i8_probability_one_inverts_every_byte() {
+        let mut params = vec![0i8; 4];
+        let mut rng = Rng64::seed_from(0);
+        let report = flip_i8_bits_in(&mut params, 1.0, &mut rng);
+        assert_eq!(report.flipped, 32);
+        assert_eq!(report.words, 4);
+        // All 8 bits of 0 flipped = 0xFF = -1 in two's complement.
+        assert!(params.iter().all(|&v| v == -1));
+    }
+
+    #[test]
+    fn i8_flip_count_matches_expectation() {
+        let mut rng = Rng64::seed_from(11);
+        let p_b = 1e-3;
+        let bytes = 200_000;
+        let mut total = 0usize;
+        let trials = 20;
+        for _ in 0..trials {
+            let mut params = vec![1i8; bytes];
+            total += flip_i8_bits_in(&mut params, p_b, &mut rng).flipped;
+        }
+        let expected = (bytes as f64) * 8.0 * p_b * trials as f64;
+        assert!(
+            (total as f64 - expected).abs() < 0.15 * expected,
+            "observed {total} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn i8_flips_are_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut params = vec![42i8; 1000];
+            let mut rng = Rng64::seed_from(seed);
+            flip_i8_bits_in(&mut params, 1e-2, &mut rng);
+            params
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn i8_double_flip_restores_byte() {
+        let original = -37i8;
+        let once = (original as u8 ^ (1 << 7)) as i8;
+        let twice = (once as u8 ^ (1 << 7)) as i8;
+        assert_eq!(original, twice);
     }
 
     #[test]

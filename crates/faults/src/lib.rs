@@ -11,7 +11,8 @@
 //! * [`bitflip`] — bit-flip injection on trained model parameters with
 //!   per-bit probability `p_b`, modelling memory faults in wearable
 //!   hardware (Figure 8). f32 models opt in via [`Perturbable`] (IEEE-754
-//!   word flips); bitpacked binary-HDC models opt in via
+//!   word flips); int8-quantized models opt in via [`PerturbableI8`]
+//!   (two's-complement byte flips); bitpacked binary-HDC models opt in via
 //!   [`PerturbablePacked`] (flips land directly on stored sign bits).
 //! * [`imbalance`] — class-imbalance dataset crafting per the paper's
 //!   Equation 8: keep every sample of the target class, subsample each other
@@ -46,6 +47,7 @@ pub mod imbalance;
 pub mod noise;
 
 pub use bitflip::{
-    flip_bits, flip_bits_in, flip_sign_bits, BitflipReport, Perturbable, PerturbablePacked,
+    flip_bits, flip_bits_in, flip_i8_bits, flip_i8_bits_in, flip_sign_bits, BitflipReport,
+    Perturbable, PerturbableI8, PerturbablePacked,
 };
 pub use imbalance::{imbalanced_indices, ImbalanceSpec};

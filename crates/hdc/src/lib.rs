@@ -50,7 +50,7 @@ pub mod span;
 pub mod theory;
 
 pub use backend::{BitpackedSign, DenseF32, PackedHv, PackedMatrix, VectorBackend};
-pub use encoder::{Encode, LevelIdEncoder, SinusoidEncoder};
+pub use encoder::{Encode, LevelIdEncoder, RematSpec, SinusoidEncoder};
 pub use error::{HdcError, Result};
 pub use hypervector::Hypervector;
 pub use partition::DimensionPartition;

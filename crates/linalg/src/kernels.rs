@@ -25,7 +25,8 @@
 //!
 //! # Numerical contract
 //!
-//! * Integer kernels ([`hamming_words`]) are **bit-exact** across levels.
+//! * Integer kernels ([`hamming_words`], [`dot_i8`]) are **bit-exact**
+//!   across levels.
 //! * Float kernels differ between levels only by summation order and FMA
 //!   contraction — a few ULPs on the hypervector lengths used here (pinned
 //!   by property tests). Within one level every kernel is deterministic,
@@ -431,6 +432,143 @@ pub fn hamming_words_simd(a: &[u64], b: &[u64]) -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// quantized int8 dot
+// ---------------------------------------------------------------------------
+
+/// Widening dot product of two equal-length `i8` slices, accumulated in
+/// `i32` — the scoring kernel of the int8 quantized model tier. Dispatched;
+/// **bit-exact** across levels (integer arithmetic has no rounding, and
+/// integer addition is order-free).
+///
+/// `b` must lie in `[-127, 127]`: the AVX2 path uses the
+/// `abs`/`sign` + `maddubs` widening trick, whose `i16` pair sums only
+/// avoid saturation when `|a·b| ≤ 128·127` per element (`128·127·2 =
+/// 32512 < 32767`), and `_mm256_sign_epi8` cannot negate `-128`. The int8
+/// quantizer clamps queries to `[-127, 127]` by construction; a stray
+/// `i8::MIN` in `b` is caught by a debug assertion. `a` may additionally
+/// hold `-128` (bit-flip fault injection can produce it in stored class
+/// rows): `_mm256_abs_epi8(-128)` wraps to `0x80`, which `maddubs` reads
+/// as the *unsigned* byte `128 = |-128|`, so the product stays exact. The
+/// `i32` accumulator is exact for lengths up to `2³¹ / (128·127) ≈ 132k`
+/// elements — far above any hypervector dimensionality here.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    debug_assert!(
+        b.iter().all(|&v| v != i8::MIN),
+        "dot_i8 query operand must lie in [-127, 127]"
+    );
+    match kernel_level() {
+        KernelLevel::Scalar => dot_i8_scalar(a, b),
+        KernelLevel::Avx2Fma => dot_i8_simd(a, b),
+    }
+}
+
+/// Scalar reference `dot_i8`: widen each element to `i32` and accumulate.
+/// Integer addition is associative, so any re-ordering (including the SIMD
+/// path's) produces the identical sum.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    let mut acc = [0i32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] as i32 * b[j] as i32;
+        acc[1] += a[j + 1] as i32 * b[j + 1] as i32;
+        acc[2] += a[j + 2] as i32 * b[j + 2] as i32;
+        acc[3] += a[j + 3] as i32 * b[j + 3] as i32;
+    }
+    let mut total = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        total += a[j] as i32 * b[j] as i32;
+    }
+    total
+}
+
+/// AVX2 `maddubs` widening `dot_i8` (falls back to [`dot_i8_scalar`] when
+/// the CPU lacks AVX2, so it is always safe to call). Same operand
+/// contract as [`dot_i8`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot_i8_simd(a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() {
+        // SAFETY: AVX2 presence just checked.
+        return unsafe { avx2::dot_i8(a, b) };
+    }
+    dot_i8_scalar(a, b)
+}
+
+/// Scaled round-to-nearest-even quantization `out[i] =
+/// clamp(round_ties_even(src[i] · inv), -127, 127)` — the query-side
+/// quantizer of the int8 tier, dispatched and **bit-exact** across levels.
+/// The scalar reference rounds half-to-even precisely because that is the
+/// rounding `_mm256_cvtps_epi32` performs under the default MXCSR mode, so
+/// both levels agree on every tie.
+///
+/// Contract: every `src[i]` must be finite and `|src[i] · inv|` must stay
+/// below `2³¹` (the int8 quantizer derives `inv = 127 / max|src|`, which
+/// keeps products near 127). Outside that range the SIMD conversion
+/// saturates differently from scalar `as`-casting and the bit-exactness
+/// guarantee is void; a debug assertion enforces finiteness.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+#[inline]
+pub fn quantize_scale_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+    assert_eq!(src.len(), out.len(), "quantize_scale_i8 length mismatch");
+    debug_assert!(
+        src.iter().all(|v| v.is_finite()) && inv.is_finite(),
+        "quantize_scale_i8 requires finite inputs"
+    );
+    match kernel_level() {
+        KernelLevel::Scalar => quantize_scale_i8_scalar(src, inv, out),
+        KernelLevel::Avx2Fma => quantize_scale_i8_simd(src, inv, out),
+    }
+}
+
+/// Scalar reference [`quantize_scale_i8`].
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn quantize_scale_i8_scalar(src: &[f32], inv: f32, out: &mut [i8]) {
+    assert_eq!(src.len(), out.len(), "quantize_scale_i8 length mismatch");
+    for (o, &v) in out.iter_mut().zip(src) {
+        *o = (v * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+    }
+}
+
+/// AVX2 [`quantize_scale_i8`] (falls back to the scalar reference when the
+/// CPU lacks AVX2, so it is always safe to call).
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn quantize_scale_i8_simd(src: &[f32], inv: f32, out: &mut [i8]) {
+    assert_eq!(src.len(), out.len(), "quantize_scale_i8 length mismatch");
+    #[cfg(target_arch = "x86_64")]
+    if simd_available() {
+        // SAFETY: AVX2 presence just checked.
+        unsafe { avx2::quantize_scale_i8(src, inv, out) };
+        return;
+    }
+    quantize_scale_i8_scalar(src, inv, out);
+}
+
+// ---------------------------------------------------------------------------
 // AVX2 + FMA implementations
 // ---------------------------------------------------------------------------
 
@@ -548,6 +686,72 @@ mod avx2 {
     pub(super) unsafe fn row_dots(m: &Matrix, q: &[f32], out: &mut [f32]) {
         for (l, o) in out.iter_mut().enumerate() {
             *o = dot(m.row(l), q);
+        }
+    }
+
+    /// Widening int8 dot: `_mm256_maddubs_epi16(|a|, sign(b, a))` turns the
+    /// signed×signed product into unsigned×signed pairs summed to `i16`
+    /// (saturation-free for operands in `[-127, 127]`), then
+    /// `_mm256_madd_epi16` against ones widens the pairs to `i32` lanes.
+    /// Integer addition is order-free, so the lane sum matches the scalar
+    /// reference exactly.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len();
+        let pa = a.as_ptr();
+        let pb = b.as_ptr();
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0;
+        while i + 32 <= n {
+            let va = _mm256_loadu_si256(pa.add(i) as *const __m256i);
+            let vb = _mm256_loadu_si256(pb.add(i) as *const __m256i);
+            let abs_a = _mm256_abs_epi8(va);
+            let b_signed = _mm256_sign_epi8(vb, va);
+            let pairs = _mm256_maddubs_epi16(abs_a, b_signed);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+            i += 32;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total: i32 = lanes.iter().sum();
+        while i < n {
+            total += a[i] as i32 * b[i] as i32;
+            i += 1;
+        }
+        total
+    }
+
+    /// 32-wide scaled quantization: multiply, `cvtps` (round-to-nearest-
+    /// even under the default MXCSR mode — matching the scalar
+    /// `round_ties_even` reference), saturating `i32→i16→i8` packs, then a
+    /// permute to undo the per-128-bit-lane pack interleave and a
+    /// `max_epi8(-127)` so saturation can never emit `-128`.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_scale_i8(src: &[f32], inv: f32, out: &mut [i8]) {
+        let n = src.len();
+        let ps = src.as_ptr();
+        let po = out.as_mut_ptr();
+        let vinv = _mm256_set1_ps(inv);
+        let floor = _mm256_set1_epi8(-127);
+        // packs_epi32/packs_epi16 interleave within 128-bit lanes; this
+        // permutation of 4-byte groups restores source order.
+        let unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+        let mut i = 0;
+        while i + 32 <= n {
+            let q0 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(ps.add(i)), vinv));
+            let q1 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(ps.add(i + 8)), vinv));
+            let q2 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(ps.add(i + 16)), vinv));
+            let q3 = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(ps.add(i + 24)), vinv));
+            let words = _mm256_packs_epi16(_mm256_packs_epi32(q0, q1), _mm256_packs_epi32(q2, q3));
+            let bytes = _mm256_permutevar8x32_epi32(words, unshuffle);
+            let clamped = _mm256_max_epi8(bytes, floor);
+            _mm256_storeu_si256(po.add(i) as *mut __m256i, clamped);
+            i += 32;
+        }
+        while i < n {
+            *po.add(i) = (*ps.add(i) * inv).round_ties_even().clamp(-127.0, 127.0) as i8;
+            i += 1;
         }
     }
 
@@ -711,6 +915,109 @@ mod tests {
             for (s, v) in ys.iter().zip(&yv) {
                 assert!((s - v).abs() <= 1e-5, "n={n}: {s} vs {v}");
             }
+        }
+    }
+
+    fn random_i8_vec(n: usize, seed: u64) -> Vec<i8> {
+        let mut rng = Rng64::seed_from(seed);
+        (0..n)
+            .map(|_| (rng.below(255) as i32 - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn dot_i8_simd_is_bit_exact() {
+        for n in [0usize, 1, 3, 4, 5, 31, 32, 33, 63, 64, 100, 257, 4000] {
+            let a = random_i8_vec(n, 21 + n as u64);
+            let b = random_i8_vec(n, 4021 + n as u64);
+            let naive: i32 = a.iter().zip(&b).map(|(&x, &y)| x as i32 * y as i32).sum();
+            assert_eq!(dot_i8_scalar(&a, &b), naive, "n={n} scalar");
+            assert_eq!(dot_i8_simd(&a, &b), naive, "n={n} simd");
+        }
+    }
+
+    #[test]
+    fn dot_i8_extreme_magnitudes_do_not_saturate() {
+        // ±127 everywhere maximizes every maddubs pair sum (32258, just
+        // under the i16 limit) — the worst case the quantizer can produce.
+        for n in [32usize, 64, 4000] {
+            let a = vec![127i8; n];
+            let b = vec![-127i8; n];
+            let expect = -(127 * 127) * n as i32;
+            assert_eq!(dot_i8_scalar(&a, &b), expect, "n={n}");
+            assert_eq!(dot_i8_simd(&a, &b), expect, "n={n}");
+            assert_eq!(dot_i8_simd(&a, &a), 127 * 127 * n as i32, "n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_i8_accepts_min_in_stored_operand() {
+        // Bit-flip fault injection can turn a stored class byte into -128;
+        // the kernel must stay exact (abs wraps to the unsigned byte 128,
+        // and 128·127·2 = 32512 still fits i16).
+        for n in [32usize, 33, 64, 4000] {
+            let a = vec![i8::MIN; n];
+            let b = vec![127i8; n];
+            let expect = -128 * 127 * n as i32;
+            assert_eq!(dot_i8_scalar(&a, &b), expect, "n={n}");
+            assert_eq!(dot_i8_simd(&a, &b), expect, "n={n}");
+            let mut mixed = random_i8_vec(n, 77 + n as u64);
+            mixed[0] = i8::MIN;
+            if n > 33 {
+                mixed[33] = i8::MIN;
+            }
+            let q = random_i8_vec(n, 990 + n as u64);
+            assert_eq!(dot_i8_scalar(&mixed, &q), dot_i8_simd(&mixed, &q), "n={n}");
+        }
+    }
+
+    #[test]
+    fn quantize_scale_i8_simd_is_bit_exact() {
+        for n in [0usize, 1, 3, 7, 8, 31, 32, 33, 63, 64, 100, 257, 4000] {
+            let src = random_vec(n, 314 + n as u64);
+            for inv in [0.5f32, 1.0, 63.5, 127.0 / 1.9] {
+                let mut scalar = vec![0i8; n];
+                let mut simd = vec![0i8; n];
+                quantize_scale_i8_scalar(&src, inv, &mut scalar);
+                quantize_scale_i8_simd(&src, inv, &mut simd);
+                assert_eq!(scalar, simd, "n={n} inv={inv}");
+                assert!(
+                    simd.iter().all(|&q| q != i8::MIN),
+                    "n={n} inv={inv}: output must stay in [-127, 127]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_scale_i8_rounds_ties_to_even() {
+        // cvtps2dq under the default MXCSR mode rounds ties to even; the
+        // scalar reference must match it exactly on half-way values.
+        let src = [0.5f32, 1.5, 2.5, -0.5, -1.5, -2.5, 126.5, -126.5];
+        let expect = [0i8, 2, 2, 0, -2, -2, 126, -126];
+        let mut scalar = vec![0i8; src.len()];
+        let mut simd = vec![0i8; src.len()];
+        quantize_scale_i8_scalar(&src, 1.0, &mut scalar);
+        quantize_scale_i8_simd(&src, 1.0, &mut simd);
+        assert_eq!(scalar, expect.to_vec());
+        assert_eq!(simd, expect.to_vec());
+    }
+
+    #[test]
+    fn quantize_scale_i8_saturates_to_plus_minus_127() {
+        // Magnitudes past the i8 range clamp to ±127 on both paths — never
+        // -128, which would break the asymmetric `dot_i8` query contract.
+        let src: Vec<f32> = (0..64)
+            .map(|i| if i % 2 == 0 { 500.0 } else { -500.0 })
+            .collect();
+        let mut scalar = vec![0i8; src.len()];
+        let mut simd = vec![0i8; src.len()];
+        quantize_scale_i8_scalar(&src, 1.0, &mut scalar);
+        quantize_scale_i8_simd(&src, 1.0, &mut simd);
+        for (i, (&s, &v)) in scalar.iter().zip(&simd).enumerate() {
+            let want = if i % 2 == 0 { 127 } else { -127 };
+            assert_eq!(s, want, "scalar i={i}");
+            assert_eq!(v, want, "simd i={i}");
         }
     }
 

@@ -26,6 +26,7 @@
 
 #![deny(missing_docs)]
 
+pub mod autotune;
 pub mod eig;
 pub mod error;
 pub mod kernels;
@@ -33,6 +34,7 @@ pub mod matrix;
 pub mod rng;
 pub mod stats;
 
+pub use autotune::{Tuning, TuningSource};
 pub use eig::{numerical_rank, singular_values, symmetric_eigenvalues};
 pub use error::{LinalgError, Result};
 pub use kernels::KernelLevel;

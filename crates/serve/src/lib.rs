@@ -490,6 +490,33 @@ mod tests {
     }
 
     #[test]
+    fn engine_serves_int8_pipeline_models() {
+        use boosthd::{ModelSpec, Pipeline, QuantizedI8Hd};
+
+        let (x, y) = blobs(48, 8);
+        let spec = ModelSpec::QuantizedI8OnlineHd {
+            base: OnlineHdConfig {
+                dim: 256,
+                epochs: 4,
+                ..Default::default()
+            },
+            refit_epochs: 1,
+        };
+        let pipeline = Pipeline::fit(&spec, &x, &y).unwrap();
+        let engine = InferenceEngine::with_config(
+            &pipeline,
+            EngineConfig {
+                max_batch: 13,
+                threads: Some(2),
+                ..Default::default()
+            },
+        );
+        let outcome = engine.serve((0..x.rows()).map(|r| x.row(r).to_vec()));
+        assert_eq!(outcome.predictions, pipeline.predict_batch(&x));
+        assert!(pipeline.downcast_ref::<QuantizedI8Hd>().is_some());
+    }
+
+    #[test]
     fn stats_report_mentions_throughput_and_tails() {
         let stats = EngineStats {
             requests: 1,
