@@ -1,6 +1,6 @@
 //! The [`Classifier`] trait shared by every model in the reproduction.
 
-use crate::parallel::parallel_map_indices;
+use crate::parallel::{chunk_bounds, parallel_map_indices_with, ExecBackend};
 use linalg::Matrix;
 
 /// Index of the largest value in `xs`; 0 for an empty slice. Ties resolve to
@@ -80,14 +80,32 @@ pub fn argmax_rows(scores: &Matrix) -> Vec<usize> {
 }
 
 /// Predicts every row of `x` by splitting the batch into `threads`
-/// contiguous chunks and running [`Classifier::predict_batch`] on each
-/// chunk from a scoped worker thread — the fan-out primitive the serving
-/// engine and the `*_parallel` model methods share.
+/// contiguous chunks ([`crate::parallel::chunk_bounds`]) and running
+/// [`Classifier::predict_batch`] on each chunk from a persistent pool
+/// worker — the fan-out primitive the serving engine and the `*_parallel`
+/// model methods share.
 ///
 /// Every chunk flows through the same batched kernels as the whole batch,
 /// and those kernels are row-independent, so the result is identical to
-/// `model.predict_batch(x)` for any thread count.
+/// `model.predict_batch(x)` for any thread count and either execution
+/// backend.
 pub fn predict_batch_chunked<C>(model: &C, x: &Matrix, threads: usize) -> Vec<usize>
+where
+    C: Classifier + Sync + ?Sized,
+{
+    predict_batch_chunked_with(model, x, threads, ExecBackend::Pooled)
+}
+
+/// [`predict_batch_chunked`] on an explicit [`ExecBackend`]:
+/// [`ExecBackend::Scoped`] reproduces the pre-pool spawn-per-call
+/// behavior, the baseline the serving benchmarks measure the pool against
+/// and the regression tests pin bit-identity against.
+pub fn predict_batch_chunked_with<C>(
+    model: &C,
+    x: &Matrix,
+    threads: usize,
+    backend: ExecBackend,
+) -> Vec<usize>
 where
     C: Classifier + Sync + ?Sized,
 {
@@ -96,10 +114,8 @@ where
     if workers <= 1 {
         return model.predict_batch(x);
     }
-    let chunk = rows.div_ceil(workers);
-    parallel_map_indices(workers, workers, |w| {
-        let start = (w * chunk).min(rows);
-        let end = ((w + 1) * chunk).min(rows);
+    parallel_map_indices_with(backend, workers, workers, |w| {
+        let (start, end) = chunk_bounds(rows, workers, w);
         model.predict_batch(&x.slice_rows(start, end))
     })
     .into_iter()

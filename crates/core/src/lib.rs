@@ -76,6 +76,7 @@ pub mod online;
 pub mod parallel;
 pub mod persist;
 pub mod pipeline;
+pub mod pool;
 pub mod quantized;
 pub mod quantized_i8;
 pub mod spec;

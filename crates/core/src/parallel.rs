@@ -1,17 +1,71 @@
-//! Scoped-thread helpers for parallel ensemble inference.
+//! Deterministic fork/join helpers for parallel ensemble inference.
 //!
 //! The paper notes that while BoostHD *training* is inherently sequential
 //! (each weak learner corrects its predecessors), *inference* parallelizes —
 //! both across queries and across weak learners. This module provides the
-//! small deterministic fork/join primitive the classifiers use, built on
-//! `std::thread::scope` so no `'static` bounds leak into model code.
+//! small deterministic fork/join primitive the classifiers use.
+//!
+//! Two execution backends share one chunking function
+//! ([`chunk_bounds`]), so they are bit-identical for every thread count:
+//!
+//! * [`parallel_map_indices`] — the default — runs chunks on the
+//!   process-wide persistent [`crate::pool::WorkerPool`], paying two mutex
+//!   hops per fan-out instead of `threads` thread spawns (the serving-path
+//!   fix: a long-lived server flushes thousands of micro-batches);
+//! * [`parallel_map_indices_scoped`] — the original `std::thread::scope`
+//!   path, kept as the spawn-per-call baseline for benchmarks and the
+//!   bit-identity regression tests.
+
+/// Which fan-out venue a parallel batch call runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecBackend {
+    /// The persistent process-wide worker pool ([`crate::pool::global`]).
+    #[default]
+    Pooled,
+    /// Fresh scoped threads spawned per call — the pre-pool behavior,
+    /// retained as a measurable baseline.
+    Scoped,
+}
+
+impl ExecBackend {
+    /// Stable lowercase tag for reports and CLI flags.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ExecBackend::Pooled => "pooled",
+            ExecBackend::Scoped => "scoped",
+        }
+    }
+
+    /// Parses a tag produced by [`ExecBackend::tag`].
+    pub fn from_tag(tag: &str) -> Option<ExecBackend> {
+        match tag {
+            "pooled" => Some(ExecBackend::Pooled),
+            "scoped" => Some(ExecBackend::Scoped),
+            _ => None,
+        }
+    }
+}
+
+/// The shared chunking rule: `0..count` split into `workers` contiguous
+/// chunks of `ceil(count / workers)` indices; chunk `w` is
+/// `start..end` (clamped to `count`). Both execution backends call this
+/// exact function, which is what makes pooled and scoped results
+/// bit-identical — any drift in chunk boundaries would reorder
+/// floating-point reductions in kernels that accumulate per chunk.
+pub fn chunk_bounds(count: usize, workers: usize, w: usize) -> (usize, usize) {
+    let chunk = count.div_ceil(workers.max(1));
+    ((w * chunk).min(count), ((w + 1) * chunk).min(count))
+}
 
 /// Applies `f` to every index in `0..count`, splitting the range into
-/// `threads` contiguous chunks executed on scoped threads. Results are
-/// returned in index order.
+/// `threads` contiguous chunks ([`chunk_bounds`]) executed on the
+/// persistent worker pool. Results are returned in index order and are
+/// bit-identical to [`parallel_map_indices_scoped`] for any `threads`.
 ///
 /// With `threads <= 1` (or a trivial range) the work runs inline, so callers
-/// can use one code path for both serial and parallel execution.
+/// can use one code path for both serial and parallel execution. Calls
+/// nested inside a pool worker fall back to scoped threads
+/// (see [`crate::pool`]), so re-entrant fan-outs cannot deadlock.
 ///
 /// # Panics
 ///
@@ -21,17 +75,48 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    crate::pool::global().scoped_map(count, threads, f)
+}
+
+/// [`parallel_map_indices`] with an explicit [`ExecBackend`] — the seam
+/// benchmarks use to measure the pool against the spawn-per-call baseline.
+pub fn parallel_map_indices_with<T, F>(
+    backend: ExecBackend,
+    count: usize,
+    threads: usize,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    match backend {
+        ExecBackend::Pooled => parallel_map_indices(count, threads, f),
+        ExecBackend::Scoped => parallel_map_indices_scoped(count, threads, f),
+    }
+}
+
+/// The original scoped-thread fan-out: spawns `threads` scoped workers per
+/// call. Chunking and results are identical to [`parallel_map_indices`];
+/// only the execution venue (and its per-call spawn cost) differs.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn parallel_map_indices_scoped<T, F>(count: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     if threads <= 1 || count <= 1 {
         return (0..count).map(f).collect();
     }
     let workers = threads.min(count);
-    let chunk = count.div_ceil(workers);
     let mut results: Vec<Vec<T>> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
-            let start = w * chunk;
-            let end = ((w + 1) * chunk).min(count);
+            let (start, end) = chunk_bounds(count, workers, w);
             let f = &f;
             handles.push(scope.spawn(move || (start..end).map(f).collect::<Vec<T>>()));
         }
@@ -159,6 +244,44 @@ mod tests {
         let serial = parallel_map_indices(37, 1, |i| i as f32 * 0.5);
         let parallel = parallel_map_indices(37, 5, |i| i as f32 * 0.5);
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn pooled_and_scoped_backends_agree_for_every_shape() {
+        for count in [0usize, 1, 2, 7, 33, 100] {
+            for threads in [1usize, 2, 3, 8, 16] {
+                let f = |i: usize| (i as f32).sin() * 1e3;
+                let pooled = parallel_map_indices_with(ExecBackend::Pooled, count, threads, f);
+                let scoped = parallel_map_indices_with(ExecBackend::Scoped, count, threads, f);
+                assert_eq!(pooled, scoped, "count={count} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_bounds_cover_range_exactly_once() {
+        for count in [0usize, 1, 5, 17, 100] {
+            for workers in [1usize, 2, 3, 7, 100] {
+                let mut covered = Vec::new();
+                for w in 0..workers {
+                    let (start, end) = chunk_bounds(count, workers, w);
+                    assert!(start <= end && end <= count);
+                    covered.extend(start..end);
+                }
+                assert_eq!(
+                    covered,
+                    (0..count).collect::<Vec<_>>(),
+                    "count={count} workers={workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn exec_backend_tags_are_stable() {
+        assert_eq!(ExecBackend::Pooled.tag(), "pooled");
+        assert_eq!(ExecBackend::Scoped.tag(), "scoped");
+        assert_eq!(ExecBackend::default(), ExecBackend::Pooled);
     }
 
     #[test]

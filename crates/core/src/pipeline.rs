@@ -529,6 +529,31 @@ impl Pipeline {
             .collect()
     }
 
+    /// [`Pipeline::predict_batch_with_confidence`] fanned out over
+    /// `threads` contiguous row chunks on the chosen execution backend —
+    /// the network serving flush primitive. Scoring is row-independent, so
+    /// the result is identical to the single-threaded form for any thread
+    /// count and either backend.
+    pub fn predict_batch_with_confidence_chunked(
+        &self,
+        x: &Matrix,
+        threads: usize,
+        backend: crate::parallel::ExecBackend,
+    ) -> Vec<Prediction> {
+        let rows = x.rows();
+        let workers = threads.clamp(1, rows.max(1));
+        if workers <= 1 {
+            return self.predict_batch_with_confidence(x);
+        }
+        crate::parallel::parallel_map_indices_with(backend, workers, workers, |w| {
+            let (start, end) = crate::parallel::chunk_bounds(rows, workers, w);
+            self.predict_batch_with_confidence(&x.slice_rows(start, end))
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
     /// Serializes the pipeline — spec, abstention threshold, and model
     /// payload — into the versioned envelope.
     ///

@@ -1262,6 +1262,7 @@ mod tests {
                 max_batch: 16,
                 max_wait: std::time::Duration::from_secs(3600),
                 threads: Some(2),
+                ..Default::default()
             },
         );
         let rows: Vec<Vec<f32>> = (0..x.rows()).map(|r| x.row(r).to_vec()).collect();

@@ -14,10 +14,12 @@
 //!    observation: HDC encode/inference as dense matrix ops is the
 //!    dominant throughput lever).
 //! 2. **Thread fan-out** — each flushed batch is split into contiguous
-//!    chunks predicted on scoped worker threads
+//!    chunks predicted on the persistent worker [`pool`]
 //!    ([`boosthd::classifier::predict_batch_chunked`]), with the width
 //!    taken from [`boosthd::parallel::default_threads`] (`HDC_THREADS`
-//!    overridable) unless pinned in the config.
+//!    overridable) unless pinned in the config, and the backend
+//!    (pooled vs per-flush scoped spawns) selectable via
+//!    [`EngineConfig::exec`].
 //! 3. **Latency accounting** — every request's enqueue→response time is
 //!    recorded and summarized as `p50/p95/p99` tails
 //!    ([`eval_harness::timing::LatencySummary`]), alongside aggregate
@@ -60,10 +62,21 @@
 
 #![deny(missing_docs)]
 
+pub mod server;
+pub mod wire;
+
+/// The persistent worker pool the engine's flush fan-out runs on — a
+/// re-export of [`boosthd::pool`] so serving-side callers (benchmarks,
+/// chaos tests, the network front-end) reach it without depending on the
+/// core crate's module layout.
+pub mod pool {
+    pub use boosthd::pool::{global, in_pool_worker, WorkerPool};
+}
+
 use std::time::{Duration, Instant};
 
-use boosthd::classifier::predict_batch_chunked;
-use boosthd::parallel::default_threads;
+use boosthd::classifier::predict_batch_chunked_with;
+use boosthd::parallel::{default_threads, ExecBackend};
 use boosthd::Classifier;
 use eval_harness::timing::LatencySummary;
 use linalg::Matrix;
@@ -86,6 +99,12 @@ pub struct EngineConfig {
     /// [`boosthd::parallel::default_threads`] at engine construction
     /// (respecting `HDC_THREADS` / `set_default_threads`).
     pub threads: Option<usize>,
+    /// Execution backend for the flush fan-out:
+    /// [`ExecBackend::Pooled`] (default) reuses the persistent
+    /// [`pool`] workers, [`ExecBackend::Scoped`] reproduces the
+    /// spawn-per-flush baseline the serving benchmarks compare against.
+    /// Predictions are bit-identical either way.
+    pub exec: ExecBackend,
 }
 
 impl Default for EngineConfig {
@@ -94,6 +113,7 @@ impl Default for EngineConfig {
             max_batch: 64,
             max_wait: Duration::from_millis(5),
             threads: None,
+            exec: ExecBackend::Pooled,
         }
     }
 }
@@ -183,7 +203,7 @@ impl<'m, C: Classifier + Sync + ?Sized> InferenceEngine<'m, C> {
     /// thread-parallel path — the engine's flush primitive, exposed for
     /// callers that already hold a feature matrix.
     pub fn predict_batch(&self, x: &Matrix) -> Vec<usize> {
-        predict_batch_chunked(self.model, x, self.threads)
+        predict_batch_chunked_with(self.model, x, self.threads, self.config.exec)
     }
 
     /// Pulls feature rows off `source`, micro-batches them under the
@@ -232,7 +252,12 @@ impl<'m, C: Classifier + Sync + ?Sized> InferenceEngine<'m, C> {
             }
             let mut x = Matrix::from_rows(pending).expect("pending rows share one feature width");
             hook(batches, &mut x);
-            predictions.extend(predict_batch_chunked(self.model, &x, self.threads));
+            predictions.extend(predict_batch_chunked_with(
+                self.model,
+                &x,
+                self.threads,
+                self.config.exec,
+            ));
             let done = Instant::now();
             latencies.extend(
                 arrivals
@@ -384,6 +409,7 @@ mod tests {
                 max_batch: 64,
                 max_wait: Duration::ZERO,
                 threads: Some(1),
+                ..Default::default()
             },
         );
         let outcome = engine.serve((0..10).map(|r| x.row(r).to_vec()));
@@ -400,6 +426,7 @@ mod tests {
                 max_batch: 10,
                 max_wait: Duration::from_secs(3600),
                 threads: Some(2),
+                ..Default::default()
             },
         );
         let mut seen: Vec<(usize, usize)> = Vec::new();

@@ -1,0 +1,622 @@
+//! The TCP serving front-end: connection handlers feeding one micro-batch
+//! queue over the persistent worker pool.
+//!
+//! Architecture (one box per thread kind):
+//!
+//! ```text
+//!  clients ──► accept thread ──► handler thread per connection
+//!                                   │  parse frame (wire.rs)
+//!                                   │  validate feature count
+//!                                   ▼
+//!                        admission-controlled batch queue
+//!                       (queue_depth bound: shed or block)
+//!                                   ▼
+//!                  batcher thread: size/deadline micro-batching
+//!                (max_batch / max_wait — the EngineConfig policy)
+//!                                   ▼
+//!            Pipeline::predict_batch_with_confidence_chunked
+//!              (fan-out on the persistent boosthd::pool)
+//!                                   ▼
+//!              per-request reply channels ──► handler writes
+//! ```
+//!
+//! **Admission control.** Each predict request is admitted to the batch
+//! queue only while the queue holds fewer than
+//! [`ServerTuning::queue_depth`] pending rows. Past the bound the server
+//! either *sheds* (answers `{"error":"overloaded…"}` immediately —
+//! open-loop clients keep their latency tails honest) or *blocks* the
+//! connection's reader until space frees (closed-loop clients get natural
+//! TCP backpressure); see [`Backpressure`].
+//!
+//! **Graceful drain.** A shutdown — wire `{"cmd":"shutdown"}` or
+//! [`Server::request_shutdown`] — stops the accept loop and admission of
+//! *new* work, while the batcher flushes every admitted request and every
+//! handler writes every pending reply before sockets close: zero in-flight
+//! requests are dropped (pinned by an integration test).
+//!
+//! **Fault containment.** Protocol errors answer a descriptive error frame
+//! and never touch other connections; a worker-pool panic is isolated and
+//! the worker replaced ([`boosthd::pool`]); a handler that dies with
+//! requests in flight only discards its own replies (the batcher's sends
+//! to a dropped channel are ignored).
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use boosthd::{Pipeline, Prediction};
+use linalg::Matrix;
+
+use crate::wire::{
+    error_response, escape_json, ok_response, predict_response, read_frame, Request, WireError,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use crate::EngineConfig;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// What to do with a predict request that arrives while the batch queue is
+/// at its [`ServerTuning::queue_depth`] bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backpressure {
+    /// Answer `{"error":"overloaded…"}` immediately and drop the request —
+    /// the open-loop-friendly default (the client sees the overload instead
+    /// of an unbounded queueing delay).
+    #[default]
+    Shed,
+    /// Block this connection's reader until the queue has space — TCP
+    /// backpressure for closed-loop clients.
+    Block,
+}
+
+impl Backpressure {
+    /// Stable lowercase tag (CLI flags, spec files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            Backpressure::Shed => "shed",
+            Backpressure::Block => "block",
+        }
+    }
+
+    /// Parses a tag produced by [`Backpressure::tag`].
+    pub fn from_tag(tag: &str) -> Option<Backpressure> {
+        match tag {
+            "shed" => Some(Backpressure::Shed),
+            "block" => Some(Backpressure::Block),
+            _ => None,
+        }
+    }
+}
+
+/// Server-side knobs beyond the micro-batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerTuning {
+    /// Maximum pending (admitted, un-flushed) predict requests before
+    /// admission control engages.
+    pub queue_depth: usize,
+    /// Reaction once `queue_depth` is reached.
+    pub backpressure: Backpressure,
+    /// Per-frame byte cap ([`crate::wire`] framing).
+    pub max_frame_bytes: usize,
+}
+
+impl Default for ServerTuning {
+    fn default() -> Self {
+        Self {
+            queue_depth: 1024,
+            backpressure: Backpressure::default(),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Full server configuration: the engine micro-batch policy plus the
+/// server tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerConfig {
+    /// Micro-batching (`max_batch`, `max_wait`, `threads`, `exec`) — the
+    /// same policy the in-process [`crate::InferenceEngine`] applies.
+    pub engine: EngineConfig,
+    /// Queue bound, backpressure mode, frame cap.
+    pub tuning: ServerTuning,
+}
+
+/// Monotonic counters exported by `{"cmd":"stats"}` and
+/// [`Server::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Predict requests admitted to the queue.
+    pub admitted: u64,
+    /// Predict requests answered.
+    pub answered: u64,
+    /// Predict requests shed by admission control.
+    pub shed: u64,
+    /// Frames rejected as malformed / bad requests / oversized.
+    pub protocol_errors: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+}
+
+#[derive(Default)]
+struct AtomicStats {
+    connections: AtomicU64,
+    admitted: AtomicU64,
+    answered: AtomicU64,
+    shed: AtomicU64,
+    protocol_errors: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl AtomicStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Optional per-row transform applied at admission (e.g. the training
+/// split's fitted normalizer), so clients send raw window features.
+pub type RowPrep = dyn Fn(Vec<f32>) -> Vec<f32> + Send + Sync;
+
+struct PendingRequest {
+    row: Vec<f32>,
+    reply: mpsc::Sender<Prediction>,
+}
+
+struct Inner {
+    pipeline: Arc<Pipeline>,
+    prep: Option<Box<RowPrep>>,
+    expected_features: usize,
+    config: ServerConfig,
+    threads: usize,
+    queue: Mutex<VecDeque<PendingRequest>>,
+    /// Batcher waits here for work; handlers signal on enqueue.
+    work_ready: Condvar,
+    /// Blocked handlers ([`Backpressure::Block`]) wait here for space.
+    space_ready: Condvar,
+    stats: AtomicStats,
+    shutting_down: AtomicBool,
+    /// `wait()` blocks on this pair until someone requests shutdown.
+    shutdown_requested: (Mutex<bool>, Condvar),
+    addr: SocketAddr,
+    /// Live connection streams, so drain can unblock parked readers.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Inner {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn request_shutdown(&self) {
+        let (flag, cv) = &self.shutdown_requested;
+        *lock(flag) = true;
+        cv.notify_all();
+    }
+}
+
+/// A running network serving front-end; see the [module docs](self).
+///
+/// Dropping the handle drains and joins the server
+/// ([`Server::shutdown_and_join`] semantics).
+pub struct Server {
+    inner: Arc<Inner>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+    handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    joined: bool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.inner.addr)
+            .field("stats", &self.inner.stats.snapshot())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an ephemeral
+    /// port) and starts the accept, handler, and batcher threads.
+    ///
+    /// `expected_features` is the feature-vector length every predict
+    /// request must carry; `prep` optionally maps each admitted raw row
+    /// into the model's input space (fitted normalizer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(
+        pipeline: Arc<Pipeline>,
+        expected_features: usize,
+        addr: &str,
+        config: ServerConfig,
+        prep: Option<Box<RowPrep>>,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let threads = config
+            .engine
+            .threads
+            .unwrap_or_else(boosthd::parallel::default_threads)
+            .max(1);
+        let inner = Arc::new(Inner {
+            pipeline,
+            prep,
+            expected_features,
+            config,
+            threads,
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            space_ready: Condvar::new(),
+            stats: AtomicStats::default(),
+            shutting_down: AtomicBool::new(false),
+            shutdown_requested: (Mutex::new(false), Condvar::new()),
+            addr: local,
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_inner = Arc::clone(&inner);
+        let accept_handlers = Arc::clone(&handler_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("hdc-serve-accept".into())
+            .spawn(move || accept_loop(listener, accept_inner, accept_handlers))
+            .expect("spawn accept thread");
+
+        let batch_inner = Arc::clone(&inner);
+        let batcher_thread = std::thread::Builder::new()
+            .name("hdc-serve-batcher".into())
+            .spawn(move || batcher_loop(batch_inner))
+            .expect("spawn batcher thread");
+
+        Ok(Server {
+            inner,
+            accept_thread: Some(accept_thread),
+            batcher_thread: Some(batcher_thread),
+            handler_threads,
+            joined: false,
+        })
+    }
+
+    /// The actually bound address (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Flags the server for graceful drain without blocking (the wire
+    /// `shutdown` command calls the same path). Pair with
+    /// [`Server::shutdown_and_join`] or [`Server::wait`].
+    pub fn request_shutdown(&self) {
+        self.inner.request_shutdown();
+    }
+
+    /// Blocks until a shutdown is requested (wire command or another
+    /// thread), then drains and joins. This is `hdrun serve --listen`'s
+    /// main loop.
+    pub fn wait(mut self) -> ServerStats {
+        self.block_until_shutdown_requested();
+        self.drain_and_join()
+    }
+
+    /// Requests shutdown, then drains and joins: stops accepting, flushes
+    /// every admitted request, answers it, closes sockets, joins all
+    /// threads. No in-flight request is dropped.
+    pub fn shutdown_and_join(mut self) -> ServerStats {
+        self.inner.request_shutdown();
+        self.drain_and_join()
+    }
+
+    fn block_until_shutdown_requested(&self) {
+        let (flag, cv) = &self.inner.shutdown_requested;
+        let mut requested = lock(flag);
+        while !*requested {
+            requested = cv.wait(requested).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    fn drain_and_join(&mut self) -> ServerStats {
+        if self.joined {
+            return self.inner.stats.snapshot();
+        }
+        self.joined = true;
+        // 1. Stop admission + accept.
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.request_shutdown();
+        self.inner.work_ready.notify_all();
+        self.inner.space_ready.notify_all();
+        // Unblock the accept loop with a wake-up connection.
+        let _ = TcpStream::connect(self.inner.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        // 2. Batcher drains every admitted request, then exits.
+        if let Some(h) = self.batcher_thread.take() {
+            let _ = h.join();
+        }
+        // 3. Handlers: the batcher has resolved every admitted request,
+        // but handlers may still be writing those replies out. Shut down
+        // only the READ half of each connection: parked readers wake with
+        // EOF and exit, while the write half stays open so every pending
+        // reply still reaches its client.
+        for stream in lock(&self.inner.conns).iter() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        let handlers: Vec<JoinHandle<()>> = lock(&self.handler_threads).drain(..).collect();
+        for h in handlers {
+            let _ = h.join();
+        }
+        self.inner.stats.snapshot()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.inner.request_shutdown();
+        self.drain_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inner: Arc<Inner>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if inner.is_shutting_down() {
+            break; // the drain wake-up connection lands here
+        }
+        let Ok(stream) = stream else { continue };
+        inner.stats.connections.fetch_add(1, Ordering::Relaxed);
+        stream.set_nodelay(true).ok();
+        if let Ok(clone) = stream.try_clone() {
+            lock(&inner.conns).push(clone);
+        }
+        let conn_inner = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name("hdc-serve-conn".into())
+            .spawn(move || handle_connection(stream, conn_inner))
+            .expect("spawn connection handler");
+        lock(&handlers).push(handle);
+    }
+}
+
+/// One connection: read frames, answer in request order.
+fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
+    let mut reader = std::io::BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut writer = stream;
+    let max_frame = inner.config.tuning.max_frame_bytes;
+
+    loop {
+        let frame = match read_frame(&mut reader, max_frame) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // clean close
+            Err(e @ WireError::FrameTooLarge { .. }) => {
+                // Framing is lost: report and close.
+                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(writer, "{}", error_response(None, &e.to_string()));
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(WireError::Io(_)) => return, // mid-stream disconnect
+            Err(e) => {
+                // Mid-frame EOF / non-UTF-8: answer if the socket is still
+                // writable, then close (the stream state is unknown).
+                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(writer, "{}", error_response(None, &e.to_string()));
+                return;
+            }
+        };
+        match Request::parse(&frame) {
+            Err(e) => {
+                // Parse errors keep the connection: framing is intact.
+                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                if writeln!(writer, "{}", error_response(None, &e.to_string())).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Ping) => {
+                if writeln!(writer, "{}", ok_response("pong")).is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Stats) => {
+                let s = inner.stats.snapshot();
+                let frame = format!(
+                    "{{\"ok\":\"stats\",\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"queue_depth\":{}}}",
+                    s.connections,
+                    s.admitted,
+                    s.answered,
+                    s.shed,
+                    s.protocol_errors,
+                    s.batches,
+                    lock(&inner.queue).len(),
+                );
+                if writeln!(writer, "{frame}").is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "{}", ok_response("shutdown"));
+                inner.request_shutdown();
+                return;
+            }
+            Ok(Request::Predict { id, features }) => {
+                if !answer_predict(&inner, &mut writer, id, features) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Admits one predict request, waits for its reply, writes it. Returns
+/// `false` when the connection should close.
+fn answer_predict(inner: &Inner, writer: &mut TcpStream, id: u64, features: Vec<f32>) -> bool {
+    if features.len() != inner.expected_features {
+        inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        let msg = format!(
+            "feature count mismatch: got {}, model expects {}",
+            features.len(),
+            inner.expected_features
+        );
+        return writeln!(writer, "{}", error_response(Some(id), &msg)).is_ok();
+    }
+    if inner.is_shutting_down() {
+        let msg = "server is shutting down";
+        return writeln!(writer, "{}", error_response(Some(id), msg)).is_ok();
+    }
+    let row = match &inner.prep {
+        Some(prep) => prep(features),
+        None => features,
+    };
+    let (tx, rx) = mpsc::channel();
+    {
+        let mut queue = lock(&inner.queue);
+        if queue.len() >= inner.config.tuning.queue_depth {
+            match inner.config.tuning.backpressure {
+                Backpressure::Shed => {
+                    drop(queue);
+                    inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    let msg = format!(
+                        "overloaded: queue depth {} reached; request shed",
+                        inner.config.tuning.queue_depth
+                    );
+                    return writeln!(writer, "{}", error_response(Some(id), &msg)).is_ok();
+                }
+                Backpressure::Block => {
+                    while queue.len() >= inner.config.tuning.queue_depth
+                        && !inner.is_shutting_down()
+                    {
+                        queue = inner
+                            .space_ready
+                            .wait(queue)
+                            .unwrap_or_else(|e| e.into_inner());
+                    }
+                }
+            }
+        }
+        queue.push_back(PendingRequest { row, reply: tx });
+        inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
+    }
+    inner.work_ready.notify_all();
+    match rx.recv() {
+        Ok(prediction) => {
+            inner.stats.answered.fetch_add(1, Ordering::Relaxed);
+            writeln!(writer, "{}", predict_response(id, &prediction)).is_ok()
+        }
+        Err(_) => {
+            // Batcher gone without answering — only possible on a
+            // catastrophic internal error; report rather than hang.
+            let msg = "internal error: batcher dropped the request";
+            let _ = writeln!(writer, "{}", error_response(Some(id), msg));
+            false
+        }
+    }
+}
+
+/// The micro-batcher: applies the `max_batch` / `max_wait` policy over the
+/// shared queue and flushes through the pool-backed confidence path. On
+/// shutdown it drains everything admitted before exiting.
+fn batcher_loop(inner: Arc<Inner>) {
+    let max_batch = inner.config.engine.max_batch.max(1);
+    let max_wait = inner.config.engine.max_wait;
+    loop {
+        let batch: Vec<PendingRequest> = {
+            let mut queue = lock(&inner.queue);
+            let deadline: Option<Instant> = loop {
+                if queue.len() >= max_batch {
+                    break None; // full batch: flush now
+                }
+                if inner.is_shutting_down() {
+                    if queue.is_empty() {
+                        return; // drained: exit
+                    }
+                    break None; // flush the remainder
+                }
+                if queue.is_empty() {
+                    queue = inner
+                        .work_ready
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                    continue;
+                }
+                // Non-empty, non-full: flush once the oldest admitted
+                // request has waited max_wait.
+                break Some(Instant::now() + max_wait);
+            };
+            if let Some(deadline) = deadline {
+                loop {
+                    let now = Instant::now();
+                    if queue.len() >= max_batch || now >= deadline || inner.is_shutting_down() {
+                        break;
+                    }
+                    let (q, _timeout) = inner
+                        .work_ready
+                        .wait_timeout(queue, deadline - now)
+                        .unwrap_or_else(|e| e.into_inner());
+                    queue = q;
+                }
+            }
+            let take = queue.len().min(max_batch);
+            queue.drain(..take).collect()
+        };
+        inner.space_ready.notify_all();
+        if batch.is_empty() {
+            continue;
+        }
+        let rows: Vec<Vec<f32>> = batch.iter().map(|r| r.row.clone()).collect();
+        let x = Matrix::from_rows(&rows).expect("admitted rows share the validated feature width");
+        let predictions = inner.pipeline.predict_batch_with_confidence_chunked(
+            &x,
+            inner.threads,
+            inner.config.engine.exec,
+        );
+        inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+        for (request, prediction) in batch.into_iter().zip(predictions) {
+            // A send error means the handler/connection died mid-flight;
+            // the prediction is simply discarded.
+            let _ = request.reply.send(prediction);
+        }
+    }
+}
+
+/// Formats a one-line JSON stats summary (shared by `hdrun serve --listen`
+/// shutdown reporting and tests).
+pub fn stats_json(stats: &ServerStats, note: &str) -> String {
+    format!(
+        "{{\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"note\":\"{}\"}}",
+        stats.connections,
+        stats.admitted,
+        stats.answered,
+        stats.shed,
+        stats.protocol_errors,
+        stats.batches,
+        escape_json(note)
+    )
+}

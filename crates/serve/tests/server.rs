@@ -1,0 +1,357 @@
+//! Integration tests for the TCP serving front-end: protocol hardening,
+//! graceful drain, admission control, and worker-pool panic isolation.
+//!
+//! Every test binds an ephemeral loopback port and talks the real
+//! JSON-lines protocol through real sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use boosthd::parallel::ExecBackend;
+use boosthd::{ModelSpec, OnlineHdConfig, Pipeline};
+use boosthd_serve::server::{Backpressure, Server, ServerConfig, ServerTuning};
+use boosthd_serve::wire::{Client, Reply};
+use boosthd_serve::EngineConfig;
+use linalg::{Matrix, Rng64};
+
+const FEATURES: usize = 6;
+
+fn trained_pipeline() -> Arc<Pipeline> {
+    let mut rng = Rng64::seed_from(9);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..60 {
+        let class = i % 2;
+        let c = if class == 0 { -1.5f32 } else { 1.5 };
+        rows.push((0..FEATURES).map(|_| c + 0.4 * rng.normal()).collect());
+        labels.push(class);
+    }
+    let x = Matrix::from_rows(&rows).unwrap();
+    Arc::new(
+        Pipeline::fit(
+            &ModelSpec::OnlineHd(OnlineHdConfig {
+                dim: 128,
+                epochs: 3,
+                ..Default::default()
+            }),
+            &x,
+            &labels,
+        )
+        .unwrap(),
+    )
+}
+
+fn start_server(config: ServerConfig) -> Server {
+    Server::bind(trained_pipeline(), FEATURES, "127.0.0.1:0", config, None)
+        .expect("bind ephemeral server")
+}
+
+fn default_server() -> Server {
+    start_server(ServerConfig::default())
+}
+
+fn connect(server: &Server) -> Client {
+    Client::connect(&server.local_addr().to_string()).expect("connect to test server")
+}
+
+#[test]
+fn predict_round_trip_answers_with_confidence() {
+    let server = default_server();
+    let mut client = connect(&server);
+    let features = vec![1.5f32; FEATURES];
+    match client.predict(7, &features).unwrap() {
+        Reply::Predict {
+            id,
+            class,
+            confidence,
+            ..
+        } => {
+            assert_eq!(id, 7);
+            assert!(class < 2);
+            assert!((0.0..=1.0).contains(&confidence));
+        }
+        other => panic!("expected a prediction, got {other:?}"),
+    }
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.answered, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn malformed_frame_gets_error_and_keeps_connection() {
+    let server = default_server();
+    let mut client = connect(&server);
+    match client.send_raw("this is not json").and(client.recv()) {
+        Ok(Some(Reply::Error { message, .. })) => {
+            assert!(!message.is_empty(), "error must describe the failure");
+        }
+        other => panic!("expected a descriptive error, got {other:?}"),
+    }
+    // The connection survives: a well-formed request still answers.
+    match client.predict(1, &[0.5; FEATURES]).unwrap() {
+        Reply::Predict { id, .. } => assert_eq!(id, 1),
+        other => panic!("connection should have survived, got {other:?}"),
+    }
+    assert_eq!(server.shutdown_and_join().protocol_errors, 1);
+}
+
+#[test]
+fn wrong_feature_count_is_a_descriptive_error() {
+    let server = default_server();
+    let mut client = connect(&server);
+    match client.predict(3, &[1.0, 2.0]).unwrap() {
+        Reply::Error { id, message } => {
+            assert_eq!(id, Some(3));
+            assert!(
+                message.contains("got 2") && message.contains(&FEATURES.to_string()),
+                "error must name both counts: {message}"
+            );
+        }
+        other => panic!("expected a feature-count error, got {other:?}"),
+    }
+    // Still serving afterwards.
+    assert!(matches!(
+        client.predict(4, &[0.0; FEATURES]).unwrap(),
+        Reply::Predict { id: 4, .. }
+    ));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn oversized_payload_is_rejected_without_killing_the_server() {
+    let server = start_server(ServerConfig {
+        tuning: ServerTuning {
+            max_frame_bytes: 256,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let addr = server.local_addr().to_string();
+    {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        let huge = format!("{{\"id\":1,\"features\":[{}]}}", "0.125,".repeat(4000));
+        stream.write_all(huge.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        // The server reports the cap, then closes this connection (framing
+        // is unrecoverable once a frame overruns).
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(
+            response.contains("error") && response.contains("256"),
+            "oversized frame must report the limit: {response}"
+        );
+    }
+    // Other connections are unaffected.
+    let mut client = connect(&server);
+    assert!(matches!(
+        client.predict(9, &[0.0; FEATURES]).unwrap(),
+        Reply::Predict { id: 9, .. }
+    ));
+    assert_eq!(server.shutdown_and_join().protocol_errors, 1);
+}
+
+#[test]
+fn mid_stream_disconnect_leaves_server_healthy() {
+    let server = default_server();
+    let addr = server.local_addr().to_string();
+    {
+        // Open a connection, send half a frame, and vanish.
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"{\"id\":1,\"feat").unwrap();
+    }
+    {
+        // Disconnect with a fully-sent request whose reply is never read.
+        let mut client = Client::connect(&addr).unwrap();
+        client.send_predict(5, &[0.5; FEATURES]).unwrap();
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = connect(&server);
+    assert!(matches!(
+        client.predict(6, &[0.0; FEATURES]).unwrap(),
+        Reply::Predict { id: 6, .. }
+    ));
+    server.shutdown_and_join();
+}
+
+#[test]
+fn shed_backpressure_reports_overload_instead_of_queueing() {
+    // queue_depth 1 + a slow-flush engine: concurrent requests must shed.
+    let server = start_server(ServerConfig {
+        engine: EngineConfig {
+            max_batch: 1,
+            max_wait: Duration::from_millis(200),
+            threads: Some(1),
+            exec: ExecBackend::Pooled,
+        },
+        tuning: ServerTuning {
+            queue_depth: 1,
+            backpressure: Backpressure::Shed,
+            ..Default::default()
+        },
+    });
+    let addr = server.local_addr().to_string();
+    let outcomes: Vec<&'static str> = std::thread::scope(|scope| {
+        (0..8)
+            .map(|i| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).unwrap();
+                    match client.predict(i, &[0.5; FEATURES]).unwrap() {
+                        Reply::Predict { .. } => "answered",
+                        Reply::Error { message, .. } if message.starts_with("overloaded") => "shed",
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let answered = outcomes.iter().filter(|o| **o == "answered").count();
+    assert!(answered >= 1, "at least one request must get through");
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.answered as usize, answered);
+    assert_eq!(stats.shed as usize, 8 - answered);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn graceful_drain_answers_every_inflight_request() {
+    // A large max_wait so requests sit in the queue when shutdown lands:
+    // the drain must still answer every one of them.
+    let server = start_server(ServerConfig {
+        engine: EngineConfig {
+            max_batch: 1000,
+            max_wait: Duration::from_secs(5),
+            threads: Some(2),
+            exec: ExecBackend::Pooled,
+        },
+        ..Default::default()
+    });
+    let addr = server.local_addr().to_string();
+    let total = 24u64;
+    let answers: Vec<u64> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for i in 0..total {
+            let addr = addr.clone();
+            handles.push(scope.spawn(move || {
+                let mut client = Client::connect(&addr).unwrap();
+                match client.predict(i, &[0.25; FEATURES]).unwrap() {
+                    Reply::Predict { id, .. } => id,
+                    other => panic!("in-flight request dropped: {other:?}"),
+                }
+            }));
+        }
+        // Wait until every request is admitted, then drain mid-batch.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while server.stats().admitted < total && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(server.stats().admitted, total, "all requests admitted");
+        let stats = server.shutdown_and_join();
+        assert_eq!(stats.answered, total, "drain must flush the whole queue");
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut ids = answers;
+    ids.sort_unstable();
+    assert_eq!(ids, (0..total).collect::<Vec<_>>());
+}
+
+#[test]
+fn wire_shutdown_command_drains_and_stops() {
+    let server = default_server();
+    let mut client = connect(&server);
+    assert!(matches!(
+        client.predict(1, &[0.0; FEATURES]).unwrap(),
+        Reply::Predict { .. }
+    ));
+    let mut admin = connect(&server);
+    assert_eq!(
+        admin.shutdown_server().unwrap(),
+        Reply::Ok("shutdown".into())
+    );
+    let stats = server.wait(); // returns because the wire command fired
+    assert_eq!(stats.answered, 1);
+    assert_eq!(stats.protocol_errors, 0);
+}
+
+#[test]
+fn ping_and_stats_commands_answer() {
+    let server = default_server();
+    let mut client = connect(&server);
+    assert_eq!(client.ping().unwrap(), Reply::Ok("pong".into()));
+    client.predict(1, &[0.5; FEATURES]).unwrap();
+    client.send_raw("{\"cmd\":\"stats\"}").unwrap();
+    match client.recv().unwrap().unwrap() {
+        Reply::Raw(v) => {
+            assert_eq!(v.get("answered").and_then(|j| j.as_num()), Some(1.0));
+            assert_eq!(v.get("protocol_errors").and_then(|j| j.as_num()), Some(0.0));
+        }
+        other => panic!("expected a raw stats object, got {other:?}"),
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn worker_panic_is_isolated_and_worker_replaced() {
+    // Chaos-kill a global-pool worker, then serve traffic through the
+    // pooled backend: requests must keep succeeding and the pool must
+    // report the replacement.
+    let pool = boosthd_serve::pool::global();
+    // A generous max_wait so a concurrent burst coalesces into one
+    // multi-row batch, which is what fans out over the pool (a single-row
+    // batch short-circuits to the serial path and never touches it).
+    let server = start_server(ServerConfig {
+        engine: EngineConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+            threads: Some(2),
+            exec: ExecBackend::Pooled,
+        },
+        ..Default::default()
+    });
+    let addr = server.local_addr().to_string();
+    let burst = |base: u64| {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|i| {
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        let mut client = Client::connect(&addr).unwrap();
+                        matches!(
+                            client.predict(base + i, &[0.5; FEATURES]).unwrap(),
+                            Reply::Predict { .. }
+                        )
+                    })
+                })
+                .collect();
+            handles.into_iter().all(|h| h.join().unwrap())
+        })
+    };
+    assert!(burst(0), "baseline burst before the chaos hook");
+
+    let replaced_before = pool.workers_replaced();
+    pool.inject_worker_panic();
+    // Every burst after the kill must still answer fully, and the pool
+    // must detect and replace the corpse within a few fan-outs.
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        assert!(burst(round * 100), "burst {round} after worker kill");
+        if pool.workers_replaced() > replaced_before {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "killed worker was never replaced"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(pool.live_workers(), pool.size(), "pool healed to full size");
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.protocol_errors, 0);
+}

@@ -10,7 +10,9 @@
 //!   `window_samples`, `segments`, `seed`, `test_fraction`);
 //! * `[serve]` — micro-batching and reliability gating for the serving
 //!   engine (`max_batch`, `max_wait_ms`, `threads`, `abstain_threshold`,
-//!   `windows`, `hop_samples`).
+//!   `windows`, `hop_samples`), plus network-mode knobs (`exec` =
+//!   `"pooled"`/`"scoped"`, `queue_depth`, `backpressure` =
+//!   `"shed"`/`"block"`, `max_frame_bytes`).
 //!
 //! Campaign spec files (`hdrun campaign`) additionally hold one or more
 //! model tables (`[model]`, `[model-1]`, ...), one or more `[scenario]` /
@@ -26,6 +28,8 @@
 //! hdrun train    --spec <file> [--out <model.bhde>]   # fit + evaluate (+ save envelope)
 //! hdrun eval     --spec <file> --model <model.bhde>   # load + evaluate + confidence report
 //! hdrun serve    --spec <file> --model <model.bhde>   # load + stream windows through the engine
+//! hdrun serve    --spec <file> --model <model.bhde> --listen 127.0.0.1:7878
+//!                                                     # network mode: JSON-lines over TCP
 //! hdrun campaign <spec.toml> [--out <report.json>] [--threads N]
 //!                                                     # deterministic reliability sweep
 //! ```
@@ -40,8 +44,10 @@ use std::error::Error;
 use std::process::ExitCode;
 use std::time::Duration;
 
+use boosthd::parallel::ExecBackend;
 use boosthd::toml::TomlDoc;
 use boosthd::{BoostHdError, ModelSpec, Pipeline};
+use boosthd_repro::serve::server::{Backpressure, Server, ServerConfig, ServerTuning};
 use boosthd_repro::serve::{EngineConfig, InferenceEngine};
 use eval_harness::metrics::accuracy;
 use linalg::Matrix;
@@ -52,7 +58,7 @@ use wearables::streaming::WindowStream;
 use wearables::{Dataset, DatasetProfile};
 
 fn usage() -> &'static str {
-    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde>\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]"
+    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde> [--listen <addr:port>]\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]"
 }
 
 struct Args {
@@ -61,6 +67,7 @@ struct Args {
     model: Option<String>,
     out: Option<String>,
     threads: Option<usize>,
+    listen: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         model: None,
         out: None,
         threads: None,
+        listen: None,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -84,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
             "--spec" => args.spec = Some(take(i)?),
             "--model" => args.model = Some(take(i)?),
             "--out" => args.out = Some(take(i)?),
+            "--listen" => args.listen = Some(take(i)?),
             "--threads" => {
                 let v = take(i)?;
                 args.threads =
@@ -179,9 +188,12 @@ struct ServeSpec {
     abstain_threshold: f32,
     windows: usize,
     hop_samples: usize,
+    exec: ExecBackend,
+    tuning: ServerTuning,
 }
 
 fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdError> {
+    let invalid = |reason: String| BoostHdError::InvalidConfig { reason };
     let mut spec = ServeSpec {
         max_batch: EngineConfig::default().max_batch,
         max_wait: EngineConfig::default().max_wait,
@@ -189,6 +201,8 @@ fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdErr
         abstain_threshold: 0.0,
         windows: 200,
         hop_samples: default_hop,
+        exec: ExecBackend::default(),
+        tuning: ServerTuning::default(),
     };
     let Some(t) = doc.table("serve") else {
         return Ok(spec);
@@ -202,10 +216,12 @@ fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdErr
                 | "abstain_threshold"
                 | "windows"
                 | "hop_samples"
+                | "exec"
+                | "queue_depth"
+                | "backpressure"
+                | "max_frame_bytes"
         ) {
-            return Err(BoostHdError::InvalidConfig {
-                reason: format!("unknown key `{key}` in [serve]"),
-            });
+            return Err(invalid(format!("unknown key `{key}` in [serve]")));
         }
     }
     if t.get("max_batch").is_some() {
@@ -225,6 +241,25 @@ fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdErr
     }
     if t.get("hop_samples").is_some() {
         spec.hop_samples = t.get_usize("hop_samples")?;
+    }
+    if t.get("exec").is_some() {
+        let tag = t.get_str("exec")?;
+        spec.exec = ExecBackend::from_tag(tag)
+            .ok_or_else(|| invalid(format!("[serve] exec must be pooled|scoped, got `{tag}`")))?;
+    }
+    if t.get("queue_depth").is_some() {
+        spec.tuning.queue_depth = t.get_usize("queue_depth")?.max(1);
+    }
+    if t.get("backpressure").is_some() {
+        let tag = t.get_str("backpressure")?;
+        spec.tuning.backpressure = Backpressure::from_tag(tag).ok_or_else(|| {
+            invalid(format!(
+                "[serve] backpressure must be shed|block, got `{tag}`"
+            ))
+        })?;
+    }
+    if t.get("max_frame_bytes").is_some() {
+        spec.tuning.max_frame_bytes = t.get_usize("max_frame_bytes")?.max(64);
     }
     Ok(spec)
 }
@@ -330,7 +365,11 @@ fn cmd_eval(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
     Ok(())
 }
 
-fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
+fn cmd_serve(
+    spec_path: &str,
+    model_path: &str,
+    listen: Option<&str>,
+) -> Result<(), Box<dyn Error>> {
     let doc = load_doc(spec_path)?;
     let ds = dataset_spec(&doc)?;
     let sv = serve_spec(&doc, ds.profile.window_samples)?;
@@ -344,6 +383,10 @@ fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
     let (train, _test) = prepare(&ds)?;
     let normalizer = Normalizer::fit(train.features())?;
 
+    if let Some(addr) = listen {
+        return serve_network(pipeline, normalizer, train.num_features(), addr, &sv);
+    }
+
     let stream = WindowStream::new(&ds.profile, sv.hop_samples, ds.seed ^ 0x57EA)?;
     let engine = InferenceEngine::with_config(
         &pipeline,
@@ -351,6 +394,7 @@ fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
             max_batch: sv.max_batch,
             max_wait: sv.max_wait,
             threads: sv.threads,
+            exec: sv.exec,
         },
     );
     // Normalize each window once; the engine and the confidence report
@@ -379,6 +423,52 @@ fn cmd_serve(spec_path: &str, model_path: &str) -> Result<(), Box<dyn Error>> {
     let x = Matrix::from_rows(&rows)?;
     let labels: Vec<usize> = windows.iter().map(|w| w.state.label()).collect();
     println!("confidence: {}", confidence_report(&pipeline, &x, &labels));
+    Ok(())
+}
+
+/// `hdrun serve --listen <addr>`: the JSON-lines TCP front-end. Blocks
+/// until a client sends `{"cmd":"shutdown"}`, then drains every in-flight
+/// request and reports the final counters.
+fn serve_network(
+    pipeline: Pipeline,
+    normalizer: Normalizer,
+    num_features: usize,
+    addr: &str,
+    sv: &ServeSpec,
+) -> Result<(), Box<dyn Error>> {
+    let config = ServerConfig {
+        engine: EngineConfig {
+            max_batch: sv.max_batch,
+            max_wait: sv.max_wait,
+            threads: sv.threads,
+            exec: sv.exec,
+        },
+        tuning: sv.tuning,
+    };
+    let prep = Box::new(move |row: Vec<f32>| {
+        let m = Matrix::from_rows(std::slice::from_ref(&row)).expect("validated feature width");
+        normalizer.apply(&m).row(0).to_vec()
+    });
+    let server = Server::bind(
+        std::sync::Arc::new(pipeline),
+        num_features,
+        addr,
+        config,
+        Some(prep),
+    )?;
+    println!(
+        "listening on {} ({} features/request, exec {}, queue_depth {}, backpressure {})",
+        server.local_addr(),
+        num_features,
+        config.engine.exec.tag(),
+        config.tuning.queue_depth,
+        config.tuning.backpressure.tag(),
+    );
+    let stats = server.wait();
+    println!(
+        "serve: drained | {} connections, {} answered, {} shed, {} protocol errors, {} batches",
+        stats.connections, stats.answered, stats.shed, stats.protocol_errors, stats.batches
+    );
     Ok(())
 }
 
@@ -454,6 +544,7 @@ fn run_stream(
             max_batch,
             max_wait: Duration::from_secs(3600),
             threads: None,
+            ..Default::default()
         },
     );
     Ok(reliability::campaign::measure_streaming_degradation(
@@ -570,6 +661,7 @@ fn run() -> Result<(), Box<dyn Error>> {
             args.model
                 .as_deref()
                 .ok_or_else(|| format!("serve needs --model\n{}", usage()))?,
+            args.listen.as_deref(),
         ),
         "campaign" => cmd_campaign(spec, args.out.as_deref(), args.threads),
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
