@@ -35,7 +35,9 @@ use boosthd::parallel::ExecBackend;
 use boosthd::{ModelSpec, OnlineHdConfig};
 use boosthd_bench::{fit_spec, prepare_split};
 use boosthd_serve::server::{Server, ServerConfig, ServerStats};
-use boosthd_serve::wire::{read_frame, Client, Reply, WireError, DEFAULT_MAX_FRAME_BYTES};
+use boosthd_serve::wire::{
+    read_frame, Client, Reply, RetryPolicy, RetryingClient, WireError, DEFAULT_MAX_FRAME_BYTES,
+};
 use boosthd_serve::EngineConfig;
 use eval_harness::timing::LatencySummary;
 use linalg::{Matrix, Rng64};
@@ -193,7 +195,9 @@ fn run_connection(
                             .latencies
                             .push((received - sched_at.min(received)).as_secs_f64());
                     }
-                    Reply::Error { message, .. } if message.starts_with("overloaded") => {
+                    Reply::Error { code, message, .. }
+                        if code.as_deref() == Some("shed") || message.starts_with("overloaded") =>
+                    {
                         outcome.shed += 1;
                     }
                     _ => outcome.protocol_errors += 1,
@@ -236,22 +240,33 @@ fn run_connection(
 }
 
 /// Closed-loop saturation: every connection round-trips back-to-back for
-/// `duration` seconds; returns sustained rows/sec and protocol errors.
+/// `duration` seconds; returns sustained rows/sec, protocol errors, and
+/// the number of retry attempts the [`RetryingClient`] had to spend.
+///
+/// Each connection goes through the retrying wrapper so transient sheds
+/// and reconnects (the exact faults the chaos campaign injects) count as
+/// retries rather than hard failures — the ceiling measurement then
+/// reflects what an idempotent production client would sustain.
 fn saturation_phase(
     addr: &str,
     queries: &Matrix,
     duration: f64,
     connections: usize,
-) -> Result<(f64, u64), WireError> {
+    seed: u64,
+) -> Result<(f64, u64, u64), WireError> {
     let next_id = AtomicU64::new(1_000_000);
     let started = Instant::now();
     let deadline = started + Duration::from_secs_f64(duration);
-    let counts: Vec<Result<(u64, u64), WireError>> = std::thread::scope(|scope| {
+    let counts: Vec<Result<(u64, u64, u64), WireError>> = std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..connections.max(1) {
+        for conn in 0..connections.max(1) {
             let next_id = &next_id;
-            handles.push(scope.spawn(move || -> Result<(u64, u64), WireError> {
-                let mut client = Client::connect(addr).map_err(|e| WireError::Io(e.to_string()))?;
+            handles.push(scope.spawn(move || -> Result<(u64, u64, u64), WireError> {
+                let mut client = RetryingClient::new(
+                    addr,
+                    RetryPolicy::default(),
+                    seed ^ 0x5A7_0000 ^ conn as u64,
+                );
                 let mut answered = 0u64;
                 let mut errors = 0u64;
                 while Instant::now() < deadline {
@@ -262,7 +277,7 @@ fn saturation_phase(
                         _ => errors += 1,
                     }
                 }
-                Ok((answered, errors))
+                Ok((answered, errors, client.retries()))
             }));
         }
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -270,12 +285,14 @@ fn saturation_phase(
     let elapsed = started.elapsed().as_secs_f64().max(1e-9);
     let mut answered = 0u64;
     let mut errors = 0u64;
+    let mut retries = 0u64;
     for c in counts {
-        let (a, e) = c?;
+        let (a, e, r) = c?;
         answered += a;
         errors += e;
+        retries += r;
     }
-    Ok((answered as f64 / elapsed, errors))
+    Ok((answered as f64 / elapsed, errors, retries))
 }
 
 /// One measured latency row of the snapshot.
@@ -296,6 +313,7 @@ struct SaturationRow {
     threads: usize,
     exec: &'static str,
     rows_per_sec: f64,
+    retries: u64,
 }
 
 struct CliArgs {
@@ -399,10 +417,11 @@ fn write_snapshot(
     json.push_str("  ],\n  \"saturation\": [\n");
     for (i, r) in saturation.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"threads\": {}, \"exec\": \"{}\", \"hw_threads\": {hw}, \"rows_per_sec\": {:.1}}}{}\n",
+            "    {{\"threads\": {}, \"exec\": \"{}\", \"hw_threads\": {hw}, \"rows_per_sec\": {:.1}, \"retries\": {}}}{}\n",
             r.threads,
             r.exec,
             r.rows_per_sec,
+            r.retries,
             if i + 1 == saturation.len() { "" } else { "," }
         ));
     }
@@ -462,8 +481,9 @@ fn run_external(args: &CliArgs) {
         .expect("open-loop smoke");
     let summary = LatencySummary::from_samples(&outcome.latencies);
     let achieved = outcome.answered as f64 / duration;
-    let (sat_rps, sat_errors) =
-        saturation_phase(addr, &queries, duration.min(2.0), connections).expect("saturation smoke");
+    let (sat_rps, sat_errors, sat_retries) =
+        saturation_phase(addr, &queries, duration.min(2.0), connections, args.seed)
+            .expect("saturation smoke");
     let latency = vec![LatencyRow {
         threads: 0, // server-side setting, unknown to an external client
         exec: "server",
@@ -479,16 +499,18 @@ fn run_external(args: &CliArgs) {
         threads: 0,
         exec: "server",
         rows_per_sec: sat_rps,
+        retries: sat_retries,
     }];
     println!(
-        "external: {} sent, {} answered, {} shed | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | saturation {:.0} rows/s",
+        "external: {} sent, {} answered, {} shed | p50 {:.2}ms p95 {:.2}ms p99 {:.2}ms | saturation {:.0} rows/s ({} retries)",
         outcome.sent,
         outcome.answered,
         outcome.shed,
         ms(latency[0].summary.p50),
         ms(latency[0].summary.p95),
         ms(latency[0].summary.p99),
-        sat_rps
+        sat_rps,
+        sat_retries
     );
     assert_outcomes(&latency);
     write_snapshot(
@@ -596,12 +618,20 @@ fn run_selfhost(args: &CliArgs) {
         let reps = if args.quick { 1 } else { 3 };
         let mut sat_rps = [0.0f64; 2];
         let mut sat_errors = [0u64; 2];
-        for _ in 0..reps {
+        let mut sat_retries = [0u64; 2];
+        for rep in 0..reps {
             for (i, addr) in addrs.iter().enumerate() {
-                let (rps, errors) = saturation_phase(addr, &queries, sat_duration, connections)
-                    .expect("saturation phase");
+                let (rps, errors, retries) = saturation_phase(
+                    addr,
+                    &queries,
+                    sat_duration,
+                    connections,
+                    args.seed ^ (rep as u64) << 8 ^ i as u64,
+                )
+                .expect("saturation phase");
                 sat_rps[i] = sat_rps[i].max(rps);
                 sat_errors[i] += errors;
+                sat_retries[i] += retries;
             }
         }
 
@@ -627,6 +657,7 @@ fn run_selfhost(args: &CliArgs) {
                 threads,
                 exec: exec.tag(),
                 rows_per_sec: sat_rps[i],
+                retries: sat_retries[i],
             });
         }
     }

@@ -74,6 +74,9 @@ enum Task {
     /// Test-only chaos: panic *outside* any catch, killing the worker
     /// thread itself, to exercise worker replacement.
     KillWorker,
+    /// Test-only chaos: hold one worker hostage for the duration, so stall
+    /// watchdogs have something to detect.
+    StallWorker(Duration),
 }
 
 struct QueueState {
@@ -108,6 +111,7 @@ impl Shared {
             match task {
                 Task::Run(job) => job(),
                 Task::KillWorker => panic!("worker pool chaos hook: injected worker panic"),
+                Task::StallWorker(d) => std::thread::sleep(d),
             }
         }
     }
@@ -226,26 +230,49 @@ impl WorkerPool {
     }
 
     /// Replaces any worker whose thread has died (a panic that escaped the
-    /// per-task catch). Called before each fan-out and periodically while a
-    /// caller waits, so the pool self-heals without a supervisor thread.
-    fn ensure_workers(&self) {
+    /// per-task catch) and returns how many were replaced. Called before
+    /// each fan-out and periodically while a caller waits — so the pool
+    /// self-heals lazily — and by the serving watchdog, which repairs
+    /// *proactively* between fan-outs so a corpse never delays a flush.
+    pub fn repair(&self) -> usize {
+        let mut replaced_now = 0;
         let mut workers = lock(&self.workers);
         for i in 0..workers.len() {
             if workers[i].is_finished() && !self.is_shutting_down() {
                 let dead = std::mem::replace(&mut workers[i], Self::spawn_worker(&self.shared, i));
                 let _ = dead.join(); // reap; the panic payload is dropped
                 self.replaced.fetch_add(1, Ordering::Relaxed);
+                replaced_now += 1;
             }
         }
+        replaced_now
+    }
+
+    /// The historical internal name for [`WorkerPool::repair`]'s lazy
+    /// call sites.
+    fn ensure_workers(&self) {
+        self.repair();
     }
 
     /// Test-only chaos hook: enqueues a task that panics *outside* the
     /// per-task catch, killing one worker thread. The next fan-out detects
-    /// the corpse and replaces it (`WorkerPool::ensure_workers`) — the
-    /// seam the panic-isolation integration test drives.
+    /// the corpse and replaces it ([`WorkerPool::repair`]) — the seam the
+    /// panic-isolation integration test drives.
     pub fn inject_worker_panic(&self) {
         let mut q = lock(&self.shared.queue);
         q.tasks.push_back(Task::KillWorker);
+        drop(q);
+        self.shared.task_ready.notify_one();
+    }
+
+    /// Test-only chaos hook: enqueues a task that puts one worker to sleep
+    /// for `hold` — a *stalled* (not dead) worker, which `repair` cannot
+    /// fix. Fan-outs still complete because waiting callers help-execute
+    /// the stalled worker's remaining queue; the serving watchdog's
+    /// flush-stall detector is what notices the slowdown.
+    pub fn inject_worker_stall(&self, hold: Duration) {
+        let mut q = lock(&self.shared.queue);
+        q.tasks.push_back(Task::StallWorker(hold));
         drop(q);
         self.shared.task_ready.notify_one();
     }
@@ -346,8 +373,8 @@ impl WorkerPool {
     }
 
     /// Pops one runnable task if the queue head is runnable (the caller
-    /// never executes [`Task::KillWorker`] — that chaos is reserved for
-    /// worker threads).
+    /// never executes [`Task::KillWorker`] or [`Task::StallWorker`] — that
+    /// chaos is reserved for worker threads).
     fn try_pop_run_task(&self) -> Option<Box<dyn FnOnce() + Send + 'static>> {
         let mut q = lock(&self.shared.queue);
         match q.tasks.front() {
@@ -486,6 +513,40 @@ mod tests {
             inner.into_iter().sum::<usize>()
         });
         assert_eq!(out, vec![3, 33, 63, 93]);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn repair_replaces_corpses_proactively_and_reports_count() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.repair(), 0, "healthy pool: nothing to repair");
+        pool.inject_worker_panic();
+        for _ in 0..500 {
+            if pool.live_workers() < 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.repair(), 1, "one corpse repaired");
+        assert_eq!(pool.live_workers(), 2);
+        assert_eq!(pool.workers_replaced(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn stalled_worker_does_not_block_fanouts() {
+        let pool = WorkerPool::new(2);
+        pool.inject_worker_stall(Duration::from_millis(150));
+        // Give a worker a moment to swallow the stall task.
+        std::thread::sleep(Duration::from_millis(10));
+        // Fan-outs complete while one worker is held hostage (the caller
+        // helps drain), and the stalled worker is alive, so repair is a
+        // no-op.
+        assert_eq!(
+            pool.scoped_map(16, 2, |i| i + 1),
+            (1..=16).collect::<Vec<_>>()
+        );
+        assert_eq!(pool.repair(), 0, "a stalled worker is not a corpse");
         pool.shutdown();
     }
 

@@ -13,7 +13,12 @@
 //! * [`campaign`] — the deterministic scenario engine that applies those
 //!   fault models to any [`boosthd::Pipeline`], sweeps severity grids in
 //!   parallel with pre-forked per-cell RNGs, and emits a versioned JSON
-//!   report. Every figure-8-style sweep in the repository runs through it.
+//!   report. Every figure-8-style sweep in the repository runs through it;
+//! * [`chaos`] — the serving-resilience campaign: seeded fault schedules
+//!   (deadline storms, burst overload into the degrade ladder, live-model
+//!   SEUs, protocol abuse, worker-pool panics) driven through a real
+//!   loopback [`boosthd_serve::server::Server`], reported on a virtual
+//!   clock so the JSON is byte-identical for any thread count.
 //!
 //! Each fault-model module documents its determinism contract; the
 //! campaign engine composes them into reports that are byte-identical for
@@ -37,6 +42,7 @@
 pub use faults::{bitflip, imbalance, noise};
 
 pub mod campaign;
+pub mod chaos;
 
 pub use bitflip::{
     flip_bits, flip_bits_in, flip_sign_bits, BitflipReport, Perturbable, PerturbablePacked,
@@ -45,4 +51,5 @@ pub use campaign::{
     Campaign, CampaignData, CampaignReport, CampaignSpec, CellResult, FaultModel, ScenarioResult,
     ScenarioSpec,
 };
+pub use chaos::{run_campaign as run_chaos_campaign, ChaosConfig, ResilienceReport};
 pub use imbalance::{imbalanced_indices, ImbalanceSpec};

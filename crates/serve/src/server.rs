@@ -1,5 +1,5 @@
 //! The TCP serving front-end: connection handlers feeding one micro-batch
-//! queue over the persistent worker pool.
+//! queue over the persistent worker pool, hardened for adverse conditions.
 //!
 //! Architecture (one box per thread kind):
 //!
@@ -13,48 +13,99 @@
 //!                                   ▼
 //!                  batcher thread: size/deadline micro-batching
 //!                (max_batch / max_wait — the EngineConfig policy)
+//!                     │ deadline sweep · degrade controller
 //!                                   ▼
 //!            Pipeline::predict_batch_with_confidence_chunked
-//!              (fan-out on the persistent boosthd::pool)
+//!          (fan-out on the persistent boosthd::pool, on the tier
+//!              the degrade ladder currently points at)
 //!                                   ▼
 //!              per-request reply channels ──► handler writes
+//!
+//!  watchdog thread: pool repair · flush-stall detection · model checksum
 //! ```
 //!
 //! **Admission control.** Each predict request is admitted to the batch
 //! queue only while the queue holds fewer than
 //! [`ServerTuning::queue_depth`] pending rows. Past the bound the server
-//! either *sheds* (answers `{"error":"overloaded…"}` immediately —
-//! open-loop clients keep their latency tails honest) or *blocks* the
-//! connection's reader until space frees (closed-loop clients get natural
-//! TCP backpressure); see [`Backpressure`].
+//! either *sheds* (answers a structured `shed` error carrying
+//! `retry_after_ms` — open-loop clients keep their latency tails honest)
+//! or *blocks* the connection's reader until space frees (closed-loop
+//! clients get natural TCP backpressure); see [`Backpressure`].
+//!
+//! **Deadlines.** A request may carry `deadline_ms` (or inherit
+//! [`ServerTuning::deadline_ms`]): its maximum *queue age*. The batcher
+//! sweeps expired requests out of the queue at every flush-composition
+//! point and answers them `deadline_exceeded` without scoring — a request
+//! that already missed its deadline must not waste pool capacity. Socket
+//! read/write timeouts ([`ServerTuning::read_timeout_ms`]) kill
+//! slow-loris connections: a peer that stalls *mid-frame* (or stops
+//! draining its replies) is disconnected, while an idle connection
+//! between frames waits indefinitely.
+//!
+//! **Degrade ladder.** With [`DegradeConfig::enabled`], `bind` builds
+//! quantized siblings of the model at startup — f32 → int8
+//! (`quantize_i8()`) → 1-bit (`quantize()`) — and a hysteresis controller
+//! in the batcher walks that ladder: queue depth at flush time at or above
+//! [`DegradeConfig::high_depth`] for [`DegradeConfig::degrade_after`]
+//! consecutive flushes steps one tier *down* (cheaper, lower-fidelity
+//! scoring); depth at or below [`DegradeConfig::low_depth`] for
+//! [`DegradeConfig::recover_after`] consecutive flushes steps back *up*.
+//! Every predict reply names the tier that served it (`"tier"`). The
+//! ladder's predictions are bit-identical to the corresponding standalone
+//! quantized pipeline: the siblings are built by the same refit-free
+//! `quantize_i8()` / `quantize()` calls. Beyond the last tier there is
+//! nothing left to degrade to — admission control sheds, with
+//! `retry_after_ms` telling clients when to come back.
+//!
+//! **Runtime self-checks.** The `health` wire command scores a pinned
+//! canary window (deterministic pseudo-rows generated at bind, expected
+//! classes recorded from the pristine model) and verifies an FNV-1a
+//! checksum of every tier's live parameters against its bind-time BHDP
+//! envelope; a mismatch — an SEU on the live model — triggers an atomic
+//! reload from the pinned envelope bytes before the canary is scored. The
+//! same verification runs periodically when
+//! [`ServerTuning::model_check_interval_ms`] is non-zero.
+//!
+//! **Watchdog.** A supervisor thread (period
+//! [`ServerTuning::watchdog_interval_ms`]) proactively replaces dead pool
+//! workers ([`boosthd::pool::WorkerPool::repair`]) so a corpse never
+//! delays the next flush, and counts flushes that stall past twice the
+//! watchdog period (`watchdog_stalls`) — the observable symptom of a
+//! stalled (not dead) worker, which the pool's caller-helps-execute
+//! protocol works around.
 //!
 //! **Graceful drain.** A shutdown — wire `{"cmd":"shutdown"}` or
 //! [`Server::request_shutdown`] — stops the accept loop and admission of
 //! *new* work, while the batcher flushes every admitted request and every
 //! handler writes every pending reply before sockets close: zero in-flight
-//! requests are dropped (pinned by an integration test).
+//! requests are dropped (pinned by an integration test). The drain is
+//! *bounded* by [`ServerTuning::drain_deadline_ms`]: a wedged batcher or
+//! connection past the deadline is force-aborted (queued requests answer
+//! an `internal` error, sockets close both halves, `aborted_drains` is
+//! counted) instead of hanging the caller forever.
 //!
 //! **Fault containment.** Protocol errors answer a descriptive error frame
-//! and never touch other connections; a worker-pool panic is isolated and
-//! the worker replaced ([`boosthd::pool`]); a handler that dies with
-//! requests in flight only discards its own replies (the batcher's sends
-//! to a dropped channel are ignored).
+//! carrying a stable [`crate::wire::ErrorCode`] tag and never touch other
+//! connections; a worker-pool panic is isolated and the worker replaced
+//! ([`boosthd::pool`]); a handler that dies with requests in flight only
+//! discards its own replies (the batcher's sends to a dropped channel are
+//! ignored).
 
 use std::collections::VecDeque;
 use std::io::Write;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use boosthd::{Pipeline, Prediction};
-use linalg::Matrix;
+use boosthd::{BoostHd, ModelSpec, OnlineHd, Pipeline, Prediction};
+use linalg::{Matrix, Rng64};
 
 use crate::wire::{
-    error_response, escape_json, ok_response, predict_response, read_frame, Request, WireError,
-    DEFAULT_MAX_FRAME_BYTES,
+    error_response, error_response_retry, escape_json, ok_response, predict_response, read_frame,
+    ErrorCode, Request, WireError, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::EngineConfig;
 
@@ -66,9 +117,10 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// at its [`ServerTuning::queue_depth`] bound.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backpressure {
-    /// Answer `{"error":"overloaded…"}` immediately and drop the request —
-    /// the open-loop-friendly default (the client sees the overload instead
-    /// of an unbounded queueing delay).
+    /// Answer a structured `shed` error (with `retry_after_ms`)
+    /// immediately and drop the request — the open-loop-friendly default
+    /// (the client sees the overload instead of an unbounded queueing
+    /// delay).
     #[default]
     Shed,
     /// Block this connection's reader until the queue has space — TCP
@@ -95,6 +147,37 @@ impl Backpressure {
     }
 }
 
+/// Hysteresis thresholds for the degraded-mode quantization ladder; see
+/// the [module docs](self).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DegradeConfig {
+    /// Build the quantized siblings at bind and let the batcher walk the
+    /// ladder. Off by default: fidelity never silently changes unless the
+    /// operator opted in.
+    pub enabled: bool,
+    /// Flush-time queue depth at or above this counts as an overloaded
+    /// flush.
+    pub high_depth: usize,
+    /// Flush-time queue depth at or below this counts as a calm flush.
+    pub low_depth: usize,
+    /// Consecutive overloaded flushes before stepping one tier down.
+    pub degrade_after: u32,
+    /// Consecutive calm flushes before stepping one tier back up.
+    pub recover_after: u32,
+}
+
+impl Default for DegradeConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            high_depth: 64,
+            low_depth: 8,
+            degrade_after: 3,
+            recover_after: 3,
+        }
+    }
+}
+
 /// Server-side knobs beyond the micro-batching policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerTuning {
@@ -105,6 +188,29 @@ pub struct ServerTuning {
     pub backpressure: Backpressure,
     /// Per-frame byte cap ([`crate::wire`] framing).
     pub max_frame_bytes: usize,
+    /// Default maximum queue age (ms) for requests that do not carry their
+    /// own `deadline_ms`; `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// Socket read/write timeout (ms) guarding against slow-loris peers: a
+    /// connection that stalls mid-frame (or stops draining replies) for
+    /// this long is closed. `0` disables the timeouts. Idle connections
+    /// *between* frames are unaffected.
+    pub read_timeout_ms: u64,
+    /// The `retry_after_ms` hint carried by `shed` replies.
+    pub retry_after_ms: u64,
+    /// Upper bound (ms) on the shutdown drain before wedged work is
+    /// force-aborted; see the [module docs](self).
+    pub drain_deadline_ms: u64,
+    /// The degraded-mode ladder controller.
+    pub degrade: DegradeConfig,
+    /// Period (ms) of the periodic live-model checksum; `0` (default)
+    /// checks only on the `health` command.
+    pub model_check_interval_ms: u64,
+    /// Watchdog period (ms): pool repair + flush-stall detection. `0`
+    /// disables the watchdog thread.
+    pub watchdog_interval_ms: u64,
+    /// Rows in the pinned canary window the `health` command scores.
+    pub canary_rows: usize,
 }
 
 impl Default for ServerTuning {
@@ -113,18 +219,27 @@ impl Default for ServerTuning {
             queue_depth: 1024,
             backpressure: Backpressure::default(),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            deadline_ms: None,
+            read_timeout_ms: 30_000,
+            retry_after_ms: 50,
+            drain_deadline_ms: 5_000,
+            degrade: DegradeConfig::default(),
+            model_check_interval_ms: 0,
+            watchdog_interval_ms: 200,
+            canary_rows: 8,
         }
     }
 }
 
 /// Full server configuration: the engine micro-batch policy plus the
 /// server tuning.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServerConfig {
     /// Micro-batching (`max_batch`, `max_wait`, `threads`, `exec`) — the
     /// same policy the in-process [`crate::InferenceEngine`] applies.
     pub engine: EngineConfig,
-    /// Queue bound, backpressure mode, frame cap.
+    /// Queue bound, backpressure mode, frame cap, deadlines, degrade
+    /// ladder, watchdog.
     pub tuning: ServerTuning,
 }
 
@@ -136,14 +251,43 @@ pub struct ServerStats {
     pub connections: u64,
     /// Predict requests admitted to the queue.
     pub admitted: u64,
-    /// Predict requests answered.
+    /// Predict requests answered with a prediction.
     pub answered: u64,
-    /// Predict requests shed by admission control.
+    /// Predict requests shed by admission control (`shed` taxonomy code).
     pub shed: u64,
-    /// Frames rejected as malformed / bad requests / oversized.
+    /// Frames rejected as malformed / bad requests / oversized (aggregate
+    /// of `bad_frame` + `oversized` + `wrong_width`).
     pub protocol_errors: u64,
     /// Micro-batches flushed.
     pub batches: u64,
+    /// `bad_frame` taxonomy replies (malformed JSON, unrecognized shape,
+    /// mid-frame disconnects and slow-loris stalls).
+    pub bad_frame: u64,
+    /// `oversized` taxonomy replies (frame cap exceeded).
+    pub oversized: u64,
+    /// `wrong_width` taxonomy replies (feature-count mismatch).
+    pub wrong_width: u64,
+    /// `deadline_exceeded` taxonomy replies (queue age beat the flush).
+    pub deadline_exceeded: u64,
+    /// `internal` taxonomy replies (server-side faults, force-aborts).
+    pub internal: u64,
+    /// Degrade-ladder steps down (toward cheaper tiers).
+    pub degrade_steps: u64,
+    /// Degrade-ladder steps up (recovery toward full fidelity).
+    pub recover_steps: u64,
+    /// Dead pool workers the watchdog replaced proactively.
+    pub watchdog_repairs: u64,
+    /// Flushes the watchdog observed stalling past twice its period.
+    pub watchdog_stalls: u64,
+    /// Atomic model reloads after a checksum mismatch (SEU detection).
+    pub model_reloads: u64,
+    /// Canary windows scored by the `health` command.
+    pub canary_checks: u64,
+    /// Canary windows whose classes diverged from the pinned expectation.
+    pub canary_failures: u64,
+    /// Drains that hit [`ServerTuning::drain_deadline_ms`] and
+    /// force-aborted wedged work.
+    pub aborted_drains: u64,
 }
 
 #[derive(Default)]
@@ -154,6 +298,19 @@ struct AtomicStats {
     shed: AtomicU64,
     protocol_errors: AtomicU64,
     batches: AtomicU64,
+    bad_frame: AtomicU64,
+    oversized: AtomicU64,
+    wrong_width: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    internal: AtomicU64,
+    degrade_steps: AtomicU64,
+    recover_steps: AtomicU64,
+    watchdog_repairs: AtomicU64,
+    watchdog_stalls: AtomicU64,
+    model_reloads: AtomicU64,
+    canary_checks: AtomicU64,
+    canary_failures: AtomicU64,
+    aborted_drains: AtomicU64,
 }
 
 impl AtomicStats {
@@ -165,6 +322,47 @@ impl AtomicStats {
             shed: self.shed.load(Ordering::Relaxed),
             protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
+            bad_frame: self.bad_frame.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            wrong_width: self.wrong_width.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            internal: self.internal.load(Ordering::Relaxed),
+            degrade_steps: self.degrade_steps.load(Ordering::Relaxed),
+            recover_steps: self.recover_steps.load(Ordering::Relaxed),
+            watchdog_repairs: self.watchdog_repairs.load(Ordering::Relaxed),
+            watchdog_stalls: self.watchdog_stalls.load(Ordering::Relaxed),
+            model_reloads: self.model_reloads.load(Ordering::Relaxed),
+            canary_checks: self.canary_checks.load(Ordering::Relaxed),
+            canary_failures: self.canary_failures.load(Ordering::Relaxed),
+            aborted_drains: self.aborted_drains.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bumps the per-code taxonomy counter (and the `protocol_errors`
+    /// aggregate for the frame-level codes).
+    fn count_error(&self, code: ErrorCode) {
+        match code {
+            ErrorCode::BadFrame => {
+                self.bad_frame.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::Oversized => {
+                self.oversized.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::WrongWidth => {
+                self.wrong_width.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::Shed => {
+                self.shed.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::DeadlineExceeded => {
+                self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+            }
+            ErrorCode::Internal => {
+                self.internal.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -173,17 +371,71 @@ impl AtomicStats {
 /// split's fitted normalizer), so clients send raw window features.
 pub type RowPrep = dyn Fn(Vec<f32>) -> Vec<f32> + Send + Sync;
 
+/// How the batcher resolved one admitted request.
+enum BatchOutcome {
+    /// Scored on the named ladder tier.
+    Predicted {
+        prediction: Prediction,
+        tier: &'static str,
+    },
+    /// Queue age exceeded the request deadline before a flush reached it.
+    DeadlineExceeded { waited_ms: u64 },
+}
+
 struct PendingRequest {
     row: Vec<f32>,
-    reply: mpsc::Sender<Prediction>,
+    reply: mpsc::Sender<BatchOutcome>,
+    admitted: Instant,
+    deadline: Option<Duration>,
+}
+
+/// One rung of the quantization ladder: the live model plus everything
+/// needed to detect corruption and restore it.
+struct TierEntry {
+    /// Stable tier tag carried on predict replies (`f32`, `int8`,
+    /// `binary`, ...).
+    tag: &'static str,
+    /// The live model. Swapped atomically (write lock) on reload or chaos
+    /// corruption; flushes clone the `Arc` and predict lock-free.
+    model: RwLock<Arc<Pipeline>>,
+    /// BHDP envelope bytes pinned at bind — the reload source.
+    pristine: Option<Vec<u8>>,
+    /// FNV-1a checksum of `pristine`.
+    checksum: u64,
+    /// Canary classes recorded from the pristine model at bind.
+    canary_expected: Vec<usize>,
+}
+
+/// Outcome of one runtime self-check ([`Server::health_check`] / the
+/// `health` wire command).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `"ok"`, `"recovered"` (a checksum mismatch was repaired by an
+    /// atomic reload), or `"degraded"` (the ladder is below full
+    /// fidelity).
+    pub status: String,
+    /// The tier currently serving predictions.
+    pub tier: String,
+    /// Whether the active tier's canary window scored the pinned classes.
+    pub canary_ok: bool,
+    /// Whether every tier's live checksum matched at check time (before
+    /// any reload this check performed).
+    pub checksum_ok: bool,
+    /// Tiers atomically reloaded by this check.
+    pub reloaded: u64,
 }
 
 struct Inner {
-    pipeline: Arc<Pipeline>,
     prep: Option<Box<RowPrep>>,
     expected_features: usize,
     config: ServerConfig,
     threads: usize,
+    /// The quantization ladder; index 0 is full fidelity.
+    tiers: Vec<TierEntry>,
+    /// Index into `tiers` the next flush will score on.
+    active_tier: AtomicUsize,
+    /// The pinned canary window (empty when canaries are disabled).
+    canary: Option<Matrix>,
     queue: Mutex<VecDeque<PendingRequest>>,
     /// Batcher waits here for work; handlers signal on enqueue.
     work_ready: Condvar,
@@ -191,6 +443,15 @@ struct Inner {
     space_ready: Condvar,
     stats: AtomicStats,
     shutting_down: AtomicBool,
+    /// Chaos/test seam: a paused batcher composes no batches (admission
+    /// continues), so tests can engineer exact queue states.
+    batcher_paused: AtomicBool,
+    /// Set when the drain deadline fired: wedged work must abort.
+    force_abort: AtomicBool,
+    /// Latched true by the batcher on exit; the bounded drain waits here.
+    batcher_done: (Mutex<bool>, Condvar),
+    /// Start instant of the flush currently on the pool (stall watchdog).
+    flush_started: Mutex<Option<Instant>>,
     /// `wait()` blocks on this pair until someone requests shutdown.
     shutdown_requested: (Mutex<bool>, Condvar),
     addr: SocketAddr,
@@ -208,16 +469,209 @@ impl Inner {
         *lock(flag) = true;
         cv.notify_all();
     }
+
+    fn active_tier_tag(&self) -> &'static str {
+        self.tiers[self.active_tier.load(Ordering::Relaxed)].tag
+    }
+
+    /// Verifies every tier's live checksum; a mismatch triggers an atomic
+    /// reload from the pinned envelope. Returns `(all_matched_before,
+    /// reloads_performed)`. Idempotent and race-free: the reload decision
+    /// is re-checked under the write lock, so concurrent checkers repair a
+    /// given corruption exactly once.
+    fn verify_checksums(&self) -> (bool, u64) {
+        let mut all_ok = true;
+        let mut reloaded = 0u64;
+        for tier in &self.tiers {
+            let Some(pristine) = tier.pristine.as_ref() else {
+                continue; // unserializable model: no checksum protection
+            };
+            let live = Arc::clone(&tier.model.read().unwrap_or_else(|e| e.into_inner()));
+            let matches = live
+                .to_bytes()
+                .map(|b| fnv1a64(&b) == tier.checksum)
+                .unwrap_or(false);
+            if matches {
+                continue;
+            }
+            all_ok = false;
+            let mut w = tier.model.write().unwrap_or_else(|e| e.into_inner());
+            let still_bad = !w
+                .to_bytes()
+                .map(|b| fnv1a64(&b) == tier.checksum)
+                .unwrap_or(false);
+            if still_bad {
+                if let Ok(fresh) = Pipeline::from_bytes(pristine) {
+                    *w = Arc::new(fresh);
+                    self.stats.model_reloads.fetch_add(1, Ordering::Relaxed);
+                    reloaded += 1;
+                }
+            }
+        }
+        (all_ok, reloaded)
+    }
+
+    /// The full runtime self-check: checksum verification (with repair)
+    /// first, then the canary window on the active tier — so a corrupted
+    /// model is restored *before* it is scored.
+    fn health_check(&self) -> HealthReport {
+        let (checksum_ok, reloaded) = self.verify_checksums();
+        let tier_idx = self.active_tier.load(Ordering::Relaxed);
+        let tier = &self.tiers[tier_idx];
+        let canary_ok = match &self.canary {
+            None => true,
+            Some(x) => {
+                self.stats.canary_checks.fetch_add(1, Ordering::Relaxed);
+                let model = Arc::clone(&tier.model.read().unwrap_or_else(|e| e.into_inner()));
+                let classes: Vec<usize> = model
+                    .predict_batch_with_confidence_chunked(x, self.threads, self.config.engine.exec)
+                    .into_iter()
+                    .map(|p| p.class)
+                    .collect();
+                let ok = classes == tier.canary_expected;
+                if !ok {
+                    self.stats.canary_failures.fetch_add(1, Ordering::Relaxed);
+                }
+                ok
+            }
+        };
+        let status = if tier_idx > 0 {
+            "degraded"
+        } else if reloaded > 0 {
+            "recovered"
+        } else if canary_ok && checksum_ok {
+            "ok"
+        } else {
+            "failing"
+        };
+        HealthReport {
+            status: status.to_string(),
+            tier: tier.tag.to_string(),
+            canary_ok,
+            checksum_ok,
+            reloaded,
+        }
+    }
+}
+
+/// FNV-1a over the serialized model — cheap, deterministic, and any
+/// single-bit flip in the parameters changes it.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable tier tag for the model a pipeline was built from.
+fn base_tier_tag(spec: &ModelSpec) -> &'static str {
+    match spec {
+        ModelSpec::OnlineHd(_) | ModelSpec::CentroidHd(_) | ModelSpec::BoostHd(_) => "f32",
+        ModelSpec::QuantizedI8OnlineHd { .. } | ModelSpec::QuantizedI8BoostHd { .. } => "int8",
+        ModelSpec::QuantizedOnlineHd { .. } | ModelSpec::QuantizedBoostHd { .. } => "binary",
+        ModelSpec::Baseline(_) => "baseline",
+    }
+}
+
+/// Builds the degrade ladder: the pipeline itself, then refit-free
+/// quantized siblings where the model family supports them (dense
+/// OnlineHD/BoostHD → int8 → 1-bit). Other families serve a one-rung
+/// ladder.
+fn build_ladder(pipeline: &Arc<Pipeline>, degrade_enabled: bool) -> Vec<(&'static str, Pipeline)> {
+    let mut tiers: Vec<(&'static str, Pipeline)> = vec![(
+        base_tier_tag(pipeline.spec()),
+        Pipeline::clone(pipeline.as_ref()),
+    )];
+    if !degrade_enabled {
+        return tiers;
+    }
+    let threshold = pipeline.abstain_threshold();
+    match pipeline.spec().clone() {
+        ModelSpec::OnlineHd(cfg) => {
+            if let Some(m) = pipeline.downcast_ref::<OnlineHd>() {
+                tiers.push((
+                    "int8",
+                    Pipeline::from_model(
+                        ModelSpec::QuantizedI8OnlineHd {
+                            base: cfg,
+                            refit_epochs: 0,
+                        },
+                        Box::new(m.quantize_i8()),
+                    )
+                    .with_abstain_threshold(threshold),
+                ));
+                tiers.push((
+                    "binary",
+                    Pipeline::from_model(
+                        ModelSpec::QuantizedOnlineHd {
+                            base: cfg,
+                            refit_epochs: 0,
+                        },
+                        Box::new(m.quantize()),
+                    )
+                    .with_abstain_threshold(threshold),
+                ));
+            }
+        }
+        ModelSpec::BoostHd(cfg) => {
+            if let Some(m) = pipeline.downcast_ref::<BoostHd>() {
+                tiers.push((
+                    "int8",
+                    Pipeline::from_model(
+                        ModelSpec::QuantizedI8BoostHd {
+                            base: cfg,
+                            refit_epochs: 0,
+                        },
+                        Box::new(m.quantize_i8()),
+                    )
+                    .with_abstain_threshold(threshold),
+                ));
+                tiers.push((
+                    "binary",
+                    Pipeline::from_model(
+                        ModelSpec::QuantizedBoostHd {
+                            base: cfg,
+                            refit_epochs: 0,
+                        },
+                        Box::new(m.quantize()),
+                    )
+                    .with_abstain_threshold(threshold),
+                ));
+            }
+        }
+        _ => {}
+    }
+    tiers
+}
+
+/// Seed of the deterministic pseudo-row canary window (fixed: the canary
+/// must be identical across restarts for pinned expectations to be
+/// meaningful).
+const CANARY_SEED: u64 = 0xCA9A_527E_ED01;
+
+fn canary_matrix(features: usize, rows: usize) -> Option<Matrix> {
+    if features == 0 || rows == 0 {
+        return None;
+    }
+    let mut rng = Rng64::seed_from(CANARY_SEED);
+    let rows: Vec<Vec<f32>> = (0..rows)
+        .map(|_| (0..features).map(|_| rng.uniform_in(-1.5, 1.5)).collect())
+        .collect();
+    Matrix::from_rows(&rows).ok()
 }
 
 /// A running network serving front-end; see the [module docs](self).
 ///
 /// Dropping the handle drains and joins the server
-/// ([`Server::shutdown_and_join`] semantics).
+/// ([`Server::shutdown_and_join`] semantics, bounded by
+/// [`ServerTuning::drain_deadline_ms`]).
 pub struct Server {
     inner: Arc<Inner>,
     accept_thread: Option<JoinHandle<()>>,
     batcher_thread: Option<JoinHandle<()>>,
+    watchdog_thread: Option<JoinHandle<()>>,
     handler_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     joined: bool,
 }
@@ -233,7 +687,10 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:7878`, or port `0` for an ephemeral
-    /// port) and starts the accept, handler, and batcher threads.
+    /// port) and starts the accept, handler, batcher, and watchdog
+    /// threads. With [`DegradeConfig::enabled`] the quantized ladder
+    /// siblings are built here, and every tier's envelope bytes, checksum,
+    /// and canary expectations are pinned for the runtime self-checks.
     ///
     /// `expected_features` is the feature-vector length every predict
     /// request must carry; `prep` optionally maps each admitted raw row
@@ -256,17 +713,48 @@ impl Server {
             .threads
             .unwrap_or_else(boosthd::parallel::default_threads)
             .max(1);
+        let canary = canary_matrix(expected_features, config.tuning.canary_rows);
+        let tiers: Vec<TierEntry> = build_ladder(&pipeline, config.tuning.degrade.enabled)
+            .into_iter()
+            .map(|(tag, model)| {
+                let pristine = model.to_bytes().ok();
+                let checksum = pristine.as_deref().map(fnv1a64).unwrap_or(0);
+                let canary_expected = canary
+                    .as_ref()
+                    .map(|x| {
+                        model
+                            .predict_batch_with_confidence_chunked(x, threads, config.engine.exec)
+                            .into_iter()
+                            .map(|p| p.class)
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                TierEntry {
+                    tag,
+                    model: RwLock::new(Arc::new(model)),
+                    pristine,
+                    checksum,
+                    canary_expected,
+                }
+            })
+            .collect();
         let inner = Arc::new(Inner {
-            pipeline,
             prep,
             expected_features,
             config,
             threads,
+            tiers,
+            active_tier: AtomicUsize::new(0),
+            canary,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             space_ready: Condvar::new(),
             stats: AtomicStats::default(),
             shutting_down: AtomicBool::new(false),
+            batcher_paused: AtomicBool::new(false),
+            force_abort: AtomicBool::new(false),
+            batcher_done: (Mutex::new(false), Condvar::new()),
+            flush_started: Mutex::new(None),
             shutdown_requested: (Mutex::new(false), Condvar::new()),
             addr: local,
             conns: Mutex::new(Vec::new()),
@@ -284,13 +772,31 @@ impl Server {
         let batch_inner = Arc::clone(&inner);
         let batcher_thread = std::thread::Builder::new()
             .name("hdc-serve-batcher".into())
-            .spawn(move || batcher_loop(batch_inner))
+            .spawn(move || {
+                batcher_loop(&batch_inner);
+                let (flag, cv) = &batch_inner.batcher_done;
+                *lock(flag) = true;
+                cv.notify_all();
+            })
             .expect("spawn batcher thread");
+
+        let watchdog_thread = if config.tuning.watchdog_interval_ms > 0 {
+            let dog_inner = Arc::clone(&inner);
+            Some(
+                std::thread::Builder::new()
+                    .name("hdc-serve-watchdog".into())
+                    .spawn(move || watchdog_loop(&dog_inner))
+                    .expect("spawn watchdog thread"),
+            )
+        } else {
+            None
+        };
 
         Ok(Server {
             inner,
             accept_thread: Some(accept_thread),
             batcher_thread: Some(batcher_thread),
+            watchdog_thread,
             handler_threads,
             joined: false,
         })
@@ -304,6 +810,57 @@ impl Server {
     /// Current counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.inner.stats.snapshot()
+    }
+
+    /// The tier tag the next flush will serve on (`"f32"` at full
+    /// fidelity).
+    pub fn current_tier(&self) -> &'static str {
+        self.inner.active_tier_tag()
+    }
+
+    /// Admitted-but-unflushed requests right now.
+    pub fn queue_len(&self) -> usize {
+        lock(&self.inner.queue).len()
+    }
+
+    /// Runs the runtime self-check (checksums with atomic repair, then the
+    /// canary window) — the same path as the `health` wire command.
+    pub fn health_check(&self) -> HealthReport {
+        self.inner.health_check()
+    }
+
+    /// Chaos/test seam: holds the batcher before its next batch
+    /// composition. Admission (and shedding) continues, so tests can
+    /// engineer exact queue states deterministically. Pair with
+    /// [`Server::resume_batcher`].
+    pub fn pause_batcher(&self) {
+        self.inner.batcher_paused.store(true, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+    }
+
+    /// Releases [`Server::pause_batcher`].
+    pub fn resume_batcher(&self) {
+        self.inner.batcher_paused.store(false, Ordering::SeqCst);
+        self.inner.work_ready.notify_all();
+    }
+
+    /// Chaos/test seam: flips each bit of the *live* full-fidelity model
+    /// with probability `p_b` (seeded — deterministic), simulating an SEU
+    /// on serving memory. Returns the number of bits flipped. The pinned
+    /// envelope and checksum are untouched, so the next self-check detects
+    /// and repairs the corruption.
+    pub fn corrupt_live_model(&self, p_b: f64, seed: u64) -> usize {
+        let tier = &self.inner.tiers[0];
+        let mut w = tier.model.write().unwrap_or_else(|e| e.into_inner());
+        let mut corrupted = Pipeline::clone(w.as_ref());
+        let mut rng = Rng64::seed_from(seed);
+        match corrupted.inject_bitflips(p_b, &mut rng) {
+            Ok(report) => {
+                *w = Arc::new(corrupted);
+                report.flipped
+            }
+            Err(_) => 0,
+        }
     }
 
     /// Flags the server for graceful drain without blocking (the wire
@@ -323,7 +880,9 @@ impl Server {
 
     /// Requests shutdown, then drains and joins: stops accepting, flushes
     /// every admitted request, answers it, closes sockets, joins all
-    /// threads. No in-flight request is dropped.
+    /// threads. No in-flight request is dropped — unless the drain exceeds
+    /// [`ServerTuning::drain_deadline_ms`], at which point wedged work is
+    /// force-aborted (see the [module docs](self)).
     pub fn shutdown_and_join(mut self) -> ServerStats {
         self.inner.request_shutdown();
         self.drain_and_join()
@@ -342,6 +901,8 @@ impl Server {
             return self.inner.stats.snapshot();
         }
         self.joined = true;
+        let drain_deadline = Instant::now()
+            + Duration::from_millis(self.inner.config.tuning.drain_deadline_ms.max(1));
         // 1. Stop admission + accept.
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.request_shutdown();
@@ -352,9 +913,41 @@ impl Server {
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();
         }
-        // 2. Batcher drains every admitted request, then exits.
-        if let Some(h) = self.batcher_thread.take() {
-            let _ = h.join();
+        // 2. Batcher drains every admitted request — bounded by the drain
+        // deadline.
+        let drained = self.wait_batcher_done(drain_deadline);
+        if drained {
+            if let Some(h) = self.batcher_thread.take() {
+                let _ = h.join();
+            }
+        } else {
+            // The drain deadline fired with the batcher wedged (a stalled
+            // flush, or a chaos pause never released): force-abort. Queued
+            // requests resolve by dropping their reply senders; handlers
+            // answer an `internal` error and exit.
+            self.inner
+                .stats
+                .aborted_drains
+                .fetch_add(1, Ordering::Relaxed);
+            self.inner.force_abort.store(true, Ordering::SeqCst);
+            self.inner.work_ready.notify_all();
+            let abandoned: Vec<PendingRequest> = lock(&self.inner.queue).drain(..).collect();
+            drop(abandoned);
+            self.inner.space_ready.notify_all();
+            // One grace window for the batcher to notice the abort; a
+            // flush genuinely stuck on the pool cannot be joined — leak it
+            // rather than hang the caller.
+            let grace = Instant::now() + Duration::from_millis(250);
+            if self.wait_batcher_done(grace) {
+                if let Some(h) = self.batcher_thread.take() {
+                    let _ = h.join();
+                }
+            } else {
+                let _ = self.batcher_thread.take();
+            }
+            for stream in lock(&self.inner.conns).iter() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
         }
         // 3. Handlers: the batcher has resolved every admitted request,
         // but handlers may still be writing those replies out. Shut down
@@ -368,7 +961,29 @@ impl Server {
         for h in handlers {
             let _ = h.join();
         }
+        // 4. The watchdog wakes within its own period and sees the flag.
+        if let Some(h) = self.watchdog_thread.take() {
+            let _ = h.join();
+        }
         self.inner.stats.snapshot()
+    }
+
+    /// Waits for the batcher-exit latch until `deadline`; `true` when the
+    /// batcher finished.
+    fn wait_batcher_done(&self, deadline: Instant) -> bool {
+        let (flag, cv) = &self.inner.batcher_done;
+        let mut done = lock(flag);
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (d, _timeout) = cv
+                .wait_timeout(done, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            done = d;
+        }
+        true
     }
 }
 
@@ -391,6 +1006,16 @@ fn accept_loop(
         let Ok(stream) = stream else { continue };
         inner.stats.connections.fetch_add(1, Ordering::Relaxed);
         stream.set_nodelay(true).ok();
+        let timeout_ms = inner.config.tuning.read_timeout_ms;
+        if timeout_ms > 0 {
+            // Slow-loris guards: a peer stalling mid-frame, or refusing to
+            // drain its replies, gets disconnected instead of pinning this
+            // handler forever. (Idle BETWEEN frames stays legal: read_frame
+            // swallows timeouts while its buffer is empty.)
+            let t = Duration::from_millis(timeout_ms);
+            stream.set_read_timeout(Some(t)).ok();
+            stream.set_write_timeout(Some(t)).ok();
+        }
         if let Ok(clone) = stream.try_clone() {
             lock(&inner.conns).push(clone);
         }
@@ -418,8 +1043,23 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
             Ok(None) => return, // clean close
             Err(e @ WireError::FrameTooLarge { .. }) => {
                 // Framing is lost: report and close.
-                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = writeln!(writer, "{}", error_response(None, &e.to_string()));
+                inner.stats.count_error(ErrorCode::Oversized);
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_response(None, ErrorCode::Oversized, &e.to_string())
+                );
+                let _ = writer.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(e @ WireError::Stalled) => {
+                // Slow-loris: mid-frame stall past the read timeout.
+                inner.stats.count_error(ErrorCode::BadFrame);
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_response(None, ErrorCode::BadFrame, &e.to_string())
+                );
                 let _ = writer.shutdown(Shutdown::Both);
                 return;
             }
@@ -427,16 +1067,26 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
             Err(e) => {
                 // Mid-frame EOF / non-UTF-8: answer if the socket is still
                 // writable, then close (the stream state is unknown).
-                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                let _ = writeln!(writer, "{}", error_response(None, &e.to_string()));
+                inner.stats.count_error(ErrorCode::BadFrame);
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_response(None, ErrorCode::BadFrame, &e.to_string())
+                );
                 return;
             }
         };
         match Request::parse(&frame) {
             Err(e) => {
                 // Parse errors keep the connection: framing is intact.
-                inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
-                if writeln!(writer, "{}", error_response(None, &e.to_string())).is_err() {
+                inner.stats.count_error(ErrorCode::BadFrame);
+                if writeln!(
+                    writer,
+                    "{}",
+                    error_response(None, ErrorCode::BadFrame, &e.to_string())
+                )
+                .is_err()
+                {
                     return;
                 }
             }
@@ -446,16 +1096,20 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
                 }
             }
             Ok(Request::Stats) => {
-                let s = inner.stats.snapshot();
+                let frame = stats_frame(&inner);
+                if writeln!(writer, "{frame}").is_err() {
+                    return;
+                }
+            }
+            Ok(Request::Health) => {
+                let report = inner.health_check();
                 let frame = format!(
-                    "{{\"ok\":\"stats\",\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"queue_depth\":{}}}",
-                    s.connections,
-                    s.admitted,
-                    s.answered,
-                    s.shed,
-                    s.protocol_errors,
-                    s.batches,
-                    lock(&inner.queue).len(),
+                    "{{\"ok\":\"health\",\"status\":\"{}\",\"tier\":\"{}\",\"canary_ok\":{},\"checksum_ok\":{},\"reloaded\":{}}}",
+                    escape_json(&report.status),
+                    escape_json(&report.tier),
+                    report.canary_ok,
+                    report.checksum_ok,
+                    report.reloaded,
                 );
                 if writeln!(writer, "{frame}").is_err() {
                     return;
@@ -466,8 +1120,12 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
                 inner.request_shutdown();
                 return;
             }
-            Ok(Request::Predict { id, features }) => {
-                if !answer_predict(&inner, &mut writer, id, features) {
+            Ok(Request::Predict {
+                id,
+                features,
+                deadline_ms,
+            }) => {
+                if !answer_predict(&inner, &mut writer, id, features, deadline_ms) {
                     return;
                 }
             }
@@ -475,26 +1133,79 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
     }
 }
 
+/// The `{"cmd":"stats"}` reply: counters, taxonomy, ladder gauge, queue
+/// gauge.
+fn stats_frame(inner: &Inner) -> String {
+    let s = inner.stats.snapshot();
+    format!(
+        "{{\"ok\":\"stats\",\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"tier\":\"{}\",\"queue_depth\":{}}}",
+        s.connections,
+        s.admitted,
+        s.answered,
+        s.shed,
+        s.protocol_errors,
+        s.batches,
+        s.bad_frame,
+        s.oversized,
+        s.wrong_width,
+        s.deadline_exceeded,
+        s.internal,
+        s.degrade_steps,
+        s.recover_steps,
+        s.watchdog_repairs,
+        s.watchdog_stalls,
+        s.model_reloads,
+        s.aborted_drains,
+        inner.active_tier_tag(),
+        lock(&inner.queue).len(),
+    )
+}
+
 /// Admits one predict request, waits for its reply, writes it. Returns
 /// `false` when the connection should close.
-fn answer_predict(inner: &Inner, writer: &mut TcpStream, id: u64, features: Vec<f32>) -> bool {
+fn answer_predict(
+    inner: &Inner,
+    writer: &mut TcpStream,
+    id: u64,
+    features: Vec<f32>,
+    deadline_ms: Option<u64>,
+) -> bool {
     if features.len() != inner.expected_features {
-        inner.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+        inner.stats.count_error(ErrorCode::WrongWidth);
         let msg = format!(
             "feature count mismatch: got {}, model expects {}",
             features.len(),
             inner.expected_features
         );
-        return writeln!(writer, "{}", error_response(Some(id), &msg)).is_ok();
+        return writeln!(
+            writer,
+            "{}",
+            error_response(Some(id), ErrorCode::WrongWidth, &msg)
+        )
+        .is_ok();
     }
     if inner.is_shutting_down() {
+        inner.stats.count_error(ErrorCode::Shed);
         let msg = "server is shutting down";
-        return writeln!(writer, "{}", error_response(Some(id), msg)).is_ok();
+        return writeln!(
+            writer,
+            "{}",
+            error_response_retry(
+                Some(id),
+                ErrorCode::Shed,
+                msg,
+                inner.config.tuning.retry_after_ms
+            )
+        )
+        .is_ok();
     }
     let row = match &inner.prep {
         Some(prep) => prep(features),
         None => features,
     };
+    let deadline = deadline_ms
+        .or(inner.config.tuning.deadline_ms)
+        .map(Duration::from_millis);
     let (tx, rx) = mpsc::channel();
     {
         let mut queue = lock(&inner.queue);
@@ -502,12 +1213,22 @@ fn answer_predict(inner: &Inner, writer: &mut TcpStream, id: u64, features: Vec<
             match inner.config.tuning.backpressure {
                 Backpressure::Shed => {
                     drop(queue);
-                    inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.count_error(ErrorCode::Shed);
                     let msg = format!(
                         "overloaded: queue depth {} reached; request shed",
                         inner.config.tuning.queue_depth
                     );
-                    return writeln!(writer, "{}", error_response(Some(id), &msg)).is_ok();
+                    return writeln!(
+                        writer,
+                        "{}",
+                        error_response_retry(
+                            Some(id),
+                            ErrorCode::Shed,
+                            &msg,
+                            inner.config.tuning.retry_after_ms
+                        )
+                    )
+                    .is_ok();
                 }
                 Backpressure::Block => {
                     while queue.len() >= inner.config.tuning.queue_depth
@@ -521,35 +1242,122 @@ fn answer_predict(inner: &Inner, writer: &mut TcpStream, id: u64, features: Vec<
                 }
             }
         }
-        queue.push_back(PendingRequest { row, reply: tx });
+        queue.push_back(PendingRequest {
+            row,
+            reply: tx,
+            admitted: Instant::now(),
+            deadline,
+        });
         inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
     }
     inner.work_ready.notify_all();
-    match rx.recv() {
-        Ok(prediction) => {
-            inner.stats.answered.fetch_add(1, Ordering::Relaxed);
-            writeln!(writer, "{}", predict_response(id, &prediction)).is_ok()
-        }
-        Err(_) => {
-            // Batcher gone without answering — only possible on a
-            // catastrophic internal error; report rather than hang.
-            let msg = "internal error: batcher dropped the request";
-            let _ = writeln!(writer, "{}", error_response(Some(id), msg));
-            false
+    loop {
+        match rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(BatchOutcome::Predicted { prediction, tier }) => {
+                inner.stats.answered.fetch_add(1, Ordering::Relaxed);
+                return writeln!(writer, "{}", predict_response(id, &prediction, tier)).is_ok();
+            }
+            Ok(BatchOutcome::DeadlineExceeded { waited_ms }) => {
+                inner.stats.count_error(ErrorCode::DeadlineExceeded);
+                let msg = format!("deadline exceeded after {waited_ms}ms in queue; not scored");
+                return writeln!(
+                    writer,
+                    "{}",
+                    error_response(Some(id), ErrorCode::DeadlineExceeded, &msg)
+                )
+                .is_ok();
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if inner.force_abort.load(Ordering::SeqCst) {
+                    // The bounded drain gave up on the batcher; answer
+                    // rather than hang.
+                    inner.stats.count_error(ErrorCode::Internal);
+                    let msg = "internal error: drain deadline aborted the request";
+                    let _ = writeln!(
+                        writer,
+                        "{}",
+                        error_response(Some(id), ErrorCode::Internal, msg)
+                    );
+                    return false;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // Batcher gone without answering — only possible on a
+                // catastrophic internal error or a force-abort; report
+                // rather than hang.
+                inner.stats.count_error(ErrorCode::Internal);
+                let msg = "internal error: batcher dropped the request";
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    error_response(Some(id), ErrorCode::Internal, msg)
+                );
+                return false;
+            }
         }
     }
 }
 
+/// Sweeps deadline-expired requests out of the queue, answering each
+/// `deadline_exceeded` through its reply channel — a request that already
+/// missed its deadline must not waste flush capacity. Returns how many
+/// were swept.
+fn sweep_expired(queue: &mut VecDeque<PendingRequest>) -> usize {
+    let now = Instant::now();
+    let mut swept = 0;
+    let mut i = 0;
+    while i < queue.len() {
+        let expired = queue[i]
+            .deadline
+            .is_some_and(|d| now.duration_since(queue[i].admitted) >= d);
+        if expired {
+            if let Some(req) = queue.remove(i) {
+                let waited_ms = now.duration_since(req.admitted).as_millis() as u64;
+                let _ = req.reply.send(BatchOutcome::DeadlineExceeded { waited_ms });
+                swept += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    swept
+}
+
 /// The micro-batcher: applies the `max_batch` / `max_wait` policy over the
-/// shared queue and flushes through the pool-backed confidence path. On
-/// shutdown it drains everything admitted before exiting.
-fn batcher_loop(inner: Arc<Inner>) {
+/// shared queue, sweeps deadline-expired requests at every composition
+/// point, walks the degrade ladder by queue-depth hysteresis, and flushes
+/// through the pool-backed confidence path on the active tier. On shutdown
+/// it drains everything admitted before exiting (unless force-aborted by
+/// the bounded drain).
+fn batcher_loop(inner: &Arc<Inner>) {
     let max_batch = inner.config.engine.max_batch.max(1);
     let max_wait = inner.config.engine.max_wait;
+    let degrade = inner.config.tuning.degrade;
+    // Hysteresis state: consecutive overloaded / calm flushes.
+    let mut hot_flushes = 0u32;
+    let mut calm_flushes = 0u32;
     loop {
-        let batch: Vec<PendingRequest> = {
+        if inner.force_abort.load(Ordering::SeqCst) {
+            return;
+        }
+        let (batch, depth_at_flush): (Vec<PendingRequest>, usize) = {
             let mut queue = lock(&inner.queue);
             let deadline: Option<Instant> = loop {
+                if inner.force_abort.load(Ordering::SeqCst) {
+                    return;
+                }
+                if inner.batcher_paused.load(Ordering::SeqCst) {
+                    // Chaos hold: compose nothing (admission continues).
+                    queue = inner
+                        .work_ready
+                        .wait_timeout(queue, Duration::from_millis(20))
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                    continue;
+                }
+                if sweep_expired(&mut queue) > 0 {
+                    inner.space_ready.notify_all();
+                }
                 if queue.len() >= max_batch {
                     break None; // full batch: flush now
                 }
@@ -572,8 +1380,15 @@ fn batcher_loop(inner: Arc<Inner>) {
             };
             if let Some(deadline) = deadline {
                 loop {
+                    if inner.force_abort.load(Ordering::SeqCst) {
+                        return;
+                    }
                     let now = Instant::now();
-                    if queue.len() >= max_batch || now >= deadline || inner.is_shutting_down() {
+                    if queue.len() >= max_batch
+                        || now >= deadline
+                        || inner.is_shutting_down()
+                        || inner.batcher_paused.load(Ordering::SeqCst)
+                    {
                         break;
                     }
                     let (q, _timeout) = inner
@@ -582,26 +1397,109 @@ fn batcher_loop(inner: Arc<Inner>) {
                         .unwrap_or_else(|e| e.into_inner());
                     queue = q;
                 }
+                if inner.batcher_paused.load(Ordering::SeqCst) {
+                    continue; // re-enter the pause gate without composing
+                }
+                if sweep_expired(&mut queue) > 0 {
+                    inner.space_ready.notify_all();
+                }
             }
-            let take = queue.len().min(max_batch);
-            queue.drain(..take).collect()
+            let depth = queue.len();
+            let take = depth.min(max_batch);
+            (queue.drain(..take).collect(), depth)
         };
         inner.space_ready.notify_all();
         if batch.is_empty() {
             continue;
         }
+        // Degrade controller: hysteresis on flush-time queue depth. The
+        // decision lands before this flush, so a step-down already serves
+        // the current batch on the cheaper tier.
+        if degrade.enabled && inner.tiers.len() > 1 {
+            let mut active = inner.active_tier.load(Ordering::Relaxed);
+            if depth_at_flush >= degrade.high_depth {
+                hot_flushes += 1;
+                calm_flushes = 0;
+                if hot_flushes >= degrade.degrade_after.max(1) && active + 1 < inner.tiers.len() {
+                    active += 1;
+                    inner.active_tier.store(active, Ordering::Relaxed);
+                    inner.stats.degrade_steps.fetch_add(1, Ordering::Relaxed);
+                    hot_flushes = 0;
+                }
+            } else if depth_at_flush <= degrade.low_depth {
+                calm_flushes += 1;
+                hot_flushes = 0;
+                if calm_flushes >= degrade.recover_after.max(1) && active > 0 {
+                    active -= 1;
+                    inner.active_tier.store(active, Ordering::Relaxed);
+                    inner.stats.recover_steps.fetch_add(1, Ordering::Relaxed);
+                    calm_flushes = 0;
+                }
+            } else {
+                hot_flushes = 0;
+                calm_flushes = 0;
+            }
+        }
+        let tier = &inner.tiers[inner.active_tier.load(Ordering::Relaxed)];
+        let model = Arc::clone(&tier.model.read().unwrap_or_else(|e| e.into_inner()));
         let rows: Vec<Vec<f32>> = batch.iter().map(|r| r.row.clone()).collect();
         let x = Matrix::from_rows(&rows).expect("admitted rows share the validated feature width");
-        let predictions = inner.pipeline.predict_batch_with_confidence_chunked(
+        *lock(&inner.flush_started) = Some(Instant::now());
+        let predictions = model.predict_batch_with_confidence_chunked(
             &x,
             inner.threads,
             inner.config.engine.exec,
         );
+        *lock(&inner.flush_started) = None;
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
         for (request, prediction) in batch.into_iter().zip(predictions) {
             // A send error means the handler/connection died mid-flight;
             // the prediction is simply discarded.
-            let _ = request.reply.send(prediction);
+            let _ = request.reply.send(BatchOutcome::Predicted {
+                prediction,
+                tier: tier.tag,
+            });
+        }
+    }
+}
+
+/// The supervisor: proactive pool repair, flush-stall detection, and the
+/// optional periodic model checksum. Exits when the server shuts down.
+fn watchdog_loop(inner: &Arc<Inner>) {
+    let interval = Duration::from_millis(inner.config.tuning.watchdog_interval_ms.max(1));
+    let stall_after = interval * 2;
+    let check_every = inner.config.tuning.model_check_interval_ms;
+    let mut last_model_check = Instant::now();
+    let mut stalled_flush: Option<Instant> = None;
+    while !inner.is_shutting_down() {
+        std::thread::sleep(interval);
+        // Dead workers are replaced before the next flush needs them (the
+        // pool would also self-heal lazily mid-fanout; proactive repair
+        // removes that latency from the serving path).
+        let repaired = boosthd::pool::global().repair() as u64;
+        if repaired > 0 {
+            inner
+                .stats
+                .watchdog_repairs
+                .fetch_add(repaired, Ordering::Relaxed);
+        }
+        // A flush still running after two periods is stalled (a held
+        // worker, not a dead one — repair can't fix it, the pool's
+        // help-execute protocol eventually completes it). Count each stall
+        // once.
+        let started = *lock(&inner.flush_started);
+        match started {
+            Some(t0) if t0.elapsed() >= stall_after => {
+                if stalled_flush != Some(t0) {
+                    stalled_flush = Some(t0);
+                    inner.stats.watchdog_stalls.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => stalled_flush = None,
+        }
+        if check_every > 0 && last_model_check.elapsed() >= Duration::from_millis(check_every) {
+            last_model_check = Instant::now();
+            inner.verify_checksums();
         }
     }
 }
@@ -610,13 +1508,24 @@ fn batcher_loop(inner: Arc<Inner>) {
 /// shutdown reporting and tests).
 pub fn stats_json(stats: &ServerStats, note: &str) -> String {
     format!(
-        "{{\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"note\":\"{}\"}}",
+        "{{\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"note\":\"{}\"}}",
         stats.connections,
         stats.admitted,
         stats.answered,
         stats.shed,
         stats.protocol_errors,
         stats.batches,
+        stats.bad_frame,
+        stats.oversized,
+        stats.wrong_width,
+        stats.deadline_exceeded,
+        stats.internal,
+        stats.degrade_steps,
+        stats.recover_steps,
+        stats.watchdog_repairs,
+        stats.watchdog_stalls,
+        stats.model_reloads,
+        stats.aborted_drains,
         escape_json(note)
     )
 }

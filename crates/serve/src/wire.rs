@@ -24,25 +24,32 @@
 //!
 //! | shape | meaning |
 //! |---|---|
-//! | `{"features": [f32...], "id": u64?}` | predict one feature vector; `id` is echoed back (default 0) |
+//! | `{"features": [f32...], "id": u64?, "deadline_ms": u64?}` | predict one feature vector; `id` is echoed back (default 0); `deadline_ms` bounds the queue age before the server answers `deadline_exceeded` instead of scoring |
 //! | `{"cmd": "ping"}` | liveness probe |
 //! | `{"cmd": "stats"}` | server counters snapshot |
+//! | `{"cmd": "health"}` | runtime self-check: canary window score + live-model checksum (corruption triggers an atomic reload) |
 //! | `{"cmd": "shutdown"}` | request graceful drain: the server stops accepting, answers everything in flight, then exits |
 //!
 //! # Responses
 //!
 //! Predictions answer as
-//! `{"id":N,"class":K,"confidence":C,"margin":M,"abstained":B}` — the
-//! fields of [`boosthd::Prediction`], so a reliability-gated client can
-//! escalate on `abstained` exactly as the in-process confidence API
-//! allows. Control commands answer `{"ok": ...}`. Every failure answers
-//! `{"error":"<description>"}` (plus the request `id` when one was
-//! parsed); protocol errors never kill the server.
+//! `{"id":N,"class":K,"confidence":C,"margin":M,"abstained":B,"tier":"f32"}`
+//! — the fields of [`boosthd::Prediction`], so a reliability-gated client
+//! can escalate on `abstained` exactly as the in-process confidence API
+//! allows, plus the quantization `tier` that served the request (the
+//! degrade ladder; see [`crate::server`]). Control commands answer
+//! `{"ok": ...}`. Every failure answers
+//! `{"error":"<description>","code":"<taxonomy>"}` (plus the request `id`
+//! when one was parsed, and `retry_after_ms` on sheds) — `code` is one of
+//! the stable [`ErrorCode`] tags, so clients branch on machine-readable
+//! categories instead of message prefixes; protocol errors never kill the
+//! server.
 //!
 //! The module also houses the self-contained JSON reader/writer the
-//! protocol runs on (the build is offline; no serde_json) and a small
+//! protocol runs on (the build is offline; no serde_json), a small
 //! blocking [`Client`] used by `loadgen`, the CI smoke, and the
-//! integration tests.
+//! integration tests, and the jittered-backoff [`RetryingClient`] wrapper
+//! (predict requests are idempotent, so bounded re-sends are safe).
 
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -66,6 +73,10 @@ pub enum WireError {
     Malformed(String),
     /// The JSON was valid but not a recognized request shape.
     BadRequest(String),
+    /// A read timed out mid-frame: the peer sent part of a frame and then
+    /// stalled past the configured socket read timeout (slow-loris).
+    /// Framing is lost, so the connection must close.
+    Stalled,
     /// An underlying socket error.
     Io(String),
 }
@@ -78,12 +89,74 @@ impl fmt::Display for WireError {
             }
             WireError::Malformed(m) => write!(f, "malformed frame: {m}"),
             WireError::BadRequest(m) => write!(f, "bad request: {m}"),
+            WireError::Stalled => {
+                write!(
+                    f,
+                    "read stalled mid-frame past the timeout; closing connection"
+                )
+            }
             WireError::Io(m) => write!(f, "socket error: {m}"),
         }
     }
 }
 
 impl std::error::Error for WireError {}
+
+/// Stable machine-readable error categories carried as `"code"` in every
+/// error reply (the structured error taxonomy). Tags never change once
+/// shipped — clients and the chaos campaign key their branching and their
+/// taxonomy counters on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ErrorCode {
+    /// Unparseable frame: invalid JSON/UTF-8, unrecognized request shape,
+    /// a mid-frame disconnect, or a mid-frame stall (slow-loris timeout).
+    BadFrame,
+    /// The frame exceeded `max_frame_bytes` before its newline arrived.
+    Oversized,
+    /// The feature vector length does not match the model's input width.
+    WrongWidth,
+    /// Admission control shed the request (queue at `queue_depth`, or the
+    /// degrade ladder is already at its last tier); the reply carries
+    /// `retry_after_ms`.
+    Shed,
+    /// The request's queue age exceeded its `deadline_ms` before a flush
+    /// reached it; it was answered without scoring.
+    DeadlineExceeded,
+    /// A server-side failure that is not the client's fault (e.g. the
+    /// batcher died, or the drain deadline force-aborted the request).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code, in stable (alphabetical-tag) reporting order — the
+    /// iteration order of taxonomy counters in `stats` and the chaos
+    /// report.
+    pub const ALL: [ErrorCode; 6] = [
+        ErrorCode::BadFrame,
+        ErrorCode::DeadlineExceeded,
+        ErrorCode::Internal,
+        ErrorCode::Oversized,
+        ErrorCode::Shed,
+        ErrorCode::WrongWidth,
+    ];
+
+    /// The stable wire tag.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ErrorCode::BadFrame => "bad_frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::WrongWidth => "wrong_width",
+            ErrorCode::Shed => "shed",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses a tag produced by [`ErrorCode::tag`].
+    pub fn from_tag(tag: &str) -> Option<ErrorCode> {
+        ErrorCode::ALL.into_iter().find(|c| c.tag() == tag)
+    }
+}
 
 // ---------------------------------------------------------------------------
 // Minimal JSON value model + parser (offline build: no serde_json).
@@ -373,11 +446,17 @@ pub enum Request {
         id: u64,
         /// The raw feature row.
         features: Vec<f32>,
+        /// Maximum queue age in milliseconds before the server answers
+        /// `deadline_exceeded` instead of scoring (`None`: the server
+        /// default, which may itself be unbounded).
+        deadline_ms: Option<u64>,
     },
     /// Liveness probe.
     Ping,
     /// Server counters snapshot.
     Stats,
+    /// Runtime self-check: canary scoring + live-model checksum.
+    Health,
     /// Graceful-drain request.
     Shutdown,
 }
@@ -403,9 +482,10 @@ impl Request {
             return match cmd {
                 "ping" => Ok(Request::Ping),
                 "stats" => Ok(Request::Stats),
+                "health" => Ok(Request::Health),
                 "shutdown" => Ok(Request::Shutdown),
                 other => Err(WireError::BadRequest(format!(
-                    "unknown cmd `{other}` (expected ping, stats, or shutdown)"
+                    "unknown cmd `{other}` (expected ping, stats, health, or shutdown)"
                 ))),
             };
         }
@@ -428,21 +508,29 @@ impl Request {
             }
             row.push(f);
         }
-        let id = match value.get("id") {
-            None => 0,
-            Some(v) => {
-                let n = v
-                    .as_num()
-                    .ok_or_else(|| WireError::BadRequest("`id` must be a number".into()))?;
-                if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
-                    return Err(WireError::BadRequest(format!(
-                        "`id` must be a non-negative integer, got {n}"
-                    )));
+        let uint_field = |key: &str| -> Result<Option<u64>, WireError> {
+            match value.get(key) {
+                None => Ok(None),
+                Some(v) => {
+                    let n = v.as_num().ok_or_else(|| {
+                        WireError::BadRequest(format!("`{key}` must be a number"))
+                    })?;
+                    if n < 0.0 || n.fract() != 0.0 || n > u64::MAX as f64 {
+                        return Err(WireError::BadRequest(format!(
+                            "`{key}` must be a non-negative integer, got {n}"
+                        )));
+                    }
+                    Ok(Some(n as u64))
                 }
-                n as u64
             }
         };
-        Ok(Request::Predict { id, features: row })
+        let id = uint_field("id")?.unwrap_or(0);
+        let deadline_ms = uint_field("deadline_ms")?;
+        Ok(Request::Predict {
+            id,
+            features: row,
+            deadline_ms,
+        })
     }
 }
 
@@ -451,19 +539,55 @@ impl Request {
 // ---------------------------------------------------------------------------
 
 /// Serializes a prediction response frame (without the trailing newline).
-pub fn predict_response(id: u64, p: &boosthd::Prediction) -> String {
+/// `tier` names the quantization rung that served the request (`"f32"`,
+/// `"int8"`, `"binary"`; see the degrade ladder in [`crate::server`]).
+pub fn predict_response(id: u64, p: &boosthd::Prediction, tier: &str) -> String {
     format!(
-        "{{\"id\":{id},\"class\":{},\"confidence\":{},\"margin\":{},\"abstained\":{}}}",
-        p.class, p.confidence, p.margin, p.abstained
+        "{{\"id\":{id},\"class\":{},\"confidence\":{},\"margin\":{},\"abstained\":{},\"tier\":\"{}\"}}",
+        p.class,
+        p.confidence,
+        p.margin,
+        p.abstained,
+        escape_json(tier)
     )
 }
 
-/// Serializes an error response frame; `id` is included when the failing
-/// request carried one.
-pub fn error_response(id: Option<u64>, message: &str) -> String {
+/// Serializes an error response frame carrying the taxonomy `code`; `id`
+/// is included when the failing request carried one.
+pub fn error_response(id: Option<u64>, code: ErrorCode, message: &str) -> String {
     match id {
-        Some(id) => format!("{{\"id\":{id},\"error\":\"{}\"}}", escape_json(message)),
-        None => format!("{{\"error\":\"{}\"}}", escape_json(message)),
+        Some(id) => format!(
+            "{{\"id\":{id},\"error\":\"{}\",\"code\":\"{}\"}}",
+            escape_json(message),
+            code.tag()
+        ),
+        None => format!(
+            "{{\"error\":\"{}\",\"code\":\"{}\"}}",
+            escape_json(message),
+            code.tag()
+        ),
+    }
+}
+
+/// Serializes a shed/backoff error response: the taxonomy `code` plus a
+/// structured `retry_after_ms` hint the [`RetryingClient`] honors.
+pub fn error_response_retry(
+    id: Option<u64>,
+    code: ErrorCode,
+    message: &str,
+    retry_after_ms: u64,
+) -> String {
+    match id {
+        Some(id) => format!(
+            "{{\"id\":{id},\"error\":\"{}\",\"code\":\"{}\",\"retry_after_ms\":{retry_after_ms}}}",
+            escape_json(message),
+            code.tag()
+        ),
+        None => format!(
+            "{{\"error\":\"{}\",\"code\":\"{}\",\"retry_after_ms\":{retry_after_ms}}}",
+            escape_json(message),
+            code.tag()
+        ),
     }
 }
 
@@ -484,8 +608,10 @@ pub fn ok_response(what: &str) -> String {
 ///
 /// [`WireError::FrameTooLarge`] once more than `max_bytes` arrive without a
 /// newline (the caller must close the connection — framing is lost);
-/// [`WireError::Malformed`] for non-UTF-8 bytes; [`WireError::Io`] for
-/// socket errors.
+/// [`WireError::Malformed`] for non-UTF-8 bytes; [`WireError::Stalled`]
+/// when a socket read timeout fires *mid-frame* (slow-loris — an idle
+/// connection that times out **between** frames simply keeps waiting);
+/// [`WireError::Io`] for socket errors.
 pub fn read_frame(
     reader: &mut impl BufRead,
     max_bytes: usize,
@@ -495,6 +621,21 @@ pub fn read_frame(
         let available = match reader.fill_buf() {
             Ok(chunk) => chunk,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A read timeout (when the caller set one on the socket):
+                // lethal only mid-frame — a half-sent frame that stalls is
+                // a slow-loris hold on this handler; an idle connection is
+                // legitimate and keeps waiting.
+                if buf.is_empty() {
+                    continue;
+                }
+                return Err(WireError::Stalled);
+            }
             Err(e) => return Err(WireError::Io(e.to_string())),
         };
         if available.is_empty() {
@@ -545,6 +686,9 @@ pub enum Reply {
         margin: f32,
         /// Whether the configured threshold gated this prediction.
         abstained: bool,
+        /// The quantization tier that served the request (`None` when the
+        /// server predates tier annotation).
+        tier: Option<String>,
     },
     /// A control-command acknowledgement payload.
     Ok(String),
@@ -554,6 +698,11 @@ pub enum Reply {
         id: Option<u64>,
         /// Human-readable description.
         message: String,
+        /// The machine-readable taxonomy tag ([`ErrorCode::tag`]), when
+        /// the server sent one.
+        code: Option<String>,
+        /// Structured backoff hint on sheds.
+        retry_after_ms: Option<u64>,
     },
     /// A stats snapshot (raw JSON object, for display/diagnostics).
     Raw(Json),
@@ -569,7 +718,17 @@ impl Reply {
                 .ok_or_else(|| WireError::Malformed("`error` must be a string".into()))?
                 .to_string();
             let id = v.get("id").and_then(Json::as_num).map(|n| n as u64);
-            return Ok(Reply::Error { id, message });
+            let code = v.get("code").and_then(Json::as_str).map(|s| s.to_string());
+            let retry_after_ms = v
+                .get("retry_after_ms")
+                .and_then(Json::as_num)
+                .map(|n| n as u64);
+            return Ok(Reply::Error {
+                id,
+                message,
+                code,
+                retry_after_ms,
+            });
         }
         if let Some(class) = v.get("class") {
             let num = |key: &str| -> Result<f64, WireError> {
@@ -589,6 +748,7 @@ impl Reply {
                     .get("abstained")
                     .and_then(Json::as_bool)
                     .ok_or_else(|| WireError::Malformed("missing `abstained`".into()))?,
+                tier: v.get("tier").and_then(Json::as_str).map(|s| s.to_string()),
             });
         }
         if let Some(ok) = v.get("ok") {
@@ -670,18 +830,24 @@ impl Client {
     ///
     /// Socket/parse failures, or an unexpected early close.
     pub fn predict(&mut self, id: u64, features: &[f32]) -> Result<Reply, WireError> {
-        let mut frame = String::with_capacity(32 + features.len() * 10);
-        frame.push_str("{\"id\":");
-        frame.push_str(&id.to_string());
-        frame.push_str(",\"features\":[");
-        for (i, f) in features.iter().enumerate() {
-            if i > 0 {
-                frame.push(',');
-            }
-            frame.push_str(&format!("{f}"));
-        }
-        frame.push_str("]}");
-        self.send_raw(&frame)?;
+        self.send_predict(id, features)?;
+        self.recv()?
+            .ok_or_else(|| WireError::Io("server closed before answering".into()))
+    }
+
+    /// Round-trips one prediction request carrying a per-request
+    /// `deadline_ms` queue-age bound.
+    ///
+    /// # Errors
+    ///
+    /// Socket/parse failures, or an unexpected early close.
+    pub fn predict_with_deadline(
+        &mut self,
+        id: u64,
+        features: &[f32],
+        deadline_ms: u64,
+    ) -> Result<Reply, WireError> {
+        self.send_raw(&predict_frame(id, features, Some(deadline_ms)))?;
         self.recv()?
             .ok_or_else(|| WireError::Io("server closed before answering".into()))
     }
@@ -693,18 +859,33 @@ impl Client {
     ///
     /// Propagates socket errors.
     pub fn send_predict(&mut self, id: u64, features: &[f32]) -> Result<(), WireError> {
-        let mut frame = String::with_capacity(32 + features.len() * 10);
-        frame.push_str("{\"id\":");
-        frame.push_str(&id.to_string());
-        frame.push_str(",\"features\":[");
-        for (i, f) in features.iter().enumerate() {
-            if i > 0 {
-                frame.push(',');
-            }
-            frame.push_str(&format!("{f}"));
-        }
-        frame.push_str("]}");
-        self.send_raw(&frame)
+        self.send_raw(&predict_frame(id, features, None))
+    }
+
+    /// [`Client::send_predict`] carrying a per-request `deadline_ms`
+    /// queue-age bound (the chaos driver's deadline-storm primitive).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_predict_with_deadline(
+        &mut self,
+        id: u64,
+        features: &[f32],
+        deadline_ms: u64,
+    ) -> Result<(), WireError> {
+        self.send_raw(&predict_frame(id, features, Some(deadline_ms)))
+    }
+
+    /// Round-trips a `health` self-check command.
+    ///
+    /// # Errors
+    ///
+    /// Socket/parse failures, or an unexpected early close.
+    pub fn health(&mut self) -> Result<Reply, WireError> {
+        self.send_raw("{\"cmd\":\"health\"}")?;
+        self.recv()?
+            .ok_or_else(|| WireError::Io("server closed before answering".into()))
     }
 
     /// Round-trips a `ping`.
@@ -740,6 +921,165 @@ impl Client {
     }
 }
 
+/// Builds one predict request frame (no trailing newline).
+fn predict_frame(id: u64, features: &[f32], deadline_ms: Option<u64>) -> String {
+    let mut frame = String::with_capacity(48 + features.len() * 10);
+    frame.push_str("{\"id\":");
+    frame.push_str(&id.to_string());
+    if let Some(d) = deadline_ms {
+        frame.push_str(",\"deadline_ms\":");
+        frame.push_str(&d.to_string());
+    }
+    frame.push_str(",\"features\":[");
+    for (i, f) in features.iter().enumerate() {
+        if i > 0 {
+            frame.push(',');
+        }
+        frame.push_str(&format!("{f}"));
+    }
+    frame.push_str("]}");
+    frame
+}
+
+// ---------------------------------------------------------------------------
+// Retrying client
+// ---------------------------------------------------------------------------
+
+/// Retry/backoff knobs for [`RetryingClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included). `1` disables
+    /// retries.
+    pub max_attempts: u32,
+    /// Backoff before retry `n` starts from `base_backoff_ms << n`.
+    pub base_backoff_ms: u64,
+    /// Exponential backoff is capped here.
+    pub max_backoff_ms: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_backoff_ms: 10,
+            max_backoff_ms: 500,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The jittered backoff before attempt `attempt + 1`: the exponential
+    /// base (capped at `max_backoff_ms`) plus up to 50% seeded jitter, so
+    /// a shed burst of retrying clients decorrelates instead of
+    /// re-stampeding in lockstep.
+    fn backoff_ms(&self, attempt: u32, rng: &mut linalg::Rng64) -> u64 {
+        let base = self
+            .base_backoff_ms
+            .checked_shl(attempt.min(16))
+            .unwrap_or(u64::MAX)
+            .min(self.max_backoff_ms)
+            .max(1);
+        base + rng.below((base / 2 + 1) as usize) as u64
+    }
+}
+
+/// A [`Client`] wrapper with bounded, jittered-exponential-backoff retries
+/// — safe because predict requests are idempotent (same features, same
+/// answer; the server holds no per-request state).
+///
+/// Retried outcomes: connect failures and socket errors (the connection is
+/// re-established) and `shed` error replies, whose structured
+/// `retry_after_ms` overrides the exponential backoff when present. Any
+/// other reply — predictions, non-shed errors — returns immediately:
+/// retrying a `wrong_width` or `bad_frame` reply would loop forever on a
+/// request that can never succeed.
+#[derive(Debug)]
+pub struct RetryingClient {
+    addr: String,
+    policy: RetryPolicy,
+    rng: linalg::Rng64,
+    client: Option<Client>,
+    retries: u64,
+}
+
+impl RetryingClient {
+    /// Creates a lazy-connecting retrying client. `seed` drives the
+    /// backoff jitter (deterministic per client).
+    pub fn new(addr: &str, policy: RetryPolicy, seed: u64) -> RetryingClient {
+        RetryingClient {
+            addr: addr.to_string(),
+            policy,
+            rng: linalg::Rng64::seed_from(seed),
+            client: None,
+            retries: 0,
+        }
+    }
+
+    /// Retries performed so far (attempts beyond each request's first).
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Round-trips one prediction with retries per the policy. Returns the
+    /// first conclusive reply, or the last failure once attempts are
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// The final attempt's socket/parse error, when every attempt failed.
+    pub fn predict(&mut self, id: u64, features: &[f32]) -> Result<Reply, WireError> {
+        let mut last: Result<Reply, WireError> = Err(WireError::Io("no attempt was made".into()));
+        for attempt in 0..self.policy.max_attempts.max(1) {
+            if attempt > 0 {
+                self.retries += 1;
+            }
+            let client = match self.client.as_mut() {
+                Some(c) => c,
+                None => match Client::connect(&self.addr) {
+                    Ok(c) => self.client.insert(c),
+                    Err(e) => {
+                        last = Err(WireError::Io(e.to_string()));
+                        std::thread::sleep(std::time::Duration::from_millis(
+                            self.policy.backoff_ms(attempt, &mut self.rng),
+                        ));
+                        continue;
+                    }
+                },
+            };
+            match client.predict(id, features) {
+                Ok(Reply::Error {
+                    id: err_id,
+                    message,
+                    code,
+                    retry_after_ms,
+                }) if code.as_deref() == Some("shed") => {
+                    // Shed: honor the server's structured backoff hint.
+                    let wait = retry_after_ms
+                        .unwrap_or_else(|| self.policy.backoff_ms(attempt, &mut self.rng));
+                    last = Ok(Reply::Error {
+                        id: err_id,
+                        message,
+                        code,
+                        retry_after_ms,
+                    });
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                }
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    // Socket-level failure: the connection state is
+                    // unknown; reconnect on the next attempt.
+                    self.client = None;
+                    last = Err(e);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        self.policy.backoff_ms(attempt, &mut self.rng),
+                    ));
+                }
+            }
+        }
+        last
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -751,7 +1091,8 @@ mod tests {
             r,
             Request::Predict {
                 id: 9,
-                features: vec![1.5, -2.0, 3.0]
+                features: vec![1.5, -2.0, 3.0],
+                deadline_ms: None
             }
         );
         let r = Request::parse("{\"features\": []}").unwrap();
@@ -759,9 +1100,23 @@ mod tests {
             r,
             Request::Predict {
                 id: 0,
-                features: vec![]
+                features: vec![],
+                deadline_ms: None
             }
         );
+        let r = Request::parse("{\"features\": [1], \"deadline_ms\": 40}").unwrap();
+        assert_eq!(
+            r,
+            Request::Predict {
+                id: 0,
+                features: vec![1.0],
+                deadline_ms: Some(40)
+            }
+        );
+        assert!(matches!(
+            Request::parse("{\"features\": [1], \"deadline_ms\": -1}"),
+            Err(WireError::BadRequest(_))
+        ));
     }
 
     #[test]
@@ -775,9 +1130,21 @@ mod tests {
             Request::Stats
         );
         assert_eq!(
+            Request::parse("{\"cmd\":\"health\"}").unwrap(),
+            Request::Health
+        );
+        assert_eq!(
             Request::parse("{\"cmd\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn error_code_tags_round_trip() {
+        for code in ErrorCode::ALL {
+            assert_eq!(ErrorCode::from_tag(code.tag()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_tag("no_such_code"), None);
     }
 
     #[test]
@@ -834,7 +1201,7 @@ mod tests {
             probabilities: vec![0.0, 0.125, 0.875],
             abstained: false,
         };
-        let frame = predict_response(7, &p);
+        let frame = predict_response(7, &p, "int8");
         let reply = Reply::parse(&frame).unwrap();
         assert_eq!(
             reply,
@@ -843,16 +1210,36 @@ mod tests {
                 class: 2,
                 confidence: 0.875,
                 margin: 0.5,
-                abstained: false
+                abstained: false,
+                tier: Some("int8".into())
             }
         );
-        let err = error_response(Some(3), "bad \"thing\"\n");
+        let err = error_response(Some(3), ErrorCode::BadFrame, "bad \"thing\"\n");
         match Reply::parse(&err).unwrap() {
-            Reply::Error { id, message } => {
+            Reply::Error {
+                id,
+                message,
+                code,
+                retry_after_ms,
+            } => {
                 assert_eq!(id, Some(3));
                 assert_eq!(message, "bad \"thing\"\n");
+                assert_eq!(code.as_deref(), Some("bad_frame"));
+                assert_eq!(retry_after_ms, None);
             }
             other => panic!("expected error reply, got {other:?}"),
+        }
+        let shed = error_response_retry(None, ErrorCode::Shed, "overloaded", 120);
+        match Reply::parse(&shed).unwrap() {
+            Reply::Error {
+                code,
+                retry_after_ms,
+                ..
+            } => {
+                assert_eq!(code.as_deref(), Some("shed"));
+                assert_eq!(retry_after_ms, Some(120));
+            }
+            other => panic!("expected shed reply, got {other:?}"),
         }
         assert_eq!(
             Reply::parse(&ok_response("pong")).unwrap(),

@@ -102,8 +102,11 @@ fn wrong_feature_count_is_a_descriptive_error() {
     let server = default_server();
     let mut client = connect(&server);
     match client.predict(3, &[1.0, 2.0]).unwrap() {
-        Reply::Error { id, message } => {
+        Reply::Error {
+            id, message, code, ..
+        } => {
             assert_eq!(id, Some(3));
+            assert_eq!(code.as_deref(), Some("wrong_width"));
             assert!(
                 message.contains("got 2") && message.contains(&FEATURES.to_string()),
                 "error must name both counts: {message}"
@@ -200,7 +203,17 @@ fn shed_backpressure_reports_overload_instead_of_queueing() {
                     let mut client = Client::connect(&addr).unwrap();
                     match client.predict(i, &[0.5; FEATURES]).unwrap() {
                         Reply::Predict { .. } => "answered",
-                        Reply::Error { message, .. } if message.starts_with("overloaded") => "shed",
+                        Reply::Error {
+                            code,
+                            retry_after_ms,
+                            ..
+                        } if code.as_deref() == Some("shed") => {
+                            assert!(
+                                retry_after_ms.is_some(),
+                                "sheds must carry a structured retry_after_ms"
+                            );
+                            "shed"
+                        }
                         other => panic!("unexpected reply {other:?}"),
                     }
                 })
@@ -293,6 +306,355 @@ fn ping_and_stats_commands_answer() {
         other => panic!("expected a raw stats object, got {other:?}"),
     }
     server.shutdown_and_join();
+}
+
+#[test]
+fn slow_loris_mid_frame_stall_is_disconnected() {
+    // A client that sends half a frame and then stalls must be cut off by
+    // the read timeout — while a fully idle client (no frame in flight)
+    // stays connected past the same timeout.
+    let server = start_server(ServerConfig {
+        tuning: ServerTuning {
+            read_timeout_ms: 120,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let addr = server.local_addr().to_string();
+
+    // Idle connection: open, wait well past the timeout, then predict.
+    let mut idle = Client::connect(&addr).unwrap();
+    // Slow-loris connection: half a frame, then silence.
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris.write_all(b"{\"id\":1,\"feat").unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    let mut response = String::new();
+    loris.read_to_string(&mut response).unwrap();
+    assert!(
+        response.contains("bad_frame") && response.contains("stalled"),
+        "slow-loris must be answered with a coded stall error: {response}"
+    );
+
+    assert!(
+        matches!(
+            idle.predict(2, &[0.5; FEATURES]).unwrap(),
+            Reply::Predict { id: 2, .. }
+        ),
+        "an idle connection must survive the read timeout"
+    );
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.bad_frame, 1);
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn deadline_expired_request_is_answered_without_scoring() {
+    // Pause the batcher, admit a request with a short deadline, hold past
+    // it, resume: the reply must be deadline_exceeded and no batch may
+    // have been flushed for it.
+    let server = default_server();
+    let addr = server.local_addr().to_string();
+    server.pause_batcher();
+
+    let mut client = Client::connect(&addr).unwrap();
+    let handle = std::thread::spawn(move || {
+        client
+            .predict_with_deadline(11, &[0.5; FEATURES], 50)
+            .unwrap()
+    });
+    // Wait for admission, then hold well past the 50ms deadline.
+    let t0 = std::time::Instant::now();
+    while server.stats().admitted < 1 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "request never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    std::thread::sleep(Duration::from_millis(200));
+    server.resume_batcher();
+
+    match handle.join().unwrap() {
+        Reply::Error {
+            id, code, message, ..
+        } => {
+            assert_eq!(id, Some(11));
+            assert_eq!(code.as_deref(), Some("deadline_exceeded"));
+            assert!(
+                message.contains("not scored"),
+                "deadline reply must say it skipped scoring: {message}"
+            );
+        }
+        other => panic!("expected deadline_exceeded, got {other:?}"),
+    }
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.deadline_exceeded, 1);
+    assert_eq!(stats.batches, 0, "an expired request must not cost a flush");
+    assert_eq!(stats.answered, 0);
+}
+
+#[test]
+fn degrade_ladder_steps_down_and_recovers_without_flapping() {
+    // Deterministic overload: pause the batcher, fill the queue to 16
+    // sequentially, resume. With max_batch=4 the flush depths are
+    // 16,12,8,4 — two consecutive >=8 flushes step f32 -> int8, and the
+    // recovery probes afterwards (depth 1 <= 2) step back up after two
+    // calm flushes. Exactly one step each way: no flapping.
+    let server = start_server(ServerConfig {
+        engine: EngineConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(10),
+            threads: Some(2),
+            exec: ExecBackend::Pooled,
+        },
+        tuning: ServerTuning {
+            queue_depth: 16,
+            backpressure: Backpressure::Shed,
+            degrade: boosthd_serve::server::DegradeConfig {
+                enabled: true,
+                high_depth: 8,
+                low_depth: 2,
+                degrade_after: 2,
+                recover_after: 2,
+            },
+            ..Default::default()
+        },
+    });
+    let addr = server.local_addr().to_string();
+    assert_eq!(server.current_tier(), "f32");
+    server.pause_batcher();
+
+    // One connection per request: each handler blocks on its own reply.
+    let mut senders = Vec::new();
+    for i in 0..16u64 {
+        let mut c = Client::connect(&addr).unwrap();
+        c.send_predict(i, &[0.5; FEATURES]).unwrap();
+        let t0 = std::time::Instant::now();
+        while server.stats().admitted < i + 1 {
+            assert!(
+                t0.elapsed() < Duration::from_secs(10),
+                "request {i} not admitted"
+            );
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        senders.push(c);
+    }
+    server.resume_batcher();
+
+    // Collect all 16 replies; tiers must be f32 for the first flush (depth
+    // 16 is only the FIRST hot flush) and int8 from the second flush on.
+    let mut tiers = Vec::new();
+    for (i, c) in senders.iter_mut().enumerate() {
+        match c.recv().unwrap().unwrap() {
+            Reply::Predict { id, tier, .. } => {
+                assert_eq!(id, i as u64);
+                tiers.push(tier.expect("tier annotation"));
+            }
+            other => panic!("request {i} failed: {other:?}"),
+        }
+    }
+    assert_eq!(
+        tiers[..4],
+        vec!["f32"; 4][..],
+        "first flush at full fidelity"
+    );
+    assert_eq!(
+        tiers[4..],
+        vec!["int8"; 12][..],
+        "remaining flushes degraded"
+    );
+    assert_eq!(server.current_tier(), "int8");
+
+    // Recovery: single probes flush at depth 1 (calm). The step-up lands
+    // before its triggering flush (symmetric with step-down), so the
+    // second calm flush already serves at full fidelity.
+    let mut probe = Client::connect(&addr).unwrap();
+    let mut probe_tiers = Vec::new();
+    for i in 0..3u64 {
+        match probe.predict(100 + i, &[0.5; FEATURES]).unwrap() {
+            Reply::Predict { tier, .. } => probe_tiers.push(tier.unwrap()),
+            other => panic!("probe failed: {other:?}"),
+        }
+    }
+    assert_eq!(
+        probe_tiers,
+        vec!["int8", "f32", "f32"],
+        "one calm flush on the degraded tier, then recovery"
+    );
+    assert_eq!(server.current_tier(), "f32");
+
+    let stats = server.shutdown_and_join();
+    assert_eq!(
+        stats.degrade_steps, 1,
+        "exactly one step down — no flapping"
+    );
+    assert_eq!(stats.recover_steps, 1, "exactly one step up — no flapping");
+    assert_eq!(stats.answered, 19);
+}
+
+#[test]
+fn degraded_tier_predictions_match_standalone_quantized_pipeline() {
+    // The ladder's quantized tiers must be bit-identical to quantizing the
+    // same fitted pipeline by hand.
+    let pipeline = trained_pipeline();
+    let online = pipeline.downcast_ref::<boosthd::OnlineHd>().unwrap();
+    let standalone_i8 = online.quantize_i8();
+    let standalone_bin = online.quantize();
+
+    let server = Server::bind(
+        Arc::clone(&pipeline),
+        FEATURES,
+        "127.0.0.1:0",
+        ServerConfig {
+            engine: EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(10),
+                threads: Some(2),
+                exec: ExecBackend::Pooled,
+            },
+            tuning: ServerTuning {
+                queue_depth: 16,
+                degrade: boosthd_serve::server::DegradeConfig {
+                    enabled: true,
+                    high_depth: 1, // every flush is hot: degrade immediately
+                    low_depth: 0,
+                    degrade_after: 1,
+                    recover_after: 1000,
+                },
+                ..Default::default()
+            },
+        },
+        None,
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+
+    // With degrade_after=1 and every flush hot, the ladder walks one rung
+    // per flush: request 0 serves on int8, everything after on the bottom
+    // binary rung. Each reply must match the matching standalone model.
+    let mut rng = Rng64::seed_from(41);
+    let mut client = Client::connect(&addr).unwrap();
+    for i in 0..=12u64 {
+        let row: Vec<f32> = (0..FEATURES).map(|_| 3.0 * rng.normal()).collect();
+        match client.predict(i, &row).unwrap() {
+            Reply::Predict { class, tier, .. } => {
+                let expected_tier = if i == 0 { "int8" } else { "binary" };
+                assert_eq!(tier.as_deref(), Some(expected_tier), "request {i} tier");
+                let x = Matrix::from_rows(&[row]).unwrap();
+                let expected = if i == 0 {
+                    boosthd::Classifier::predict_batch(&standalone_i8, &x)[0]
+                } else {
+                    boosthd::Classifier::predict_batch(&standalone_bin, &x)[0]
+                };
+                assert_eq!(
+                    class, expected,
+                    "request {i}: tier reply must match standalone {expected_tier}"
+                );
+            }
+            other => panic!("request {i} failed: {other:?}"),
+        }
+    }
+    server.shutdown_and_join();
+}
+
+#[test]
+fn seu_corruption_is_detected_and_reload_restores_identical_predictions() {
+    let server = default_server();
+    let mut client = connect(&server);
+
+    // Pin the healthy behavior on a fixed probe set.
+    let mut rng = Rng64::seed_from(7);
+    let probes: Vec<Vec<f32>> = (0..8)
+        .map(|_| (0..FEATURES).map(|_| 2.0 * rng.normal()).collect())
+        .collect();
+    let classify = |client: &mut Client| -> Vec<usize> {
+        probes
+            .iter()
+            .enumerate()
+            .map(|(i, row)| match client.predict(i as u64, row).unwrap() {
+                Reply::Predict { class, .. } => class,
+                other => panic!("probe failed: {other:?}"),
+            })
+            .collect()
+    };
+    let healthy = classify(&mut client);
+    match client.health().unwrap() {
+        Reply::Raw(v) => {
+            assert_eq!(v.get("status").and_then(|j| j.as_str()), Some("ok"));
+            assert_eq!(v.get("checksum_ok").and_then(|j| j.as_bool()), Some(true));
+        }
+        other => panic!("expected health report, got {other:?}"),
+    }
+
+    // SEU: flip bits in the live model. The server keeps answering (HDC
+    // degrades, the serving layer must not crash)...
+    let flipped = server.corrupt_live_model(0.01, 99);
+    assert!(flipped > 0, "chaos hook must actually flip bits");
+    let _ = classify(&mut client);
+
+    // ...and the next health check detects the checksum mismatch and
+    // atomically reloads from the pinned envelope.
+    match client.health().unwrap() {
+        Reply::Raw(v) => {
+            assert_eq!(
+                v.get("status").and_then(|j| j.as_str()),
+                Some("recovered"),
+                "corruption must be detected and repaired"
+            );
+            assert_eq!(v.get("checksum_ok").and_then(|j| j.as_bool()), Some(false));
+            assert_eq!(v.get("canary_ok").and_then(|j| j.as_bool()), Some(true));
+        }
+        other => panic!("expected health report, got {other:?}"),
+    }
+    assert_eq!(
+        classify(&mut client),
+        healthy,
+        "reload must restore bit-identical predictions"
+    );
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.model_reloads, 1);
+}
+
+#[test]
+fn wedged_drain_is_bounded_by_drain_deadline() {
+    // Pause the batcher (never resumed: a wedged server) with a request in
+    // the queue, then shut down: the drain must return within the
+    // configured bound instead of hanging, and count the abort.
+    let server = start_server(ServerConfig {
+        tuning: ServerTuning {
+            drain_deadline_ms: 300,
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    let addr = server.local_addr().to_string();
+    server.pause_batcher();
+    let mut client = Client::connect(&addr).unwrap();
+    client.send_predict(1, &[0.5; FEATURES]).unwrap();
+    let t0 = std::time::Instant::now();
+    while server.stats().admitted < 1 {
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "request never admitted"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let t0 = std::time::Instant::now();
+    let stats = server.shutdown_and_join();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "drain must be bounded (took {elapsed:?})"
+    );
+    assert_eq!(stats.aborted_drains, 1, "the forced abort is observable");
+    // The wedged request was answered with an internal error, not dropped
+    // silently.
+    match client.recv().unwrap() {
+        Some(Reply::Error { code, .. }) => assert_eq!(code.as_deref(), Some("internal")),
+        other => panic!("expected a coded internal error, got {other:?}"),
+    }
 }
 
 #[test]

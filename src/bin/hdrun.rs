@@ -12,7 +12,12 @@
 //!   engine (`max_batch`, `max_wait_ms`, `threads`, `abstain_threshold`,
 //!   `windows`, `hop_samples`), plus network-mode knobs (`exec` =
 //!   `"pooled"`/`"scoped"`, `queue_depth`, `backpressure` =
-//!   `"shed"`/`"block"`, `max_frame_bytes`).
+//!   `"shed"`/`"block"`, `max_frame_bytes`) and resilience knobs
+//!   (`deadline_ms`, `read_timeout_ms`, `retry_after_ms`,
+//!   `drain_deadline_ms`, `degrade` + `degrade_high_depth` /
+//!   `degrade_low_depth` / `degrade_after` / `recover_after`,
+//!   `watchdog_interval_ms`, `model_check_interval_ms`, `canary_rows` —
+//!   see the annotated `specs/wesad_boosthd.toml`).
 //!
 //! Campaign spec files (`hdrun campaign`) additionally hold one or more
 //! model tables (`[model]`, `[model-1]`, ...), one or more `[scenario]` /
@@ -32,6 +37,8 @@
 //!                                                     # network mode: JSON-lines over TCP
 //! hdrun campaign <spec.toml> [--out <report.json>] [--threads N]
 //!                                                     # deterministic reliability sweep
+//! hdrun chaos    [--out <report.json>] [--threads N] [--seed N] [--quick]
+//!                                                     # serving chaos campaign -> BENCH_resilience.json
 //! ```
 //!
 //! `eval` and `serve` regenerate the dataset from the `[dataset]` seed, so
@@ -58,7 +65,7 @@ use wearables::streaming::WindowStream;
 use wearables::{Dataset, DatasetProfile};
 
 fn usage() -> &'static str {
-    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde> [--listen <addr:port>]\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]"
+    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde> [--listen <addr:port>]\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]\n  hdrun chaos [--out <report.json>] [--threads N] [--seed N] [--quick]"
 }
 
 struct Args {
@@ -68,6 +75,8 @@ struct Args {
     out: Option<String>,
     threads: Option<usize>,
     listen: Option<String>,
+    seed: Option<u64>,
+    quick: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -80,6 +89,8 @@ fn parse_args() -> Result<Args, String> {
         out: None,
         threads: None,
         listen: None,
+        seed: None,
+        quick: false,
     };
     let mut i = 2;
     while i < argv.len() {
@@ -99,6 +110,16 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse::<usize>().ok().filter(|&t| t > 0).ok_or_else(|| {
                         format!("--threads needs a positive integer, got `{v}`\n{}", usage())
                     })?);
+            }
+            "--seed" => {
+                let v = take(i)?;
+                args.seed = Some(v.parse::<u64>().map_err(|_| {
+                    format!("--seed needs an unsigned integer, got `{v}`\n{}", usage())
+                })?);
+            }
+            "--quick" => {
+                args.quick = true;
+                i -= 1; // flag: no value to skip
             }
             positional if !positional.starts_with('-') && args.spec.is_none() => {
                 // `hdrun campaign specs/foo.toml` reads naturally.
@@ -220,6 +241,18 @@ fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdErr
                 | "queue_depth"
                 | "backpressure"
                 | "max_frame_bytes"
+                | "deadline_ms"
+                | "read_timeout_ms"
+                | "retry_after_ms"
+                | "drain_deadline_ms"
+                | "degrade"
+                | "degrade_high_depth"
+                | "degrade_low_depth"
+                | "degrade_after"
+                | "recover_after"
+                | "watchdog_interval_ms"
+                | "model_check_interval_ms"
+                | "canary_rows"
         ) {
             return Err(invalid(format!("unknown key `{key}` in [serve]")));
         }
@@ -260,6 +293,46 @@ fn serve_spec(doc: &TomlDoc, default_hop: usize) -> Result<ServeSpec, BoostHdErr
     }
     if t.get("max_frame_bytes").is_some() {
         spec.tuning.max_frame_bytes = t.get_usize("max_frame_bytes")?.max(64);
+    }
+    if t.get("deadline_ms").is_some() {
+        // 0 means "no default deadline" so specs can disable it explicitly.
+        spec.tuning.deadline_ms = match t.get_u64("deadline_ms")? {
+            0 => None,
+            ms => Some(ms),
+        };
+    }
+    if t.get("read_timeout_ms").is_some() {
+        spec.tuning.read_timeout_ms = t.get_u64("read_timeout_ms")?;
+    }
+    if t.get("retry_after_ms").is_some() {
+        spec.tuning.retry_after_ms = t.get_u64("retry_after_ms")?;
+    }
+    if t.get("drain_deadline_ms").is_some() {
+        spec.tuning.drain_deadline_ms = t.get_u64("drain_deadline_ms")?;
+    }
+    if t.get("degrade").is_some() {
+        spec.tuning.degrade.enabled = t.get_bool("degrade")?;
+    }
+    if t.get("degrade_high_depth").is_some() {
+        spec.tuning.degrade.high_depth = t.get_usize("degrade_high_depth")?.max(1);
+    }
+    if t.get("degrade_low_depth").is_some() {
+        spec.tuning.degrade.low_depth = t.get_usize("degrade_low_depth")?;
+    }
+    if t.get("degrade_after").is_some() {
+        spec.tuning.degrade.degrade_after = t.get_usize("degrade_after")?.max(1) as u32;
+    }
+    if t.get("recover_after").is_some() {
+        spec.tuning.degrade.recover_after = t.get_usize("recover_after")?.max(1) as u32;
+    }
+    if t.get("watchdog_interval_ms").is_some() {
+        spec.tuning.watchdog_interval_ms = t.get_u64("watchdog_interval_ms")?;
+    }
+    if t.get("model_check_interval_ms").is_some() {
+        spec.tuning.model_check_interval_ms = t.get_u64("model_check_interval_ms")?;
+    }
+    if t.get("canary_rows").is_some() {
+        spec.tuning.canary_rows = t.get_usize("canary_rows")?;
     }
     Ok(spec)
 }
@@ -641,9 +714,76 @@ fn cmd_campaign(
     Ok(())
 }
 
+/// `hdrun chaos`: the serving-resilience campaign over a real loopback
+/// server (no spec needed — the workload is the campaign's own synthetic
+/// fixture, so the report is comparable across machines). Fails the run
+/// when the no-fault control scenario's availability drops below 99% —
+/// the in-binary CI gate.
+fn cmd_chaos(
+    out: Option<&str>,
+    threads_override: Option<usize>,
+    seed: u64,
+    quick: bool,
+) -> Result<(), Box<dyn Error>> {
+    let threads = match threads_override {
+        Some(t) => t,
+        None => boosthd::parallel::try_default_threads()?,
+    };
+    eprintln!(
+        "[hdrun] chaos campaign: seed {seed}, {threads} server threads{}",
+        if quick { ", quick schedules" } else { "" }
+    );
+    let report = reliability::chaos::run_campaign(&reliability::chaos::ChaosConfig {
+        seed,
+        threads,
+        quick,
+    });
+    for s in &report.scenarios {
+        eprintln!(
+            "  {:<18} {:>3}/{:<3} ok ({:.1}% available) | p99 {} | recovery {}ms | {} error replies",
+            s.name,
+            s.ok,
+            s.requests,
+            s.availability_pct,
+            s.p99_under_fault_ms
+                .map_or_else(|| "n/a".to_string(), |v| format!("{v}ms")),
+            s.recovery_time_ms,
+            s.errors.iter().sum::<u64>(),
+        );
+    }
+    let control = report
+        .scenario("control")
+        .ok_or("chaos campaign must include the control scenario")?;
+    if control.availability_pct < 99.0 {
+        return Err(format!(
+            "control-scenario availability {:.2}% is below the 99% floor",
+            control.availability_pct
+        )
+        .into());
+    }
+    let json = report.to_json();
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            println!("wrote report to {path} ({} bytes)", json.len());
+        }
+        None => print!("{json}"),
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn Error>> {
     baselines::spec::install();
     let args = parse_args().map_err(|e| -> Box<dyn Error> { e.into() })?;
+    if args.command == "chaos" {
+        // Chaos carries its own synthetic workload; no spec file involved.
+        return cmd_chaos(
+            args.out.as_deref(),
+            args.threads,
+            args.seed.unwrap_or(42),
+            args.quick,
+        );
+    }
     let spec = args
         .spec
         .as_deref()
