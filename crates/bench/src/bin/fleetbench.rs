@@ -1,0 +1,240 @@
+//! `fleetbench` — fleet model-store and registry benchmark, snapshotting
+//! `BENCH_fleet.json`.
+//!
+//! Three measurements over a BHFS store holding many small models:
+//!
+//! * **publish / load throughput** — models appended per second (encode +
+//!   fsync + footer republish per publish) and models loaded per second
+//!   (read + checksum + zero-copy decode per [`Fleet::get`] miss);
+//! * **cold start** — milliseconds from [`Fleet::open`] on an unopened
+//!   store file to the first prediction out of a named model, the
+//!   scale-to-zero latency a fleet endpoint adds over an always-warm one;
+//! * **resident throughput** — closed-loop rows/sec through the TCP
+//!   server with every model resident, requests round-robining across
+//!   the whole fleet so each flush group is a distinct model.
+//!
+//! The store holds one small OnlineHD fitted once and published under
+//! thousands of distinct ids — publish/load cost is per-record, not
+//! per-fit, so a shared pipeline measures the store, not the trainer.
+//!
+//! ```text
+//! fleetbench [--quick] [--seed N] [--models N] [--out BENCH_fleet.json]
+//! ```
+//!
+//! `--quick` (CI) drops to 1k models; the default is the 10k-resident
+//! configuration the ISSUE pins.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use boosthd::fleet::{Fleet, FleetConfig, ModelStore};
+use boosthd::{ModelSpec, OnlineHdConfig, Pipeline};
+use boosthd_serve::server::{Server, ServerConfig};
+use boosthd_serve::wire::{Client, Reply};
+use linalg::{Matrix, Rng64};
+
+const FEATURES: usize = 16;
+const CLASSES: usize = 4;
+
+struct CliArgs {
+    quick: bool,
+    seed: u64,
+    models: Option<usize>,
+    out: String,
+}
+
+fn parse_args() -> CliArgs {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut args = CliArgs {
+        quick: false,
+        seed: 42,
+        models: None,
+        out: "BENCH_fleet.json".to_string(),
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1)
+                .unwrap_or_else(|| panic!("{} needs a value", argv[i]))
+                .clone()
+        };
+        match argv[i].as_str() {
+            "--quick" => args.quick = true,
+            "--seed" => {
+                args.seed = value(i).parse().expect("--seed must be a u64");
+                i += 1;
+            }
+            "--models" => {
+                args.models = Some(value(i).parse().expect("--models must be a usize"));
+                i += 1;
+            }
+            "--out" => {
+                args.out = value(i);
+                i += 1;
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+/// Small separable synthetic cohort: enough signal that predictions are
+/// non-degenerate, small enough that fitting is instant.
+fn toy(seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = Rng64::seed_from(seed);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..160 {
+        let class = i % CLASSES;
+        rows.push(
+            (0..FEATURES)
+                .map(|f| {
+                    let center = if f % CLASSES == class { 1.25 } else { -0.25 };
+                    center + 0.3 * rng.normal()
+                })
+                .collect(),
+        );
+        labels.push(class);
+    }
+    (Matrix::from_rows(&rows).expect("toy rows"), labels)
+}
+
+fn model_id(i: usize) -> String {
+    format!("m{i:05}")
+}
+
+fn main() {
+    let args = parse_args();
+    let models = args
+        .models
+        .unwrap_or(if args.quick { 1_000 } else { 10_000 });
+    let dir = std::env::temp_dir().join(format!("fleetbench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let path = dir.join("models.bhfs");
+
+    let (x, y) = toy(args.seed);
+    let spec = ModelSpec::OnlineHd(OnlineHdConfig {
+        dim: 256,
+        epochs: 3,
+        seed: args.seed,
+        ..Default::default()
+    });
+    let pipeline = Pipeline::fit(&spec, &x, &y).expect("fit bench model");
+
+    // Publish phase: one record per model id, footer republished each time.
+    eprintln!(
+        "[fleetbench] publishing {models} models to {}",
+        path.display()
+    );
+    let store = ModelStore::create(&path).expect("create store");
+    let started = Instant::now();
+    for i in 0..models {
+        store
+            .append(&model_id(i), 1, &[&pipeline])
+            .expect("publish model");
+    }
+    let publish_secs = started.elapsed().as_secs_f64();
+    let store_bytes = std::fs::metadata(&path).expect("stat store").len();
+    drop(store);
+
+    // Load phase: every get is a registry miss — read, checksum, decode.
+    let fleet = Fleet::open(&path, FleetConfig::default()).expect("open fleet");
+    let started = Instant::now();
+    for i in 0..models {
+        fleet.get(&model_id(i)).expect("load model");
+    }
+    let load_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        fleet.resident_count(),
+        models,
+        "every model must be resident"
+    );
+    drop(fleet);
+
+    // Cold start: fresh open to first prediction out of one named model.
+    let probe = x.row(0).to_vec();
+    let started = Instant::now();
+    let fleet = Fleet::open(&path, FleetConfig::default()).expect("cold open");
+    let model = fleet.get(&model_id(models / 2)).expect("cold load");
+    let first = model.primary().predict_with_confidence(&probe);
+    let cold_start_ms = started.elapsed().as_secs_f64() * 1000.0;
+    assert!(first.class < CLASSES, "cold-start prediction out of range");
+
+    // Resident-throughput phase: closed loop over TCP, every request
+    // routed to a distinct model so the batcher exercises per-snapshot
+    // flush partitioning across the whole resident fleet.
+    eprintln!("[fleetbench] warming {models} resident models for the throughput phase");
+    for i in 0..models {
+        fleet.get(&model_id(i)).expect("warm model");
+    }
+    let fleet = Arc::new(fleet);
+    let server = Server::bind_with_fleet(
+        Arc::new(pipeline),
+        FEATURES,
+        "127.0.0.1:0",
+        ServerConfig::default(),
+        None,
+        Some(Arc::clone(&fleet)),
+    )
+    .expect("bind fleet server");
+    let addr = server.local_addr().to_string();
+    let duration = if args.quick {
+        Duration::from_millis(1_500)
+    } else {
+        Duration::from_secs(3)
+    };
+    let connections = 4;
+    let sent = Arc::new(AtomicU64::new(0));
+    let deadline = Instant::now() + duration;
+    let workers: Vec<_> = (0..connections)
+        .map(|w| {
+            let addr = addr.clone();
+            let sent = Arc::clone(&sent);
+            let probe = probe.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(&addr).expect("connect throughput worker");
+                let mut i = w;
+                let mut id = 0u64;
+                while Instant::now() < deadline {
+                    id += 1;
+                    let name = model_id(i % models);
+                    i += connections;
+                    match client.predict_model(id, &name, &probe) {
+                        Ok(Reply::Predict { model, .. }) => {
+                            assert_eq!(model.as_deref(), Some(name.as_str()));
+                            sent.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(other) => panic!("throughput request failed: {other:?}"),
+                        Err(e) => panic!("throughput request errored: {e}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("throughput worker panicked");
+    }
+    let answered = sent.load(Ordering::Relaxed);
+    let throughput_rps = answered as f64 / duration.as_secs_f64();
+    let stats = server.shutdown_and_join();
+    assert_eq!(stats.unknown_model, 0, "no request may miss the registry");
+    assert_eq!(stats.internal, 0, "no request may fail internally");
+
+    let publish_per_sec = models as f64 / publish_secs;
+    let load_per_sec = models as f64 / load_secs;
+    let json = format!(
+        "{{\n  \"config\": {{\"models\": {models}, \"seed\": {}, \"quick\": {}, \"features\": {FEATURES}, \"dim\": 256, \"store_bytes\": {store_bytes}, \"connections\": {connections}, \"throughput_duration_s\": {}}},\n  \"models_published_per_sec\": {publish_per_sec:.1},\n  \"models_loaded_per_sec\": {load_per_sec:.1},\n  \"cold_start_ms\": {cold_start_ms:.3},\n  \"resident_throughput_rps\": {throughput_rps:.1},\n  \"throughput_requests\": {answered}\n}}\n",
+        args.seed,
+        args.quick,
+        duration.as_secs_f64(),
+    );
+    std::fs::write(&args.out, json).unwrap_or_else(|e| panic!("write {}: {e}", args.out));
+    eprintln!(
+        "[fleetbench] wrote {} (publish {publish_per_sec:.0}/s, load {load_per_sec:.0}/s, cold start {cold_start_ms:.1} ms, {throughput_rps:.0} rows/s across {models} resident models)",
+        args.out
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

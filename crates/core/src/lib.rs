@@ -72,6 +72,7 @@ pub mod boost;
 pub mod centroid;
 pub mod classifier;
 pub mod error;
+pub mod fleet;
 pub mod online;
 pub mod parallel;
 pub mod persist;
@@ -86,6 +87,7 @@ pub use boost::{BoostHd, BoostHdConfig, Voting};
 pub use centroid::{CentroidHd, CentroidHdConfig};
 pub use classifier::{argmax, Classifier};
 pub use error::{BoostHdError, Result};
+pub use fleet::{Fleet, FleetConfig, FleetModel, ModelStore, StoreEntry};
 pub use online::{OnlineHd, OnlineHdConfig};
 pub use pipeline::{Model, Pipeline, Prediction};
 pub use quantized::{QuantizedBoostHd, QuantizedHd};

@@ -19,6 +19,14 @@
 //!             seed:u64                  (v4+, rematerialized recipe)
 //! ```
 //!
+//! The same grammar also serializes in a **heap-mode** split (see
+//! [`Writer::new_with_heap`]): every length-prefixed array body moves to a
+//! separate 8-byte-aligned payload heap and the structure stream records
+//! its heap offset instead. The fleet model store persists records in
+//! that split so the bulk payloads (f32 projections and class matrices,
+//! packed sign words, int8 grids) can be served zero-copy out of a loaded
+//! blob; plain `.bhd` file blobs always use the inline layout above.
+//!
 //! Version history: **v1** stored only the dense-f32 models (kinds 1–2);
 //! **v2** adds the bitpacked inference models (kinds 3–4); **v3** adds the
 //! centroid model (kind 5); **v4** adds the scaled-int8 inference models
@@ -55,7 +63,8 @@ use crate::quantized::{QuantizedBoostHd, QuantizedHd, QuantizedWeakLearner};
 use crate::quantized_i8::{I8Rows, QuantizedI8BoostHd, QuantizedI8Hd, QuantizedI8WeakLearner};
 use hdc::backend::PackedMatrix;
 use hdc::encoder::{RematSpec, SinusoidEncoder};
-use linalg::Matrix;
+use linalg::{Blob, Matrix, SharedSlice, Storage};
+use std::sync::Arc;
 
 /// `"BHD1"` little-endian.
 const MAGIC: u32 = 0x3144_4842;
@@ -82,6 +91,13 @@ const KIND_QUANT_I8_BOOST: u8 = 7;
 /// `u64::MAX` rows, and v1–v3 readers fail loudly on it).
 const REMAT_SENTINEL: u64 = u64::MAX;
 
+/// Row-count sentinel marking a stored projection serialized as its F×D
+/// *transpose* — the layout the encoder actually holds in memory. Only
+/// heap-mode streams (the fleet model store) emit it, so plain BHD1 file
+/// blobs stay byte-identical to v4; the transpose round trip is an exact
+/// permutation, so either layout reloads to bit-identical encodings.
+const STORED_T_SENTINEL: u64 = u64::MAX - 1;
+
 fn persist_err(reason: impl Into<String>) -> BoostHdError {
     BoostHdError::DataMismatch {
         reason: reason.into(),
@@ -89,20 +105,63 @@ fn persist_err(reason: impl Into<String>) -> BoostHdError {
 }
 
 /// Little-endian byte sink.
+///
+/// Two modes share every `put_*` call:
+///
+/// * **inline** ([`Writer::new`]) — array bodies are written in place,
+///   producing the classic single-stream BHD1 layout;
+/// * **heap** ([`Writer::new_with_heap`]) — every length-prefixed array
+///   body is appended to a separate 8-byte-aligned *payload heap* and the
+///   structure stream records its heap byte offset (`u64`) where the body
+///   would sit. The fleet model store uses this split: the structure
+///   stream is decoded normally while the bulk payloads are served
+///   zero-copy straight out of the loaded blob.
 #[derive(Debug, Default)]
 pub struct Writer {
     buf: Vec<u8>,
+    heap: Option<Vec<u8>>,
 }
 
 impl Writer {
-    /// Creates an empty writer.
+    /// Creates an empty inline-mode writer.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Finishes, returning the encoded bytes.
+    /// Creates an empty heap-mode writer (see the type docs).
+    pub fn new_with_heap() -> Self {
+        Self {
+            buf: Vec::new(),
+            heap: Some(Vec::new()),
+        }
+    }
+
+    /// Whether this writer routes array bodies to a payload heap.
+    pub fn has_heap(&self) -> bool {
+        self.heap.is_some()
+    }
+
+    /// Finishes, returning the encoded bytes (inline mode).
     pub fn into_bytes(self) -> Vec<u8> {
+        debug_assert!(self.heap.is_none(), "heap-mode writer needs into_parts");
         self.buf
+    }
+
+    /// Finishes a heap-mode writer, returning `(structure, heap)`. The
+    /// heap half must land at an 8-byte-aligned offset of whatever record
+    /// it is embedded in, so the recorded array offsets stay aligned for
+    /// zero-copy reinterpretation.
+    pub fn into_parts(self) -> (Vec<u8>, Vec<u8>) {
+        (self.buf, self.heap.unwrap_or_default())
+    }
+
+    /// Pads the heap to an 8-byte boundary and returns the write offset.
+    fn align_heap(&mut self) -> u64 {
+        let heap = self.heap.as_mut().expect("heap-mode writer");
+        while !heap.len().is_multiple_of(8) {
+            heap.push(0);
+        }
+        heap.len() as u64
     }
 
     /// Appends a `u8`.
@@ -133,24 +192,47 @@ impl Writer {
     /// Appends a length-prefixed `f32` slice.
     pub fn put_f32_slice(&mut self, v: &[f32]) {
         self.put_u64(v.len() as u64);
-        for &x in v {
-            self.put_f32(x);
+        if self.heap.is_some() {
+            let off = self.align_heap();
+            let heap = self.heap.as_mut().expect("heap-mode writer");
+            for &x in v {
+                heap.extend_from_slice(&x.to_le_bytes());
+            }
+            self.put_u64(off);
+        } else {
+            for &x in v {
+                self.put_f32(x);
+            }
         }
     }
 
     /// Appends a length-prefixed `i8` slice (v4+).
     pub fn put_i8_slice(&mut self, v: &[i8]) {
         self.put_u64(v.len() as u64);
-        for &x in v {
-            self.buf.push(x as u8);
+        if self.heap.is_some() {
+            let off = self.align_heap();
+            let heap = self.heap.as_mut().expect("heap-mode writer");
+            heap.extend(v.iter().map(|&x| x as u8));
+            self.put_u64(off);
+        } else {
+            self.buf.extend(v.iter().map(|&x| x as u8));
         }
     }
 
     /// Appends a length-prefixed `u64` slice.
     pub fn put_u64_slice(&mut self, v: &[u64]) {
         self.put_u64(v.len() as u64);
-        for &x in v {
-            self.put_u64(x);
+        if self.heap.is_some() {
+            let off = self.align_heap();
+            let heap = self.heap.as_mut().expect("heap-mode writer");
+            for &x in v {
+                heap.extend_from_slice(&x.to_le_bytes());
+            }
+            self.put_u64(off);
+        } else {
+            for &x in v {
+                self.put_u64(x);
+            }
         }
     }
 
@@ -165,23 +247,87 @@ impl Writer {
     pub fn put_matrix(&mut self, m: &Matrix) {
         self.put_u64(m.rows() as u64);
         self.put_u64(m.cols() as u64);
-        for &x in m.as_slice() {
-            self.put_f32(x);
+        if self.heap.is_some() {
+            let off = self.align_heap();
+            let heap = self.heap.as_mut().expect("heap-mode writer");
+            for &x in m.as_slice() {
+                heap.extend_from_slice(&x.to_le_bytes());
+            }
+            self.put_u64(off);
+        } else {
+            for &x in m.as_slice() {
+                self.put_f32(x);
+            }
         }
     }
 }
 
+/// The payload heap a shared-mode [`Reader`] resolves array references
+/// against: a window of a reference-counted blob, kept alive by the
+/// decoded models' zero-copy views.
+#[derive(Debug)]
+struct HeapSource {
+    blob: Arc<Blob>,
+    base: usize,
+    len: usize,
+}
+
 /// Little-endian byte source with bounds checking.
+///
+/// The shared-mode constructor ([`Reader::new_shared`]) decodes structure
+/// streams written by a heap-mode [`Writer`]: array reads resolve their
+/// `u64` heap offsets against a reference-counted blob and — for the bulk
+/// containers (matrices, packed words, int8 grids) — hand back zero-copy
+/// views borrowing the blob instead of copied allocations.
 #[derive(Debug)]
 pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
+    heap: Option<HeapSource>,
 }
 
 impl<'a> Reader<'a> {
-    /// Wraps a byte slice.
+    /// Wraps a byte slice (inline mode).
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0 }
+        Self {
+            data,
+            pos: 0,
+            heap: None,
+        }
+    }
+
+    /// Wraps a structure stream plus the blob window holding its payload
+    /// heap. `heap_base` must be 8-byte aligned within the blob (the
+    /// store's record layout guarantees this), or every array view will
+    /// fail alignment validation.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the heap window exceeds the blob.
+    pub fn new_shared(
+        data: &'a [u8],
+        blob: Arc<Blob>,
+        heap_base: usize,
+        heap_len: usize,
+    ) -> Result<Self> {
+        if heap_base
+            .checked_add(heap_len)
+            .is_none_or(|end| end > blob.len())
+        {
+            return Err(persist_err(format!(
+                "payload heap {heap_base}+{heap_len} exceeds blob of {} bytes",
+                blob.len()
+            )));
+        }
+        Ok(Self {
+            data,
+            pos: 0,
+            heap: Some(HeapSource {
+                blob,
+                base: heap_base,
+                len: heap_len,
+            }),
+        })
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -193,6 +339,39 @@ impl<'a> Reader<'a> {
         let slice = &self.data[self.pos..end];
         self.pos = end;
         Ok(slice)
+    }
+
+    /// [`Reader::take`] for a counted array: validates `count × elem`
+    /// against the bytes actually remaining *before* any allocation, so a
+    /// corrupted length prefix yields a descriptive error instead of a
+    /// multi-gigabyte reserve or an abort.
+    fn take_elems(&mut self, count: usize, elem: usize, what: &str) -> Result<&'a [u8]> {
+        let bytes = count
+            .checked_mul(elem)
+            .ok_or_else(|| persist_err(format!("{what} length {count} overflows")))?;
+        let remaining = self.data.len() - self.pos;
+        if bytes > remaining {
+            return Err(persist_err(format!(
+                "{what} claims {count} elements ({bytes} bytes) but only {remaining} bytes remain"
+            )));
+        }
+        self.take(bytes)
+    }
+
+    /// Reads an array's heap offset and validates the referenced
+    /// `count × elem` byte range against the heap window.
+    fn heap_ref(&mut self, count: usize, elem: usize, what: &str) -> Result<usize> {
+        let heap_len = self.heap.as_ref().expect("shared-mode reader").len;
+        let off = self.get_len()?;
+        let bytes = count
+            .checked_mul(elem)
+            .ok_or_else(|| persist_err(format!("{what} length {count} overflows")))?;
+        if off.checked_add(bytes).is_none_or(|end| end > heap_len) {
+            return Err(persist_err(format!(
+                "{what} payload at {off}+{bytes} exceeds heap of {heap_len} bytes"
+            )));
+        }
+        Ok(off)
     }
 
     /// Reads a `u8`.
@@ -257,45 +436,95 @@ impl<'a> Reader<'a> {
         ))
     }
 
-    /// Reads a length-prefixed `f32` vector.
+    /// Reads `len` raw bytes, validating `len` against the remaining
+    /// input *before* any allocation — the read for untrusted counted
+    /// sections (envelope spec text, embedded payloads).
     ///
     /// # Errors
     ///
-    /// Fails on truncated input.
+    /// Fails with a descriptive error naming `what` when fewer than `len`
+    /// bytes remain.
+    pub fn get_bytes(&mut self, len: usize, what: &str) -> Result<&'a [u8]> {
+        self.take_elems(len, 1, what)
+    }
+
+    /// Bytes `start..start + len` of the heap window (pre-validated by
+    /// [`Reader::heap_ref`]).
+    fn heap_bytes(&self, off: usize, bytes: usize) -> &[u8] {
+        let heap = self.heap.as_ref().expect("shared-mode reader");
+        &heap.blob.as_bytes()[heap.base + off..heap.base + off + bytes]
+    }
+
+    fn decode_f32s(bytes: &[u8]) -> Vec<f32> {
+        bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    }
+
+    /// Reads a length-prefixed `f32` vector (copied out of the heap in
+    /// shared mode — the small vectors this decodes, biases and scales,
+    /// are not worth a view).
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or an out-of-range length prefix.
     pub fn get_f32_vec(&mut self) -> Result<Vec<f32>> {
         let len = self.get_len()?;
-        let mut out = Vec::with_capacity(len.min(1 << 20));
-        for _ in 0..len {
-            out.push(self.get_f32()?);
+        if self.heap.is_some() {
+            let off = self.heap_ref(len, 4, "f32 vector")?;
+            Ok(Self::decode_f32s(self.heap_bytes(off, len * 4)))
+        } else {
+            Ok(Self::decode_f32s(self.take_elems(len, 4, "f32 vector")?))
         }
-        Ok(out)
     }
 
     /// Reads a length-prefixed `i8` vector (v4+).
     ///
     /// # Errors
     ///
-    /// Fails on truncated input.
+    /// Fails on truncated input or an out-of-range length prefix.
     pub fn get_i8_vec(&mut self) -> Result<Vec<i8>> {
+        Ok(self.get_i8_storage()?.into_vec())
+    }
+
+    /// [`Reader::get_i8_vec`], but in shared mode the bytes stay a
+    /// zero-copy view into the blob instead of being copied out.
+    pub(crate) fn get_i8_storage(&mut self) -> Result<Storage<i8>> {
         let len = self.get_len()?;
-        Ok(self.take(len)?.iter().map(|&b| b as i8).collect())
+        if self.heap.is_some() {
+            let off = self.heap_ref(len, 1, "i8 vector")?;
+            let heap = self.heap.as_ref().expect("shared-mode reader");
+            let view = SharedSlice::<i8>::new(Arc::clone(&heap.blob), heap.base + off, len)
+                .map_err(|e| persist_err(e.to_string()))?;
+            Ok(Storage::shared(view))
+        } else {
+            let bytes = self.take_elems(len, 1, "i8 vector")?;
+            Ok(bytes.iter().map(|&b| b as i8).collect::<Vec<_>>().into())
+        }
     }
 
     /// Reads a length-prefixed `u64` vector.
     ///
     /// # Errors
     ///
-    /// Fails on truncated input.
+    /// Fails on truncated input or an out-of-range length prefix.
     pub fn get_u64_vec(&mut self) -> Result<Vec<u64>> {
         let len = self.get_len()?;
-        let mut out = Vec::with_capacity(len.min(1 << 20));
-        for _ in 0..len {
-            out.push(self.get_u64()?);
-        }
-        Ok(out)
+        let bytes = if self.heap.is_some() {
+            let off = self.heap_ref(len, 8, "u64 vector")?;
+            self.heap_bytes(off, len * 8)
+        } else {
+            self.take_elems(len, 8, "u64 vector")?
+        };
+        Ok(bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect())
     }
 
-    /// Reads a shape-prefixed bitpacked matrix.
+    /// Reads a shape-prefixed bitpacked matrix — a zero-copy view into
+    /// the blob in shared mode.
     ///
     /// # Errors
     ///
@@ -303,11 +532,24 @@ impl<'a> Reader<'a> {
     pub fn get_packed_matrix(&mut self) -> Result<PackedMatrix> {
         let rows = self.get_len()?;
         let dim = self.get_len()?;
-        let words = self.get_u64_vec()?;
-        PackedMatrix::from_parts(words, rows, dim).map_err(|e| persist_err(e.to_string()))
+        if self.heap.is_some() {
+            let len = self.get_len()?;
+            let off = self.heap_ref(len, 8, "packed matrix")?;
+            let heap = self.heap.as_ref().expect("shared-mode reader");
+            let m = PackedMatrix::from_shared(Arc::clone(&heap.blob), heap.base + off, rows, dim)
+                .map_err(|e| persist_err(e.to_string()))?;
+            if m.as_words().len() != len {
+                return Err(persist_err("packed matrix word count disagrees with shape"));
+            }
+            Ok(m)
+        } else {
+            let words = self.get_u64_vec()?;
+            PackedMatrix::from_parts(words, rows, dim).map_err(|e| persist_err(e.to_string()))
+        }
     }
 
-    /// Reads a shape-prefixed matrix.
+    /// Reads a shape-prefixed matrix — a zero-copy view into the blob in
+    /// shared mode.
     ///
     /// # Errors
     ///
@@ -318,17 +560,56 @@ impl<'a> Reader<'a> {
         let n = rows
             .checked_mul(cols)
             .ok_or_else(|| persist_err("matrix shape overflows"))?;
-        let mut data = Vec::with_capacity(n.min(1 << 24));
-        for _ in 0..n {
-            data.push(self.get_f32()?);
+        if self.heap.is_some() {
+            let off = self.heap_ref(n, 4, "matrix")?;
+            let heap = self.heap.as_ref().expect("shared-mode reader");
+            Matrix::from_shared(Arc::clone(&heap.blob), heap.base + off, rows, cols)
+                .map_err(|e| persist_err(e.to_string()))
+        } else {
+            let data = Self::decode_f32s(self.take_elems(n, 4, "matrix")?);
+            Matrix::from_vec(rows, cols, data).map_err(|e| persist_err(e.to_string()))
         }
-        Matrix::from_vec(rows, cols, data).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Whether every byte has been consumed.
     pub fn is_exhausted(&self) -> bool {
         self.pos == self.data.len()
     }
+}
+
+/// Crash-safe file publication: the bytes land in a same-directory temp
+/// file, are fsynced, and only then atomically renamed over `path` (with
+/// a best-effort directory-entry sync afterwards). A crash or kill at any
+/// instant leaves either the old file or the complete new one at `path` —
+/// never a torn mix that loads as garbage.
+pub(crate) fn atomic_write(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_else(|| "model".into());
+    name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = match dir {
+        Some(d) => d.join(&name),
+        None => std::path::PathBuf::from(&name),
+    };
+    let result = (|| {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)?;
+        if let Some(d) = dir {
+            if let Ok(dh) = std::fs::File::open(d) {
+                let _ = dh.sync_all();
+            }
+        }
+        Ok(())
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 fn put_header(w: &mut Writer, kind: u8) {
@@ -380,6 +661,14 @@ fn put_encoder(w: &mut Writer, enc: &SinusoidEncoder) {
             w.put_f32(spec.bandwidth);
             w.put_u64(spec.seed);
         }
+        None if w.has_heap() => {
+            // Heap mode persists the F×D transpose the encoder actually
+            // holds, so a shared read borrows the projection out of the
+            // blob with no transpose pass (and no allocation).
+            w.put_u64(STORED_T_SENTINEL);
+            w.put_matrix(enc.projection_t().expect("stored encoder has projection"));
+            w.put_f32_slice(enc.bias());
+        }
         None => {
             w.put_matrix(&enc.projection_matrix());
             w.put_f32_slice(enc.bias());
@@ -403,6 +692,17 @@ fn get_encoder(r: &mut Reader<'_>, version: u8) -> Result<SinusoidEncoder> {
         };
         return SinusoidEncoder::from_remat_spec(spec).map_err(BoostHdError::from);
     }
+    if rows == STORED_T_SENTINEL {
+        if version < 4 {
+            return Err(persist_err(format!(
+                "transposed stored encoder requires blob version 4, got {version}"
+            )));
+        }
+        let projection_t = r.get_matrix()?;
+        let bias = r.get_f32_vec()?;
+        return SinusoidEncoder::from_parts_transposed(projection_t, bias)
+            .map_err(BoostHdError::from);
+    }
     // Stored projection: `rows` was the matrix row count — finish reading
     // the v1-layout matrix in place.
     let rows = usize::try_from(rows).map_err(|_| persist_err("length overflows usize"))?;
@@ -410,10 +710,7 @@ fn get_encoder(r: &mut Reader<'_>, version: u8) -> Result<SinusoidEncoder> {
     let n = rows
         .checked_mul(cols)
         .ok_or_else(|| persist_err("matrix shape overflows"))?;
-    let mut data = Vec::with_capacity(n.min(1 << 24));
-    for _ in 0..n {
-        data.push(r.get_f32()?);
-    }
+    let data = Reader::decode_f32s(r.take_elems(n, 4, "projection matrix")?);
     let projection = Matrix::from_vec(rows, cols, data).map_err(|e| persist_err(e.to_string()))?;
     let bias = r.get_f32_vec()?;
     SinusoidEncoder::from_parts(projection, bias).map_err(BoostHdError::from)
@@ -430,18 +727,26 @@ fn get_i8_rows(r: &mut Reader<'_>) -> Result<I8Rows> {
     let rows = r.get_len()?;
     let cols = r.get_len()?;
     let scales = r.get_f32_vec()?;
-    let data = r.get_i8_vec()?;
+    let data = r.get_i8_storage()?;
     if scales.len() != rows {
         return Err(persist_err("int8 scale count disagrees with row count"));
     }
-    I8Rows::from_parts(data, scales, cols)
+    I8Rows::from_storage(data, scales, cols)
 }
 
 impl OnlineHd {
     /// Serializes the trained model to the compact binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_ONLINE);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Writes the full model blob (header included) into `w` — the body
+    /// shared by [`OnlineHd::to_bytes`] and the fleet store's heap-mode
+    /// records.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_ONLINE);
         let c = self.config();
         w.put_u64(c.dim as u64);
         w.put_f32(c.lr);
@@ -449,9 +754,8 @@ impl OnlineHd {
         w.put_u8(c.bootstrap as u8);
         w.put_u64(c.seed);
         w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
+        put_encoder(w, self.encoder());
         w.put_matrix(self.class_hypervectors());
-        w.into_bytes()
     }
 
     /// Deserializes a model written by [`OnlineHd::to_bytes`].
@@ -462,7 +766,18 @@ impl OnlineHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_ONLINE)?;
+        let model = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Ok(model)
+    }
+
+    /// Decodes a full model blob from `r` — the body shared by
+    /// [`OnlineHd::from_bytes`] and the fleet store's shared-mode reads
+    /// (exhaustion is the caller's check).
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_ONLINE)?;
         let config = OnlineHdConfig {
             dim: r.get_len()?,
             lr: r.get_f32()?,
@@ -471,24 +786,22 @@ impl OnlineHd {
             seed: r.get_u64()?,
         };
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
+        let encoder = get_encoder(r, version)?;
         let class_hvs = r.get_matrix()?;
         if class_hvs.rows() != num_classes || class_hvs.cols() != config.dim {
             return Err(persist_err("class hypervector shape disagrees with header"));
         }
-        if !r.is_exhausted() {
-            return Err(persist_err("trailing bytes after model blob"));
-        }
         Ok(Self::from_parts(encoder, class_hvs, num_classes, config))
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads a model written by [`OnlineHd::save`].
@@ -506,11 +819,16 @@ impl crate::CentroidHd {
     /// Serializes the trained model to the compact binary format (v3).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_CENTROID);
-        w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
-        w.put_matrix(self.class_hypervectors());
+        self.encode_into(&mut w);
         w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_CENTROID);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(w, self.encoder());
+        w.put_matrix(self.class_hypervectors());
     }
 
     /// Deserializes a model written by [`crate::CentroidHd::to_bytes`].
@@ -521,23 +839,30 @@ impl crate::CentroidHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_CENTROID)?;
-        let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
-        let class_hvs = r.get_matrix()?;
+        let model = Self::decode_from(&mut r)?;
         if !r.is_exhausted() {
             return Err(persist_err("trailing bytes after model blob"));
         }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_CENTROID)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(r, version)?;
+        let class_hvs = r.get_matrix()?;
         Self::from_parts(encoder, class_hvs, num_classes)
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads a model written by [`crate::CentroidHd::save`].
@@ -600,7 +925,13 @@ impl BoostHd {
     /// Serializes the trained ensemble to the compact binary format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_BOOST);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_BOOST);
         let c = self.config();
         w.put_u64(c.dim_total as u64);
         w.put_u64(c.n_learners as u64);
@@ -615,7 +946,7 @@ impl BoostHd {
         w.put_u8(c.class_balanced_init as u8);
         w.put_u64(c.seed);
         w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
+        put_encoder(w, self.encoder());
         w.put_u64(self.training_errors().len() as u64);
         for &e in self.training_errors() {
             w.put_f64(e);
@@ -631,11 +962,10 @@ impl BoostHd {
                 None => w.put_u8(0),
                 Some(enc) => {
                     w.put_u8(1);
-                    put_encoder(&mut w, enc);
+                    put_encoder(w, enc);
                 }
             }
         }
-        w.into_bytes()
     }
 
     /// Deserializes an ensemble written by [`BoostHd::to_bytes`].
@@ -646,7 +976,16 @@ impl BoostHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_BOOST)?;
+        let model = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_BOOST)?;
         let config = BoostHdConfig {
             dim_total: r.get_len()?,
             n_learners: r.get_len()?,
@@ -662,7 +1001,7 @@ impl BoostHd {
             seed: r.get_u64()?,
         };
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
+        let encoder = get_encoder(r, version)?;
         let n_errors = r.get_len()?;
         let mut train_errors = Vec::with_capacity(n_errors.min(1 << 16));
         for _ in 0..n_errors {
@@ -683,24 +1022,22 @@ impl BoostHd {
             }
             let own_encoder = match r.get_u8()? {
                 0 => None,
-                1 => Some(get_encoder(&mut r, version)?),
+                1 => Some(get_encoder(r, version)?),
                 other => return Err(persist_err(format!("unknown encoder tag {other}"))),
             };
             learners.push((alpha, start, end, class_hvs, own_encoder));
         }
-        if !r.is_exhausted() {
-            return Err(persist_err("trailing bytes after model blob"));
-        }
         Self::from_parts(encoder, learners, num_classes, config, train_errors)
     }
 
-    /// Writes the ensemble to a file.
+    /// Writes the ensemble to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads an ensemble written by [`BoostHd::save`].
@@ -718,11 +1055,16 @@ impl QuantizedHd {
     /// Serializes the bitpacked model to the compact binary format (v2).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_QUANT_ONLINE);
-        w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
-        w.put_packed_matrix(self.class_bits());
+        self.encode_into(&mut w);
         w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_QUANT_ONLINE);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(w, self.encoder());
+        w.put_packed_matrix(self.class_bits());
     }
 
     /// Deserializes a model written by [`QuantizedHd::to_bytes`].
@@ -733,23 +1075,30 @@ impl QuantizedHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_QUANT_ONLINE)?;
-        let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
-        let class_bits = r.get_packed_matrix()?;
+        let model = Self::decode_from(&mut r)?;
         if !r.is_exhausted() {
             return Err(persist_err("trailing bytes after model blob"));
         }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_QUANT_ONLINE)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(r, version)?;
+        let class_bits = r.get_packed_matrix()?;
         Self::from_parts(encoder, class_bits, num_classes)
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads a model written by [`QuantizedHd::save`].
@@ -767,11 +1116,17 @@ impl QuantizedBoostHd {
     /// Serializes the bitpacked ensemble to the compact binary format (v2).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_QUANT_BOOST);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_QUANT_BOOST);
         w.put_u64(self.dim_total() as u64);
         w.put_u8(voting_tag(self.voting()));
         w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
+        put_encoder(w, self.encoder());
         w.put_u64(self.num_learners() as u64);
         for i in 0..self.num_learners() {
             let (class_bits, alpha, start, end, own_encoder) = self.learner_parts(i);
@@ -783,11 +1138,10 @@ impl QuantizedBoostHd {
                 None => w.put_u8(0),
                 Some(enc) => {
                     w.put_u8(1);
-                    put_encoder(&mut w, enc);
+                    put_encoder(w, enc);
                 }
             }
         }
-        w.into_bytes()
     }
 
     /// Deserializes an ensemble written by [`QuantizedBoostHd::to_bytes`].
@@ -798,11 +1152,20 @@ impl QuantizedBoostHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_QUANT_BOOST)?;
+        let model = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_QUANT_BOOST)?;
         let dim_total = r.get_len()?;
         let voting = voting_from(r.get_u8()?)?;
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
+        let encoder = get_encoder(r, version)?;
         let n_learners = r.get_len()?;
         let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
         for _ in 0..n_learners {
@@ -812,7 +1175,7 @@ impl QuantizedBoostHd {
             let class_bits = r.get_packed_matrix()?;
             let own_encoder = match r.get_u8()? {
                 0 => None,
-                1 => Some(get_encoder(&mut r, version)?),
+                1 => Some(get_encoder(r, version)?),
                 other => return Err(persist_err(format!("unknown encoder tag {other}"))),
             };
             learners.push(QuantizedWeakLearner {
@@ -823,19 +1186,17 @@ impl QuantizedBoostHd {
                 own_encoder,
             });
         }
-        if !r.is_exhausted() {
-            return Err(persist_err("trailing bytes after model blob"));
-        }
         Self::from_parts(encoder, learners, num_classes, voting, dim_total)
     }
 
-    /// Writes the ensemble to a file.
+    /// Writes the ensemble to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads an ensemble written by [`QuantizedBoostHd::save`].
@@ -853,11 +1214,16 @@ impl QuantizedI8Hd {
     /// Serializes the scaled-int8 model to the compact binary format (v4).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_QUANT_I8_ONLINE);
-        w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
-        put_i8_rows(&mut w, self.classes());
+        self.encode_into(&mut w);
         w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_QUANT_I8_ONLINE);
+        w.put_u64(self.num_classes() as u64);
+        put_encoder(w, self.encoder());
+        put_i8_rows(w, self.classes());
     }
 
     /// Deserializes a model written by [`QuantizedI8Hd::to_bytes`].
@@ -868,23 +1234,30 @@ impl QuantizedI8Hd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_QUANT_I8_ONLINE)?;
-        let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
-        let classes = get_i8_rows(&mut r)?;
+        let model = Self::decode_from(&mut r)?;
         if !r.is_exhausted() {
             return Err(persist_err("trailing bytes after model blob"));
         }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_QUANT_I8_ONLINE)?;
+        let num_classes = r.get_len()?;
+        let encoder = get_encoder(r, version)?;
+        let classes = get_i8_rows(r)?;
         Self::from_parts(encoder, classes, num_classes)
     }
 
-    /// Writes the model to a file.
+    /// Writes the model to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads a model written by [`QuantizedI8Hd::save`].
@@ -903,26 +1276,31 @@ impl QuantizedI8BoostHd {
     /// (v4).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut w = Writer::new();
-        put_header(&mut w, KIND_QUANT_I8_BOOST);
+        self.encode_into(&mut w);
+        w.into_bytes()
+    }
+
+    /// Full-blob encode body shared with the fleet store.
+    pub(crate) fn encode_into(&self, w: &mut Writer) {
+        put_header(w, KIND_QUANT_I8_BOOST);
         w.put_u64(self.dim_total() as u64);
         w.put_u8(voting_tag(self.voting()));
         w.put_u64(self.num_classes() as u64);
-        put_encoder(&mut w, self.encoder());
+        put_encoder(w, self.encoder());
         w.put_u64(self.num_learners() as u64);
         for learner in self.learners() {
             w.put_f32(learner.alpha);
             w.put_u64(learner.seg_start as u64);
             w.put_u64(learner.seg_end as u64);
-            put_i8_rows(&mut w, &learner.classes);
+            put_i8_rows(w, &learner.classes);
             match &learner.own_encoder {
                 None => w.put_u8(0),
                 Some(enc) => {
                     w.put_u8(1);
-                    put_encoder(&mut w, enc);
+                    put_encoder(w, enc);
                 }
             }
         }
-        w.into_bytes()
     }
 
     /// Deserializes an ensemble written by
@@ -934,21 +1312,30 @@ impl QuantizedI8BoostHd {
     /// wrong-kind blobs.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
-        let version = check_header(&mut r, KIND_QUANT_I8_BOOST)?;
+        let model = Self::decode_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(persist_err("trailing bytes after model blob"));
+        }
+        Ok(model)
+    }
+
+    /// Full-blob decode body shared with the fleet store.
+    pub(crate) fn decode_from(r: &mut Reader<'_>) -> Result<Self> {
+        let version = check_header(r, KIND_QUANT_I8_BOOST)?;
         let dim_total = r.get_len()?;
         let voting = voting_from(r.get_u8()?)?;
         let num_classes = r.get_len()?;
-        let encoder = get_encoder(&mut r, version)?;
+        let encoder = get_encoder(r, version)?;
         let n_learners = r.get_len()?;
         let mut learners = Vec::with_capacity(n_learners.min(1 << 16));
         for _ in 0..n_learners {
             let alpha = r.get_f32()?;
             let seg_start = r.get_len()?;
             let seg_end = r.get_len()?;
-            let classes = get_i8_rows(&mut r)?;
+            let classes = get_i8_rows(r)?;
             let own_encoder = match r.get_u8()? {
                 0 => None,
-                1 => Some(get_encoder(&mut r, version)?),
+                1 => Some(get_encoder(r, version)?),
                 other => return Err(persist_err(format!("unknown encoder tag {other}"))),
             };
             learners.push(QuantizedI8WeakLearner {
@@ -959,19 +1346,17 @@ impl QuantizedI8BoostHd {
                 own_encoder,
             });
         }
-        if !r.is_exhausted() {
-            return Err(persist_err("trailing bytes after model blob"));
-        }
         Self::from_parts(encoder, learners, num_classes, voting, dim_total)
     }
 
-    /// Writes the ensemble to a file.
+    /// Writes the ensemble to a file (atomically: temp sibling + fsync +
+    /// rename, so a crash mid-save never leaves a torn file at `path`).
     ///
     /// # Errors
     ///
     /// Returns [`BoostHdError::DataMismatch`] wrapping any I/O failure.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
-        std::fs::write(path, self.to_bytes()).map_err(|e| persist_err(e.to_string()))
+        atomic_write(path.as_ref(), &self.to_bytes()).map_err(|e| persist_err(e.to_string()))
     }
 
     /// Reads an ensemble written by [`QuantizedI8BoostHd::save`].
@@ -1388,6 +1773,134 @@ mod tests {
         .unwrap();
         let bytes = model.to_bytes();
         assert!(OnlineHd::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_length_prefixes_fail_fast_without_allocation() {
+        // A length prefix claiming ~2^61 elements must produce a
+        // descriptive error before any allocation is attempted — not an
+        // abort on a multi-gigabyte reserve.
+        let mut w = Writer::new();
+        w.put_u64(1 << 61);
+        let bytes = w.into_bytes();
+        let rejected = |msg: String| msg.contains("but only") || msg.contains("overflows");
+        let err = Reader::new(&bytes).get_f32_vec().unwrap_err();
+        assert!(rejected(err.to_string()), "{err}");
+        let err = Reader::new(&bytes).get_u64_vec().unwrap_err();
+        assert!(rejected(err.to_string()), "{err}");
+        let err = Reader::new(&bytes).get_i8_vec().unwrap_err();
+        assert!(rejected(err.to_string()), "{err}");
+        // Matrix shapes whose element count overflows are rejected too.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2);
+        w.put_u64(16);
+        let err = Reader::new(&w.into_bytes()).get_matrix().unwrap_err();
+        assert!(err.to_string().contains("overflows"), "{err}");
+    }
+
+    #[test]
+    fn heap_mode_primitives_round_trip_with_zero_copy_views() {
+        let mut rng = Rng64::seed_from(9);
+        let m = Matrix::random_normal(4, 6, &mut rng);
+        // dim = 128 → two words per row, no padding bits to invalidate.
+        let packed = PackedMatrix::from_parts(vec![1, 2, 3, u64::MAX], 2, 128).unwrap();
+        let mut w = Writer::new_with_heap();
+        w.put_u8(7);
+        w.put_f32_slice(&[1.5, -2.5, 3.5]);
+        w.put_i8_slice(&[-3, 0, 5]);
+        w.put_u64_slice(&[10, 20]);
+        w.put_matrix(&m);
+        w.put_packed_matrix(&packed);
+        let (structure, heap) = w.into_parts();
+        let blob = Arc::new(Blob::from_bytes(&heap));
+        let mut r = Reader::new_shared(&structure, blob, 0, heap.len()).unwrap();
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_f32_vec().unwrap(), vec![1.5, -2.5, 3.5]);
+        assert_eq!(r.get_i8_vec().unwrap(), vec![-3, 0, 5]);
+        assert_eq!(r.get_u64_vec().unwrap(), vec![10, 20]);
+        let m2 = r.get_matrix().unwrap();
+        assert_eq!(m2, m);
+        assert!(m2.is_shared(), "matrix must borrow the blob");
+        let p2 = r.get_packed_matrix().unwrap();
+        assert_eq!(p2.as_words(), packed.as_words());
+        assert!(p2.is_shared(), "packed words must borrow the blob");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn heap_mode_model_round_trip_is_bit_identical_and_zero_copy() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap();
+        let mut w = Writer::new_with_heap();
+        model.encode_into(&mut w);
+        let (structure, heap) = w.into_parts();
+        let blob = Arc::new(Blob::from_bytes(&heap));
+        let mut r = Reader::new_shared(&structure, blob, 0, heap.len()).unwrap();
+        let restored = OnlineHd::decode_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(model.scores_batch(&x), restored.scores_batch(&x));
+        assert!(restored.class_hypervectors().is_shared());
+        assert!(restored.encoder().projection_t().unwrap().is_shared());
+    }
+
+    #[test]
+    fn heap_mode_i8_round_trip_is_bit_identical_and_zero_copy() {
+        let (x, y) = toy();
+        let config = OnlineHdConfig {
+            dim: 96,
+            epochs: 4,
+            ..Default::default()
+        };
+        let model = OnlineHd::fit(&config, &x, &y).unwrap().quantize_i8();
+        let mut w = Writer::new_with_heap();
+        model.encode_into(&mut w);
+        let (structure, heap) = w.into_parts();
+        let blob = Arc::new(Blob::from_bytes(&heap));
+        let mut r = Reader::new_shared(&structure, blob, 0, heap.len()).unwrap();
+        let restored = QuantizedI8Hd::decode_from(&mut r).unwrap();
+        assert!(r.is_exhausted());
+        assert_eq!(model.scores_batch(&x), restored.scores_batch(&x));
+        assert!(
+            restored.classes().is_shared(),
+            "int8 class grid must borrow the blob"
+        );
+    }
+
+    #[test]
+    fn atomic_save_replaces_existing_file_and_cleans_temp() {
+        let dir = std::env::temp_dir().join("boosthd_atomic_save_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.bhd");
+        std::fs::write(&path, b"garbage that must be replaced").unwrap();
+        let (x, y) = toy();
+        let model = OnlineHd::fit(
+            &OnlineHdConfig {
+                dim: 32,
+                epochs: 2,
+                ..Default::default()
+            },
+            &x,
+            &y,
+        )
+        .unwrap();
+        model.save(&path).unwrap();
+        let restored = OnlineHd::load(&path).unwrap();
+        assert_eq!(model.predict_batch(&x), restored.predict_batch(&x));
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -58,7 +58,8 @@ use crate::quantized_i8::{QuantizedI8BoostHd, QuantizedI8Hd};
 use crate::spec::{BaselineSpec, ModelSpec};
 use faults::BitflipReport;
 use linalg::autotune::{Tuning, TuningSource};
-use linalg::{Matrix, Rng64};
+use linalg::{Blob, Matrix, Rng64};
+use std::sync::Arc;
 
 fn pipeline_err(reason: impl Into<String>) -> BoostHdError {
     BoostHdError::DataMismatch {
@@ -152,6 +153,21 @@ pub trait Model: Classifier + Send + Sync {
     /// codec ([`PayloadKind::Unsupported`]).
     fn to_payload(&self) -> Result<Vec<u8>>;
 
+    /// Writes the model's full blob through `w` — with a heap-mode writer
+    /// this is the fleet store's record body, splitting bulk arrays into
+    /// the zero-copy payload heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families without a
+    /// codec (the default implementation).
+    fn encode_store(&self, w: &mut Writer) -> Result<()> {
+        let _ = w;
+        Err(BoostHdError::InvalidConfig {
+            reason: "model family has no binary codec; only the HDC models persist".into(),
+        })
+    }
+
     /// Upcast for concrete-type escape hatches ([`Pipeline::downcast_ref`]).
     fn as_any(&self) -> &dyn Any;
 
@@ -173,6 +189,10 @@ macro_rules! impl_hdc_model {
             }
             fn to_payload(&self) -> Result<Vec<u8>> {
                 Ok(self.to_bytes())
+            }
+            fn encode_store(&self, w: &mut Writer) -> Result<()> {
+                self.encode_into(w);
+                Ok(())
             }
             fn as_any(&self) -> &dyn Any {
                 self
@@ -628,14 +648,15 @@ impl Pipeline {
         } else {
             None
         };
+        // Both counted sections validate their length prefix against the
+        // bytes actually present before any allocation, so a corrupted
+        // prefix fails descriptively instead of aborting on a huge
+        // reserve.
         let spec_len = r.get_len()?;
-        let mut spec_bytes = Vec::with_capacity(spec_len.min(1 << 20));
-        for _ in 0..spec_len {
-            spec_bytes.push(r.get_u8()?);
-        }
-        let spec_toml = String::from_utf8(spec_bytes)
+        let spec_bytes = r.get_bytes(spec_len, "envelope spec")?;
+        let spec_toml = std::str::from_utf8(spec_bytes)
             .map_err(|_| pipeline_err("envelope spec is not valid UTF-8"))?;
-        let spec = ModelSpec::from_toml_str(&spec_toml)?;
+        let spec = ModelSpec::from_toml_str(spec_toml)?;
         if expected_payload_kind(&spec) != kind {
             return Err(BoostHdError::InvalidConfig {
                 reason: format!(
@@ -645,21 +666,18 @@ impl Pipeline {
             });
         }
         let payload_len = r.get_len()?;
-        let mut payload = Vec::with_capacity(payload_len.min(1 << 24));
-        for _ in 0..payload_len {
-            payload.push(r.get_u8()?);
-        }
+        let payload = r.get_bytes(payload_len, "envelope payload")?;
         if !r.is_exhausted() {
             return Err(pipeline_err("trailing bytes after pipeline envelope"));
         }
         let model: Box<dyn Model> = match kind {
-            PayloadKind::OnlineHd => Box::new(OnlineHd::from_bytes(&payload)?),
-            PayloadKind::CentroidHd => Box::new(CentroidHd::from_bytes(&payload)?),
-            PayloadKind::BoostHd => Box::new(BoostHd::from_bytes(&payload)?),
-            PayloadKind::QuantizedHd => Box::new(QuantizedHd::from_bytes(&payload)?),
-            PayloadKind::QuantizedBoostHd => Box::new(QuantizedBoostHd::from_bytes(&payload)?),
-            PayloadKind::QuantizedI8Hd => Box::new(QuantizedI8Hd::from_bytes(&payload)?),
-            PayloadKind::QuantizedI8BoostHd => Box::new(QuantizedI8BoostHd::from_bytes(&payload)?),
+            PayloadKind::OnlineHd => Box::new(OnlineHd::from_bytes(payload)?),
+            PayloadKind::CentroidHd => Box::new(CentroidHd::from_bytes(payload)?),
+            PayloadKind::BoostHd => Box::new(BoostHd::from_bytes(payload)?),
+            PayloadKind::QuantizedHd => Box::new(QuantizedHd::from_bytes(payload)?),
+            PayloadKind::QuantizedBoostHd => Box::new(QuantizedBoostHd::from_bytes(payload)?),
+            PayloadKind::QuantizedI8Hd => Box::new(QuantizedI8Hd::from_bytes(payload)?),
+            PayloadKind::QuantizedI8BoostHd => Box::new(QuantizedI8BoostHd::from_bytes(payload)?),
             PayloadKind::Unsupported => {
                 return Err(pipeline_err("envelope holds no loadable payload"));
             }
@@ -670,14 +688,18 @@ impl Pipeline {
         Ok(pipeline)
     }
 
-    /// Writes the envelope to a file.
+    /// Writes the envelope to a file — atomically. The bytes land in a
+    /// same-directory temp file, are fsynced, and only then renamed over
+    /// `path`, so a crash or kill mid-save leaves either the previous
+    /// artifact or the complete new one, never a torn envelope that
+    /// [`Pipeline::load`] would reject (or worse, misload).
     ///
     /// # Errors
     ///
     /// As [`Pipeline::to_bytes`], plus I/O failures.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let bytes = self.to_bytes()?;
-        std::fs::write(path, bytes).map_err(|e| pipeline_err(e.to_string()))
+        crate::persist::atomic_write(path.as_ref(), &bytes).map_err(|e| pipeline_err(e.to_string()))
     }
 
     /// Reads an envelope written by [`Pipeline::save`].
@@ -688,6 +710,93 @@ impl Pipeline {
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let bytes = std::fs::read(path).map_err(|e| pipeline_err(e.to_string()))?;
         Self::from_bytes(&bytes)
+    }
+
+    /// Serializes the pipeline for a fleet-store record as
+    /// `(structure, heap)`: the structure stream holds the payload kind,
+    /// abstention threshold, spec TOML, and the model's scalar skeleton,
+    /// while every bulk array (projections, class matrices, packed words,
+    /// int8 grids) lands in the 8-byte-aligned payload heap at an offset
+    /// the structure stream records. [`Pipeline::decode_store_parts`]
+    /// then serves those arrays zero-copy out of the loaded record blob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::InvalidConfig`] for families without a
+    /// binary codec (the classical baselines).
+    pub(crate) fn encode_store_parts(&self) -> Result<(Vec<u8>, Vec<u8>)> {
+        let kind = self.model.payload_kind();
+        if kind == PayloadKind::Unsupported {
+            return Err(BoostHdError::InvalidConfig {
+                reason: format!(
+                    "model family `{}` has no binary codec; only the HDC models persist",
+                    self.spec.display_name()
+                ),
+            });
+        }
+        let spec_toml = self.spec.to_toml();
+        let mut w = Writer::new_with_heap();
+        w.put_u8(kind.tag());
+        w.put_f32(self.abstain_threshold);
+        w.put_u64(spec_toml.len() as u64);
+        for &b in spec_toml.as_bytes() {
+            w.put_u8(b);
+        }
+        self.model.encode_store(&mut w)?;
+        Ok(w.into_parts())
+    }
+
+    /// Rebuilds a pipeline from a fleet-store record: `structure` is the
+    /// stream [`Pipeline::encode_store_parts`] produced and
+    /// `blob[heap_base..heap_base + heap_len]` its payload heap. The
+    /// decoded model's bulk arrays stay zero-copy views into `blob` (kept
+    /// alive by reference counting) until something mutates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BoostHdError::DataMismatch`] for truncated or corrupt
+    /// records, and [`BoostHdError::InvalidConfig`] when the embedded
+    /// spec disagrees with the payload kind.
+    pub(crate) fn decode_store_parts(
+        structure: &[u8],
+        blob: Arc<Blob>,
+        heap_base: usize,
+        heap_len: usize,
+    ) -> Result<Self> {
+        let mut r = Reader::new_shared(structure, blob, heap_base, heap_len)?;
+        let kind = PayloadKind::from_tag(r.get_u8()?)?;
+        let abstain_threshold = r.get_f32()?;
+        let spec_len = r.get_len()?;
+        let spec_bytes = r.get_bytes(spec_len, "store record spec")?;
+        let spec_toml = std::str::from_utf8(spec_bytes)
+            .map_err(|_| pipeline_err("store record spec is not valid UTF-8"))?;
+        let spec = ModelSpec::from_toml_str(spec_toml)?;
+        if expected_payload_kind(&spec) != kind {
+            return Err(BoostHdError::InvalidConfig {
+                reason: format!(
+                    "store record payload kind disagrees with its spec (`{}`)",
+                    spec.kind_tag()
+                ),
+            });
+        }
+        let model: Box<dyn Model> = match kind {
+            PayloadKind::OnlineHd => Box::new(OnlineHd::decode_from(&mut r)?),
+            PayloadKind::CentroidHd => Box::new(CentroidHd::decode_from(&mut r)?),
+            PayloadKind::BoostHd => Box::new(BoostHd::decode_from(&mut r)?),
+            PayloadKind::QuantizedHd => Box::new(QuantizedHd::decode_from(&mut r)?),
+            PayloadKind::QuantizedBoostHd => Box::new(QuantizedBoostHd::decode_from(&mut r)?),
+            PayloadKind::QuantizedI8Hd => Box::new(QuantizedI8Hd::decode_from(&mut r)?),
+            PayloadKind::QuantizedI8BoostHd => Box::new(QuantizedI8BoostHd::decode_from(&mut r)?),
+            PayloadKind::Unsupported => {
+                return Err(pipeline_err("store record holds no loadable payload"));
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(pipeline_err("trailing bytes after store record structure"));
+        }
+        let mut pipeline = Self::from_model(spec, model);
+        pipeline.set_abstain_threshold(abstain_threshold);
+        Ok(pipeline)
     }
 }
 

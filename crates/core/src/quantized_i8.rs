@@ -51,7 +51,7 @@ use faults::{BitflipReport, PerturbableI8};
 use hdc::encoder::{Encode, SinusoidEncoder};
 use linalg::kernels::dot_i8;
 use linalg::matrix::norm;
-use linalg::{Matrix, Rng64};
+use linalg::{Matrix, Rng64, Storage};
 use serde::{Deserialize, Serialize};
 
 /// Symmetric per-row quantizer: fills `out` with
@@ -79,7 +79,7 @@ pub(crate) fn quantize_row_into(src: &[f32], out: &mut Vec<i8>) -> f32 {
 /// per-row inverse integer norms used by the cosine approximation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct I8Rows {
-    data: Vec<i8>,
+    data: Storage<i8>,
     scales: Vec<f32>,
     inv_qnorms: Vec<f32>,
     cols: usize,
@@ -96,7 +96,7 @@ impl I8Rows {
             data.extend_from_slice(&qbuf);
         }
         let mut rows = Self {
-            data,
+            data: data.into(),
             scales,
             inv_qnorms: Vec::new(),
             cols: m.cols(),
@@ -112,7 +112,16 @@ impl I8Rows {
     ///
     /// Returns [`BoostHdError::DataMismatch`] when `data` is not
     /// `scales.len() × cols` elements.
+    #[cfg(test)]
     pub(crate) fn from_parts(data: Vec<i8>, scales: Vec<f32>, cols: usize) -> Result<Self> {
+        Self::from_storage(data.into(), scales, cols)
+    }
+
+    /// [`I8Rows::from_parts`] over any backing storage — accepts a
+    /// zero-copy shared view borrowed from a model-store blob as well as
+    /// an owned byte vector. Shared rows stay borrowed until the first
+    /// in-place mutation (refit, fault injection) promotes them.
+    pub(crate) fn from_storage(data: Storage<i8>, scales: Vec<f32>, cols: usize) -> Result<Self> {
         if cols == 0 || data.len() != scales.len() * cols {
             return Err(BoostHdError::DataMismatch {
                 reason: format!(
@@ -133,6 +142,12 @@ impl I8Rows {
         Ok(rows)
     }
 
+    /// Whether the byte grid is a zero-copy view into a model-store blob.
+    #[cfg(test)]
+    pub(crate) fn is_shared(&self) -> bool {
+        self.data.is_shared()
+    }
+
     pub(crate) fn rows(&self) -> usize {
         self.scales.len()
     }
@@ -150,7 +165,7 @@ impl I8Rows {
     }
 
     pub(crate) fn data_mut(&mut self) -> &mut [i8] {
-        &mut self.data
+        self.data.make_mut()
     }
 
     pub(crate) fn scales(&self) -> &[f32] {

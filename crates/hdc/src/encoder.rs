@@ -438,6 +438,46 @@ impl SinusoidEncoder {
         ))
     }
 
+    /// Reassembles an encoder directly from the `F × D` **transposed**
+    /// projection — the orientation the encoder holds in memory and the
+    /// only one either encode path reads. This is the zero-copy
+    /// model-store path: the store persists `projection_t` verbatim so a
+    /// loaded encoder can borrow it out of the blob without the
+    /// materialize-and-transpose round trip of
+    /// [`SinusoidEncoder::from_parts`]. Outputs are bit-identical to an
+    /// encoder rebuilt through `from_parts` on the untransposed matrix
+    /// (transposition is a pure element permutation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::DimensionMismatch`] if `bias.len()` differs
+    /// from the projection column count (`D`), and
+    /// [`HdcError::InvalidConfig`] for an empty projection.
+    pub fn from_parts_transposed(projection_t: Matrix, bias: Vec<f32>) -> Result<Self> {
+        if projection_t.rows() == 0 || projection_t.cols() == 0 {
+            return Err(HdcError::InvalidConfig {
+                reason: "encoder projection must be non-empty".into(),
+            });
+        }
+        if bias.len() != projection_t.cols() {
+            return Err(HdcError::DimensionMismatch {
+                expected: projection_t.cols(),
+                actual: bias.len(),
+            });
+        }
+        Ok(Self::assemble(Projection::Stored(projection_t), bias))
+    }
+
+    /// Borrows the stored `F × D` transposed projection, or `None` for a
+    /// rematerialized encoder. The persistence orientation for the
+    /// zero-copy store (see [`SinusoidEncoder::from_parts_transposed`]).
+    pub fn projection_t(&self) -> Option<&Matrix> {
+        match &self.projection {
+            Projection::Stored(projection_t) => Some(projection_t),
+            Projection::Remat(_) => None,
+        }
+    }
+
     /// Reassembles a **rematerialized** encoder from its stored recipe (the
     /// persistence path for seed-persisted encoders).
     ///

@@ -32,6 +32,7 @@ pub mod error;
 pub mod kernels;
 pub mod matrix;
 pub mod rng;
+pub mod share;
 pub mod stats;
 
 pub use autotune::{Tuning, TuningSource};
@@ -40,3 +41,4 @@ pub use error::{LinalgError, Result};
 pub use kernels::KernelLevel;
 pub use matrix::Matrix;
 pub use rng::Rng64;
+pub use share::{Blob, SharedSlice, Storage};

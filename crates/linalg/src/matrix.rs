@@ -2,7 +2,9 @@
 
 use crate::error::{LinalgError, Result};
 use crate::rng::Rng64;
+use crate::share::{Blob, SharedSlice, Storage};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// A dense, row-major `f32` matrix.
 ///
@@ -24,7 +26,7 @@ use serde::{Deserialize, Serialize};
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Storage<f32>,
 }
 
 /// Row-block edge of the cache-blocked multiply: the number of output rows
@@ -48,7 +50,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: vec![0.0; rows * cols].into(),
         }
     }
 
@@ -57,7 +59,7 @@ impl Matrix {
         Self {
             rows,
             cols,
-            data: vec![value; rows * cols],
+            data: vec![value; rows * cols].into(),
         }
     }
 
@@ -83,7 +85,45 @@ impl Matrix {
                 rhs: (data.len(), 1),
             });
         }
-        Ok(Self { rows, cols, data })
+        Ok(Self {
+            rows,
+            cols,
+            data: data.into(),
+        })
+    }
+
+    /// Creates a matrix whose data is **borrowed** out of an 8-aligned
+    /// [`Blob`] — the zero-copy model-store path. `byte_offset` must be a
+    /// multiple of 4 relative to the blob base; the view covers
+    /// `rows × cols` little-endian `f32` values. The matrix stays
+    /// read-only-shared until the first mutation, which promotes it to an
+    /// owned copy (copy-on-write), so every in-place API keeps working.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::SharedView`] if the range leaves the blob or
+    /// the offset is misaligned.
+    pub fn from_shared(
+        blob: Arc<Blob>,
+        byte_offset: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Self> {
+        let len = rows.checked_mul(cols).ok_or(LinalgError::SharedView {
+            reason: "matrix shape overflows".into(),
+        })?;
+        let view = SharedSlice::<f32>::new(blob, byte_offset, len)?;
+        Ok(Self {
+            rows,
+            cols,
+            data: Storage::shared(view),
+        })
+    }
+
+    /// Whether the data is still borrowed from a shared blob (no mutation
+    /// has promoted it to an owned copy). See [`Matrix::from_shared`].
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     /// Creates a matrix from a slice of equal-length rows.
@@ -111,7 +151,7 @@ impl Matrix {
         Ok(Self {
             rows: rows.len(),
             cols,
-            data,
+            data: data.into(),
         })
     }
 
@@ -120,14 +160,22 @@ impl Matrix {
     /// This is the Gaussian kernel matrix `k_{i,j} ~ N(0, 1)` the paper uses
     /// as the HDC projection.
     pub fn random_normal(rows: usize, cols: usize, rng: &mut Rng64) -> Self {
-        let data = (0..rows * cols).map(|_| rng.normal()).collect();
-        Self { rows, cols, data }
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.normal()).collect();
+        Self {
+            rows,
+            cols,
+            data: data.into(),
+        }
     }
 
     /// Creates a matrix whose entries are i.i.d. uniform in `[lo, hi)`.
     pub fn random_uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut Rng64) -> Self {
-        let data = (0..rows * cols).map(|_| rng.uniform_in(lo, hi)).collect();
-        Self { rows, cols, data }
+        let data: Vec<f32> = (0..rows * cols).map(|_| rng.uniform_in(lo, hi)).collect();
+        Self {
+            rows,
+            cols,
+            data: data.into(),
+        }
     }
 
     /// Number of rows.
@@ -160,9 +208,10 @@ impl Matrix {
         &mut self.data
     }
 
-    /// Consumes the matrix, returning the flat row-major buffer.
+    /// Consumes the matrix, returning the flat row-major buffer (copying
+    /// out of the blob for a shared matrix).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
     /// Borrows row `r` as a slice.
@@ -266,7 +315,9 @@ impl Matrix {
         Matrix {
             rows: end - start,
             cols: self.cols,
-            data: self.data[start * self.cols..end * self.cols].to_vec(),
+            data: self.data[start * self.cols..end * self.cols]
+                .to_vec()
+                .into(),
         }
     }
 
@@ -444,8 +495,9 @@ impl Matrix {
     pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
         self.rows = rows;
         self.cols = cols;
-        self.data.clear();
-        self.data.resize(rows * cols, 0.0);
+        let data = self.data.make_mut();
+        data.clear();
+        data.resize(rows * cols, 0.0);
     }
 
     /// Matrix–vector product `self · v`.
@@ -474,7 +526,7 @@ impl Matrix {
 
     /// Element-wise in-place map.
     pub fn map_inplace(&mut self, mut f: impl FnMut(f32) -> f32) {
-        for x in &mut self.data {
+        for x in self.data.make_mut().iter_mut() {
             *x = f(*x);
         }
     }
@@ -568,7 +620,11 @@ impl Matrix {
         for p in parts {
             data.extend_from_slice(&p.data);
         }
-        Ok(Matrix { rows, cols, data })
+        Ok(Matrix {
+            rows,
+            cols,
+            data: data.into(),
+        })
     }
 
     /// Iterates over rows as slices.

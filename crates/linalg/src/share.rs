@@ -1,0 +1,362 @@
+//! Zero-copy shared storage: 8-byte-aligned blobs and the copy-on-write
+//! element buffer that lets matrices borrow their data out of one.
+//!
+//! A model-store record keeps its large arrays (dense `f32` class
+//! matrices, bitpacked `u64` words, `i8` grids) at 8-byte-aligned offsets
+//! inside one contiguous payload. Loading the payload into a [`Blob`]
+//! (whose backing buffer is `u64`-aligned by construction) makes every
+//! such array directly addressable as a typed slice — no per-array
+//! allocation or copy. [`Storage`] is the buffer type containers such as
+//! `Matrix` hold: either an owned `Vec<T>` (the historical representation)
+//! or a [`SharedSlice`] borrowing straight out of a reference-counted
+//! blob. Reads are transparent through `Deref`; the first mutable access
+//! promotes a shared buffer to an owned copy, so every existing in-place
+//! API (refit, fault injection) keeps working unchanged.
+//!
+//! Typed reinterpretation assumes the blob holds **little-endian** data on
+//! a little-endian host (the only targets this crate dispatches SIMD
+//! kernels for); the owned decode paths remain fully portable.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Element types that may be reinterpreted from raw blob bytes.
+///
+/// # Safety
+///
+/// Implementors must be plain-old-data: any bit pattern is a valid value,
+/// no padding, no drop glue, alignment at most 8.
+pub unsafe trait BlobElem: Copy + PartialEq + fmt::Debug + Send + Sync + 'static {}
+
+// All bit patterns are valid for these, and each aligns to ≤ 8 bytes.
+unsafe impl BlobElem for f32 {}
+unsafe impl BlobElem for u64 {}
+unsafe impl BlobElem for i8 {}
+
+/// An immutable byte buffer whose base address is 8-byte aligned.
+///
+/// The alignment comes for free from the `Vec<u64>` backing store, so any
+/// offset that is itself a multiple of `align_of::<T>()` (for `T` up to 8
+/// bytes) yields a correctly aligned `&[T]` view.
+pub struct Blob {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Blob {
+    /// Copies `bytes` into a fresh 8-aligned buffer.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        let n_words = bytes.len().div_ceil(8);
+        let mut words = vec![0u64; n_words];
+        // Native-endian word assembly keeps `as_bytes` byte-faithful to the
+        // input on every platform.
+        for (i, chunk) in bytes.chunks(8).enumerate() {
+            let mut b = [0u8; 8];
+            b[..chunk.len()].copy_from_slice(chunk);
+            words[i] = u64::from_ne_bytes(b);
+        }
+        Self {
+            words,
+            len: bytes.len(),
+        }
+    }
+
+    /// The stored bytes (base address 8-aligned).
+    pub fn as_bytes(&self) -> &[u8] {
+        // Safety: the Vec<u64> allocation covers ceil(len/8)*8 ≥ len bytes
+        // and u64 has no padding or invalid representations.
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+
+    /// Number of stored bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the blob holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether `ptr` points into this blob's byte range — the hook
+    /// zero-copy tests use to assert a slice was borrowed, not copied.
+    pub fn contains_ptr(&self, ptr: *const u8) -> bool {
+        let base = self.words.as_ptr() as usize;
+        let p = ptr as usize;
+        p >= base && p < base + self.len.max(1)
+    }
+}
+
+impl fmt::Debug for Blob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Blob({} bytes)", self.len)
+    }
+}
+
+/// A typed immutable view into an [`Blob`]: `len` elements of `T`
+/// starting at `byte_offset`. Holding the view keeps the blob alive.
+pub struct SharedSlice<T: BlobElem> {
+    blob: Arc<Blob>,
+    byte_offset: usize,
+    len: usize,
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: BlobElem> SharedSlice<T> {
+    /// Creates a view of `len` elements at `byte_offset`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::LinalgError::SharedView`] if the range leaves the
+    /// blob or `byte_offset` is not aligned for `T`.
+    pub fn new(blob: Arc<Blob>, byte_offset: usize, len: usize) -> crate::Result<Self> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .ok_or_else(|| shared_err("shared view length overflows"))?;
+        let end = byte_offset
+            .checked_add(bytes)
+            .ok_or_else(|| shared_err("shared view range overflows"))?;
+        if end > blob.len() {
+            return Err(shared_err(format!(
+                "shared view [{byte_offset}, {end}) leaves blob of {} bytes",
+                blob.len()
+            )));
+        }
+        if !byte_offset.is_multiple_of(std::mem::align_of::<T>()) {
+            return Err(shared_err(format!(
+                "shared view offset {byte_offset} unaligned for {}-byte elements",
+                std::mem::size_of::<T>()
+            )));
+        }
+        Ok(Self {
+            blob,
+            byte_offset,
+            len,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Borrows the elements.
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: bounds and alignment were verified at construction, the
+        // blob base is 8-aligned (≥ align_of::<T>()), T is plain old data,
+        // and the Arc keeps the allocation alive for self's lifetime.
+        unsafe {
+            std::slice::from_raw_parts(
+                self.blob
+                    .as_bytes()
+                    .as_ptr()
+                    .add(self.byte_offset)
+                    .cast::<T>(),
+                self.len,
+            )
+        }
+    }
+
+    /// The blob this view borrows from.
+    pub fn blob(&self) -> &Arc<Blob> {
+        &self.blob
+    }
+}
+
+impl<T: BlobElem> Clone for SharedSlice<T> {
+    fn clone(&self) -> Self {
+        Self {
+            blob: Arc::clone(&self.blob),
+            byte_offset: self.byte_offset,
+            len: self.len,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+fn shared_err(reason: impl Into<String>) -> crate::LinalgError {
+    crate::LinalgError::SharedView {
+        reason: reason.into(),
+    }
+}
+
+/// A copy-on-write element buffer: an owned `Vec<T>` or a [`SharedSlice`]
+/// borrowing out of a loaded blob. Immutable access is transparent via
+/// `Deref<Target = [T]>`; the first mutable access promotes shared storage
+/// to an owned copy.
+pub struct Storage<T: BlobElem>(Repr<T>);
+
+enum Repr<T: BlobElem> {
+    Owned(Vec<T>),
+    Shared(SharedSlice<T>),
+}
+
+impl<T: BlobElem> Storage<T> {
+    /// Wraps a shared view.
+    pub fn shared(view: SharedSlice<T>) -> Self {
+        Self(Repr::Shared(view))
+    }
+
+    /// Whether the buffer still borrows from a blob (i.e. the zero-copy
+    /// path survived — no mutation has promoted it to an owned copy).
+    pub fn is_shared(&self) -> bool {
+        matches!(self.0, Repr::Shared(_))
+    }
+
+    /// Borrows the elements.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.0 {
+            Repr::Owned(v) => v,
+            Repr::Shared(s) => s.as_slice(),
+        }
+    }
+
+    /// Promotes to owned storage (copying on the first call for shared
+    /// buffers) and returns the underlying vector for in-place edits.
+    pub fn make_mut(&mut self) -> &mut Vec<T> {
+        if let Repr::Shared(s) = &self.0 {
+            self.0 = Repr::Owned(s.as_slice().to_vec());
+        }
+        match &mut self.0 {
+            Repr::Owned(v) => v,
+            Repr::Shared(_) => unreachable!("just promoted"),
+        }
+    }
+
+    /// Consumes the buffer, returning an owned vector (copying if shared).
+    pub fn into_vec(self) -> Vec<T> {
+        match self.0 {
+            Repr::Owned(v) => v,
+            Repr::Shared(s) => s.as_slice().to_vec(),
+        }
+    }
+}
+
+impl<T: BlobElem> From<Vec<T>> for Storage<T> {
+    fn from(v: Vec<T>) -> Self {
+        Self(Repr::Owned(v))
+    }
+}
+
+impl<T: BlobElem> std::ops::Deref for Storage<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: BlobElem> std::ops::DerefMut for Storage<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.make_mut()
+    }
+}
+
+impl<T: BlobElem> Clone for Storage<T> {
+    fn clone(&self) -> Self {
+        match &self.0 {
+            Repr::Owned(v) => Self(Repr::Owned(v.clone())),
+            // Cloning a shared buffer clones the Arc, not the data.
+            Repr::Shared(s) => Self(Repr::Shared(s.clone())),
+        }
+    }
+}
+
+impl<T: BlobElem> fmt::Debug for Storage<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_shared() {
+            write!(f, "Storage::Shared({} elems)", self.as_slice().len())
+        } else {
+            self.as_slice().fmt(f)
+        }
+    }
+}
+
+impl<T: BlobElem> PartialEq for Storage<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: BlobElem + Eq> Eq for Storage<T> {}
+
+// Marker-trait impls so containers holding Storage can keep deriving the
+// vendored serde traits.
+impl<T: BlobElem> serde::Serialize for Storage<T> {}
+impl<'de, T: BlobElem> serde::Deserialize<'de> for Storage<T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob_of_f32(vals: &[f32]) -> Arc<Blob> {
+        let mut bytes = Vec::new();
+        for v in vals {
+            bytes.extend_from_slice(&v.to_ne_bytes());
+        }
+        Arc::new(Blob::from_bytes(&bytes))
+    }
+
+    #[test]
+    fn blob_round_trips_bytes_and_is_aligned() {
+        for n in [0usize, 1, 7, 8, 9, 63, 64, 65] {
+            let bytes: Vec<u8> = (0..n).map(|i| i as u8).collect();
+            let blob = Blob::from_bytes(&bytes);
+            assert_eq!(blob.as_bytes(), &bytes[..]);
+            assert_eq!(blob.len(), n);
+            assert_eq!(blob.as_bytes().as_ptr() as usize % 8, 0, "len {n}");
+        }
+    }
+
+    #[test]
+    fn shared_slice_reads_typed_values() {
+        let blob = blob_of_f32(&[1.0, -2.5, 3.25]);
+        let view = SharedSlice::<f32>::new(Arc::clone(&blob), 4, 2).unwrap();
+        assert_eq!(view.as_slice(), &[-2.5, 3.25]);
+        assert!(blob.contains_ptr(view.as_slice().as_ptr().cast()));
+    }
+
+    #[test]
+    fn shared_slice_rejects_out_of_bounds_and_misaligned() {
+        let blob = blob_of_f32(&[1.0, 2.0]);
+        assert!(SharedSlice::<f32>::new(Arc::clone(&blob), 0, 3).is_err());
+        assert!(
+            SharedSlice::<f32>::new(Arc::clone(&blob), 9, 0).is_err(),
+            "past end"
+        );
+        assert!(
+            SharedSlice::<f32>::new(Arc::clone(&blob), 2, 1).is_err(),
+            "misaligned"
+        );
+        assert!(
+            SharedSlice::<u64>::new(Arc::clone(&blob), 4, 1).is_err(),
+            "u64 needs 8"
+        );
+    }
+
+    #[test]
+    fn storage_promotes_on_mutation() {
+        let blob = blob_of_f32(&[1.0, 2.0, 3.0]);
+        let view = SharedSlice::<f32>::new(blob, 0, 3).unwrap();
+        let mut s = Storage::shared(view);
+        assert!(s.is_shared());
+        assert_eq!(&s[..], &[1.0, 2.0, 3.0]);
+        s[1] = 9.0;
+        assert!(!s.is_shared(), "mutation must promote to owned");
+        assert_eq!(&s[..], &[1.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn storage_clone_of_shared_stays_shared() {
+        let blob = blob_of_f32(&[4.0, 5.0]);
+        let s = Storage::shared(SharedSlice::<f32>::new(blob, 0, 2).unwrap());
+        let c = s.clone();
+        assert!(c.is_shared());
+        assert_eq!(s, c);
+        let owned: Storage<f32> = vec![4.0, 5.0].into();
+        assert_eq!(owned, c, "owned and shared compare by contents");
+    }
+
+    #[test]
+    fn storage_into_vec_copies_out() {
+        let blob = blob_of_f32(&[7.0]);
+        let s = Storage::shared(SharedSlice::<f32>::new(blob, 0, 1).unwrap());
+        assert_eq!(s.into_vec(), vec![7.0]);
+    }
+}

@@ -78,6 +78,10 @@ pub const RESILIENCE_FORMAT_VERSION: u32 = 1;
 /// Feature width of the synthetic serving workload.
 const FEATURES: usize = 6;
 
+/// Number of stable error-taxonomy codes; sized from the wire enum so a
+/// new code widens every per-code counter automatically.
+const TAXONOMY: usize = ErrorCode::ALL.len();
+
 /// How long the driver waits (real time) for a server-side counter to
 /// confirm an admission before declaring the campaign wedged.
 const CONFIRM_TIMEOUT: Duration = Duration::from_secs(30);
@@ -130,7 +134,7 @@ pub struct ScenarioOutcome {
     pub recovery_time_ms: u64,
     /// Per-taxonomy-code error reply counts, indexed like
     /// [`ErrorCode::ALL`].
-    pub errors: [u64; 6],
+    pub errors: [u64; TAXONOMY],
     /// Scenario-specific facts (key, pre-rendered JSON value), emitted in
     /// insertion order.
     pub detail: Vec<(&'static str, String)>,
@@ -304,7 +308,7 @@ struct Driver {
     tick: u64,
     requests: u64,
     ok: u64,
-    errors: [u64; 6],
+    errors: [u64; TAXONOMY],
     latencies_ms: Vec<u64>,
     pending: Vec<Pending>,
 }
@@ -320,7 +324,7 @@ impl Driver {
             tick: 0,
             requests: 0,
             ok: 0,
-            errors: [0; 6],
+            errors: [0; TAXONOMY],
             latencies_ms: Vec::new(),
             pending: Vec::new(),
         }
@@ -1009,7 +1013,7 @@ mod tests {
                 availability_pct: 100.0,
                 p99_under_fault_ms: Some(40),
                 recovery_time_ms: 0,
-                errors: [0; 6],
+                errors: [0; TAXONOMY],
                 detail: vec![("ticks", "8".into())],
             }],
         };

@@ -73,6 +73,14 @@ pub mod pool {
     pub use boosthd::pool::{global, in_pool_worker, WorkerPool};
 }
 
+/// The model-fleet registry and its append-only store — a re-export of
+/// [`boosthd::fleet`] so serving-side callers (the network front-end,
+/// `hdrun fleet`, `fleetbench`) build and route fleets without
+/// depending on the core crate's module layout.
+pub mod fleet {
+    pub use boosthd::fleet::{Fleet, FleetConfig, FleetModel, ModelStore, StoreEntry};
+}
+
 use std::time::{Duration, Instant};
 
 use boosthd::classifier::predict_batch_chunked_with;

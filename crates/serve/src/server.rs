@@ -84,6 +84,15 @@
 //! an `internal` error, sockets close both halves, `aborted_drains` is
 //! counted) instead of hanging the caller forever.
 //!
+//! **Model fleet.** [`Server::bind_with_fleet`] attaches a
+//! [`boosthd::fleet::Fleet`] registry: predict frames carrying `"model"`
+//! pin an `Arc` snapshot of the named model at admission and are flushed
+//! in per-snapshot groups (never mixing models or versions in one
+//! scoring batch); replies echo the model and serving version. Hot-swap
+//! = append a new version to the store + [`Fleet::refresh`]; LRU
+//! eviction under memory pressure re-admits transparently on the next
+//! request.
+//!
 //! **Fault containment.** Protocol errors answer a descriptive error frame
 //! carrying a stable [`crate::wire::ErrorCode`] tag and never touch other
 //! connections; a worker-pool panic is isolated and the worker replaced
@@ -100,12 +109,13 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use boosthd::fleet::{Fleet, FleetModel};
 use boosthd::{BoostHd, ModelSpec, OnlineHd, Pipeline, Prediction};
 use linalg::{Matrix, Rng64};
 
 use crate::wire::{
-    error_response, error_response_retry, escape_json, ok_response, predict_response, read_frame,
-    ErrorCode, Request, WireError, DEFAULT_MAX_FRAME_BYTES,
+    duration_to_wire_ms, error_response, error_response_retry, escape_json, ok_response,
+    predict_response_fleet, read_frame, ErrorCode, Request, WireError, DEFAULT_MAX_FRAME_BYTES,
 };
 use crate::EngineConfig;
 
@@ -271,6 +281,9 @@ pub struct ServerStats {
     pub deadline_exceeded: u64,
     /// `internal` taxonomy replies (server-side faults, force-aborts).
     pub internal: u64,
+    /// `unknown_model` taxonomy replies (fleet routing to a model that
+    /// is not in the registry's store, or no fleet is attached).
+    pub unknown_model: u64,
     /// Degrade-ladder steps down (toward cheaper tiers).
     pub degrade_steps: u64,
     /// Degrade-ladder steps up (recovery toward full fidelity).
@@ -303,6 +316,7 @@ struct AtomicStats {
     wrong_width: AtomicU64,
     deadline_exceeded: AtomicU64,
     internal: AtomicU64,
+    unknown_model: AtomicU64,
     degrade_steps: AtomicU64,
     recover_steps: AtomicU64,
     watchdog_repairs: AtomicU64,
@@ -327,6 +341,7 @@ impl AtomicStats {
             wrong_width: self.wrong_width.load(Ordering::Relaxed),
             deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
             internal: self.internal.load(Ordering::Relaxed),
+            unknown_model: self.unknown_model.load(Ordering::Relaxed),
             degrade_steps: self.degrade_steps.load(Ordering::Relaxed),
             recover_steps: self.recover_steps.load(Ordering::Relaxed),
             watchdog_repairs: self.watchdog_repairs.load(Ordering::Relaxed),
@@ -363,6 +378,10 @@ impl AtomicStats {
             ErrorCode::Internal => {
                 self.internal.fetch_add(1, Ordering::Relaxed);
             }
+            ErrorCode::UnknownModel => {
+                self.unknown_model.fetch_add(1, Ordering::Relaxed);
+                self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -377,6 +396,8 @@ enum BatchOutcome {
     Predicted {
         prediction: Prediction,
         tier: &'static str,
+        /// `(model_id, version)` when a fleet model served the request.
+        fleet: Option<(String, u64)>,
     },
     /// Queue age exceeded the request deadline before a flush reached it.
     DeadlineExceeded { waited_ms: u64 },
@@ -387,6 +408,11 @@ struct PendingRequest {
     reply: mpsc::Sender<BatchOutcome>,
     admitted: Instant,
     deadline: Option<Duration>,
+    /// The fleet snapshot pinned at admission (`None`: the default
+    /// model). Holding the `Arc` here is what makes hot-swap safe: a
+    /// swap or eviction between admission and flush cannot invalidate
+    /// this request's model.
+    fleet_model: Option<Arc<FleetModel>>,
 }
 
 /// One rung of the quantization ladder: the live model plus everything
@@ -432,6 +458,9 @@ struct Inner {
     threads: usize,
     /// The quantization ladder; index 0 is full fidelity.
     tiers: Vec<TierEntry>,
+    /// The model-fleet registry, when this server routes `"model"`
+    /// frames ([`Server::bind_with_fleet`]).
+    fleet: Option<Arc<Fleet>>,
     /// Index into `tiers` the next flush will score on.
     active_tier: AtomicUsize,
     /// The pinned canary window (empty when canaries are disabled).
@@ -646,6 +675,17 @@ fn build_ladder(pipeline: &Arc<Pipeline>, degrade_enabled: bool) -> Vec<(&'stati
     tiers
 }
 
+/// Refit-free degrade-ladder siblings of a fitted pipeline, most precise
+/// first (dense OnlineHD/BoostHD → int8 → 1-bit; other families a single
+/// rung). This is the tier set `hdrun fleet add --ladder` publishes under
+/// one `(model_id, version)` so the whole ladder hot-swaps as one unit.
+pub fn fleet_ladder(pipeline: &Arc<Pipeline>) -> Vec<Pipeline> {
+    build_ladder(pipeline, true)
+        .into_iter()
+        .map(|(_, model)| model)
+        .collect()
+}
+
 /// Seed of the deterministic pseudo-row canary window (fixed: the canary
 /// must be identical across restarts for pinned expectations to be
 /// meaningful).
@@ -706,6 +746,36 @@ impl Server {
         config: ServerConfig,
         prep: Option<Box<RowPrep>>,
     ) -> std::io::Result<Server> {
+        Self::bind_with_fleet(pipeline, expected_features, addr, config, prep, None)
+    }
+
+    /// [`Server::bind`] with a model-fleet registry attached: predict
+    /// frames carrying `"model"` are routed through `fleet`
+    /// ([`boosthd::fleet::Fleet`]) — each request pins an `Arc` snapshot
+    /// of the named model at admission, flushes are partitioned per
+    /// snapshot (no batch ever mixes models or versions), and replies
+    /// echo the model and the version that served them. Frames without
+    /// `"model"` serve on `pipeline` exactly as [`Server::bind`].
+    ///
+    /// The caller keeps its own `Arc<Fleet>` handle: appending a new
+    /// version to the store and calling [`Fleet::refresh`] hot-swaps the
+    /// model under live traffic with zero failed requests (in-flight
+    /// snapshots drain on the old version).
+    ///
+    /// All fleet models must share the server's `expected_features`
+    /// width — one feature extractor per serving endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_with_fleet(
+        pipeline: Arc<Pipeline>,
+        expected_features: usize,
+        addr: &str,
+        config: ServerConfig,
+        prep: Option<Box<RowPrep>>,
+        fleet: Option<Arc<Fleet>>,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let threads = config
@@ -744,6 +814,7 @@ impl Server {
             config,
             threads,
             tiers,
+            fleet,
             active_tier: AtomicUsize::new(0),
             canary,
             queue: Mutex::new(VecDeque::new()),
@@ -1124,8 +1195,9 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
                 id,
                 features,
                 deadline_ms,
+                model,
             }) => {
-                if !answer_predict(&inner, &mut writer, id, features, deadline_ms) {
+                if !answer_predict(&inner, &mut writer, id, features, deadline_ms, model) {
                     return;
                 }
             }
@@ -1138,7 +1210,7 @@ fn handle_connection(stream: TcpStream, inner: Arc<Inner>) {
 fn stats_frame(inner: &Inner) -> String {
     let s = inner.stats.snapshot();
     format!(
-        "{{\"ok\":\"stats\",\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"tier\":\"{}\",\"queue_depth\":{}}}",
+        "{{\"ok\":\"stats\",\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"unknown_model\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"tier\":\"{}\",\"queue_depth\":{}}}",
         s.connections,
         s.admitted,
         s.answered,
@@ -1150,6 +1222,7 @@ fn stats_frame(inner: &Inner) -> String {
         s.wrong_width,
         s.deadline_exceeded,
         s.internal,
+        s.unknown_model,
         s.degrade_steps,
         s.recover_steps,
         s.watchdog_repairs,
@@ -1169,7 +1242,33 @@ fn answer_predict(
     id: u64,
     features: Vec<f32>,
     deadline_ms: Option<u64>,
+    model: Option<String>,
 ) -> bool {
+    // Fleet routing resolves FIRST: the request pins its model snapshot
+    // before admission, so nothing between here and the flush — not a
+    // hot-swap, not an LRU eviction — can change which version answers.
+    let fleet_model: Option<Arc<FleetModel>> = match model {
+        None => None,
+        Some(name) => {
+            let resolved = inner
+                .fleet
+                .as_deref()
+                .ok_or_else(|| "this server serves no model fleet".to_string())
+                .and_then(|fleet| fleet.get(&name).map_err(|e| e.to_string()));
+            match resolved {
+                Ok(m) => Some(m),
+                Err(msg) => {
+                    inner.stats.count_error(ErrorCode::UnknownModel);
+                    return writeln!(
+                        writer,
+                        "{}",
+                        error_response(Some(id), ErrorCode::UnknownModel, &msg)
+                    )
+                    .is_ok();
+                }
+            }
+        }
+    };
     if features.len() != inner.expected_features {
         inner.stats.count_error(ErrorCode::WrongWidth);
         let msg = format!(
@@ -1247,15 +1346,26 @@ fn answer_predict(
             reply: tx,
             admitted: Instant::now(),
             deadline,
+            fleet_model,
         });
         inner.stats.admitted.fetch_add(1, Ordering::Relaxed);
     }
     inner.work_ready.notify_all();
     loop {
         match rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(BatchOutcome::Predicted { prediction, tier }) => {
+            Ok(BatchOutcome::Predicted {
+                prediction,
+                tier,
+                fleet,
+            }) => {
                 inner.stats.answered.fetch_add(1, Ordering::Relaxed);
-                return writeln!(writer, "{}", predict_response(id, &prediction, tier)).is_ok();
+                let frame = predict_response_fleet(
+                    id,
+                    &prediction,
+                    tier,
+                    fleet.as_ref().map(|(m, v)| (m.as_str(), *v)),
+                );
+                return writeln!(writer, "{frame}").is_ok();
             }
             Ok(BatchOutcome::DeadlineExceeded { waited_ms }) => {
                 inner.stats.count_error(ErrorCode::DeadlineExceeded);
@@ -1312,7 +1422,7 @@ fn sweep_expired(queue: &mut VecDeque<PendingRequest>) -> usize {
             .is_some_and(|d| now.duration_since(queue[i].admitted) >= d);
         if expired {
             if let Some(req) = queue.remove(i) {
-                let waited_ms = now.duration_since(req.admitted).as_millis() as u64;
+                let waited_ms = duration_to_wire_ms(now.duration_since(req.admitted));
                 let _ = req.reply.send(BatchOutcome::DeadlineExceeded { waited_ms });
                 swept += 1;
             }
@@ -1440,25 +1550,68 @@ fn batcher_loop(inner: &Arc<Inner>) {
                 calm_flushes = 0;
             }
         }
-        let tier = &inner.tiers[inner.active_tier.load(Ordering::Relaxed)];
-        let model = Arc::clone(&tier.model.read().unwrap_or_else(|e| e.into_inner()));
-        let rows: Vec<Vec<f32>> = batch.iter().map(|r| r.row.clone()).collect();
-        let x = Matrix::from_rows(&rows).expect("admitted rows share the validated feature width");
-        *lock(&inner.flush_started) = Some(Instant::now());
-        let predictions = model.predict_batch_with_confidence_chunked(
-            &x,
-            inner.threads,
-            inner.config.engine.exec,
-        );
-        *lock(&inner.flush_started) = None;
+        // Partition the composed batch by serving model: the default
+        // ladder plus one group per distinct fleet snapshot. Grouping is
+        // by `Arc` identity, so requests admitted across a hot-swap land
+        // in separate groups — a flush never mixes model versions, and
+        // each group scores on exactly the snapshot its requests pinned.
+        let mut groups: Vec<(Option<Arc<FleetModel>>, Vec<PendingRequest>)> = Vec::new();
+        for request in batch {
+            let key = request.fleet_model.as_ref().map(Arc::as_ptr);
+            match groups
+                .iter_mut()
+                .find(|(m, _)| m.as_ref().map(Arc::as_ptr) == key)
+            {
+                Some((_, members)) => members.push(request),
+                None => groups.push((request.fleet_model.clone(), vec![request])),
+            }
+        }
+        let active = inner.active_tier.load(Ordering::Relaxed);
         inner.stats.batches.fetch_add(1, Ordering::Relaxed);
-        for (request, prediction) in batch.into_iter().zip(predictions) {
-            // A send error means the handler/connection died mid-flight;
-            // the prediction is simply discarded.
-            let _ = request.reply.send(BatchOutcome::Predicted {
-                prediction,
-                tier: tier.tag,
-            });
+        for (fleet_model, group) in groups {
+            // Fleet models walk the same degrade ladder index as the
+            // default model, clamped to the tiers they actually ship.
+            let (model, tier_tag, fleet_info): (
+                Arc<Pipeline>,
+                &'static str,
+                Option<(String, u64)>,
+            ) = match &fleet_model {
+                Some(fm) => {
+                    let p = Arc::clone(fm.tier(active));
+                    (
+                        Arc::clone(&p),
+                        base_tier_tag(p.spec()),
+                        Some((fm.model_id().to_string(), fm.version())),
+                    )
+                }
+                None => {
+                    let tier = &inner.tiers[active];
+                    (
+                        Arc::clone(&tier.model.read().unwrap_or_else(|e| e.into_inner())),
+                        tier.tag,
+                        None,
+                    )
+                }
+            };
+            let rows: Vec<Vec<f32>> = group.iter().map(|r| r.row.clone()).collect();
+            let x =
+                Matrix::from_rows(&rows).expect("admitted rows share the validated feature width");
+            *lock(&inner.flush_started) = Some(Instant::now());
+            let predictions = model.predict_batch_with_confidence_chunked(
+                &x,
+                inner.threads,
+                inner.config.engine.exec,
+            );
+            *lock(&inner.flush_started) = None;
+            for (request, prediction) in group.into_iter().zip(predictions) {
+                // A send error means the handler/connection died
+                // mid-flight; the prediction is simply discarded.
+                let _ = request.reply.send(BatchOutcome::Predicted {
+                    prediction,
+                    tier: tier_tag,
+                    fleet: fleet_info.clone(),
+                });
+            }
         }
     }
 }
@@ -1508,7 +1661,7 @@ fn watchdog_loop(inner: &Arc<Inner>) {
 /// shutdown reporting and tests).
 pub fn stats_json(stats: &ServerStats, note: &str) -> String {
     format!(
-        "{{\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"note\":\"{}\"}}",
+        "{{\"connections\":{},\"admitted\":{},\"answered\":{},\"shed\":{},\"protocol_errors\":{},\"batches\":{},\"bad_frame\":{},\"oversized\":{},\"wrong_width\":{},\"deadline_exceeded\":{},\"internal\":{},\"unknown_model\":{},\"degrade_steps\":{},\"recover_steps\":{},\"watchdog_repairs\":{},\"watchdog_stalls\":{},\"model_reloads\":{},\"aborted_drains\":{},\"note\":\"{}\"}}",
         stats.connections,
         stats.admitted,
         stats.answered,
@@ -1520,6 +1673,7 @@ pub fn stats_json(stats: &ServerStats, note: &str) -> String {
         stats.wrong_width,
         stats.deadline_exceeded,
         stats.internal,
+        stats.unknown_model,
         stats.degrade_steps,
         stats.recover_steps,
         stats.watchdog_repairs,

@@ -24,7 +24,7 @@
 //!
 //! | shape | meaning |
 //! |---|---|
-//! | `{"features": [f32...], "id": u64?, "deadline_ms": u64?}` | predict one feature vector; `id` is echoed back (default 0); `deadline_ms` bounds the queue age before the server answers `deadline_exceeded` instead of scoring |
+//! | `{"features": [f32...], "id": u64?, "deadline_ms": u64?, "model": str?}` | predict one feature vector; `id` is echoed back (default 0); `deadline_ms` bounds the queue age before the server answers `deadline_exceeded` instead of scoring; `model` routes the request to a named model in the server's fleet registry (see [`boosthd::fleet`]) instead of the default model |
 //! | `{"cmd": "ping"}` | liveness probe |
 //! | `{"cmd": "stats"}` | server counters snapshot |
 //! | `{"cmd": "health"}` | runtime self-check: canary window score + live-model checksum (corruption triggers an atomic reload) |
@@ -37,7 +37,10 @@
 //! — the fields of [`boosthd::Prediction`], so a reliability-gated client
 //! can escalate on `abstained` exactly as the in-process confidence API
 //! allows, plus the quantization `tier` that served the request (the
-//! degrade ladder; see [`crate::server`]). Control commands answer
+//! degrade ladder; see [`crate::server`]). Fleet-routed predictions
+//! additionally echo `"model"` and carry the `"version"` that served
+//! them, so clients can observe hot-swap transitions. Control commands
+//! answer
 //! `{"ok": ...}`. Every failure answers
 //! `{"error":"<description>","code":"<taxonomy>"}` (plus the request `id`
 //! when one was parsed, and `retry_after_ms` on sheds) — `code` is one of
@@ -54,6 +57,32 @@
 use std::fmt;
 use std::io::{BufRead, Write};
 use std::net::TcpStream;
+use std::time::Duration;
+
+/// Converts a duration to whole milliseconds for the wire.
+///
+/// `Duration::as_millis` returns a `u128`; the once-pervasive
+/// `as_millis() as u64` silently truncates (wrapping a pathological
+/// ~584-million-year wait to an arbitrary small number a client would
+/// happily honor as a backoff hint). This is the single checked
+/// conversion every wire-bound duration goes through: it saturates at
+/// `u64::MAX` instead.
+pub fn duration_to_wire_ms(d: Duration) -> u64 {
+    u64::try_from(d.as_millis()).unwrap_or(u64::MAX)
+}
+
+/// Reads a JSON number as an exact non-negative integer fitting `u64`.
+///
+/// Returns `None` for non-numbers, negatives, fractions, and values at
+/// or above 2^64 — a plain `as u64` cast would saturate those to
+/// arbitrary in-range values instead of rejecting them.
+fn json_u64(v: &Json) -> Option<u64> {
+    let n = v.as_num()?;
+    if n < 0.0 || n.fract() != 0.0 || n >= u64::MAX as f64 {
+        return None;
+    }
+    Some(n as u64)
+}
 
 /// Default per-frame byte cap (64 KiB) — comfortably above any realistic
 /// wearable feature vector (a 256-float row serializes to ~3 KiB) while
@@ -125,18 +154,22 @@ pub enum ErrorCode {
     /// A server-side failure that is not the client's fault (e.g. the
     /// batcher died, or the drain deadline force-aborted the request).
     Internal,
+    /// The request named a `model` that is not in the server's fleet
+    /// registry (or the server serves no fleet at all).
+    UnknownModel,
 }
 
 impl ErrorCode {
     /// Every code, in stable (alphabetical-tag) reporting order — the
     /// iteration order of taxonomy counters in `stats` and the chaos
     /// report.
-    pub const ALL: [ErrorCode; 6] = [
+    pub const ALL: [ErrorCode; 7] = [
         ErrorCode::BadFrame,
         ErrorCode::DeadlineExceeded,
         ErrorCode::Internal,
         ErrorCode::Oversized,
         ErrorCode::Shed,
+        ErrorCode::UnknownModel,
         ErrorCode::WrongWidth,
     ];
 
@@ -149,6 +182,7 @@ impl ErrorCode {
             ErrorCode::Shed => "shed",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Internal => "internal",
+            ErrorCode::UnknownModel => "unknown_model",
         }
     }
 
@@ -450,6 +484,10 @@ pub enum Request {
         /// `deadline_exceeded` instead of scoring (`None`: the server
         /// default, which may itself be unbounded).
         deadline_ms: Option<u64>,
+        /// Fleet routing: the named model that must serve this request
+        /// (`None`: the server's default model). Unknown names answer an
+        /// `unknown_model` error rather than silently falling back.
+        model: Option<String>,
     },
     /// Liveness probe.
     Ping,
@@ -526,10 +564,19 @@ impl Request {
         };
         let id = uint_field("id")?.unwrap_or(0);
         let deadline_ms = uint_field("deadline_ms")?;
+        let model = match value.get("model") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .ok_or_else(|| WireError::BadRequest("`model` must be a string".into()))?
+                    .to_string(),
+            ),
+        };
         Ok(Request::Predict {
             id,
             features: row,
             deadline_ms,
+            model,
         })
     }
 }
@@ -542,13 +589,35 @@ impl Request {
 /// `tier` names the quantization rung that served the request (`"f32"`,
 /// `"int8"`, `"binary"`; see the degrade ladder in [`crate::server`]).
 pub fn predict_response(id: u64, p: &boosthd::Prediction, tier: &str) -> String {
+    predict_response_fleet(id, p, tier, None)
+}
+
+/// [`predict_response`] for fleet-routed requests: echoes the model name
+/// and the version that served the prediction, so clients can observe a
+/// hot-swap land (`version` changes) and assert no mixed-version batch.
+pub fn predict_response_fleet(
+    id: u64,
+    p: &boosthd::Prediction,
+    tier: &str,
+    fleet: Option<(&str, u64)>,
+) -> String {
+    let fleet_fields = match fleet {
+        Some((model, version)) => {
+            format!(
+                ",\"model\":\"{}\",\"version\":{version}",
+                escape_json(model)
+            )
+        }
+        None => String::new(),
+    };
     format!(
-        "{{\"id\":{id},\"class\":{},\"confidence\":{},\"margin\":{},\"abstained\":{},\"tier\":\"{}\"}}",
+        "{{\"id\":{id},\"class\":{},\"confidence\":{},\"margin\":{},\"abstained\":{},\"tier\":\"{}\"{}}}",
         p.class,
         p.confidence,
         p.margin,
         p.abstained,
-        escape_json(tier)
+        escape_json(tier),
+        fleet_fields
     )
 }
 
@@ -689,6 +758,11 @@ pub enum Reply {
         /// The quantization tier that served the request (`None` when the
         /// server predates tier annotation).
         tier: Option<String>,
+        /// The fleet model that served the request (`None` for the
+        /// default model).
+        model: Option<String>,
+        /// The fleet model version that served the request.
+        version: Option<u64>,
     },
     /// A control-command acknowledgement payload.
     Ok(String),
@@ -717,12 +791,9 @@ impl Reply {
                 .as_str()
                 .ok_or_else(|| WireError::Malformed("`error` must be a string".into()))?
                 .to_string();
-            let id = v.get("id").and_then(Json::as_num).map(|n| n as u64);
+            let id = v.get("id").and_then(json_u64);
             let code = v.get("code").and_then(Json::as_str).map(|s| s.to_string());
-            let retry_after_ms = v
-                .get("retry_after_ms")
-                .and_then(Json::as_num)
-                .map(|n| n as u64);
+            let retry_after_ms = v.get("retry_after_ms").and_then(json_u64);
             return Ok(Reply::Error {
                 id,
                 message,
@@ -737,7 +808,10 @@ impl Reply {
                     .ok_or_else(|| WireError::Malformed(format!("missing numeric `{key}`")))
             };
             return Ok(Reply::Predict {
-                id: num("id")? as u64,
+                id: v
+                    .get("id")
+                    .and_then(json_u64)
+                    .ok_or_else(|| WireError::Malformed("missing integer `id`".into()))?,
                 class: class
                     .as_num()
                     .ok_or_else(|| WireError::Malformed("`class` must be a number".into()))?
@@ -749,6 +823,8 @@ impl Reply {
                     .and_then(Json::as_bool)
                     .ok_or_else(|| WireError::Malformed("missing `abstained`".into()))?,
                 tier: v.get("tier").and_then(Json::as_str).map(|s| s.to_string()),
+                model: v.get("model").and_then(Json::as_str).map(|s| s.to_string()),
+                version: v.get("version").and_then(json_u64),
             });
         }
         if let Some(ok) = v.get("ok") {
@@ -833,6 +909,38 @@ impl Client {
         self.send_predict(id, features)?;
         self.recv()?
             .ok_or_else(|| WireError::Io("server closed before answering".into()))
+    }
+
+    /// Round-trips one prediction request routed to the named fleet
+    /// model.
+    ///
+    /// # Errors
+    ///
+    /// Socket/parse failures, or an unexpected early close.
+    pub fn predict_model(
+        &mut self,
+        id: u64,
+        model: &str,
+        features: &[f32],
+    ) -> Result<Reply, WireError> {
+        self.send_predict_model(id, model, features)?;
+        self.recv()?
+            .ok_or_else(|| WireError::Io("server closed before answering".into()))
+    }
+
+    /// Sends a fleet-routed prediction request WITHOUT waiting for the
+    /// reply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn send_predict_model(
+        &mut self,
+        id: u64,
+        model: &str,
+        features: &[f32],
+    ) -> Result<(), WireError> {
+        self.send_raw(&predict_frame_model(id, features, None, Some(model)))
     }
 
     /// Round-trips one prediction request carrying a per-request
@@ -923,12 +1031,27 @@ impl Client {
 
 /// Builds one predict request frame (no trailing newline).
 fn predict_frame(id: u64, features: &[f32], deadline_ms: Option<u64>) -> String {
+    predict_frame_model(id, features, deadline_ms, None)
+}
+
+/// [`predict_frame`] with optional fleet-model routing.
+fn predict_frame_model(
+    id: u64,
+    features: &[f32],
+    deadline_ms: Option<u64>,
+    model: Option<&str>,
+) -> String {
     let mut frame = String::with_capacity(48 + features.len() * 10);
     frame.push_str("{\"id\":");
     frame.push_str(&id.to_string());
     if let Some(d) = deadline_ms {
         frame.push_str(",\"deadline_ms\":");
         frame.push_str(&d.to_string());
+    }
+    if let Some(m) = model {
+        frame.push_str(",\"model\":\"");
+        frame.push_str(&escape_json(m));
+        frame.push('"');
     }
     frame.push_str(",\"features\":[");
     for (i, f) in features.iter().enumerate() {
@@ -979,6 +1102,8 @@ impl RetryPolicy {
             .unwrap_or(u64::MAX)
             .min(self.max_backoff_ms)
             .max(1);
+        // `base` is capped at `max_backoff_ms`, so the usize round trip
+        // through `below` is lossless and the sum cannot overflow.
         base + rng.below((base / 2 + 1) as usize) as u64
     }
 }
@@ -1092,7 +1217,8 @@ mod tests {
             Request::Predict {
                 id: 9,
                 features: vec![1.5, -2.0, 3.0],
-                deadline_ms: None
+                deadline_ms: None,
+                model: None
             }
         );
         let r = Request::parse("{\"features\": []}").unwrap();
@@ -1101,7 +1227,8 @@ mod tests {
             Request::Predict {
                 id: 0,
                 features: vec![],
-                deadline_ms: None
+                deadline_ms: None,
+                model: None
             }
         );
         let r = Request::parse("{\"features\": [1], \"deadline_ms\": 40}").unwrap();
@@ -1110,11 +1237,30 @@ mod tests {
             Request::Predict {
                 id: 0,
                 features: vec![1.0],
-                deadline_ms: Some(40)
+                deadline_ms: Some(40),
+                model: None
             }
         );
         assert!(matches!(
             Request::parse("{\"features\": [1], \"deadline_ms\": -1}"),
+            Err(WireError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn parses_fleet_model_routing() {
+        let r = Request::parse("{\"features\": [1], \"model\": \"hr-v2\"}").unwrap();
+        assert_eq!(
+            r,
+            Request::Predict {
+                id: 0,
+                features: vec![1.0],
+                deadline_ms: None,
+                model: Some("hr-v2".into())
+            }
+        );
+        assert!(matches!(
+            Request::parse("{\"features\": [1], \"model\": 7}"),
             Err(WireError::BadRequest(_))
         ));
     }
@@ -1137,6 +1283,18 @@ mod tests {
             Request::parse("{\"cmd\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn duration_conversion_saturates_instead_of_truncating() {
+        assert_eq!(duration_to_wire_ms(Duration::from_millis(1500)), 1500);
+        assert_eq!(duration_to_wire_ms(Duration::MAX), u64::MAX);
+        // A reply id too large for u64 is rejected, not wrapped to an
+        // arbitrary in-range value.
+        assert!(Reply::parse(
+            "{\"class\":1,\"id\":1e40,\"confidence\":0.5,\"margin\":0.1,\"abstained\":false}"
+        )
+        .is_err());
     }
 
     #[test]
@@ -1211,7 +1369,23 @@ mod tests {
                 confidence: 0.875,
                 margin: 0.5,
                 abstained: false,
-                tier: Some("int8".into())
+                tier: Some("int8".into()),
+                model: None,
+                version: None
+            }
+        );
+        let fleet_frame = predict_response_fleet(8, &p, "f32", Some(("hr-v2", 3)));
+        assert_eq!(
+            Reply::parse(&fleet_frame).unwrap(),
+            Reply::Predict {
+                id: 8,
+                class: 2,
+                confidence: 0.875,
+                margin: 0.5,
+                abstained: false,
+                tier: Some("f32".into()),
+                model: Some("hr-v2".into()),
+                version: Some(3)
             }
         );
         let err = error_response(Some(3), ErrorCode::BadFrame, "bad \"thing\"\n");

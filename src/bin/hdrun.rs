@@ -39,7 +39,20 @@
 //!                                                     # deterministic reliability sweep
 //! hdrun chaos    [--out <report.json>] [--threads N] [--seed N] [--quick]
 //!                                                     # serving chaos campaign -> BENCH_resilience.json
+//! hdrun fleet add   --store <models.bhfs> --spec <f> --id <name> [--version N] [--ladder]
+//! hdrun fleet list  --store <models.bhfs>             # index: model, version, tiers, bytes
+//! hdrun fleet serve --store <models.bhfs> --spec <f> --listen <addr:port>
+//!                   [--max-resident N] [--pin a,b]    # registry-routed TCP serving
 //! ```
+//!
+//! `fleet add` fits the spec's model and appends it to an append-only
+//! BHFS model store ([`boosthd::fleet::ModelStore`]); `--ladder` also
+//! publishes the refit-free int8 and 1-bit degrade siblings under the
+//! same version so the whole ladder hot-swaps as one unit. `fleet serve`
+//! routes predict frames carrying `"model"` through the LRU registry
+//! ([`boosthd::fleet::Fleet`]) — re-running `fleet add` for a served id
+//! and letting the server refresh hot-swaps versions with zero failed
+//! requests.
 //!
 //! `eval` and `serve` regenerate the dataset from the `[dataset]` seed, so
 //! the normalization fitted on the training split is reproduced exactly and
@@ -54,7 +67,10 @@ use std::time::Duration;
 use boosthd::parallel::ExecBackend;
 use boosthd::toml::TomlDoc;
 use boosthd::{BoostHdError, ModelSpec, Pipeline};
-use boosthd_repro::serve::server::{Backpressure, Server, ServerConfig, ServerTuning};
+use boosthd_repro::serve::fleet::{Fleet, FleetConfig, ModelStore};
+use boosthd_repro::serve::server::{
+    fleet_ladder, Backpressure, Server, ServerConfig, ServerTuning,
+};
 use boosthd_repro::serve::{EngineConfig, InferenceEngine};
 use eval_harness::metrics::accuracy;
 use linalg::Matrix;
@@ -65,7 +81,7 @@ use wearables::streaming::WindowStream;
 use wearables::{Dataset, DatasetProfile};
 
 fn usage() -> &'static str {
-    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde> [--listen <addr:port>]\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]\n  hdrun chaos [--out <report.json>] [--threads N] [--seed N] [--quick]"
+    "usage:\n  hdrun train --spec <file> [--out <model.bhde>]\n  hdrun eval  --spec <file> --model <model.bhde>\n  hdrun serve --spec <file> --model <model.bhde> [--listen <addr:port>]\n  hdrun campaign <spec.toml> [--out <report.json>] [--threads N]\n  hdrun chaos [--out <report.json>] [--threads N] [--seed N] [--quick]\n  hdrun fleet add   --store <models.bhfs> --spec <file> --id <name> [--version N] [--ladder]\n  hdrun fleet list  --store <models.bhfs>\n  hdrun fleet serve --store <models.bhfs> --spec <file> --listen <addr:port> [--max-resident N] [--pin a,b]"
 }
 
 struct Args {
@@ -77,11 +93,27 @@ struct Args {
     listen: Option<String>,
     seed: Option<u64>,
     quick: bool,
+    store: Option<String>,
+    id: Option<String>,
+    version: Option<u64>,
+    ladder: bool,
+    max_resident: Option<usize>,
+    pin: Vec<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let argv: Vec<String> = std::env::args().collect();
-    let command = argv.get(1).cloned().ok_or_else(|| usage().to_string())?;
+    let mut command = argv.get(1).cloned().ok_or_else(|| usage().to_string())?;
+    let mut i = 2;
+    if command == "fleet" {
+        // `hdrun fleet add|list|serve ...` — fold the subcommand in.
+        let sub = argv
+            .get(2)
+            .cloned()
+            .ok_or_else(|| format!("fleet needs a subcommand\n{}", usage()))?;
+        command = format!("fleet {sub}");
+        i = 3;
+    }
     let mut args = Args {
         command,
         spec: None,
@@ -91,8 +123,13 @@ fn parse_args() -> Result<Args, String> {
         listen: None,
         seed: None,
         quick: false,
+        store: None,
+        id: None,
+        version: None,
+        ladder: false,
+        max_resident: None,
+        pin: Vec::new(),
     };
-    let mut i = 2;
     while i < argv.len() {
         let take = |i: usize| -> Result<String, String> {
             argv.get(i + 1)
@@ -120,6 +157,37 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => {
                 args.quick = true;
                 i -= 1; // flag: no value to skip
+            }
+            "--store" => args.store = Some(take(i)?),
+            "--id" => args.id = Some(take(i)?),
+            "--version" => {
+                let v = take(i)?;
+                args.version = Some(v.parse::<u64>().map_err(|_| {
+                    format!(
+                        "--version needs an unsigned integer, got `{v}`\n{}",
+                        usage()
+                    )
+                })?);
+            }
+            "--ladder" => {
+                args.ladder = true;
+                i -= 1; // flag: no value to skip
+            }
+            "--max-resident" => {
+                let v = take(i)?;
+                args.max_resident = Some(v.parse::<usize>().map_err(|_| {
+                    format!(
+                        "--max-resident needs an unsigned integer, got `{v}`\n{}",
+                        usage()
+                    )
+                })?);
+            }
+            "--pin" => {
+                args.pin = take(i)?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
             }
             positional if !positional.starts_with('-') && args.spec.is_none() => {
                 // `hdrun campaign specs/foo.toml` reads naturally.
@@ -545,6 +613,171 @@ fn serve_network(
     Ok(())
 }
 
+/// Opens a BHFS fleet store, creating an empty one if the path does not
+/// exist yet (so `fleet add` bootstraps a store on first use).
+fn open_or_create_store(path: &str) -> Result<ModelStore, Box<dyn Error>> {
+    if std::path::Path::new(path).exists() {
+        Ok(ModelStore::open(path)?)
+    } else {
+        Ok(ModelStore::create(path)?)
+    }
+}
+
+/// `hdrun fleet add`: fit the spec's model and publish it into the store
+/// under `--id`, auto-incrementing the version unless `--version` pins
+/// one. With `--ladder`, the refit-free int8 and 1-bit siblings publish
+/// with it as one atomic unit.
+fn cmd_fleet_add(
+    store_path: &str,
+    spec_path: &str,
+    id: &str,
+    version: Option<u64>,
+    ladder: bool,
+) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let model_table = doc
+        .table("model")
+        .ok_or_else(|| format!("spec file {spec_path} has no [model] table"))?;
+    let model_spec = ModelSpec::from_toml_table(model_table)?;
+    let ds = dataset_spec(&doc)?;
+    let sv = serve_spec(&doc, ds.profile.window_samples)?;
+    let (train, test) = prepare(&ds)?;
+    let pipeline = Pipeline::fit(&model_spec, train.features(), train.labels())?
+        .with_abstain_threshold(sv.abstain_threshold);
+    let test_acc = accuracy(&pipeline.predict_batch(test.features()), test.labels()) * 100.0;
+
+    let store = open_or_create_store(store_path)?;
+    let version = match version {
+        Some(v) => v,
+        None => store.latest_version(id).map_or(1, |v| v + 1),
+    };
+    let tiers: Vec<Pipeline> = if ladder {
+        fleet_ladder(&std::sync::Arc::new(pipeline))
+    } else {
+        vec![pipeline]
+    };
+    let tier_refs: Vec<&Pipeline> = tiers.iter().collect();
+    store.append(id, version, &tier_refs)?;
+    println!(
+        "fleet add: published {id} v{version} to {store_path} ({} | {} tier{} | test acc {test_acc:.2}%)",
+        model_spec.display_name(),
+        tiers.len(),
+        if tiers.len() == 1 { "" } else { "s" },
+    );
+    Ok(())
+}
+
+/// `hdrun fleet list`: print every `(model, version)` in the store with
+/// its tier count and on-disk footprint.
+fn cmd_fleet_list(store_path: &str) -> Result<(), Box<dyn Error>> {
+    let store = ModelStore::open(store_path)?;
+    let entries = store.entries();
+    println!("fleet store {store_path}: {} record(s)", entries.len());
+    // Group tiers under their (model, version) unit, in append order.
+    let mut units: Vec<(String, u64, usize, u64)> = Vec::new();
+    for e in &entries {
+        match units
+            .iter_mut()
+            .find(|(id, v, _, _)| *id == e.model_id && *v == e.version)
+        {
+            Some((_, _, tiers, bytes)) => {
+                *tiers += 1;
+                *bytes += e.total_len;
+            }
+            None => units.push((e.model_id.clone(), e.version, 1, e.total_len)),
+        }
+    }
+    for (id, version, tiers, bytes) in units {
+        println!("  {id} v{version}: {tiers} tier(s), {bytes} bytes");
+    }
+    Ok(())
+}
+
+/// `hdrun fleet serve`: serve every model in the store over TCP. Predict
+/// frames carrying `"model"` route through the registry (LRU residency,
+/// `--max-resident`); frames without one serve the latest version of the
+/// first published model.
+fn cmd_fleet_serve(
+    store_path: &str,
+    spec_path: &str,
+    listen: &str,
+    max_resident: Option<usize>,
+    pins: &[String],
+) -> Result<(), Box<dyn Error>> {
+    let doc = load_doc(spec_path)?;
+    let ds = dataset_spec(&doc)?;
+    let sv = serve_spec(&doc, ds.profile.window_samples)?;
+    // The serving-side normalizer is fitted on the training split every
+    // stored model saw, reproduced from the [dataset] seed. One feature
+    // extractor per endpoint: all fleet models share this width.
+    let (train, _test) = prepare(&ds)?;
+    let normalizer = Normalizer::fit(train.features())?;
+    let num_features = train.num_features();
+
+    let store = ModelStore::open(store_path)?;
+    let mut ids: Vec<String> = Vec::new();
+    for e in store.entries() {
+        if !ids.contains(&e.model_id) {
+            ids.push(e.model_id.clone());
+        }
+    }
+    if ids.is_empty() {
+        return Err(format!("fleet store {store_path} holds no models").into());
+    }
+    let fleet = std::sync::Arc::new(Fleet::new(
+        store,
+        FleetConfig {
+            max_resident: max_resident.unwrap_or(0),
+        },
+    ));
+    for id in pins {
+        fleet.pin(id, true)?;
+    }
+    let default_model = fleet.get(&ids[0])?;
+    let pipeline = std::sync::Arc::clone(default_model.primary());
+
+    let config = ServerConfig {
+        engine: EngineConfig {
+            max_batch: sv.max_batch,
+            max_wait: sv.max_wait,
+            threads: sv.threads,
+            exec: sv.exec,
+        },
+        tuning: sv.tuning,
+    };
+    let prep = Box::new(move |row: Vec<f32>| {
+        let m = Matrix::from_rows(std::slice::from_ref(&row)).expect("validated feature width");
+        normalizer.apply(&m).row(0).to_vec()
+    });
+    let server = Server::bind_with_fleet(
+        pipeline,
+        num_features,
+        listen,
+        config,
+        Some(prep),
+        Some(std::sync::Arc::clone(&fleet)),
+    )?;
+    println!(
+        "fleet: listening on {} ({} model(s), default `{}` v{}, max_resident {}, {} features/request)",
+        server.local_addr(),
+        ids.len(),
+        default_model.model_id(),
+        default_model.version(),
+        if max_resident.unwrap_or(0) == 0 {
+            "unbounded".to_string()
+        } else {
+            max_resident.unwrap_or(0).to_string()
+        },
+        num_features,
+    );
+    let stats = server.wait();
+    println!(
+        "fleet: drained | {} connections, {} answered, {} shed, {} unknown model, {} protocol errors",
+        stats.connections, stats.answered, stats.shed, stats.unknown_model, stats.protocol_errors
+    );
+    Ok(())
+}
+
 /// The optional `[stream]` table: live micro-batched degradation
 /// measurement appended to the campaign report.
 fn run_stream(
@@ -783,6 +1016,38 @@ fn run() -> Result<(), Box<dyn Error>> {
             args.seed.unwrap_or(42),
             args.quick,
         );
+    }
+    if let Some(fleet_cmd) = args.command.strip_prefix("fleet ") {
+        let store = args
+            .store
+            .as_deref()
+            .ok_or_else(|| format!("fleet commands need --store\n{}", usage()))?;
+        return match fleet_cmd {
+            "list" => cmd_fleet_list(store),
+            "add" => cmd_fleet_add(
+                store,
+                args.spec
+                    .as_deref()
+                    .ok_or_else(|| format!("fleet add needs --spec\n{}", usage()))?,
+                args.id
+                    .as_deref()
+                    .ok_or_else(|| format!("fleet add needs --id\n{}", usage()))?,
+                args.version,
+                args.ladder,
+            ),
+            "serve" => cmd_fleet_serve(
+                store,
+                args.spec
+                    .as_deref()
+                    .ok_or_else(|| format!("fleet serve needs --spec\n{}", usage()))?,
+                args.listen
+                    .as_deref()
+                    .ok_or_else(|| format!("fleet serve needs --listen\n{}", usage()))?,
+                args.max_resident,
+                &args.pin,
+            ),
+            other => Err(format!("unknown fleet subcommand `{other}`\n{}", usage()).into()),
+        };
     }
     let spec = args
         .spec
